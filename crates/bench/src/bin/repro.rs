@@ -1,0 +1,101 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! repro all                # every artifact at full fidelity
+//! repro fig1 tab2          # selected artifacts
+//! repro --quick all        # fast low-fidelity pass
+//! repro --list             # available ids
+//! repro --out results all  # CSV output directory (default: results)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gr_bench::{registry, Quality};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut list = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--list" | "-l" => list = true,
+            "--out" | "-o" => match args.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick] [--out DIR] (all | <id>...)\n       repro --list"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let reg = registry();
+    if list {
+        for (id, _) in &reg {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments selected; try `repro all` or `repro --list`");
+        return ExitCode::FAILURE;
+    }
+    let selected: Vec<&(&str, gr_bench::Generator)> =
+        if ids.iter().any(|i| i == "all") {
+            reg.iter().collect()
+        } else {
+            let mut sel = Vec::new();
+            for id in &ids {
+                match reg.iter().find(|(rid, _)| rid == id) {
+                    Some(entry) => sel.push(entry),
+                    None => {
+                        eprintln!("unknown experiment id `{id}` (see --list)");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            sel
+        };
+
+    let quality = if quick {
+        Quality::quick()
+    } else {
+        Quality::full()
+    };
+    println!(
+        "# greedy80211 reproduction — {} experiment(s), {} fidelity\n",
+        selected.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let t_all = Instant::now();
+    for (id, gen) in selected {
+        let t = Instant::now();
+        let experiment = gen(&quality);
+        print!("{}", experiment.render());
+        match experiment.write_csv(&out_dir) {
+            Ok(()) => println!(
+                "  -> {} ({:.1}s)\n",
+                out_dir.join(format!("{id}.csv")).display(),
+                t.elapsed().as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("failed to write CSV for {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("total: {:.1}s", t_all.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,27 @@
+//! Fig. 1 — Goodput of two UDP flows where the greedy receiver inflates
+//! its CTS NAV (802.11b). Even a sub-millisecond inflation starves the
+//! competing flow completely.
+
+use greedy80211::NavInflationConfig;
+
+use crate::experiments::{nav_two_pair, UDP_NAV_SWEEP_US};
+use crate::table::{mbps, Experiment};
+use crate::Quality;
+
+/// Runs the sweep.
+pub fn run(q: &Quality) -> Experiment {
+    let mut e = Experiment::new(
+        "fig1",
+        "Fig. 1: UDP goodput vs CTS-NAV inflation (802.11b)",
+        &["inflate_us", "NR_mbps", "GR_mbps"],
+    );
+    for &inflate in UDP_NAV_SWEEP_US {
+        let vals = q.median_vec_over_seeds(|seed| {
+            let s = nav_two_pair(true, NavInflationConfig::cts_only(inflate, 1.0), q, seed);
+            let out = s.run().expect("valid scenario");
+            vec![out.goodput_mbps(0), out.goodput_mbps(1)]
+        });
+        e.push_row(vec![inflate.to_string(), mbps(vals[0]), mbps(vals[1])]);
+    }
+    e
+}

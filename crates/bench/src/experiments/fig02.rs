@@ -1,0 +1,37 @@
+//! Fig. 2 — Average contention window of the greedy and normal senders
+//! as the NAV inflation grows (UDP, 802.11b). GS stays near CWmin while
+//! NS's collisions drive its window up.
+
+use greedy80211::NavInflationConfig;
+
+use crate::experiments::{nav_two_pair, UDP_NAV_SWEEP_US};
+use crate::table::Experiment;
+use crate::Quality;
+
+/// Runs the sweep.
+pub fn run(q: &Quality) -> Experiment {
+    let mut e = Experiment::new(
+        "fig2",
+        "Fig. 2: average contention window of GS and NS vs CTS-NAV inflation (UDP, 802.11b)",
+        &["inflate_us", "NS_avg_cw", "GS_avg_cw"],
+    );
+    for &inflate in UDP_NAV_SWEEP_US {
+        let vals = q.median_vec_over_seeds(|seed| {
+            let s = nav_two_pair(true, NavInflationConfig::cts_only(inflate, 1.0), q, seed);
+            let out = s.run().expect("valid scenario");
+            let cw = |node| {
+                out.metrics
+                    .node(node)
+                    .and_then(|n| n.avg_cw)
+                    .unwrap_or(f64::NAN)
+            };
+            vec![cw(out.senders[0]), cw(out.senders[1])]
+        });
+        e.push_row(vec![
+            inflate.to_string(),
+            format!("{:.1}", vals[0]),
+            format!("{:.1}", vals[1]),
+        ]);
+    }
+    e
+}

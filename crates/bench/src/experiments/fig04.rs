@@ -1,0 +1,19 @@
+//! Fig. 4(a–d) — TCP goodput under NAV inflation on different frame
+//! kinds (802.11b): CTS only, RTS+CTS, ACK only, and all frames.
+//! RTS/DATA inflation rides the receiver's TCP-ACK transmissions.
+
+use phy::PhyStandard;
+
+use crate::experiments::nav_frames_experiment;
+use crate::table::Experiment;
+use crate::Quality;
+
+/// Runs the four sub-figures on 802.11b.
+pub fn run(q: &Quality) -> Experiment {
+    nav_frames_experiment(
+        "fig4",
+        "Fig. 4: TCP goodput vs NAV inflation per inflated frame kind (802.11b)",
+        PhyStandard::Dot11b,
+        q,
+    )
+}

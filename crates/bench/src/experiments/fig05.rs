@@ -1,0 +1,19 @@
+//! Fig. 5 — the Fig. 4 sweep on 802.11a. The same trends, amplified:
+//! shorter inter-frame timing makes each microsecond of inflation worth
+//! relatively more.
+
+use phy::PhyStandard;
+
+use crate::experiments::nav_frames_experiment;
+use crate::table::Experiment;
+use crate::Quality;
+
+/// Runs the four sub-figures on 802.11a.
+pub fn run(q: &Quality) -> Experiment {
+    nav_frames_experiment(
+        "fig5",
+        "Fig. 5: TCP goodput vs NAV inflation per inflated frame kind (802.11a)",
+        PhyStandard::Dot11a,
+        q,
+    )
+}

@@ -1,0 +1,48 @@
+//! Fig. 14 — One spoofing receiver against a growing crowd of normal
+//! pairs (TCP, BER 2e-4): shared AP vs one AP per pair. Head-of-line
+//! blocking at a shared AP narrows the gap.
+
+use greedy80211::{GreedyConfig, Scenario};
+
+use crate::table::{mbps, Experiment};
+use crate::Quality;
+
+fn run_case(q: &Quality, seed: u64, pairs: usize, shared: bool) -> Vec<f64> {
+    let greedy_idx = pairs - 1;
+    let mut s = Scenario {
+        pairs,
+        shared_sender: shared,
+        byte_error_rate: 2e-4,
+        duration: q.duration,
+        seed,
+        ..Scenario::default()
+    };
+    let probe = s.run().expect("valid");
+    let victims: Vec<_> = (0..pairs - 1).map(|i| probe.receivers[i]).collect();
+    s.greedy = vec![(greedy_idx, GreedyConfig::ack_spoofing(victims, 1.0))];
+    let out = s.run().expect("valid");
+    let normals: Vec<f64> = (0..pairs - 1).map(|i| out.goodput_mbps(i)).collect();
+    let avg_nr = normals.iter().sum::<f64>() / normals.len().max(1) as f64;
+    vec![out.goodput_mbps(greedy_idx), avg_nr]
+}
+
+/// Runs both sub-figures over the pair count.
+pub fn run(q: &Quality) -> Experiment {
+    let mut e = Experiment::new(
+        "fig14",
+        "Fig. 14: one spoofing receiver vs N normal pairs (TCP, BER 2e-4, 802.11b)",
+        &["topology", "normal_pairs", "GR_mbps", "avg_NR_mbps"],
+    );
+    for shared in [true, false] {
+        for &n in &[1usize, 2, 4, 7] {
+            let vals = q.median_vec_over_seeds(|seed| run_case(q, seed, n + 1, shared));
+            e.push_row(vec![
+                if shared { "one_AP" } else { "per_pair_APs" }.into(),
+                n.to_string(),
+                mbps(vals[0]),
+                mbps(vals[1]),
+            ]);
+        }
+    }
+    e
+}

@@ -1,0 +1,33 @@
+//! Fig. 22 — False positives and false negatives of the RSSI-threshold
+//! spoof detector as the threshold sweeps 0–5 dB. Around 1 dB both are
+//! low, which is the paper's recommended operating point.
+
+use greedy80211::{RssiStudy, RssiStudyConfig};
+use sim::SimRng;
+
+use crate::table::{ratio, Experiment};
+use crate::Quality;
+
+/// Generates the FP/FN curves.
+pub fn run(q: &Quality) -> Experiment {
+    let mut e = Experiment::new(
+        "fig22",
+        "Fig. 22: spoof-detector false positive / false negative vs RSSI threshold",
+        &["threshold_db", "false_positive", "false_negative"],
+    );
+    let cfg = RssiStudyConfig {
+        samples_per_link: (q.samples / 1_000).clamp(50, 500) as usize,
+        ..RssiStudyConfig::default()
+    };
+    let mut rng = SimRng::new(22);
+    let study = RssiStudy::generate(&cfg, &mut rng);
+    for t10 in 0..=50u32 {
+        if t10 % 2 != 0 {
+            continue;
+        }
+        let t = t10 as f64 / 10.0;
+        let (fp, fn_) = study.detector_accuracy(t);
+        e.push_row(vec![format!("{t:.1}"), ratio(fp), ratio(fn_)]);
+    }
+    e
+}

@@ -1,0 +1,69 @@
+//! Table II — Average TCP congestion window under CTS-NAV inflation,
+//! one shared sender vs two independent senders.
+
+use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
+
+use crate::table::Experiment;
+use crate::Quality;
+
+fn avg_cwnd(out: &greedy80211::ScenarioOutcome, i: usize) -> f64 {
+    out.metrics
+        .flow(out.flows[i])
+        .and_then(|f| f.avg_cwnd)
+        .unwrap_or(f64::NAN)
+}
+
+/// Runs both columns of the table.
+pub fn run(q: &Quality) -> Experiment {
+    let mut e = Experiment::new(
+        "tab2",
+        "Table II: average TCP congestion window vs CTS-NAV inflation (802.11b)",
+        &["inflate_ms", "S-NR", "S-GR", "NS-NR", "GS-GR"],
+    );
+    for &ms in &[0u32, 1, 2, 5, 10, 20, 31] {
+        let vals = q.median_vec_over_seeds(|seed| {
+            let greedy = |s: &mut Scenario| {
+                if ms > 0 {
+                    s.greedy = vec![(
+                        1,
+                        GreedyConfig::nav_inflation(NavInflationConfig::cts_only(
+                            ms * 1_000,
+                            1.0,
+                        )),
+                    )];
+                }
+            };
+            // One shared sender.
+            let mut one = Scenario {
+                shared_sender: true,
+                duration: q.duration,
+                seed,
+                ..Scenario::default()
+            };
+            greedy(&mut one);
+            let one = one.run().expect("valid");
+            // Two senders.
+            let mut two = Scenario {
+                duration: q.duration,
+                seed,
+                ..Scenario::default()
+            };
+            greedy(&mut two);
+            let two = two.run().expect("valid");
+            vec![
+                avg_cwnd(&one, 0),
+                avg_cwnd(&one, 1),
+                avg_cwnd(&two, 0),
+                avg_cwnd(&two, 1),
+            ]
+        });
+        e.push_row(vec![
+            ms.to_string(),
+            format!("{:.3}", vals[0]),
+            format!("{:.3}", vals[1]),
+            format!("{:.3}", vals[2]),
+            format!("{:.3}", vals[3]),
+        ]);
+    }
+    e
+}

@@ -1,0 +1,37 @@
+//! Table IV — Contention window of the normal and greedy senders under
+//! hidden-terminal fake ACKs, GP 100 %, for 802.11b and 802.11a.
+//! Faking pins the greedy sender's CW near CWmin while the honest
+//! sender's CW soars.
+
+use phy::PhyStandard;
+
+use crate::experiments::fig18::hidden_terminal;
+use crate::table::Experiment;
+use crate::Quality;
+
+/// Runs the three configurations on both PHYs.
+pub fn run(q: &Quality) -> Experiment {
+    let mut e = Experiment::new(
+        "tab4",
+        "Table IV: sender contention windows under hidden-terminal fake ACKs (GP 100 %)",
+        &["phy", "config", "S1_avg_cw", "S2_avg_cw"],
+    );
+    for phy in [PhyStandard::Dot11b, PhyStandard::Dot11a] {
+        for (name, greedy) in [
+            ("no_GR", &[][..]),
+            ("R2_GR", &[1][..]),
+            ("both_GR", &[0, 1][..]),
+        ] {
+            let vals = q.median_vec_over_seeds(|seed| {
+                hidden_terminal(phy, seed, q.duration, greedy, 1.0)
+            });
+            e.push_row(vec![
+                phy.to_string(),
+                name.into(),
+                format!("{:.1}", vals[2]),
+                format!("{:.1}", vals[3]),
+            ]);
+        }
+    }
+    e
+}

@@ -1,0 +1,127 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment in [`experiments`] rebuilds one artifact of the
+//! paper's evaluation (Figs. 1–19, 21–24 and Tables I–IX) on this
+//! workspace's simulator and returns an [`Experiment`] — a titled table
+//! that the `repro` binary prints and writes to `results/<id>.csv`.
+//! Beyond the paper: `ext1` implements the rate-adaptation interaction
+//! the paper leaves as future work, and `abl1`–`abl3` ablate the design
+//! choices DESIGN.md calls out (carrier-sense latency, capture
+//! threshold, the NAV guard's MTU assumption).
+//!
+//! Run everything:
+//!
+//! ```sh
+//! cargo run --release -p gr-bench --bin repro -- all
+//! ```
+//!
+//! or a single artifact (`fig1`, `tab2`, …), with `--quick` for a
+//! fast low-fidelity pass (one seed, shorter runs).
+
+pub mod experiments;
+pub mod quality;
+pub mod table;
+
+pub use quality::Quality;
+pub use table::Experiment;
+
+/// An experiment generator function.
+pub type Generator = fn(&Quality) -> Experiment;
+
+/// All experiment ids in presentation order, with their generators.
+pub fn registry() -> Vec<(&'static str, Generator)> {
+    use experiments as e;
+    vec![
+        ("fig1", e::fig01::run as Generator),
+        ("fig2", e::fig02::run),
+        ("fig3", e::fig03::run),
+        ("fig4", e::fig04::run),
+        ("fig5", e::fig05::run),
+        ("fig6", e::fig06::run),
+        ("fig7", e::fig07::run),
+        ("fig8", e::fig08::run),
+        ("fig9", e::fig09::run),
+        ("fig10", e::fig10::run),
+        ("fig11", e::fig11::run),
+        ("fig12", e::fig12::run),
+        ("fig13", e::fig13::run),
+        ("fig14", e::fig14::run),
+        ("fig15", e::fig15::run),
+        ("fig16", e::fig16::run),
+        ("fig17", e::fig17::run),
+        ("fig18", e::fig18::run),
+        ("fig19", e::fig19::run),
+        ("fig21", e::fig21::run),
+        ("fig22", e::fig22::run),
+        ("fig23", e::fig23::run),
+        ("fig24", e::fig24::run),
+        ("tab1", e::tab01::run),
+        ("tab2", e::tab02::run),
+        ("tab3", e::tab03::run),
+        ("tab4", e::tab04::run),
+        ("tab5", e::tab05::run),
+        ("tab6", e::tab06::run),
+        ("tab7", e::tab07::run),
+        ("tab8", e::tab08::run),
+        ("tab9", e::tab09::run),
+        ("ext1", e::ext01::run),
+        ("ext2", e::ext02::run),
+        ("abl1", e::abl01::run),
+        ("abl2", e::abl02::run),
+        ("abl3", e::abl03::run),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_well_formed() {
+        let reg = registry();
+        let mut seen = std::collections::HashSet::new();
+        for (id, _) in &reg {
+            assert!(seen.insert(*id), "duplicate experiment id {id}");
+            assert!(
+                id.starts_with("fig") || id.starts_with("tab") || id.starts_with("ext")
+                    || id.starts_with("abl"),
+                "unexpected id scheme: {id}"
+            );
+        }
+        // Every paper artifact present: figs 1–19 + 21–24, tables 1–9.
+        for n in (1..=19).chain(21..=24) {
+            assert!(seen.contains(format!("fig{n}").as_str()), "missing fig{n}");
+        }
+        for n in 1..=9 {
+            assert!(seen.contains(format!("tab{n}").as_str()), "missing tab{n}");
+        }
+    }
+
+    #[test]
+    fn analytic_tables_generate_instantly() {
+        // tab3 (analytic) and tab1 (Monte Carlo) need no simulation and
+        // should produce full tables even at quick quality.
+        let q = Quality::quick();
+        let t3 = experiments::tab03::run(&q);
+        assert_eq!(t3.rows.len(), 5);
+        assert_eq!(t3.columns.len(), 5);
+        let t1 = experiments::tab01::run(&q);
+        assert_eq!(t1.rows.len(), 2);
+        // The 802.11b row must show ≥ 95 % address survival.
+        let ratio: f64 = t1.rows[0][5].parse().expect("numeric ratio");
+        assert!(ratio > 0.95, "dest_ok_ratio {ratio}");
+    }
+
+    #[test]
+    fn fig21_cdf_row_at_one_db_matches_calibration() {
+        let q = Quality::quick();
+        let e = experiments::fig21::run(&q);
+        let row = e
+            .rows
+            .iter()
+            .find(|r| r[0] == "1.0")
+            .expect("1 dB row present");
+        let cdf: f64 = row[1].parse().expect("numeric cdf");
+        assert!((cdf - 0.95).abs() < 0.03, "cdf at 1 dB = {cdf}");
+    }
+}

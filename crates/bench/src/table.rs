@@ -1,0 +1,132 @@
+//! Result tables: formatted console output plus CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One regenerated table/figure: a title, column headers and rows of
+/// pre-formatted cells.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Short id (`fig1`, `tab2`, …) — also the CSV file stem.
+    pub id: &'static str,
+    /// Human-readable description, including the paper artifact.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Data rows (same arity as `columns`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Experiment {
+    /// Creates an empty experiment table.
+    pub fn new(id: &'static str, title: impl Into<String>, columns: &[&str]) -> Self {
+        Experiment {
+            id,
+            title: title.into(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "  {}", header.join("  "));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "  {}", cells.join("  "));
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the directory or file.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), csv)
+    }
+}
+
+/// Formats a goodput in Mb/s with three decimals.
+pub fn mbps(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a ratio/probability with three decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut e = Experiment::new("figX", "demo", &["a", "longer"]);
+        e.push_row(vec!["1".into(), "2".into()]);
+        e.push_row(vec!["100".into(), "2000000".into()]);
+        let r = e.render();
+        assert!(r.contains("## figX — demo"));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut e = Experiment::new("figX", "demo", &["a", "b"]);
+        e.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut e = Experiment::new("figY", "demo", &["x", "y"]);
+        e.push_row(vec!["1".into(), "2.5".into()]);
+        let dir = std::env::temp_dir().join("gr_bench_test_csv");
+        e.write_csv(&dir).unwrap();
+        let written = std::fs::read_to_string(dir.join("figY.csv")).unwrap();
+        assert_eq!(written, "x,y\n1,2.5\n");
+    }
+}

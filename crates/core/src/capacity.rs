@@ -1,0 +1,124 @@
+//! Analytic DCF capacity model.
+//!
+//! Closed-form saturation throughput for a single flow (no contention):
+//! every successful exchange costs
+//!
+//! ```text
+//! DIFS + E[backoff]·slot + [RTS + SIFS + CTS + SIFS] + DATA + SIFS + ACK
+//! ```
+//!
+//! with `E[backoff] = CWmin/2` slots. This is the textbook bound the
+//! simulator must approach when one saturated flow owns the channel —
+//! the integration tests hold the simulator to within a few percent of
+//! it — and it also gives experiments an absolute yardstick: "the greedy
+//! receiver captured X % of channel capacity".
+
+use mac::frame::{ACK_BYTES, CTS_BYTES, DATA_HEADER_BYTES, RTS_BYTES};
+use phy::{airtime, PhyParams};
+use sim::SimDuration;
+
+/// Analytic saturation model for one uncontended flow.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityModel {
+    params: PhyParams,
+    rts_enabled: bool,
+}
+
+impl CapacityModel {
+    /// Creates a model for the given PHY with or without RTS/CTS.
+    pub fn new(params: PhyParams, rts_enabled: bool) -> Self {
+        CapacityModel {
+            params,
+            rts_enabled,
+        }
+    }
+
+    /// Expected duration of one successful data exchange carrying
+    /// `wire_bytes` of MAC payload (MSDU incl. transport/IP headers).
+    pub fn exchange_time(&self, wire_bytes: usize) -> SimDuration {
+        let p = &self.params;
+        let avg_backoff_slots = p.cw_min as u64 / 2;
+        let mut t = p.difs + p.slot * avg_backoff_slots;
+        if self.rts_enabled {
+            t += airtime::tx_duration_basic(p, RTS_BYTES)
+                + p.sifs
+                + airtime::tx_duration_basic(p, CTS_BYTES)
+                + p.sifs;
+        }
+        t += airtime::tx_duration(p, DATA_HEADER_BYTES + wire_bytes)
+            + p.sifs
+            + airtime::tx_duration_basic(p, ACK_BYTES);
+        t
+    }
+
+    /// Saturation goodput in bits per second for `payload` application
+    /// bytes per packet with `overhead` bytes of transport/IP headers.
+    pub fn saturation_goodput_bps(&self, payload: usize, overhead: usize) -> f64 {
+        let t = self.exchange_time(payload + overhead).as_secs_f64();
+        payload as f64 * 8.0 / t
+    }
+
+    /// Same in Mb/s.
+    pub fn saturation_goodput_mbps(&self, payload: usize, overhead: usize) -> f64 {
+        self.saturation_goodput_bps(payload, overhead) / 1e6
+    }
+
+    /// MAC efficiency: goodput as a fraction of the nominal PHY rate.
+    pub fn efficiency(&self, payload: usize, overhead: usize) -> f64 {
+        self.saturation_goodput_bps(payload, overhead) / self.params.data_rate_bps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot11b_udp_exchange_budget() {
+        // Hand-computed: DIFS 50 + backoff 15·20=310 + RTS 352 + SIFS 10
+        // + CTS 304 + SIFS 10 + DATA (192 + 1052·8/11) + SIFS 10 + ACK 304.
+        let m = CapacityModel::new(PhyParams::dot11b(), true);
+        let t = m.exchange_time(1052);
+        assert!(
+            (2280..2320).contains(&t.as_micros()),
+            "exchange time {} µs",
+            t.as_micros()
+        );
+    }
+
+    #[test]
+    fn rts_off_is_faster() {
+        let with = CapacityModel::new(PhyParams::dot11b(), true);
+        let without = CapacityModel::new(PhyParams::dot11b(), false);
+        assert!(without.exchange_time(1052) < with.exchange_time(1052));
+    }
+
+    #[test]
+    fn goodput_well_below_phy_rate() {
+        // The famous 802.11b result: ~1 KB UDP frames at 11 Mb/s deliver
+        // only ~3.5 Mb/s with RTS/CTS (MAC efficiency ≈ 1/3).
+        let m = CapacityModel::new(PhyParams::dot11b(), true);
+        let g = m.saturation_goodput_mbps(1024, 28);
+        assert!((3.2..3.9).contains(&g), "goodput {g}");
+        assert!((0.28..0.36).contains(&m.efficiency(1024, 28)));
+    }
+
+    #[test]
+    fn dot11a_efficiency_higher() {
+        // 802.11a at 6 Mb/s has proportionally lower overhead per bit.
+        let a = CapacityModel::new(PhyParams::dot11a(), true);
+        let b = CapacityModel::new(PhyParams::dot11b(), true);
+        assert!(a.efficiency(1024, 28) > b.efficiency(1024, 28));
+    }
+
+    #[test]
+    fn goodput_monotone_in_payload() {
+        let m = CapacityModel::new(PhyParams::dot11b(), true);
+        let mut last = 0.0;
+        for payload in [64, 256, 512, 1024, 1500] {
+            let g = m.saturation_goodput_mbps(payload, 28);
+            assert!(g > last, "larger frames amortize overhead");
+            last = g;
+        }
+    }
+}

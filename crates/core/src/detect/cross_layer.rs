@@ -1,0 +1,66 @@
+//! Cross-layer spoofed-ACK detection for mobile clients (paper §VII-B).
+//!
+//! RSSI vetting assumes a stable channel. For highly mobile clients the
+//! paper proposes a cross-layer rule instead: the sender keeps the set of
+//! data segments whose MAC transmission was acknowledged; if TCP keeps
+//! retransmitting segments from that set, someone other than the receiver
+//! produced those MAC ACKs (wireline loss being negligible by
+//! assumption). The `gr-net` runtime collects exactly these statistics
+//! ([`net::FlowMetrics::retx_of_mac_acked`]).
+
+/// The cross-layer detection rule.
+#[derive(Debug, Clone)]
+pub struct CrossLayerDetector {
+    /// Minimum suspicious retransmissions before flagging (noise floor).
+    pub min_events: u64,
+    /// Fraction of TCP retransmissions that must concern MAC-acked
+    /// segments.
+    pub ratio_threshold: f64,
+}
+
+impl Default for CrossLayerDetector {
+    fn default() -> Self {
+        CrossLayerDetector {
+            min_events: 5,
+            ratio_threshold: 0.5,
+        }
+    }
+}
+
+impl CrossLayerDetector {
+    /// Applies the rule to a flow's observed counts: `retx_of_mac_acked`
+    /// TCP retransmissions concerned MAC-acknowledged segments, out of
+    /// `retx_total` TCP retransmissions.
+    pub fn is_spoofed(&self, retx_of_mac_acked: u64, retx_total: u64) -> bool {
+        if retx_of_mac_acked < self.min_events || retx_total == 0 {
+            return false;
+        }
+        retx_of_mac_acked as f64 / retx_total as f64 >= self.ratio_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_flow_not_flagged() {
+        let d = CrossLayerDetector::default();
+        assert!(!d.is_spoofed(0, 0));
+        assert!(!d.is_spoofed(0, 100)); // retx exist but none MAC-acked
+        assert!(!d.is_spoofed(2, 4)); // below noise floor
+    }
+
+    #[test]
+    fn spoofed_flow_flagged() {
+        let d = CrossLayerDetector::default();
+        assert!(d.is_spoofed(40, 50));
+        assert!(d.is_spoofed(5, 10));
+    }
+
+    #[test]
+    fn low_ratio_not_flagged() {
+        let d = CrossLayerDetector::default();
+        assert!(!d.is_spoofed(10, 100));
+    }
+}

@@ -1,0 +1,129 @@
+//! Detecting fake ACKs (paper §VII-C).
+//!
+//! A sender facing a fake-ACKing receiver observes a *near-zero* MAC loss
+//! rate (every data frame appears acknowledged) while the application
+//! experiences the raw channel loss. For an honest receiver over a link
+//! with independent per-attempt loss `p`, the application loses a packet
+//! only when all `maxRetries + 1` attempts fail:
+//! `appLoss ≈ MACLoss^(maxRetries+1)`. The detector probes application
+//! loss (ping — a corrupted probe cannot be echoed) and flags the
+//! receiver when the measured application loss exceeds the MAC-predicted
+//! value by more than a threshold that absorbs wireline loss.
+
+use mac::MacCounters;
+
+/// The fake-ACK detector (an offline/sender-side rule, not a MAC hook).
+#[derive(Debug, Clone)]
+pub struct FakeAckDetector {
+    /// MAC retry limit in effect (dot11LongRetryLimit, default 4).
+    pub max_retries: u32,
+    /// Slack absorbing wireline loss and estimation noise.
+    pub threshold: f64,
+}
+
+impl Default for FakeAckDetector {
+    fn default() -> Self {
+        FakeAckDetector {
+            max_retries: 4,
+            threshold: 0.02,
+        }
+    }
+}
+
+impl FakeAckDetector {
+    /// The application loss an honest receiver would show given the
+    /// observed per-attempt MAC loss.
+    pub fn expected_app_loss(&self, mac_loss: f64) -> f64 {
+        mac_loss
+            .clamp(0.0, 1.0)
+            .powi(self.max_retries as i32 + 1)
+    }
+
+    /// The detection rule:
+    /// `appLoss > MACLoss^(maxRetries+1) + threshold`.
+    pub fn is_greedy(&self, mac_loss: f64, app_loss: f64) -> bool {
+        app_loss > self.expected_app_loss(mac_loss) + self.threshold
+    }
+
+    /// Round-trip variant for ping-style probes, which cross the channel
+    /// twice: an honest receiver loses a probe round trip with
+    /// probability `1 − (1 − MACLoss^(maxRetries+1))²`.
+    pub fn expected_round_trip_loss(&self, mac_loss: f64) -> f64 {
+        let one_way = self.expected_app_loss(mac_loss);
+        1.0 - (1.0 - one_way) * (1.0 - one_way)
+    }
+
+    /// Detection rule against a measured round-trip probe loss.
+    pub fn is_greedy_round_trip(&self, mac_loss: f64, rt_app_loss: f64) -> bool {
+        rt_app_loss > self.expected_round_trip_loss(mac_loss) + self.threshold
+    }
+
+    /// Per-attempt MAC loss rate a sender observes toward one receiver,
+    /// from its MAC counters: the fraction of data transmissions that
+    /// timed out awaiting an ACK.
+    pub fn mac_loss_from_counters(counters: &MacCounters) -> f64 {
+        let attempts = counters.data_sent.get();
+        if attempts == 0 {
+            0.0
+        } else {
+            counters.long_retries.get() as f64 / attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_receiver_not_flagged() {
+        let d = FakeAckDetector::default();
+        // 30 % per-attempt loss → app loss ≈ 0.3^5 = 0.24 %.
+        let app_loss = d.expected_app_loss(0.3);
+        assert!((app_loss - 0.00243).abs() < 1e-5);
+        assert!(!d.is_greedy(0.3, app_loss));
+        assert!(!d.is_greedy(0.3, app_loss + 0.01)); // within threshold
+    }
+
+    #[test]
+    fn faker_is_flagged() {
+        let d = FakeAckDetector::default();
+        // Faker: MAC appears lossless but the app loses 30 % of probes.
+        assert!(d.is_greedy(0.0, 0.30));
+        // Even partial faking (GP < 1) leaves a detectable gap.
+        assert!(d.is_greedy(0.05, 0.25));
+    }
+
+    #[test]
+    fn round_trip_rule_tolerates_double_crossing() {
+        let d = FakeAckDetector::default();
+        // 50 % per-attempt loss → one-way app loss ≈ 3.1 %, round trip
+        // ≈ 6.2 % — honest, even though the one-way rule would flag it.
+        let mac = 0.5;
+        let rt = d.expected_round_trip_loss(mac);
+        assert!(rt > d.expected_app_loss(mac));
+        assert!(!d.is_greedy_round_trip(mac, rt + 0.01));
+        // A faker shows near-zero MAC loss with large probe loss.
+        assert!(d.is_greedy_round_trip(0.0, 0.3));
+    }
+
+    #[test]
+    fn zero_loss_is_consistent() {
+        let d = FakeAckDetector::default();
+        assert!(!d.is_greedy(0.0, 0.0));
+        assert!(!d.is_greedy(0.0, 0.019)); // wireline slack
+    }
+
+    #[test]
+    fn mac_loss_from_counters_ratio() {
+        let mut c = MacCounters::new(31);
+        c.data_sent.add(200);
+        c.long_retries.add(50);
+        let loss = FakeAckDetector::mac_loss_from_counters(&c);
+        assert!((loss - 0.25).abs() < 1e-12);
+        assert_eq!(
+            FakeAckDetector::mac_loss_from_counters(&MacCounters::new(31)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Misbehavior 2: spoofing MAC-layer ACKs (paper §IV-B).
+//!
+//! The greedy receiver runs in promiscuous mode. When it sniffs a data
+//! frame addressed to a victim receiver, it transmits a MAC ACK *on the
+//! victim's behalf* after SIFS. If the victim failed to receive the frame
+//! (lossy link), the spoofed ACK convinces the sender the frame was
+//! delivered, disabling the MAC retransmission that would have repaired
+//! the loss — the loss propagates to TCP, which slows the victim's flow
+//! and frees airtime for the greedy receiver.
+//!
+//! When the victim *did* receive the frame, both ACKs go on the air in
+//! the same SIFS slot and the capture effect at the sender decides which
+//! one is heard (the paper's evaluation arranges capture so the overlap
+//! never jams — so does the scenario builder here).
+
+use mac::{Frame, FrameKind, NodeId, StationPolicy};
+use sim::SimRng;
+
+/// Station policy that spoofs ACKs for a set of victim receivers.
+#[derive(Debug, Clone)]
+pub struct AckSpoofPolicy {
+    victims: Vec<NodeId>,
+    gp: f64,
+}
+
+impl AckSpoofPolicy {
+    /// Creates a spoofer targeting `victims`, spoofing each sniffed
+    /// victim-bound data frame with probability `gp`.
+    pub fn new(victims: Vec<NodeId>, gp: f64) -> Self {
+        AckSpoofPolicy { victims, gp }
+    }
+
+    /// The victim set.
+    pub fn victims(&self) -> &[NodeId] {
+        &self.victims
+    }
+}
+
+impl<M: mac::Msdu> StationPolicy<M> for AckSpoofPolicy {
+    fn spoof_ack_for(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
+        frame.kind == FrameKind::Data
+            && self.victims.contains(&frame.dst)
+            && rng.chance(self.gp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_to(dst: u16) -> Frame<usize> {
+        Frame::data(NodeId(0), NodeId(dst), 314, 1, 1024)
+    }
+
+    #[test]
+    fn spoofs_only_victim_frames() {
+        let mut p = AckSpoofPolicy::new(vec![NodeId(2)], 1.0);
+        let mut rng = SimRng::new(1);
+        assert!(p.spoof_ack_for(&data_to(2), &mut rng));
+        assert!(!p.spoof_ack_for(&data_to(3), &mut rng));
+    }
+
+    #[test]
+    fn gp_gates_spoofing() {
+        let mut p = AckSpoofPolicy::new(vec![NodeId(2)], 0.2);
+        let mut rng = SimRng::new(2);
+        let n = 10_000;
+        let spoofed = (0..n)
+            .filter(|_| p.spoof_ack_for(&data_to(2), &mut rng))
+            .count();
+        let frac = spoofed as f64 / n as f64;
+        assert!((frac - 0.2).abs() < 0.02, "gp gating off: {frac}");
+    }
+
+    #[test]
+    fn non_data_frames_never_spoofed() {
+        let mut p = AckSpoofPolicy::new(vec![NodeId(2)], 1.0);
+        let mut rng = SimRng::new(3);
+        let cts: Frame<usize> = Frame::cts(NodeId(0), NodeId(2), 314);
+        assert!(!p.spoof_ack_for(&cts, &mut rng));
+    }
+}

@@ -1,0 +1,65 @@
+//! Misbehavior 3: sending fake ACKs for corrupted frames (paper §IV-C).
+//!
+//! 802.11 senders back off exponentially when an expected ACK does not
+//! arrive. A greedy receiver that ACKs even *corrupted* frames addressed
+//! to it keeps its sender's contention window pinned at CWmin, granting
+//! the pair more transmission opportunities than honest stations whose
+//! senders keep backing off. The attack is feasible because corrupted
+//! frames overwhelmingly preserve their address fields (paper Table I —
+//! reproduced by [`crate::corruption`]).
+//!
+//! Under *inherent* channel losses faking ACKs is effectively a survival
+//! technique (backoff would not have reduced the loss anyway); under
+//! *collision-induced* losses it is self-destructive when everyone does
+//! it (paper Fig. 18, Table V).
+
+use mac::{Frame, StationPolicy};
+use sim::SimRng;
+
+/// Station policy that acknowledges corrupted data frames addressed to
+/// this station.
+#[derive(Debug, Clone)]
+pub struct FakeAckPolicy {
+    gp: f64,
+}
+
+impl FakeAckPolicy {
+    /// Creates the policy; each corrupted own-addressed data frame is
+    /// ACKed with probability `gp`.
+    pub fn new(gp: f64) -> Self {
+        FakeAckPolicy { gp }
+    }
+}
+
+impl<M: mac::Msdu> StationPolicy<M> for FakeAckPolicy {
+    fn ack_corrupted(&mut self, _frame: &Frame<M>, rng: &mut SimRng) -> bool {
+        rng.chance(self.gp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mac::NodeId;
+
+    #[test]
+    fn gp_one_always_acks() {
+        let mut p = FakeAckPolicy::new(1.0);
+        let mut rng = SimRng::new(1);
+        let f: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 314, 1, 1024);
+        for _ in 0..100 {
+            assert!(p.ack_corrupted(&f, &mut rng));
+        }
+    }
+
+    #[test]
+    fn gp_gates_rate() {
+        let mut p = FakeAckPolicy::new(0.75);
+        let mut rng = SimRng::new(2);
+        let f: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 314, 1, 1024);
+        let n = 10_000;
+        let acked = (0..n).filter(|_| p.ack_corrupted(&f, &mut rng)).count();
+        let frac = acked as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "gp gating off: {frac}");
+    }
+}

@@ -1,0 +1,74 @@
+//! The classic *sender-side* misbehavior (Kyasanur & Vaidya), included
+//! as the baseline the paper's related work addresses: a greedy sender
+//! draws its backoff from a shrunken window, winning contention far more
+//! often than honest stations.
+//!
+//! It exists here to demonstrate the complementarity the paper argues
+//! for: DOMINO-style monitors (see [`crate::detect::DominoDetector`])
+//! catch this misbehavior from transmission *timing*, but are blind to
+//! greedy *receivers*, whose frames are perfectly timed — that blind
+//! spot is exactly what GRC fills.
+
+use mac::{Msdu, StationPolicy};
+use sim::SimRng;
+
+/// A sender that draws backoff from `[0, cw·fraction]` instead of
+/// `[0, cw]`.
+#[derive(Debug, Clone)]
+pub struct GreedySenderPolicy {
+    fraction: f64,
+}
+
+impl GreedySenderPolicy {
+    /// Creates a greedy sender keeping `fraction` of the honest window
+    /// (clamped to `[0, 1]`; 0 means always transmit at the first slot).
+    pub fn new(fraction: f64) -> Self {
+        GreedySenderPolicy {
+            fraction: fraction.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl<M: Msdu> StationPolicy<M> for GreedySenderPolicy {
+    fn backoff_slots(&mut self, cw: u32, rng: &mut SimRng) -> Option<u32> {
+        let shrunk = (cw as f64 * self.fraction) as u32;
+        Some(rng.uniform_u32_inclusive(shrunk))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_within_shrunken_window() {
+        let mut p = GreedySenderPolicy::new(0.25);
+        let mut rng = SimRng::new(1);
+        for _ in 0..1000 {
+            let slots = StationPolicy::<usize>::backoff_slots(&mut p, 31, &mut rng).unwrap();
+            assert!(slots <= 7, "draw {slots} outside [0, 7]");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_always_zero() {
+        let mut p = GreedySenderPolicy::new(0.0);
+        let mut rng = SimRng::new(2);
+        for _ in 0..100 {
+            assert_eq!(
+                StationPolicy::<usize>::backoff_slots(&mut p, 1023, &mut rng),
+                Some(0)
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        let mut p = GreedySenderPolicy::new(5.0);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let slots = StationPolicy::<usize>::backoff_slots(&mut p, 31, &mut rng).unwrap();
+            assert!(slots <= 31);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The three greedy-receiver misbehaviors (paper §IV).
+//!
+//! Each misbehavior is a [`mac::StationPolicy`] that plugs into an
+//! otherwise standard DCF station:
+//!
+//! 1. [`NavInflationPolicy`] — inflate the Duration/NAV field of outgoing
+//!    CTS/ACK frames (and of RTS/DATA frames when they carry TCP ACKs) to
+//!    silence competitors;
+//! 2. [`AckSpoofPolicy`] — transmit MAC ACKs on behalf of victim
+//!    receivers, suppressing the sender's link-layer retransmissions and
+//!    pushing losses up to TCP;
+//! 3. [`FakeAckPolicy`] — acknowledge corrupted frames addressed to
+//!    oneself, preventing the sender's exponential backoff.
+//!
+//! [`GreedyConfig`] + [`GreedyPolicy`] compose any subset, each gated by
+//! the paper's *greedy percentage* parameter.
+
+mod ack_spoof;
+mod fake_ack;
+mod greedy_sender;
+mod nav_inflation;
+
+pub use ack_spoof::AckSpoofPolicy;
+pub use fake_ack::FakeAckPolicy;
+pub use greedy_sender::GreedySenderPolicy;
+pub use nav_inflation::{InflatedFrames, NavInflationConfig, NavInflationPolicy};
+
+use mac::{Frame, FrameKind, NodeId, StationPolicy};
+use sim::SimRng;
+use transport::Segment;
+
+/// Full greedy-receiver configuration: any combination of the three
+/// misbehaviors.
+#[derive(Debug, Clone, Default)]
+pub struct GreedyConfig {
+    /// NAV inflation (misbehavior 1).
+    pub nav: Option<NavInflationConfig>,
+    /// ACK spoofing (misbehavior 2): victims and greedy percentage.
+    pub spoof: Option<SpoofConfig>,
+    /// Fake ACKs (misbehavior 3): greedy percentage.
+    pub fake: Option<FakeConfig>,
+}
+
+/// Configuration of the ACK-spoofing misbehavior.
+#[derive(Debug, Clone)]
+pub struct SpoofConfig {
+    /// Receivers on whose behalf ACKs are spoofed.
+    pub victims: Vec<NodeId>,
+    /// Fraction of sniffed victim data frames that get a spoofed ACK.
+    pub gp: f64,
+}
+
+/// Configuration of the fake-ACK misbehavior.
+#[derive(Debug, Clone)]
+pub struct FakeConfig {
+    /// Fraction of corrupted own-addressed data frames that get ACKed.
+    pub gp: f64,
+}
+
+impl GreedyConfig {
+    /// A receiver that inflates NAV only.
+    pub fn nav_inflation(cfg: NavInflationConfig) -> Self {
+        GreedyConfig {
+            nav: Some(cfg),
+            ..GreedyConfig::default()
+        }
+    }
+
+    /// A receiver that spoofs ACKs for `victims` with probability `gp`.
+    pub fn ack_spoofing(victims: Vec<NodeId>, gp: f64) -> Self {
+        GreedyConfig {
+            spoof: Some(SpoofConfig { victims, gp }),
+            ..GreedyConfig::default()
+        }
+    }
+
+    /// A receiver that fakes ACKs for corrupted frames with probability
+    /// `gp`.
+    pub fn fake_acks(gp: f64) -> Self {
+        GreedyConfig {
+            fake: Some(FakeConfig { gp }),
+            ..GreedyConfig::default()
+        }
+    }
+
+    /// Boxes this configuration into a MAC station policy.
+    pub fn into_policy(self) -> Box<dyn StationPolicy<Segment>> {
+        Box::new(GreedyPolicy::new(self))
+    }
+}
+
+/// Station policy implementing a [`GreedyConfig`].
+#[derive(Debug)]
+pub struct GreedyPolicy {
+    nav: Option<NavInflationPolicy>,
+    spoof: Option<AckSpoofPolicy>,
+    fake: Option<FakeAckPolicy>,
+}
+
+impl GreedyPolicy {
+    /// Creates the composite policy.
+    pub fn new(cfg: GreedyConfig) -> Self {
+        GreedyPolicy {
+            nav: cfg.nav.map(NavInflationPolicy::new),
+            spoof: cfg
+                .spoof
+                .map(|s| AckSpoofPolicy::new(s.victims, s.gp)),
+            fake: cfg.fake.map(|f| FakeAckPolicy::new(f.gp)),
+        }
+    }
+}
+
+impl StationPolicy<Segment> for GreedyPolicy {
+    fn outgoing_duration_us(
+        &mut self,
+        kind: FrameKind,
+        normal_us: u32,
+        carries_transport_ack: bool,
+        rng: &mut SimRng,
+    ) -> u32 {
+        match &self.nav {
+            Some(p) => p.duration_for(kind, normal_us, carries_transport_ack, rng),
+            None => normal_us,
+        }
+    }
+
+    fn ack_corrupted(&mut self, frame: &Frame<Segment>, rng: &mut SimRng) -> bool {
+        self.fake
+            .as_mut()
+            .is_some_and(|p| p.ack_corrupted(frame, rng))
+    }
+
+    fn spoof_ack_for(&mut self, frame: &Frame<Segment>, rng: &mut SimRng) -> bool {
+        self.spoof
+            .as_mut()
+            .is_some_and(|p| p.spoof_ack_for(frame, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transport::FlowId;
+
+    #[test]
+    fn composite_combines_all_three() {
+        let cfg = GreedyConfig {
+            nav: Some(NavInflationConfig::cts_only(5_000, 1.0)),
+            spoof: Some(SpoofConfig {
+                victims: vec![NodeId(1)],
+                gp: 1.0,
+            }),
+            fake: Some(FakeConfig { gp: 1.0 }),
+        };
+        let mut p = GreedyPolicy::new(cfg);
+        let mut rng = SimRng::new(1);
+        assert_eq!(
+            p.outgoing_duration_us(FrameKind::Cts, 314, false, &mut rng),
+            5_314
+        );
+        let victim_frame = Frame::data(
+            NodeId(0),
+            NodeId(1),
+            314,
+            1,
+            Segment::udp(FlowId(0), 1, 1024),
+        );
+        assert!(p.spoof_ack_for(&victim_frame, &mut rng));
+        let own_frame = Frame::data(
+            NodeId(0),
+            NodeId(2),
+            314,
+            1,
+            Segment::udp(FlowId(0), 1, 1024),
+        );
+        assert!(p.ack_corrupted(&own_frame, &mut rng));
+    }
+
+    #[test]
+    fn default_config_is_honest() {
+        let mut p = GreedyPolicy::new(GreedyConfig::default());
+        let mut rng = SimRng::new(1);
+        assert_eq!(
+            p.outgoing_duration_us(FrameKind::Cts, 314, false, &mut rng),
+            314
+        );
+        let f = Frame::data(
+            NodeId(0),
+            NodeId(1),
+            314,
+            1,
+            Segment::udp(FlowId(0), 1, 1024),
+        );
+        assert!(!p.spoof_ack_for(&f, &mut rng));
+        assert!(!p.ack_corrupted(&f, &mut rng));
+    }
+}

@@ -1,0 +1,183 @@
+//! Analytical model of NAV inflation (paper §V-A, Equations 1–2).
+//!
+//! With the greedy pair's NAV inflated by `v` slots, the greedy sender GS
+//! effectively starts counting down `v` slots before the normal sender
+//! NS. Accounting for the one-slot carrier-sense window:
+//!
+//! ```text
+//! Pr[GS sends] = Pr[B_GS ≤ B_NS + v + 1]
+//! Pr[NS sends] = Pr[B_NS ≤ B_GS − v + 1]
+//! ```
+//!
+//! where each backoff `B` is uniform on `[0, CW]` and the contention
+//! windows follow the *empirical* distributions measured in simulation
+//! (collected by [`mac::MacCounters::cw_draw_counts`]). Fig. 3 compares
+//! the predicted sending ratio against the measured RTS ratio.
+
+/// A discrete CW distribution: `(cw_value, probability)` pairs.
+pub type CwDistribution = Vec<(u32, f64)>;
+
+/// Pr[B ≥ x] for B uniform on `[0, cw]`.
+fn prob_backoff_ge(x: i64, cw: u32) -> f64 {
+    let n = cw as i64 + 1;
+    if x <= 0 {
+        1.0
+    } else if x > cw as i64 {
+        0.0
+    } else {
+        (n - x) as f64 / n as f64
+    }
+}
+
+/// Pr[B ≤ x] for B uniform on `[0, cw]`.
+fn prob_backoff_le(x: i64, cw: u32) -> f64 {
+    let n = cw as i64 + 1;
+    if x < 0 {
+        0.0
+    } else if x >= cw as i64 {
+        1.0
+    } else {
+        (x + 1) as f64 / n as f64
+    }
+}
+
+/// Result of evaluating the model at one inflation level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SendProbabilities {
+    /// Pr[GS transmits in a round].
+    pub greedy: f64,
+    /// Pr[NS transmits in a round].
+    pub normal: f64,
+}
+
+impl SendProbabilities {
+    /// The greedy sender's share of transmissions,
+    /// `Pr[GS] / (Pr[GS] + Pr[NS])`.
+    pub fn greedy_share(&self) -> f64 {
+        let total = self.greedy + self.normal;
+        if total == 0.0 {
+            0.5
+        } else {
+            self.greedy / total
+        }
+    }
+}
+
+/// Evaluates Equations 1–2 of the paper.
+///
+/// `v_slots` is the NAV inflation expressed in backoff slots;
+/// `gs_cw` and `ns_cw` are the empirical contention-window distributions
+/// of the greedy and normal senders.
+///
+/// # Examples
+///
+/// ```
+/// use greedy80211::model::nav_inflation_model;
+///
+/// // Both senders at CWmin, no inflation: symmetric.
+/// let dist = vec![(31u32, 1.0)];
+/// let p = nav_inflation_model(0, &dist, &dist);
+/// assert!((p.greedy_share() - 0.5).abs() < 1e-9);
+///
+/// // 31 slots of inflation: GS always wins.
+/// let p = nav_inflation_model(31, &dist, &dist);
+/// assert!(p.greedy_share() > 0.95);
+/// ```
+pub fn nav_inflation_model(
+    v_slots: i64,
+    gs_cw: &CwDistribution,
+    ns_cw: &CwDistribution,
+) -> SendProbabilities {
+    let mut p_gs = 0.0;
+    let mut p_ns = 0.0;
+    for &(cw_g, q_g) in gs_cw {
+        for i in 0..=cw_g {
+            let p_i = q_g / (cw_g as f64 + 1.0);
+            let i = i as i64;
+            for &(cw_n, q_n) in ns_cw {
+                // GS sends iff B_GS ≤ B_NS + v + 1  ⇔  B_NS ≥ i − v − 1.
+                p_gs += p_i * q_n * prob_backoff_ge(i - v_slots - 1, cw_n);
+                // NS sends iff B_NS ≤ B_GS − v + 1 = i − v + 1.
+                p_ns += p_i * q_n * prob_backoff_le(i - v_slots + 1, cw_n);
+            }
+        }
+    }
+    SendProbabilities {
+        greedy: p_gs,
+        normal: p_ns,
+    }
+}
+
+/// Converts a NAV inflation in microseconds to whole backoff slots.
+pub fn inflation_us_to_slots(inflate_us: u32, slot_us: u32) -> i64 {
+    (inflate_us / slot_us.max(1)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CWMIN: CwDistribution = CwDistribution::new();
+
+    fn cwmin_dist() -> CwDistribution {
+        vec![(31, 1.0)]
+    }
+
+    #[test]
+    fn symmetric_without_inflation() {
+        let p = nav_inflation_model(0, &cwmin_dist(), &cwmin_dist());
+        assert!((p.greedy - p.normal).abs() < 1e-12);
+        assert!((p.greedy_share() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn share_monotone_in_inflation() {
+        let mut last = 0.0;
+        for v in [0, 2, 5, 10, 20, 31] {
+            let p = nav_inflation_model(v, &cwmin_dist(), &cwmin_dist());
+            let share = p.greedy_share();
+            assert!(share >= last, "share must grow with inflation");
+            last = share;
+        }
+        assert!(last > 0.95, "max inflation must hand GS the channel");
+    }
+
+    #[test]
+    fn full_inflation_starves_ns() {
+        // v > CW: NS can never win a round.
+        let p = nav_inflation_model(33, &cwmin_dist(), &cwmin_dist());
+        assert!(p.normal < 1e-12);
+        assert!((p.greedy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doubled_ns_window_hurts_ns() {
+        // NS stuck at CW 63 while GS sits at CWmin: GS should dominate
+        // even without inflation (this is the feedback loop Fig. 2 shows).
+        let p = nav_inflation_model(0, &cwmin_dist(), &vec![(63, 1.0)]);
+        assert!(p.greedy_share() > 0.5);
+    }
+
+    #[test]
+    fn mixed_distributions_are_convex_combinations() {
+        let ns_mixed = vec![(31, 0.5), (63, 0.5)];
+        let p_mixed = nav_inflation_model(5, &cwmin_dist(), &ns_mixed);
+        let p_31 = nav_inflation_model(5, &cwmin_dist(), &cwmin_dist());
+        let p_63 = nav_inflation_model(5, &cwmin_dist(), &vec![(63, 1.0)]);
+        assert!((p_mixed.greedy - 0.5 * (p_31.greedy + p_63.greedy)).abs() < 1e-12);
+        assert!((p_mixed.normal - 0.5 * (p_31.normal + p_63.normal)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn us_to_slots_conversion() {
+        assert_eq!(inflation_us_to_slots(620, 20), 31);
+        assert_eq!(inflation_us_to_slots(0, 20), 0);
+        assert_eq!(inflation_us_to_slots(100, 0), 100);
+    }
+
+    #[test]
+    fn empty_distributions_yield_neutral_share() {
+        let p = nav_inflation_model(5, &CWMIN, &CWMIN);
+        assert_eq!(p.greedy_share(), 0.5);
+    }
+}

@@ -1,0 +1,377 @@
+//! Canonical experiment topologies (paper §V).
+//!
+//! Most of the paper's simulations use one of two layouts:
+//!
+//! * **pairs** — N sender→receiver pairs, every node in one collision
+//!   domain (the default for misbehaviors 1 and 2);
+//! * **shared sender** — one AP transmitting to N receivers,
+//!   head-of-line blocking included (Fig. 10, Fig. 14(a), testbed
+//!   Tables VIII/IX).
+//!
+//! [`Scenario`] builds either, attaches greedy policies to selected
+//! receivers, optionally arms every honest node with the GRC observer,
+//! and runs the simulation. Odd topologies (hidden terminals, the
+//! distance sweep of Fig. 23) are built directly with
+//! [`net::NetworkBuilder`] in the experiment harness.
+//!
+//! Node placement: senders sit at `x = 0`, normal receivers at 20 m,
+//! greedy receivers at 45 m. The 25 m offset guarantees a ≥ 10 dB
+//! received-power gap at the senders, so overlapping genuine/spoofed
+//! ACKs resolve by capture instead of jamming — exactly the regime the
+//! paper evaluates (§IV-B).
+
+use mac::NodeId;
+use net::{NetworkBuilder, RunMetrics};
+use phy::{CaptureModel, ErrorModel, ErrorUnit, PhyParams, PhyStandard, Position};
+use sim::{SimDuration, SimError};
+use transport::{FlowId, TcpConfig};
+
+use crate::detect::{GrcObserver, GrcReportHandles};
+use crate::misbehavior::GreedyConfig;
+
+/// Transport protocol carried by every flow of the scenario.
+#[derive(Debug, Clone, Copy)]
+pub enum TransportKind {
+    /// Saturating CBR over UDP at the given payload bit rate.
+    Udp {
+        /// Offered payload bits per second per flow.
+        rate_bps: u64,
+    },
+    /// Long-lived TCP (Reno) transfers.
+    Tcp,
+}
+
+impl TransportKind {
+    /// A CBR rate that saturates either PHY in the paper's setups.
+    pub const SATURATING_UDP: TransportKind = TransportKind::Udp {
+        rate_bps: 10_000_000,
+    };
+}
+
+/// Declarative description of a standard experiment run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which PHY to simulate.
+    pub phy: PhyStandard,
+    /// Transport used by all flows.
+    pub transport: TransportKind,
+    /// Number of receivers (and of senders, unless `shared_sender`).
+    pub pairs: usize,
+    /// One AP serving every receiver instead of per-pair senders.
+    pub shared_sender: bool,
+    /// RTS/CTS on or off.
+    pub rts: bool,
+    /// Application payload bytes per packet.
+    pub payload: usize,
+    /// Greedy receivers: `(receiver index, misbehavior configuration)`.
+    pub greedy: Vec<(usize, GreedyConfig)>,
+    /// Attach the GRC observer to every honest node;
+    /// `Some(mitigate)` — `false` detects only, `true` also recovers.
+    pub grc: Option<bool>,
+    /// Per-byte error rate applied to every link (`0.0` = lossless).
+    pub byte_error_rate: f64,
+    /// Per-flow overrides of the byte error rate (both directions of the
+    /// pair's link): `(flow index, rate)`.
+    pub flow_error_overrides: Vec<(usize, f64)>,
+    /// One-way wired latency behind each sender (remote TCP senders).
+    pub wire_delay: Option<SimDuration>,
+    /// Add a low-rate application probe (ping) flow per pair, for the
+    /// fake-ACK detector.
+    pub probes: bool,
+    /// Interval between probes. The default (200 ms) is slow enough that
+    /// echoes never queue behind saturated traffic — queueing losses
+    /// would masquerade as channel losses to the detector.
+    pub probe_interval: SimDuration,
+    /// Capture threshold override in dB (`None` = the 10 dB default).
+    pub capture_threshold_db: Option<f64>,
+    /// Virtual run length.
+    pub duration: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    /// Two TCP pairs on 802.11b with RTS/CTS, lossless, 10 s, no greed.
+    fn default() -> Self {
+        Scenario {
+            phy: PhyStandard::Dot11b,
+            transport: TransportKind::Tcp,
+            pairs: 2,
+            shared_sender: false,
+            rts: true,
+            payload: 1024,
+            greedy: Vec::new(),
+            grc: None,
+            byte_error_rate: 0.0,
+            flow_error_overrides: Vec::new(),
+            wire_delay: None,
+            probes: false,
+            probe_interval: SimDuration::from_millis(200),
+            capture_threshold_db: None,
+            duration: SimDuration::from_secs(10),
+            seed: 1,
+        }
+    }
+}
+
+/// Everything a finished scenario run exposes.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Metrics of the run.
+    pub metrics: RunMetrics,
+    /// Data-flow ids, index-aligned with receivers.
+    pub flows: Vec<FlowId>,
+    /// Probe-flow ids (empty unless `probes`), index-aligned.
+    pub probe_flows: Vec<FlowId>,
+    /// Sender node ids (one per pair, or a single AP repeated).
+    pub senders: Vec<NodeId>,
+    /// Receiver node ids, index-aligned with flows.
+    pub receivers: Vec<NodeId>,
+    /// GRC report handles per observed node (empty unless `grc`).
+    pub grc_reports: Vec<(NodeId, GrcReportHandles)>,
+    /// Run length (for goodput conversions).
+    pub duration: SimDuration,
+}
+
+impl ScenarioOutcome {
+    /// Goodput of receiver `i`'s flow in Mb/s.
+    pub fn goodput_mbps(&self, i: usize) -> f64 {
+        self.metrics.goodput_mbps(self.flows[i])
+    }
+
+    /// Total NAV-inflation detections across all GRC nodes.
+    pub fn nav_detections(&self) -> u64 {
+        self.grc_reports
+            .iter()
+            .map(|(_, h)| h.nav.borrow().total_detections())
+            .sum()
+    }
+
+    /// Total spoofed-ACK flags across all GRC nodes.
+    pub fn spoof_flags(&self) -> u64 {
+        self.grc_reports
+            .iter()
+            .map(|(_, h)| h.spoof.borrow().flagged)
+            .sum()
+    }
+}
+
+impl Scenario {
+    /// Convenience: the classic 2-pair UDP topology with receiver 1
+    /// greedy.
+    pub fn two_pair_udp(greedy: GreedyConfig) -> Self {
+        Scenario {
+            transport: TransportKind::SATURATING_UDP,
+            greedy: vec![(1, greedy)],
+            ..Scenario::default()
+        }
+    }
+
+    /// Convenience: the classic 2-pair TCP topology with receiver 1
+    /// greedy.
+    pub fn two_pair_tcp(greedy: GreedyConfig) -> Self {
+        Scenario {
+            greedy: vec![(1, greedy)],
+            ..Scenario::default()
+        }
+    }
+
+    /// Runs the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero pairs, out-of-range
+    /// greedy indices, or invalid error rates.
+    pub fn run(&self) -> Result<ScenarioOutcome, SimError> {
+        if self.pairs == 0 {
+            return Err(SimError::invalid_config("need at least one pair"));
+        }
+        for (idx, _) in &self.greedy {
+            if *idx >= self.pairs {
+                return Err(SimError::invalid_config(format!(
+                    "greedy receiver index {idx} out of range (pairs = {})",
+                    self.pairs
+                )));
+            }
+        }
+        let params = PhyParams::for_standard(self.phy);
+        let mut b = NetworkBuilder::new(params).seed(self.seed).rts(self.rts);
+        if let Some(thr) = self.capture_threshold_db {
+            b = b.capture(CaptureModel::new(thr));
+        }
+        if self.byte_error_rate > 0.0 {
+            b = b.default_error(ErrorModel::new(ErrorUnit::Byte, self.byte_error_rate)?);
+        }
+
+        // --- nodes -----------------------------------------------------
+        // Honest nodes get the GRC observer when requested; greedy
+        // receivers get their misbehavior policy.
+        let mut grc_reports = Vec::new();
+        let add_honest = |b: &mut NetworkBuilder,
+                              grc_reports: &mut Vec<(NodeId, GrcReportHandles)>,
+                              pos: Position| {
+            match self.grc {
+                Some(mitigate) => {
+                    let (obs, handles) = GrcObserver::new(params, mitigate);
+                    let id = b.add_node_with_observer(pos, Box::new(obs));
+                    grc_reports.push((id, handles));
+                    id
+                }
+                None => b.add_node(pos),
+            }
+        };
+        let mut senders = Vec::new();
+        let sender_count = if self.shared_sender { 1 } else { self.pairs };
+        for i in 0..sender_count {
+            let pos = Position::new(0.0, 20.0 * i as f64);
+            senders.push(add_honest(&mut b, &mut grc_reports, pos));
+        }
+        let mut receivers = Vec::new();
+        for i in 0..self.pairs {
+            match self.greedy.iter().find(|(g, _)| *g == i) {
+                Some((_, cfg)) => {
+                    let pos = Position::new(45.0, 20.0 * i as f64);
+                    receivers.push(b.add_node_with_policy(pos, cfg.clone().into_policy()));
+                }
+                None => {
+                    let pos = Position::new(20.0, 20.0 * i as f64);
+                    receivers.push(add_honest(&mut b, &mut grc_reports, pos));
+                }
+            }
+        }
+
+        // --- flows -----------------------------------------------------
+        let mut flows = Vec::new();
+        let mut probe_flows = Vec::new();
+        for i in 0..self.pairs {
+            let src = if self.shared_sender {
+                senders[0]
+            } else {
+                senders[i]
+            };
+            let dst = receivers[i];
+            let flow = match (self.transport, self.wire_delay) {
+                (TransportKind::Udp { rate_bps }, _) => {
+                    b.udp_flow(src, dst, self.payload, rate_bps)
+                }
+                (TransportKind::Tcp, None) => b.tcp_flow(
+                    src,
+                    dst,
+                    TcpConfig {
+                        mss: self.payload,
+                        ..TcpConfig::default()
+                    },
+                ),
+                (TransportKind::Tcp, Some(delay)) => b.tcp_flow_remote(
+                    src,
+                    dst,
+                    TcpConfig {
+                        mss: self.payload,
+                        ..TcpConfig::default()
+                    },
+                    delay,
+                ),
+            };
+            flows.push(flow);
+            if self.probes {
+                // Probes are data-sized so their channel loss matches the
+                // data frames the detector reasons about.
+                probe_flows.push(b.probe_flow(src, dst, self.payload, self.probe_interval));
+            }
+        }
+        for (i, rate) in &self.flow_error_overrides {
+            if *i >= self.pairs {
+                return Err(SimError::invalid_config(format!(
+                    "flow error override index {i} out of range"
+                )));
+            }
+            let em = ErrorModel::new(ErrorUnit::Byte, *rate)?;
+            let src = if self.shared_sender {
+                senders[0]
+            } else {
+                senders[*i]
+            };
+            b.link_error(src, receivers[*i], em);
+            b.link_error(receivers[*i], src, em);
+        }
+
+        let mut net = b.build();
+        let metrics = net.run(self.duration);
+        Ok(ScenarioOutcome {
+            metrics,
+            flows,
+            probe_flows,
+            senders,
+            receivers,
+            grc_reports,
+            duration: self.duration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_configs() {
+        let s = Scenario {
+            pairs: 0,
+            ..Scenario::default()
+        };
+        assert!(s.run().is_err());
+        let s = Scenario {
+            greedy: vec![(5, GreedyConfig::default())],
+            ..Scenario::default()
+        };
+        assert!(s.run().is_err());
+        let s = Scenario {
+            flow_error_overrides: vec![(7, 1e-4)],
+            ..Scenario::default()
+        };
+        assert!(s.run().is_err());
+    }
+
+    #[test]
+    fn honest_pairs_share_fairly() {
+        let s = Scenario {
+            duration: SimDuration::from_secs(5),
+            ..Scenario::default()
+        };
+        let out = s.run().unwrap();
+        let g0 = out.goodput_mbps(0);
+        let g1 = out.goodput_mbps(1);
+        assert!(g0 > 0.5 && g1 > 0.5);
+        assert!((g0 - g1).abs() / g0.max(g1) < 0.3, "{g0} vs {g1}");
+    }
+
+    #[test]
+    fn shared_sender_builds_one_ap() {
+        let s = Scenario {
+            shared_sender: true,
+            pairs: 3,
+            transport: TransportKind::SATURATING_UDP,
+            duration: SimDuration::from_secs(2),
+            ..Scenario::default()
+        };
+        let out = s.run().unwrap();
+        assert_eq!(out.senders.len(), 1);
+        assert_eq!(out.receivers.len(), 3);
+        for i in 0..3 {
+            assert!(out.goodput_mbps(i) > 0.1, "receiver {i} starved");
+        }
+    }
+
+    #[test]
+    fn grc_attaches_observers_to_honest_nodes_only() {
+        let s = Scenario {
+            greedy: vec![(1, GreedyConfig::default())],
+            grc: Some(true),
+            duration: SimDuration::from_secs(1),
+            ..Scenario::default()
+        };
+        let out = s.run().unwrap();
+        // 2 senders + 1 honest receiver = 3 observed nodes.
+        assert_eq!(out.grc_reports.len(), 3);
+    }
+}

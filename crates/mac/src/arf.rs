@@ -1,0 +1,216 @@
+//! Automatic Rate Fallback (ARF) — the rate-adaptation extension the
+//! paper names as future work (§IX).
+//!
+//! Classic ARF (Kamerman & Monteban, 1997): after `down_threshold`
+//! consecutive transmission failures step down one rate; after
+//! `up_threshold` consecutive successes step up one rate (a *probe*);
+//! if the first transmission at the new rate fails, fall straight back.
+//!
+//! Rate adaptation interacts with the misbehaviors exactly as the paper
+//! predicts:
+//!
+//! * **ACK spoofing** becomes *more* damaging — spoofed ACKs hide the
+//!   victim's losses from its sender's ARF, pinning the rate above what
+//!   the channel supports;
+//! * **fake ACKs** become *less* profitable — the greedy receiver's own
+//!   fake ACKs keep its sender at a rate it cannot decode.
+
+/// ARF configuration.
+#[derive(Debug, Clone)]
+pub struct ArfConfig {
+    /// Available rates in bits per second, ascending.
+    pub rates: Vec<u64>,
+    /// Index of the starting rate.
+    pub initial_index: usize,
+    /// Consecutive successes before probing the next rate up.
+    pub up_threshold: u32,
+    /// Consecutive failures before stepping down.
+    pub down_threshold: u32,
+}
+
+impl ArfConfig {
+    /// The 802.11b rate set (1, 2, 5.5, 11 Mb/s), starting at the top,
+    /// with the classic 10-up/2-down thresholds.
+    pub fn dot11b() -> Self {
+        ArfConfig {
+            rates: vec![1_000_000, 2_000_000, 5_500_000, 11_000_000],
+            initial_index: 3,
+            up_threshold: 10,
+            down_threshold: 2,
+        }
+    }
+
+    /// The 802.11a rate set (6–54 Mb/s), starting at 6 Mb/s.
+    pub fn dot11a() -> Self {
+        ArfConfig {
+            rates: vec![
+                6_000_000, 9_000_000, 12_000_000, 18_000_000, 24_000_000, 36_000_000,
+                48_000_000, 54_000_000,
+            ],
+            initial_index: 0,
+            up_threshold: 10,
+            down_threshold: 2,
+        }
+    }
+}
+
+/// Per-station ARF state.
+#[derive(Debug, Clone)]
+pub struct Arf {
+    cfg: ArfConfig,
+    index: usize,
+    consecutive_ok: u32,
+    consecutive_fail: u32,
+    /// True right after stepping up: a failure then falls straight back.
+    probing: bool,
+    /// Rate decisions taken (for experiments).
+    pub step_ups: u64,
+    /// Rate step-downs taken.
+    pub step_downs: u64,
+}
+
+impl Arf {
+    /// Creates ARF state from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate list is empty or the initial index is out of
+    /// range.
+    pub fn new(cfg: ArfConfig) -> Self {
+        assert!(!cfg.rates.is_empty(), "ARF needs at least one rate");
+        assert!(cfg.initial_index < cfg.rates.len(), "initial rate out of range");
+        Arf {
+            index: cfg.initial_index,
+            consecutive_ok: 0,
+            consecutive_fail: 0,
+            probing: false,
+            step_ups: 0,
+            step_downs: 0,
+            cfg,
+        }
+    }
+
+    /// The rate to use for the next data transmission.
+    pub fn rate_bps(&self) -> u64 {
+        self.cfg.rates[self.index]
+    }
+
+    /// Index of the current rate in the configured ladder.
+    pub fn rate_index(&self) -> usize {
+        self.index
+    }
+
+    /// Records an acknowledged transmission.
+    pub fn on_success(&mut self) {
+        self.probing = false;
+        self.consecutive_fail = 0;
+        self.consecutive_ok += 1;
+        if self.consecutive_ok >= self.cfg.up_threshold && self.index + 1 < self.cfg.rates.len()
+        {
+            self.index += 1;
+            self.step_ups += 1;
+            self.consecutive_ok = 0;
+            self.probing = true;
+        }
+    }
+
+    /// Records a transmission failure (ACK timeout).
+    pub fn on_failure(&mut self) {
+        self.consecutive_ok = 0;
+        if self.probing && self.index > 0 {
+            // The probe at the higher rate failed: immediate fallback.
+            self.index -= 1;
+            self.step_downs += 1;
+            self.probing = false;
+            self.consecutive_fail = 0;
+            return;
+        }
+        self.probing = false;
+        self.consecutive_fail += 1;
+        if self.consecutive_fail >= self.cfg.down_threshold && self.index > 0 {
+            self.index -= 1;
+            self.step_downs += 1;
+            self.consecutive_fail = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_down_after_two_failures() {
+        let mut a = Arf::new(ArfConfig::dot11b());
+        assert_eq!(a.rate_bps(), 11_000_000);
+        a.on_failure();
+        assert_eq!(a.rate_bps(), 11_000_000);
+        a.on_failure();
+        assert_eq!(a.rate_bps(), 5_500_000);
+        assert_eq!(a.step_downs, 1);
+    }
+
+    #[test]
+    fn steps_up_after_ten_successes() {
+        let mut cfg = ArfConfig::dot11b();
+        cfg.initial_index = 0;
+        let mut a = Arf::new(cfg);
+        for _ in 0..9 {
+            a.on_success();
+            assert_eq!(a.rate_bps(), 1_000_000);
+        }
+        a.on_success();
+        assert_eq!(a.rate_bps(), 2_000_000);
+        assert_eq!(a.step_ups, 1);
+    }
+
+    #[test]
+    fn failed_probe_falls_straight_back() {
+        let mut cfg = ArfConfig::dot11b();
+        cfg.initial_index = 0;
+        let mut a = Arf::new(cfg);
+        for _ in 0..10 {
+            a.on_success();
+        }
+        assert_eq!(a.rate_index(), 1);
+        // Single failure right after stepping up → back down.
+        a.on_failure();
+        assert_eq!(a.rate_index(), 0);
+    }
+
+    #[test]
+    fn clamps_at_ladder_ends() {
+        let mut a = Arf::new(ArfConfig::dot11b());
+        for _ in 0..50 {
+            a.on_failure();
+        }
+        assert_eq!(a.rate_index(), 0, "cannot go below the lowest rate");
+        let mut cfg = ArfConfig::dot11b();
+        cfg.initial_index = 3;
+        let mut a = Arf::new(cfg);
+        for _ in 0..100 {
+            a.on_success();
+        }
+        assert_eq!(a.rate_index(), 3, "cannot exceed the highest rate");
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut a = Arf::new(ArfConfig::dot11b());
+        a.on_failure();
+        a.on_success();
+        a.on_failure();
+        assert_eq!(a.rate_index(), 3, "non-consecutive failures don't trigger");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate")]
+    fn empty_ladder_panics() {
+        let _ = Arf::new(ArfConfig {
+            rates: vec![],
+            initial_index: 0,
+            up_threshold: 10,
+            down_threshold: 2,
+        });
+    }
+}

@@ -1,0 +1,147 @@
+//! Binary exponential backoff.
+//!
+//! The contention window starts at CWmin, doubles (as `2·(CW+1)−1`) after
+//! every failed transmission up to CWmax, and resets to CWmin after a
+//! success or a final drop. The backoff counter is drawn uniformly from
+//! `[0, CW]` in whole slots.
+
+use phy::PhyParams;
+use sim::SimRng;
+
+/// Contention-window state of one station.
+///
+/// # Examples
+///
+/// ```
+/// use gr_mac::backoff::Backoff;
+/// use phy::PhyParams;
+///
+/// let mut b = Backoff::new(&PhyParams::dot11b());
+/// assert_eq!(b.cw(), 31);
+/// b.on_failure();
+/// assert_eq!(b.cw(), 63);
+/// b.on_success();
+/// assert_eq!(b.cw(), 31);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    cw: u32,
+    cw_min: u32,
+    cw_max: u32,
+}
+
+impl Backoff {
+    /// Creates backoff state at CWmin for the given PHY.
+    pub fn new(params: &PhyParams) -> Self {
+        Backoff {
+            cw: params.cw_min,
+            cw_min: params.cw_min,
+            cw_max: params.cw_max,
+        }
+    }
+
+    /// Creates backoff state with explicit bounds (used by the testbed
+    /// fake-ACK emulation, which clamps CWmax to CWmin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cw_max < cw_min`.
+    pub fn with_bounds(cw_min: u32, cw_max: u32) -> Self {
+        assert!(cw_max >= cw_min, "CWmax must be at least CWmin");
+        Backoff {
+            cw: cw_min,
+            cw_min,
+            cw_max,
+        }
+    }
+
+    /// Current contention window (backoff is drawn from `[0, cw]`).
+    pub fn cw(&self) -> u32 {
+        self.cw
+    }
+
+    /// CWmin in effect.
+    pub fn cw_min(&self) -> u32 {
+        self.cw_min
+    }
+
+    /// CWmax in effect.
+    pub fn cw_max(&self) -> u32 {
+        self.cw_max
+    }
+
+    /// Doubles the window after a failed transmission:
+    /// `CW ← min(2·(CW+1)−1, CWmax)`.
+    pub fn on_failure(&mut self) {
+        self.cw = (2 * (self.cw + 1) - 1).min(self.cw_max);
+    }
+
+    /// Resets the window after a successful transmission or a final drop.
+    pub fn on_success(&mut self) {
+        self.cw = self.cw_min;
+    }
+
+    /// Draws a backoff counter uniformly from `[0, CW]` slots.
+    pub fn draw(&self, rng: &mut SimRng) -> u32 {
+        rng.uniform_u32_inclusive(self.cw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_sequence_11b() {
+        let mut b = Backoff::new(&PhyParams::dot11b());
+        let mut seen = vec![b.cw()];
+        for _ in 0..7 {
+            b.on_failure();
+            seen.push(b.cw());
+        }
+        assert_eq!(seen, vec![31, 63, 127, 255, 511, 1023, 1023, 1023]);
+    }
+
+    #[test]
+    fn doubling_sequence_11a() {
+        let mut b = Backoff::new(&PhyParams::dot11a());
+        b.on_failure();
+        assert_eq!(b.cw(), 31);
+        b.on_failure();
+        assert_eq!(b.cw(), 63);
+    }
+
+    #[test]
+    fn success_resets() {
+        let mut b = Backoff::new(&PhyParams::dot11b());
+        b.on_failure();
+        b.on_failure();
+        b.on_success();
+        assert_eq!(b.cw(), 31);
+    }
+
+    #[test]
+    fn clamped_bounds_never_double() {
+        // Testbed fake-ACK emulation: CWmax = CWmin.
+        let mut b = Backoff::with_bounds(31, 31);
+        for _ in 0..10 {
+            b.on_failure();
+            assert_eq!(b.cw(), 31);
+        }
+    }
+
+    #[test]
+    fn draw_within_window() {
+        let b = Backoff::new(&PhyParams::dot11b());
+        let mut rng = SimRng::new(1);
+        for _ in 0..10_000 {
+            assert!(b.draw(&mut rng) <= 31);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "CWmax must be at least CWmin")]
+    fn invalid_bounds_panic() {
+        let _ = Backoff::with_bounds(31, 15);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-station MAC statistics.
+//!
+//! These counters feed the paper's measurements directly: RTS send counts
+//! (Fig. 3's sending ratio), average contention window (Fig. 2, Tables II
+//! and IV), retransmissions, drops and delivered bytes.
+
+use std::collections::BTreeMap;
+
+use sim::{Counter, Mean, SimTime, TimeWeightedMean};
+
+/// Statistics one [`crate::dcf::Dcf`] instance accumulates over a run.
+#[derive(Debug, Clone, Default)]
+pub struct MacCounters {
+    /// RTS frames transmitted.
+    pub rts_sent: Counter,
+    /// CTS frames transmitted.
+    pub cts_sent: Counter,
+    /// Data frames transmitted (including retransmissions).
+    pub data_sent: Counter,
+    /// First-attempt data transmissions (excluding retransmissions).
+    pub data_first_tx: Counter,
+    /// MAC ACKs transmitted for correctly received frames.
+    pub acks_sent: Counter,
+    /// MAC ACKs transmitted for *corrupted* frames (misbehavior 3).
+    pub fake_acks_sent: Counter,
+    /// MAC ACKs transmitted on behalf of another receiver (misbehavior 2).
+    pub spoofed_acks_sent: Counter,
+    /// Short (RTS) retries.
+    pub short_retries: Counter,
+    /// Long (data) retries.
+    pub long_retries: Counter,
+    /// MSDUs dropped after exhausting the retry limit.
+    pub retry_drops: Counter,
+    /// MSDUs dropped because the interface queue was full.
+    pub queue_drops: Counter,
+    /// Data MSDUs delivered to the upper layer (non-duplicate, uncorrupted).
+    pub delivered_msdus: Counter,
+    /// Bytes of those MSDUs.
+    pub delivered_bytes: Counter,
+    /// Duplicate data frames received (ACKed but not delivered).
+    pub duplicates: Counter,
+    /// Frames received corrupted (FCS failure).
+    pub corrupted_rx: Counter,
+    /// Collision garbage received (overlapping transmissions, no capture).
+    pub collision_rx: Counter,
+    /// CTS/ACK response timeouts observed as a sender.
+    pub timeouts: Counter,
+    /// MSDU transmissions completed successfully (data ACKed).
+    pub tx_successes: Counter,
+    /// NAV values this node *sent* that exceeded the honest value (set by
+    /// greedy policies; lets experiments verify the attack ran).
+    pub inflated_navs_sent: Counter,
+    /// How many backoff draws were made at each contention-window value —
+    /// the empirical CW distribution the paper's analytical model
+    /// (Equations 1–2) takes as input.
+    pub cw_draw_counts: BTreeMap<u32, u64>,
+    pub(crate) cw_timeline: TimeWeightedMean,
+    pub(crate) cw_samples: Mean,
+}
+
+impl MacCounters {
+    /// Creates zeroed counters, starting the CW timeline at `cw` at time
+    /// zero.
+    pub fn new(initial_cw: u32) -> Self {
+        let mut c = MacCounters::default();
+        c.cw_timeline.set(SimTime::ZERO, initial_cw as f64);
+        c
+    }
+
+    /// Records a contention-window change at `now` (time-weighted average)
+    /// and samples it (per-change average).
+    pub fn record_cw(&mut self, now: SimTime, cw: u32) {
+        self.cw_timeline.set(now, cw as f64);
+        self.cw_samples.push(cw as f64);
+    }
+
+    /// Time-weighted average contention window over `[0, end]`.
+    pub fn avg_cw_time_weighted(&self, end: SimTime) -> Option<f64> {
+        self.cw_timeline.finish(end)
+    }
+
+    /// Average contention window over all changes (per-attempt flavour).
+    pub fn avg_cw_per_change(&self) -> Option<f64> {
+        self.cw_samples.mean()
+    }
+
+    /// Records one backoff draw at contention window `cw`.
+    pub fn record_draw(&mut self, cw: u32) {
+        *self.cw_draw_counts.entry(cw).or_insert(0) += 1;
+    }
+
+    /// The empirical CW distribution as `(cw, probability)` pairs.
+    pub fn cw_distribution(&self) -> Vec<(u32, f64)> {
+        let total: u64 = self.cw_draw_counts.values().sum();
+        if total == 0 {
+            return Vec::new();
+        }
+        self.cw_draw_counts
+            .iter()
+            .map(|(&cw, &n)| (cw, n as f64 / total as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cw_time_weighted_average() {
+        let mut c = MacCounters::new(31);
+        // 31 for 1 s, then 63 for 1 s.
+        c.record_cw(SimTime::from_secs(1), 63.0 as u32);
+        let avg = c.avg_cw_time_weighted(SimTime::from_secs(2)).unwrap();
+        assert!((avg - 47.0).abs() < 1e-9, "avg={avg}");
+    }
+
+    #[test]
+    fn cw_per_change_average() {
+        let mut c = MacCounters::new(31);
+        c.record_cw(SimTime::from_secs(1), 63);
+        c.record_cw(SimTime::from_secs(2), 127);
+        assert_eq!(c.avg_cw_per_change(), Some(95.0));
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let c = MacCounters::new(31);
+        assert_eq!(c.rts_sent.get(), 0);
+        assert_eq!(c.delivered_bytes.get(), 0);
+    }
+}

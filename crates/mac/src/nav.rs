@@ -1,0 +1,124 @@
+//! Virtual carrier sense: the Network Allocation Vector.
+//!
+//! Per IEEE 802.11 §9.2.5.4, a station receiving a valid frame updates its
+//! NAV **only** when the frame's Duration exceeds the current NAV **and**
+//! the frame is not addressed to the station itself. Both conditions matter
+//! to the paper: the second is why a greedy receiver's inflated CTS/ACK
+//! silences everyone *except* its own sender.
+
+use sim::{SimDuration, SimTime};
+
+/// A station's NAV: the time until which the medium is virtually reserved.
+///
+/// # Examples
+///
+/// ```
+/// use gr_mac::nav::Nav;
+/// use sim::SimTime;
+///
+/// let mut nav = Nav::new();
+/// assert!(nav.is_idle(SimTime::ZERO));
+/// nav.update(SimTime::ZERO, 300, false); // overheard frame, 300 µs
+/// assert!(!nav.is_idle(SimTime::from_micros(299)));
+/// assert!(nav.is_idle(SimTime::from_micros(300)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Nav {
+    until: SimTime,
+}
+
+impl Default for Nav {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Nav {
+    /// A fresh, idle NAV.
+    pub fn new() -> Self {
+        Nav {
+            until: SimTime::ZERO,
+        }
+    }
+
+    /// True if the virtual carrier is idle at `now`.
+    pub fn is_idle(&self, now: SimTime) -> bool {
+        self.until <= now
+    }
+
+    /// The instant the reservation expires.
+    pub fn until(&self) -> SimTime {
+        self.until
+    }
+
+    /// Applies the standard NAV update rule for a frame heard at `now`
+    /// carrying `duration_us`, where `addressed_to_me` says whether the
+    /// frame's receiver address is this station.
+    ///
+    /// Returns `true` if the NAV advanced.
+    pub fn update(&mut self, now: SimTime, duration_us: u32, addressed_to_me: bool) -> bool {
+        if addressed_to_me {
+            return false;
+        }
+        let candidate = now + SimDuration::from_micros(duration_us as u64);
+        if candidate > self.until {
+            self.until = candidate;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Forcibly clears the reservation (used by tests and by GRC recovery).
+    pub fn reset(&mut self) {
+        self.until = SimTime::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_only_when_larger() {
+        let mut nav = Nav::new();
+        let t = SimTime::from_micros(100);
+        assert!(nav.update(t, 500, false));
+        // Smaller reservation does not shrink the NAV.
+        assert!(!nav.update(SimTime::from_micros(200), 100, false));
+        assert_eq!(nav.until(), SimTime::from_micros(600));
+        // Larger reservation extends it.
+        assert!(nav.update(SimTime::from_micros(200), 500, false));
+        assert_eq!(nav.until(), SimTime::from_micros(700));
+    }
+
+    #[test]
+    fn frames_addressed_to_me_never_update() {
+        let mut nav = Nav::new();
+        assert!(!nav.update(SimTime::ZERO, 32_767, true));
+        assert!(nav.is_idle(SimTime::ZERO));
+    }
+
+    #[test]
+    fn zero_duration_leaves_nav_idle() {
+        let mut nav = Nav::new();
+        nav.update(SimTime::from_micros(5), 0, false);
+        assert!(nav.is_idle(SimTime::from_micros(5)));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut nav = Nav::new();
+        nav.update(SimTime::ZERO, 1000, false);
+        nav.reset();
+        assert!(nav.is_idle(SimTime::ZERO));
+    }
+
+    #[test]
+    fn idle_boundary_is_inclusive() {
+        let mut nav = Nav::new();
+        nav.update(SimTime::ZERO, 10, false);
+        assert!(!nav.is_idle(SimTime::from_nanos(9_999)));
+        assert!(nav.is_idle(SimTime::from_micros(10)));
+    }
+}

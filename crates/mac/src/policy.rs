@@ -1,0 +1,152 @@
+//! Pluggable station behavior and observation hooks.
+//!
+//! The DCF state machine consults a [`StationPolicy`] at the three points a
+//! greedy receiver can manipulate the protocol (outgoing Duration fields,
+//! ACKing corrupted frames, spoofing ACKs for sniffed frames), and a
+//! [`MacObserver`] at the points the paper's GRC countermeasures hook in
+//! (sanitizing overheard NAVs, vetting received ACKs). The `greedy80211`
+//! crate provides the misbehaving policies and the GRC observers; this
+//! module defines the honest defaults.
+
+use sim::{SimRng, SimTime};
+
+use crate::frame::{Frame, FrameKind, Msdu};
+
+/// Per-frame reception metadata passed to hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameMeta {
+    /// Received signal strength of this frame, in dBm.
+    pub rssi_dbm: f64,
+    /// Reception-complete time.
+    pub now: SimTime,
+}
+
+/// How a station fills in protocol fields it controls.
+///
+/// The default implementations are the honest 802.11 behavior; greedy
+/// receivers override them. All hooks receive the deterministic per-node
+/// RNG so probabilistic misbehavior (the paper's *greedy percentage*)
+/// stays reproducible.
+pub trait StationPolicy<M: Msdu>: std::fmt::Debug {
+    /// Returns the Duration/NAV value (µs) to place on an outgoing frame
+    /// of `kind` whose honest value is `normal_us`. For RTS and DATA
+    /// frames, `carries_transport_ack` reports whether the pending MSDU is
+    /// a transport-layer ACK — the only data frames a receiver transmits,
+    /// and thus the ones misbehavior 1 additionally inflates under TCP.
+    fn outgoing_duration_us(
+        &mut self,
+        kind: FrameKind,
+        normal_us: u32,
+        carries_transport_ack: bool,
+        rng: &mut SimRng,
+    ) -> u32 {
+        let _ = (kind, carries_transport_ack, rng);
+        normal_us
+    }
+
+    /// Whether to transmit a MAC ACK for a **corrupted** data frame
+    /// addressed to this station (misbehavior 3, *fake ACKs*). Honest
+    /// stations never do.
+    fn ack_corrupted(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
+        let _ = (frame, rng);
+        false
+    }
+
+    /// Whether to transmit a MAC ACK on behalf of `frame.dst` for a
+    /// correctly sniffed data frame addressed to another station
+    /// (misbehavior 2, *spoofed ACKs*). Requires promiscuous reception,
+    /// which the simulator always provides.
+    fn spoof_ack_for(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
+        let _ = (frame, rng);
+        false
+    }
+
+    /// Backoff draw override: given the current contention window,
+    /// return the number of slots to wait, or `None` for the standard
+    /// uniform draw over `[0, cw]`. Greedy *senders* (Kyasanur–Vaidya
+    /// style, the sender-side misbehavior DOMINO detects) shrink this
+    /// range; receivers leave it alone.
+    fn backoff_slots(&mut self, cw: u32, rng: &mut SimRng) -> Option<u32> {
+        let _ = (cw, rng);
+        None
+    }
+}
+
+/// The honest station: never inflates, never fakes, never spoofs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NormalPolicy;
+
+impl<M: Msdu> StationPolicy<M> for NormalPolicy {}
+
+/// Observation and mitigation hooks — where GRC attaches.
+///
+/// The default implementation observes nothing and trusts everything.
+pub trait MacObserver<M: Msdu>: std::fmt::Debug {
+    /// Called for every correctly received or overheard frame, *before*
+    /// the NAV update. Returns the Duration value (µs) the station should
+    /// honor; a mitigating observer clamps inflated values.
+    fn on_frame(&mut self, frame: &Frame<M>, meta: &FrameMeta, addressed_to_me: bool) -> u32 {
+        let _ = (meta, addressed_to_me);
+        frame.duration_us
+    }
+
+    /// Called at a transmitter when a MAC ACK arrives for its outstanding
+    /// data frame (which was sent to `expected_from`). Returning `false`
+    /// makes the MAC ignore the ACK — the paper's spoofed-ACK recovery.
+    fn accept_ack(
+        &mut self,
+        ack: &Frame<M>,
+        meta: &FrameMeta,
+        expected_from: crate::frame::NodeId,
+    ) -> bool {
+        let _ = (ack, meta, expected_from);
+        true
+    }
+
+    /// Called when this station receives a corrupted frame.
+    fn on_corrupted(&mut self, meta: &FrameMeta) {
+        let _ = meta;
+    }
+}
+
+/// Observer that trusts every frame (no detection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl<M: Msdu> MacObserver<M> for NoopObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::NodeId;
+
+    #[test]
+    fn normal_policy_is_honest() {
+        let mut p = NormalPolicy;
+        let mut rng = SimRng::new(1);
+        let d = StationPolicy::<usize>::outgoing_duration_us(
+            &mut p,
+            FrameKind::Cts,
+            314,
+            false,
+            &mut rng,
+        );
+        assert_eq!(d, 314);
+        let f: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 0, 1, 100);
+        assert!(!p.ack_corrupted(&f, &mut rng));
+        assert!(!p.spoof_ack_for(&f, &mut rng));
+    }
+
+    #[test]
+    fn noop_observer_trusts_frames() {
+        let mut o = NoopObserver;
+        let f: Frame<usize> = Frame::cts(NodeId(0), NodeId(1), 32_000);
+        let meta = FrameMeta {
+            rssi_dbm: -40.0,
+            now: SimTime::ZERO,
+        };
+        assert_eq!(o.on_frame(&f, &meta, false), 32_000);
+        let ack: Frame<usize> = Frame::ack(NodeId(1), NodeId(0), 0);
+        assert!(o.accept_ack(&ack, &meta, NodeId(1)));
+    }
+}

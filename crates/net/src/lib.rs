@@ -1,0 +1,18 @@
+//! Network runtime: wires the 802.11 MAC, PHY/channel models and
+//! transport endpoints into a deterministic event-driven simulation.
+//!
+//! Build a topology with [`NetworkBuilder`], run it with
+//! [`Network::run`], and read goodput / contention-window / retry
+//! statistics from the returned [`RunMetrics`].
+
+
+#![warn(missing_docs)]
+pub mod builder;
+pub mod metrics;
+pub mod network;
+pub mod trace;
+
+pub use builder::NetworkBuilder;
+pub use metrics::{FlowMetrics, NodeMetrics, RunMetrics};
+pub use network::Network;
+pub use trace::{Trace, TraceKind, TraceRecord};

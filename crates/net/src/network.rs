@@ -1,0 +1,762 @@
+//! The simulation runtime: medium, nodes, flows and the event loop.
+//!
+//! The runtime owns every [`mac::Dcf`] instance and the shared medium. It
+//! translates [`mac::MacAction`]s into scheduled events and reception
+//! outcomes:
+//!
+//! * a transmission becomes *busy* at other stations one carrier-sense
+//!   latency (default: one slot) after it starts — which reproduces the
+//!   paper's observation that two stations transmit together when their
+//!   backoff counters expire within one slot of each other;
+//! * at the end of a transmission, each in-range station resolves the
+//!   reception: half-duplex (own transmission overlapped → nothing),
+//!   capture among overlapping frames (strongest wins by ≥ the capture
+//!   threshold, else collision), then the per-link error model;
+//! * corrupted frames are delivered *with readable headers* (the paper's
+//!   Table I measurement justifies this), which is what makes the
+//!   fake-ACK misbehavior possible.
+
+use std::collections::{HashMap, VecDeque};
+
+use mac::{
+    CorruptionCause, Dcf, Frame, MacAction, NodeId, RxEvent, TimerKind,
+};
+use phy::error_model::PLCP_EQUIVALENT_BYTES;
+use phy::{channel::Reach, CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
+use sim::{EventId, Scheduler, SimDuration, SimRng, SimTime};
+use transport::{
+    CbrSource, FlowId, ProbeStats, Segment, TcpOutput, TcpReceiver, TcpSender, UdpSink,
+};
+
+use crate::metrics::{FlowMetrics, NodeMetrics, RunMetrics};
+use crate::trace::{Trace, TraceKind, TraceRecord};
+
+/// Events the runtime schedules.
+#[derive(Debug, Clone)]
+pub(crate) enum Event {
+    MacTimer { node: NodeId, kind: TimerKind },
+    TxEnd { tx: u64 },
+    BusyOnset { node: NodeId },
+    BusyEnd { node: NodeId },
+    RxConclude { node: NodeId, tx: u64 },
+    CbrTick { flow: FlowId },
+    TcpTimer { flow: FlowId },
+    ProbeTick { flow: FlowId },
+    WireDeliver { flow: FlowId, to_remote: bool, seg: Segment },
+}
+
+pub(crate) struct NodeState {
+    pub dcf: Dcf<Segment>,
+    pub pos: Position,
+    timers: HashMap<TimerKind, EventId>,
+    busy_count: u32,
+    tx_history: VecDeque<(SimTime, SimTime)>,
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTx {
+    frame: Frame<Segment>,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// What a flow carries and the endpoint state machines.
+pub(crate) enum FlowKindState {
+    Udp {
+        source: CbrSource,
+        sink: UdpSink,
+    },
+    Tcp {
+        sender: TcpSender,
+        receiver: TcpReceiver,
+    },
+    Probe {
+        interval: SimDuration,
+        payload: usize,
+        next_seq: u64,
+        stats: ProbeStats,
+    },
+}
+
+/// Sender-side bookkeeping for the paper's cross-layer spoofed-ACK
+/// detector (§VII-B): TCP retransmissions of segments the MAC already saw
+/// acknowledged indicate spoofing (assuming negligible wireline loss).
+#[derive(Debug, Default, Clone)]
+pub struct CrossLayerStats {
+    mac_acked: std::collections::HashSet<u64>,
+    /// TCP data retransmissions observed leaving the sender.
+    pub retx_total: u64,
+    /// Retransmissions of segments whose original MAC transmission was
+    /// acknowledged.
+    pub retx_of_acked: u64,
+    max_seq_sent: Option<u64>,
+}
+
+pub(crate) struct FlowState {
+    pub id: FlowId,
+    /// Wireless transmitter of the data direction (the AP).
+    pub src: NodeId,
+    /// Wireless receiver of the data direction (the client).
+    pub dst: NodeId,
+    /// Application payload bytes per packet (goodput accounting).
+    pub payload: usize,
+    pub kind: FlowKindState,
+    /// One-way latency of the wired segment behind `src`, if the actual
+    /// sender is remote.
+    pub wire: Option<SimDuration>,
+    /// Cross-layer detector bookkeeping.
+    pub cross: CrossLayerStats,
+}
+
+/// A fully wired simulation, ready to [`run`](Network::run).
+///
+/// Construct via [`crate::builder::NetworkBuilder`].
+pub struct Network {
+    pub(crate) phy: PhyParams,
+    pub(crate) channel: ChannelModel,
+    pub(crate) capture: CaptureModel,
+    pub(crate) cs_latency: SimDuration,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) flows: Vec<FlowState>,
+    pub(crate) link_error: HashMap<(u16, u16), ErrorModel>,
+    /// Rate-specific overrides: `(tx, rx, rate_bps) → error model`.
+    /// Lets experiments model links that are clean at low rates and
+    /// lossy at high rates, which is what makes rate adaptation react.
+    pub(crate) rate_link_error: HashMap<(u16, u16, u64), ErrorModel>,
+    pub(crate) default_error: ErrorModel,
+    pub(crate) rng: SimRng,
+    sched: Scheduler<Event>,
+    txs: HashMap<u64, ActiveTx>,
+    next_tx: u64,
+    flow_timers: HashMap<u32, EventId>,
+    trace: Option<Trace>,
+}
+
+impl Network {
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor fed by the builder
+    pub(crate) fn assemble(
+        phy: PhyParams,
+        channel: ChannelModel,
+        capture: CaptureModel,
+        cs_latency: SimDuration,
+        nodes: Vec<(Position, Dcf<Segment>)>,
+        flows: Vec<FlowState>,
+        link_error: HashMap<(u16, u16), ErrorModel>,
+        rate_link_error: HashMap<(u16, u16, u64), ErrorModel>,
+        default_error: ErrorModel,
+        rng: SimRng,
+    ) -> Self {
+        Network {
+            phy,
+            channel,
+            capture,
+            cs_latency,
+            nodes: nodes
+                .into_iter()
+                .map(|(pos, dcf)| NodeState {
+                    dcf,
+                    pos,
+                    timers: HashMap::new(),
+                    busy_count: 0,
+                    tx_history: VecDeque::new(),
+                })
+                .collect(),
+            flows,
+            link_error,
+            rate_link_error,
+            default_error,
+            rng,
+            sched: Scheduler::new(),
+            txs: HashMap::new(),
+            next_tx: 0,
+            flow_timers: HashMap::new(),
+            trace: None,
+        }
+    }
+
+    /// Enables frame-level tracing, keeping at most `capacity` records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The collected trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Immutable access to a node's DCF (counters, NAV, …).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn dcf(&self, node: NodeId) -> &Dcf<Segment> {
+        &self.nodes[node.0 as usize].dcf
+    }
+
+    /// Mutable access to a node's DCF (e.g. its observer hooks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not exist.
+    pub fn dcf_mut(&mut self, node: NodeId) -> &mut Dcf<Segment> {
+        &mut self.nodes[node.0 as usize].dcf
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Runs the simulation for `duration` of virtual time and returns the
+    /// collected metrics. Can be called once per network.
+    pub fn run(&mut self, duration: SimDuration) -> RunMetrics {
+        self.start_flows();
+        let horizon = SimTime::ZERO + duration;
+        while let Some((now, ev)) = self.sched.next_until(horizon) {
+            self.dispatch(now, ev);
+        }
+        self.collect_metrics(duration)
+    }
+
+    fn start_flows(&mut self) {
+        for idx in 0..self.flows.len() {
+            // Small deterministic stagger so synchronized sources do not
+            // all fire in the same instant at t = 0.
+            let offset = SimDuration::from_micros(97 * idx as u64);
+            let id = self.flows[idx].id;
+            match &self.flows[idx].kind {
+                FlowKindState::Udp { .. } => {
+                    self.sched.schedule_in(offset, Event::CbrTick { flow: id });
+                }
+                FlowKindState::Tcp { .. } => {
+                    // Kick the sender at the offset via a zero-delay timer
+                    // path: emit its initial window immediately.
+                    self.sched.schedule_in(offset, Event::TcpTimer { flow: id });
+                }
+                FlowKindState::Probe { .. } => {
+                    self.sched.schedule_in(offset, Event::ProbeTick { flow: id });
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::MacTimer { node, kind } => {
+                self.nodes[node.0 as usize].timers.remove(&kind);
+                let actions = self.nodes[node.0 as usize].dcf.on_timer(now, kind);
+                self.process_actions(now, node, actions);
+            }
+            Event::TxEnd { tx } => {
+                let entry = self.txs.get(&tx).expect("tx end without record").clone();
+                let node = entry.frame.actual_tx;
+                let actions = self.nodes[node.0 as usize].dcf.on_tx_end(now);
+                self.process_actions(now, node, actions);
+                self.prune_txs(now);
+            }
+            Event::BusyOnset { node } => {
+                let st = &mut self.nodes[node.0 as usize];
+                st.busy_count += 1;
+                if st.busy_count == 1 {
+                    let actions = st.dcf.on_channel_busy(now);
+                    self.process_actions(now, node, actions);
+                }
+            }
+            Event::BusyEnd { node } => {
+                let st = &mut self.nodes[node.0 as usize];
+                debug_assert!(st.busy_count > 0, "busy underflow");
+                st.busy_count = st.busy_count.saturating_sub(1);
+                if st.busy_count == 0 {
+                    let actions = st.dcf.on_channel_idle(now);
+                    self.process_actions(now, node, actions);
+                }
+            }
+            Event::RxConclude { node, tx } => {
+                self.conclude_reception(now, node, tx);
+            }
+            Event::CbrTick { flow } => {
+                let (seg, interval, src, dst) = {
+                    let f = &mut self.flows[flow.0 as usize];
+                    let FlowKindState::Udp { source, .. } = &mut f.kind else {
+                        return;
+                    };
+                    (source.next_datagram(), source.interval(), f.src, f.dst)
+                };
+                // ±1 % tick jitter: equal-rate CBR sources otherwise
+                // phase-lock against a shared tail-drop queue, starving
+                // whichever flow always arrives second (the mean rate is
+                // unchanged).
+                let jitter = 0.99 + 0.02 * self.rng.uniform_f64();
+                let next = SimDuration::from_nanos(
+                    (interval.as_nanos() as f64 * jitter) as u64,
+                );
+                self.sched.schedule_in(next, Event::CbrTick { flow });
+                self.enqueue_at(now, src, dst, seg);
+            }
+            Event::TcpTimer { flow } => {
+                self.flow_timers.remove(&flow.0);
+                let outputs = {
+                    let f = &mut self.flows[flow.0 as usize];
+                    let FlowKindState::Tcp { sender, .. } = &mut f.kind else {
+                        return;
+                    };
+                    if sender.flight_size() == 0 && sender.retransmissions == 0 {
+                        sender.start(now) // connection open
+                    } else {
+                        sender.on_timeout(now)
+                    }
+                };
+                self.process_tcp_outputs(now, flow, outputs);
+            }
+            Event::ProbeTick { flow } => {
+                let (seg, interval, src, dst) = {
+                    let f = &mut self.flows[flow.0 as usize];
+                    let FlowKindState::Probe {
+                        interval,
+                        payload,
+                        next_seq,
+                        stats,
+                    } = &mut f.kind
+                    else {
+                        return;
+                    };
+                    let seq = *next_seq;
+                    *next_seq += 1;
+                    stats.sent += 1;
+                    (
+                        Segment::ProbeReq {
+                            flow,
+                            seq,
+                            bytes: *payload + transport::packet::UDP_IP_OVERHEAD,
+                        },
+                        *interval,
+                        f.src,
+                        f.dst,
+                    )
+                };
+                self.sched.schedule_in(interval, Event::ProbeTick { flow });
+                self.enqueue_at(now, src, dst, seg);
+            }
+            Event::WireDeliver {
+                flow,
+                to_remote,
+                seg,
+            } => {
+                if to_remote {
+                    // A TCP ACK reached the remote sender across the wire.
+                    let Segment::TcpAck { ack, .. } = seg else {
+                        return;
+                    };
+                    let outputs = {
+                        let f = &mut self.flows[flow.0 as usize];
+                        let FlowKindState::Tcp { sender, .. } = &mut f.kind else {
+                            return;
+                        };
+                        sender.on_ack(now, ack)
+                    };
+                    self.process_tcp_outputs(now, flow, outputs);
+                } else {
+                    // A data segment reached the AP from the remote sender.
+                    let (src, dst) = {
+                        let f = &self.flows[flow.0 as usize];
+                        (f.src, f.dst)
+                    };
+                    self.enqueue_at(now, src, dst, seg);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MAC action processing
+    // ------------------------------------------------------------------
+
+    fn process_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<MacAction<Segment>>) {
+        for action in actions {
+            match action {
+                MacAction::StartTx(frame) => self.start_transmission(now, frame),
+                MacAction::SetTimer { kind, after } => {
+                    let id = self.sched.schedule_in(after, Event::MacTimer { node, kind });
+                    if let Some(old) = self.nodes[node.0 as usize].timers.insert(kind, id) {
+                        self.sched.cancel(old);
+                    }
+                }
+                MacAction::CancelTimer(kind) => {
+                    if let Some(old) = self.nodes[node.0 as usize].timers.remove(&kind) {
+                        self.sched.cancel(old);
+                    }
+                }
+                MacAction::Deliver { body, from } => {
+                    self.deliver_segment(now, node, body, from);
+                }
+                MacAction::TxSuccess { body, .. } => {
+                    // Record MAC-acknowledged TCP segments for the
+                    // cross-layer spoof detector.
+                    if let Segment::TcpData { flow, seq, .. } = body {
+                        self.flows[flow.0 as usize].cross.mac_acked.insert(seq);
+                    }
+                }
+                MacAction::Dropped { body, reason, .. } => {
+                    // Loss signals stay at the MAC (TCP discovers loss
+                    // end-to-end) with one exception: a probe request that
+                    // never reached the air (queue overflow at a saturated
+                    // interface) must not count as a *sent* probe, or the
+                    // fake-ACK detector would read congestion as channel
+                    // loss.
+                    if let (
+                        Segment::ProbeReq { flow, .. },
+                        mac::DropReason::QueueFull,
+                    ) = (&body, reason)
+                    {
+                        let f = &mut self.flows[flow.0 as usize];
+                        if let FlowKindState::Probe { stats, .. } = &mut f.kind {
+                            stats.sent = stats.sent.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_transmission(&mut self, now: SimTime, frame: Frame<Segment>) {
+        let src = frame.actual_tx;
+        let airtime = frame.airtime(&self.phy);
+        let end = now + airtime;
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceRecord {
+                at: now,
+                kind: TraceKind::TxStart,
+                node: src,
+                tx: src,
+                dst: frame.dst,
+                frame: frame.kind,
+                airtime,
+            });
+        }
+        let id = self.next_tx;
+        self.next_tx += 1;
+        self.txs.insert(
+            id,
+            ActiveTx {
+                frame,
+                start: now,
+                end,
+            },
+        );
+        {
+            let st = &mut self.nodes[src.0 as usize];
+            st.tx_history.push_back((now, end));
+            if st.tx_history.len() > 16 {
+                st.tx_history.pop_front();
+            }
+        }
+        self.sched.schedule(end, Event::TxEnd { tx: id });
+        let src_pos = self.nodes[src.0 as usize].pos;
+        let onset = (now + self.cs_latency).min(end);
+        for m in 0..self.nodes.len() {
+            if m == src.0 as usize {
+                continue;
+            }
+            let node = NodeId(m as u16);
+            let reach = self.channel.reach_between(src_pos, self.nodes[m].pos);
+            match reach {
+                Reach::None => {}
+                Reach::Sense => {
+                    self.sched.schedule(onset, Event::BusyOnset { node });
+                    self.sched.schedule(end, Event::BusyEnd { node });
+                }
+                Reach::Decode => {
+                    self.sched.schedule(onset, Event::BusyOnset { node });
+                    self.sched.schedule(end, Event::BusyEnd { node });
+                    self.sched.schedule(end, Event::RxConclude { node, tx: id });
+                }
+            }
+        }
+    }
+
+    fn conclude_reception(&mut self, now: SimTime, node: NodeId, tx: u64) {
+        let a = self.txs.get(&tx).expect("rx conclude without record").clone();
+        // Half-duplex: if we transmitted at any point during the frame, we
+        // heard nothing of it.
+        {
+            let st = &self.nodes[node.0 as usize];
+            if st
+                .tx_history
+                .iter()
+                .any(|&(s, e)| s < a.end && a.start < e)
+            {
+                return;
+            }
+        }
+        let my_pos = self.nodes[node.0 as usize].pos;
+        let power_of = |net: &Self, t: &ActiveTx| {
+            let p = net.nodes[t.frame.actual_tx.0 as usize].pos;
+            net.channel.rx_power_dbm(p.distance_to(my_pos))
+        };
+        let p_a = power_of(self, &a);
+        // Strongest overlapping interferer (anything decodable or sensed).
+        let mut max_other = f64::NEG_INFINITY;
+        for (id, b) in &self.txs {
+            if *id == tx || b.frame.actual_tx == node {
+                continue;
+            }
+            if b.start < a.end && a.start < b.end {
+                let b_pos = self.nodes[b.frame.actual_tx.0 as usize].pos;
+                if self.channel.reach_between(b_pos, my_pos) != Reach::None {
+                    max_other = max_other.max(power_of(self, b));
+                }
+            }
+        }
+        let dist = self.nodes[a.frame.actual_tx.0 as usize]
+            .pos
+            .distance_to(my_pos);
+        let rssi_dbm = self.channel.rssi().sample_dbm(dist, &mut self.rng);
+        let captured = max_other == f64::NEG_INFINITY
+            || self.capture.decide(p_a, max_other) == phy::capture::CaptureOutcome::FirstCaptures;
+        let event = if !captured {
+            RxEvent::Corrupted {
+                frame: a.frame.clone(),
+                rssi_dbm,
+                cause: CorruptionCause::Collision,
+            }
+        } else {
+            let tx = a.frame.actual_tx.0;
+            let em = a
+                .frame
+                .rate_bps
+                .and_then(|rate| self.rate_link_error.get(&(tx, node.0, rate)))
+                .or_else(|| self.link_error.get(&(tx, node.0)))
+                .copied()
+                .unwrap_or(self.default_error);
+            let bytes = a.frame.mac_bytes() + PLCP_EQUIVALENT_BYTES;
+            if em.corrupts(bytes, &mut self.rng) {
+                RxEvent::Corrupted {
+                    frame: a.frame.clone(),
+                    rssi_dbm,
+                    cause: CorruptionCause::Noise,
+                }
+            } else {
+                RxEvent::Ok {
+                    frame: a.frame.clone(),
+                    rssi_dbm,
+                }
+            }
+        };
+        if let Some(trace) = &mut self.trace {
+            let kind = match &event {
+                RxEvent::Ok { .. } => TraceKind::RxOk,
+                RxEvent::Corrupted {
+                    cause: CorruptionCause::Noise,
+                    ..
+                } => TraceKind::RxCorrupt,
+                RxEvent::Corrupted { .. } => TraceKind::RxCollision,
+            };
+            trace.push(TraceRecord {
+                at: now,
+                kind,
+                node,
+                tx: a.frame.actual_tx,
+                dst: a.frame.dst,
+                frame: a.frame.kind,
+                airtime: a.end.saturating_since(a.start),
+            });
+        }
+        let actions = self.nodes[node.0 as usize].dcf.on_rx_end(now, event);
+        self.process_actions(now, node, actions);
+    }
+
+    fn prune_txs(&mut self, now: SimTime) {
+        let horizon = SimDuration::from_millis(50);
+        self.txs.retain(|_, t| t.end + horizon > now);
+    }
+
+    // ------------------------------------------------------------------
+    // Transport plumbing
+    // ------------------------------------------------------------------
+
+    fn enqueue_at(&mut self, now: SimTime, at: NodeId, to: NodeId, seg: Segment) {
+        let actions = self.nodes[at.0 as usize].dcf.on_enqueue(now, to, seg);
+        self.process_actions(now, at, actions);
+    }
+
+    fn deliver_segment(&mut self, now: SimTime, at: NodeId, seg: Segment, _from: NodeId) {
+        match seg {
+            Segment::UdpData { flow, seq, bytes } => {
+                let f = &mut self.flows[flow.0 as usize];
+                if at == f.dst {
+                    if let FlowKindState::Udp { sink, .. } = &mut f.kind {
+                        sink.on_data(now, seq, bytes);
+                    }
+                }
+            }
+            Segment::TcpData { flow, seq, bytes } => {
+                let (ack, src) = {
+                    let f = &mut self.flows[flow.0 as usize];
+                    if at != f.dst {
+                        return;
+                    }
+                    let FlowKindState::Tcp { receiver, .. } = &mut f.kind else {
+                        return;
+                    };
+                    (receiver.on_data(seq, bytes), f.src)
+                };
+                self.enqueue_at(now, at, src, ack);
+            }
+            Segment::TcpAck { flow, ack, .. } => {
+                let f = &self.flows[flow.0 as usize];
+                if at != f.src {
+                    return;
+                }
+                match f.wire {
+                    Some(delay) => {
+                        self.sched.schedule_in(
+                            delay,
+                            Event::WireDeliver {
+                                flow,
+                                to_remote: true,
+                                seg: Segment::tcp_ack(flow, ack),
+                            },
+                        );
+                    }
+                    None => {
+                        let outputs = {
+                            let f = &mut self.flows[flow.0 as usize];
+                            let FlowKindState::Tcp { sender, .. } = &mut f.kind else {
+                                return;
+                            };
+                            sender.on_ack(now, ack)
+                        };
+                        self.process_tcp_outputs(now, flow, outputs);
+                    }
+                }
+            }
+            Segment::ProbeReq { flow, seq, bytes } => {
+                let (src,) = {
+                    let f = &self.flows[flow.0 as usize];
+                    if at != f.dst {
+                        return;
+                    }
+                    (f.src,)
+                };
+                self.enqueue_at(now, at, src, Segment::ProbeResp { flow, seq, bytes });
+            }
+            Segment::ProbeResp { flow, .. } => {
+                let f = &mut self.flows[flow.0 as usize];
+                if at == f.src {
+                    if let FlowKindState::Probe { stats, .. } = &mut f.kind {
+                        stats.echoed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn process_tcp_outputs(&mut self, now: SimTime, flow: FlowId, outputs: Vec<TcpOutput>) {
+        for out in outputs {
+            match out {
+                TcpOutput::Send(seg) => {
+                    if let Segment::TcpData { seq, .. } = seg {
+                        let cross = &mut self.flows[flow.0 as usize].cross;
+                        if cross.max_seq_sent.is_some_and(|m| seq <= m) {
+                            cross.retx_total += 1;
+                            if cross.mac_acked.contains(&seq) {
+                                cross.retx_of_acked += 1;
+                            }
+                        }
+                        cross.max_seq_sent =
+                            Some(cross.max_seq_sent.map_or(seq, |m| m.max(seq)));
+                    }
+                    let f = &self.flows[flow.0 as usize];
+                    match f.wire {
+                        Some(delay) => {
+                            self.sched.schedule_in(
+                                delay,
+                                Event::WireDeliver {
+                                    flow,
+                                    to_remote: false,
+                                    seg,
+                                },
+                            );
+                        }
+                        None => {
+                            let (src, dst) = (f.src, f.dst);
+                            self.enqueue_at(now, src, dst, seg);
+                        }
+                    }
+                }
+                TcpOutput::ArmTimer(after) => {
+                    let id = self.sched.schedule_in(after, Event::TcpTimer { flow });
+                    if let Some(old) = self.flow_timers.insert(flow.0, id) {
+                        self.sched.cancel(old);
+                    }
+                }
+                TcpOutput::CancelTimer => {
+                    if let Some(old) = self.flow_timers.remove(&flow.0) {
+                        self.sched.cancel(old);
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    fn collect_metrics(&mut self, duration: SimDuration) -> RunMetrics {
+        let end = SimTime::ZERO + duration;
+        let mut metrics = RunMetrics {
+            duration,
+            events_processed: self.sched.processed(),
+            ..RunMetrics::default()
+        };
+        for f in &self.flows {
+            let payload = f.payload;
+            let fm = match &f.kind {
+                FlowKindState::Udp { sink, .. } => FlowMetrics {
+                    distinct_packets: sink.distinct_datagrams,
+                    payload_bytes: sink.distinct_datagrams * payload as u64,
+                    duplicates: sink.duplicates,
+                    ..FlowMetrics::default()
+                },
+                FlowKindState::Tcp { sender, receiver } => FlowMetrics {
+                    distinct_packets: receiver.distinct_segments,
+                    payload_bytes: receiver.distinct_segments * payload as u64,
+                    duplicates: receiver.duplicates,
+                    avg_cwnd: sender.avg_cwnd(end),
+                    retransmissions: sender.retransmissions,
+                    timeouts: sender.timeouts,
+                    retx_of_mac_acked: f.cross.retx_of_acked,
+                    ..FlowMetrics::default()
+                },
+                FlowKindState::Probe { stats, .. } => FlowMetrics {
+                    distinct_packets: stats.echoed,
+                    payload_bytes: stats.echoed * payload as u64,
+                    probe_app_loss: Some(stats.app_loss()),
+                    ..FlowMetrics::default()
+                },
+            };
+            metrics.flows.insert(f.id.0, fm);
+        }
+        for (i, st) in self.nodes.iter().enumerate() {
+            metrics.nodes.insert(
+                i as u16,
+                NodeMetrics {
+                    counters: st.dcf.counters.clone(),
+                    avg_cw: st.dcf.counters.avg_cw_time_weighted(end),
+                },
+            );
+        }
+        metrics
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.nodes.len())
+            .field("flows", &self.flows.len())
+            .field("now", &self.sched.now())
+            .finish_non_exhaustive()
+    }
+}

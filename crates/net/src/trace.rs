@@ -1,0 +1,199 @@
+//! Frame-level event tracing (the ns-2 trace-file equivalent).
+//!
+//! When enabled, the runtime records every transmission start and every
+//! reception outcome. Traces serve three purposes:
+//!
+//! * debugging protocol behavior (what was on the air when);
+//! * computing medium-level statistics the MAC counters cannot see —
+//!   most importantly per-node airtime share and channel utilization;
+//! * offline detectors that reason about *timing*, like the
+//!   DOMINO-style backoff monitor in `greedy80211::detect` (the
+//!   sender-side baseline the paper's related work builds on).
+
+use mac::{FrameKind, NodeId};
+use sim::{SimDuration, SimTime};
+
+/// What happened on the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A station began transmitting.
+    TxStart,
+    /// A station correctly decoded a frame.
+    RxOk,
+    /// A station received a corrupted frame (noise).
+    RxCorrupt,
+    /// A station received collision garbage.
+    RxCollision,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRecord {
+    /// When it happened (transmission start / reception end).
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The station concerned (transmitter for `TxStart`, receiver
+    /// otherwise).
+    pub node: NodeId,
+    /// The frame's physical transmitter.
+    pub tx: NodeId,
+    /// The frame's destination.
+    pub dst: NodeId,
+    /// Frame kind.
+    pub frame: FrameKind,
+    /// Airtime of the frame.
+    pub airtime: SimDuration,
+}
+
+/// A bounded in-memory trace.
+#[derive(Debug, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    capacity: usize,
+    /// Records discarded after the capacity was reached.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            records: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record (public so offline analyses and tests can build
+    /// synthetic traces).
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All recorded events in time order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Total airtime transmitted by `node` (from `TxStart` records).
+    pub fn airtime_of(&self, node: NodeId) -> SimDuration {
+        self.records
+            .iter()
+            .filter(|r| r.kind == TraceKind::TxStart && r.node == node)
+            .map(|r| r.airtime)
+            .sum()
+    }
+
+    /// Fraction of `window` the medium carried any transmission
+    /// (an upper bound that ignores overlaps: overlapping airtime counts
+    /// twice, so values may exceed 1 under heavy collisions).
+    pub fn utilization(&self, window: SimDuration) -> f64 {
+        let total: SimDuration = self
+            .records
+            .iter()
+            .filter(|r| r.kind == TraceKind::TxStart)
+            .map(|r| r.airtime)
+            .sum();
+        if window.is_zero() {
+            0.0
+        } else {
+            total.as_secs_f64() / window.as_secs_f64()
+        }
+    }
+
+    /// Number of transmissions per frame kind by `node`.
+    pub fn tx_count(&self, node: NodeId, kind: FrameKind) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.kind == TraceKind::TxStart && r.node == node && r.frame == kind)
+            .count() as u64
+    }
+
+    /// Renders the trace as CSV (for offline analysis).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("time_us,kind,node,tx,dst,frame,airtime_us\n");
+        for r in &self.records {
+            let kind = match r.kind {
+                TraceKind::TxStart => "tx",
+                TraceKind::RxOk => "rx_ok",
+                TraceKind::RxCorrupt => "rx_corrupt",
+                TraceKind::RxCollision => "rx_collision",
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.at.as_micros(),
+                kind,
+                r.node.0,
+                r.tx.0,
+                r.dst.0,
+                r.frame,
+                r.airtime.as_micros()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at_us: u64, kind: TraceKind, node: u16, frame: FrameKind, air_us: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_micros(at_us),
+            kind,
+            node: NodeId(node),
+            tx: NodeId(node),
+            dst: NodeId(99),
+            frame,
+            airtime: SimDuration::from_micros(air_us),
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut t = Trace::new(2);
+        for i in 0..5 {
+            t.push(rec(i, TraceKind::TxStart, 0, FrameKind::Data, 100));
+        }
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.dropped, 3);
+    }
+
+    #[test]
+    fn airtime_and_utilization() {
+        let mut t = Trace::new(100);
+        t.push(rec(0, TraceKind::TxStart, 0, FrameKind::Data, 1_000));
+        t.push(rec(2_000, TraceKind::TxStart, 1, FrameKind::Data, 3_000));
+        t.push(rec(2_000, TraceKind::RxOk, 2, FrameKind::Data, 3_000));
+        assert_eq!(t.airtime_of(NodeId(0)), SimDuration::from_millis(1));
+        assert_eq!(t.airtime_of(NodeId(1)), SimDuration::from_millis(3));
+        let u = t.utilization(SimDuration::from_millis(10));
+        assert!((u - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tx_counts_by_kind() {
+        let mut t = Trace::new(100);
+        t.push(rec(0, TraceKind::TxStart, 0, FrameKind::Rts, 352));
+        t.push(rec(1, TraceKind::TxStart, 0, FrameKind::Data, 957));
+        t.push(rec(2, TraceKind::TxStart, 0, FrameKind::Rts, 352));
+        assert_eq!(t.tx_count(NodeId(0), FrameKind::Rts), 2);
+        assert_eq!(t.tx_count(NodeId(0), FrameKind::Data), 1);
+        assert_eq!(t.tx_count(NodeId(1), FrameKind::Rts), 0);
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = Trace::new(10);
+        t.push(rec(5, TraceKind::TxStart, 3, FrameKind::Cts, 304));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("time_us,kind,node,tx,dst,frame,airtime_us\n"));
+        assert!(csv.contains("5,tx,3,3,99,CTS,304"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Frame transmission durations.
+//!
+//! * DSSS (802.11b): `PLCP overhead + bytes·8 / rate`, no symbol rounding.
+//! * OFDM (802.11a): `PLCP overhead + 4 µs · ⌈(16 + 6 + bytes·8) / N_DBPS⌉`
+//!   — 16 SERVICE bits and 6 tail bits share the symbol stream with the
+//!   payload, per 802.11a-1999 §17.4.3.
+
+use sim::SimDuration;
+
+use crate::params::PhyParams;
+
+/// Airtime of a `bytes`-long MAC frame at the PHY's **data** rate.
+///
+/// # Examples
+///
+/// ```
+/// use gr_phy::{tx_duration, PhyParams};
+///
+/// // 1024-byte payload frame at 11 Mb/s: 192 µs PLCP + 8192 bits / 11 Mb/s.
+/// let d = tx_duration(&PhyParams::dot11b(), 1024);
+/// assert_eq!(d.as_micros(), 192 + 744); // 744.7 µs truncated
+/// ```
+pub fn tx_duration(params: &PhyParams, bytes: usize) -> SimDuration {
+    tx_duration_at(params, bytes, params.data_rate_bps)
+}
+
+/// Airtime of a `bytes`-long MAC frame at the PHY's **basic** rate
+/// (control frames: RTS, CTS, ACK).
+pub fn tx_duration_basic(params: &PhyParams, bytes: usize) -> SimDuration {
+    tx_duration_at(params, bytes, params.basic_rate_bps)
+}
+
+/// Airtime at an explicit rate in bits per second.
+///
+/// For OFDM PHYs the payload duration rounds up to whole symbols; the rate
+/// is mapped to bits-per-symbol via the 4 µs symbol time.
+///
+/// # Panics
+///
+/// Panics if `rate_bps` is zero.
+pub fn tx_duration_at(params: &PhyParams, bytes: usize, rate_bps: u64) -> SimDuration {
+    assert!(rate_bps > 0, "PHY rate must be positive");
+    let bits = bytes as u64 * 8;
+    if params.symbol.is_zero() {
+        // DSSS: bits stream at the nominal rate; exact division in u128.
+        let payload_ns = ((bits as u128 * 1_000_000_000) / rate_bps as u128) as u64;
+        params.plcp_overhead + SimDuration::from_nanos(payload_ns)
+    } else {
+        // OFDM: 16 SERVICE + 6 tail bits, then round up to whole symbols.
+        let bits_per_symbol =
+            (rate_bps as u128 * params.symbol.as_nanos() as u128 / 1_000_000_000) as u64;
+        let bits_per_symbol = bits_per_symbol.max(1);
+        let n_sym = (16 + 6 + bits).div_ceil(bits_per_symbol);
+        params.plcp_overhead + params.symbol * n_sym
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::PhyParams;
+
+    #[test]
+    fn dsss_data_frame() {
+        let p = PhyParams::dot11b();
+        // 1024 bytes at 11 Mb/s = 8192 bits / 11e6 = 744.727 µs + 192 PLCP.
+        let d = tx_duration(&p, 1024);
+        assert_eq!(d.as_nanos(), 192_000 + 8192 * 1_000_000_000 / 11_000_000);
+    }
+
+    #[test]
+    fn dsss_control_frame_at_basic_rate() {
+        let p = PhyParams::dot11b();
+        // 14-byte ACK at 1 Mb/s = 112 µs + 192 µs PLCP = 304 µs.
+        let d = tx_duration_basic(&p, 14);
+        assert_eq!(d.as_micros(), 304);
+    }
+
+    #[test]
+    fn ofdm_symbol_rounding() {
+        let p = PhyParams::dot11a();
+        // 1024 bytes at 6 Mb/s: (16+6+8192) = 8214 bits / 24 = 342.25 → 343
+        // symbols → 1372 µs + 20 µs PLCP.
+        let d = tx_duration(&p, 1024);
+        assert_eq!(d.as_micros(), 20 + 343 * 4);
+    }
+
+    #[test]
+    fn ofdm_ack() {
+        let p = PhyParams::dot11a();
+        // 14-byte ACK: (16+6+112)=134 bits / 24 = 5.58 → 6 symbols = 24 µs
+        // + 20 µs PLCP = 44 µs.
+        let d = tx_duration_basic(&p, 14);
+        assert_eq!(d.as_micros(), 44);
+    }
+
+    #[test]
+    fn airtime_monotone_in_length() {
+        for p in [PhyParams::dot11b(), PhyParams::dot11a()] {
+            let mut last = SimDuration::ZERO;
+            for bytes in [0, 1, 14, 20, 100, 500, 1024, 1500, 2304] {
+                let d = tx_duration(&p, bytes);
+                assert!(d >= last, "airtime not monotone for {}", p.standard);
+                last = d;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_frame_is_plcp_only_for_dsss() {
+        let p = PhyParams::dot11b();
+        assert_eq!(tx_duration(&p, 0), p.plcp_overhead);
+    }
+
+    #[test]
+    #[should_panic(expected = "PHY rate must be positive")]
+    fn zero_rate_panics() {
+        let p = PhyParams::dot11b();
+        let _ = tx_duration_at(&p, 10, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! The capture effect.
+//!
+//! When two frames overlap at a receiver, the stronger one is demodulated
+//! correctly if its received power exceeds the other's by at least the
+//! capture threshold; otherwise both are lost (a collision). ns-2 models
+//! this with `CPThresh_ = 10` (10 dB), which we adopt as the default.
+//!
+//! Capture is central to the paper's ACK-spoofing analysis: when both the
+//! genuine receiver and the greedy receiver transmit a MAC ACK, capture at
+//! the sender decides which ACK is heard (§IV-B), and the detector's
+//! recovery rule ("ignore ACKs the true receiver would have captured")
+//! inverts the same relation (§VII-B).
+
+/// Outcome of two overlapping receptions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureOutcome {
+    /// The first frame is received; the second is lost.
+    FirstCaptures,
+    /// The second frame is received; the first is lost.
+    SecondCaptures,
+    /// Neither dominates: both frames are corrupted.
+    Collision,
+}
+
+/// Capture decision rule parameterized by a power-ratio threshold in dB.
+///
+/// # Examples
+///
+/// ```
+/// use gr_phy::CaptureModel;
+/// use gr_phy::capture::CaptureOutcome;
+///
+/// let cap = CaptureModel::default(); // 10 dB
+/// assert_eq!(cap.decide(-40.0, -55.0), CaptureOutcome::FirstCaptures);
+/// assert_eq!(cap.decide(-55.0, -40.0), CaptureOutcome::SecondCaptures);
+/// assert_eq!(cap.decide(-45.0, -40.0), CaptureOutcome::Collision);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureModel {
+    /// Minimum power advantage, in dB, for the stronger frame to survive.
+    pub threshold_db: f64,
+}
+
+impl Default for CaptureModel {
+    /// ns-2's `CPThresh_` default of 10 dB.
+    fn default() -> Self {
+        CaptureModel { threshold_db: 10.0 }
+    }
+}
+
+impl CaptureModel {
+    /// Creates a model with an explicit threshold in dB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold_db` is negative.
+    pub fn new(threshold_db: f64) -> Self {
+        assert!(threshold_db >= 0.0, "capture threshold must be non-negative");
+        CaptureModel { threshold_db }
+    }
+
+    /// Decides the fate of two overlapping frames with received powers
+    /// `first_dbm` and `second_dbm`.
+    pub fn decide(&self, first_dbm: f64, second_dbm: f64) -> CaptureOutcome {
+        let diff = first_dbm - second_dbm;
+        if diff >= self.threshold_db {
+            CaptureOutcome::FirstCaptures
+        } else if -diff >= self.threshold_db {
+            CaptureOutcome::SecondCaptures
+        } else {
+            CaptureOutcome::Collision
+        }
+    }
+
+    /// Reduces a set of overlapping received powers to the surviving frame
+    /// index, if any: the strongest frame survives iff it beats the sum of
+    /// the rest... — conservatively, iff it beats the *second strongest* by
+    /// the threshold (pairwise rule, matching ns-2's behaviour).
+    pub fn survivor(&self, powers_dbm: &[f64]) -> Option<usize> {
+        match powers_dbm.len() {
+            0 => None,
+            1 => Some(0),
+            _ => {
+                let mut best = 0;
+                for (i, &p) in powers_dbm.iter().enumerate() {
+                    if p > powers_dbm[best] {
+                        best = i;
+                    }
+                }
+                let second = powers_dbm
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != best)
+                    .map(|(_, &p)| p)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                (powers_dbm[best] - second >= self.threshold_db).then_some(best)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_inclusive() {
+        let cap = CaptureModel::new(10.0);
+        assert_eq!(cap.decide(-40.0, -50.0), CaptureOutcome::FirstCaptures);
+        assert_eq!(cap.decide(-40.0, -49.9), CaptureOutcome::Collision);
+    }
+
+    #[test]
+    fn symmetric() {
+        let cap = CaptureModel::default();
+        assert_eq!(cap.decide(-30.0, -50.0), CaptureOutcome::FirstCaptures);
+        assert_eq!(cap.decide(-50.0, -30.0), CaptureOutcome::SecondCaptures);
+    }
+
+    #[test]
+    fn zero_threshold_always_captures_on_any_difference() {
+        let cap = CaptureModel::new(0.0);
+        assert_eq!(cap.decide(-40.0, -40.0), CaptureOutcome::FirstCaptures);
+    }
+
+    #[test]
+    fn survivor_of_many() {
+        let cap = CaptureModel::default();
+        assert_eq!(cap.survivor(&[]), None);
+        assert_eq!(cap.survivor(&[-40.0]), Some(0));
+        assert_eq!(cap.survivor(&[-40.0, -60.0, -70.0]), Some(0));
+        assert_eq!(cap.survivor(&[-40.0, -45.0, -70.0]), None);
+        assert_eq!(cap.survivor(&[-60.0, -40.0, -55.0]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_panics() {
+        let _ = CaptureModel::new(-1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Per-standard PHY timing parameters and rates.
+//!
+//! The paper evaluates 802.11b at 11 Mb/s and 802.11a at 6 Mb/s with fixed
+//! rates (no rate adaptation). Timing constants follow IEEE 802.11-1999 and
+//! 802.11a-1999; they match the ns-2 defaults the paper used.
+
+use sim::SimDuration;
+
+/// Which 802.11 PHY is in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhyStandard {
+    /// 802.11b DSSS, 11 Mb/s data rate, 1 Mb/s basic (control) rate,
+    /// long PLCP preamble.
+    Dot11b,
+    /// 802.11a OFDM, 6 Mb/s data and control rate.
+    Dot11a,
+}
+
+impl std::fmt::Display for PhyStandard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhyStandard::Dot11b => write!(f, "802.11b"),
+            PhyStandard::Dot11a => write!(f, "802.11a"),
+        }
+    }
+}
+
+/// Timing and rate parameters of one 802.11 PHY configuration.
+///
+/// Construct via [`PhyParams::dot11b`], [`PhyParams::dot11a`] or
+/// [`PhyParams::for_standard`]. All durations are exact per the standard.
+///
+/// # Examples
+///
+/// ```
+/// use gr_phy::PhyParams;
+///
+/// let b = PhyParams::dot11b();
+/// assert_eq!(b.slot.as_micros(), 20);
+/// assert_eq!(b.difs.as_micros(), 50);
+/// assert_eq!(b.cw_min, 31);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhyParams {
+    /// Which standard these parameters describe.
+    pub standard: PhyStandard,
+    /// Slot time (aSlotTime).
+    pub slot: SimDuration,
+    /// Short inter-frame space.
+    pub sifs: SimDuration,
+    /// DCF inter-frame space = SIFS + 2·slot.
+    pub difs: SimDuration,
+    /// Minimum contention window (aCWmin), in slots; backoff is uniform on
+    /// `[0, cw]`.
+    pub cw_min: u32,
+    /// Maximum contention window (aCWmax), in slots.
+    pub cw_max: u32,
+    /// Data rate in bits per second (payload-bearing frames).
+    pub data_rate_bps: u64,
+    /// Basic rate in bits per second (RTS/CTS/ACK control frames).
+    pub basic_rate_bps: u64,
+    /// PLCP preamble + header airtime prepended to every frame.
+    /// For 802.11a this is preamble (16 µs) + SIGNAL (4 µs); payload bits
+    /// additionally round up to 4 µs OFDM symbols (see [`crate::airtime`]).
+    pub plcp_overhead: SimDuration,
+    /// OFDM data bits per symbol at the data rate (0 for DSSS, where bits
+    /// stream at the nominal rate without symbol rounding).
+    pub bits_per_symbol: u32,
+    /// OFDM symbol duration (zero for DSSS).
+    pub symbol: SimDuration,
+}
+
+impl PhyParams {
+    /// 802.11b DSSS at 11 Mb/s (long preamble), the paper's default.
+    pub const fn dot11b() -> Self {
+        PhyParams {
+            standard: PhyStandard::Dot11b,
+            slot: SimDuration::from_micros(20),
+            sifs: SimDuration::from_micros(10),
+            difs: SimDuration::from_micros(50),
+            cw_min: 31,
+            cw_max: 1023,
+            data_rate_bps: 11_000_000,
+            basic_rate_bps: 1_000_000,
+            // Long PLCP preamble (144 µs) + PLCP header (48 µs) at 1 Mb/s.
+            plcp_overhead: SimDuration::from_micros(192),
+            bits_per_symbol: 0,
+            symbol: SimDuration::ZERO,
+        }
+    }
+
+    /// 802.11a OFDM at 6 Mb/s, used by the paper for comparison and for the
+    /// testbed experiments.
+    pub const fn dot11a() -> Self {
+        PhyParams {
+            standard: PhyStandard::Dot11a,
+            slot: SimDuration::from_micros(9),
+            sifs: SimDuration::from_micros(16),
+            difs: SimDuration::from_micros(34),
+            cw_min: 15,
+            cw_max: 1023,
+            data_rate_bps: 6_000_000,
+            basic_rate_bps: 6_000_000,
+            // 16 µs preamble + 4 µs SIGNAL field.
+            plcp_overhead: SimDuration::from_micros(20),
+            // 6 Mb/s OFDM: 24 data bits per 4 µs symbol.
+            bits_per_symbol: 24,
+            symbol: SimDuration::from_micros(4),
+        }
+    }
+
+    /// Parameters for a given [`PhyStandard`].
+    pub const fn for_standard(standard: PhyStandard) -> Self {
+        match standard {
+            PhyStandard::Dot11b => Self::dot11b(),
+            PhyStandard::Dot11a => Self::dot11a(),
+        }
+    }
+
+    /// Extended inter-frame space used after receiving a corrupted frame:
+    /// `EIFS = SIFS + DIFS + ACK airtime at the basic rate`.
+    pub fn eifs(&self, ack_bytes: usize) -> SimDuration {
+        self.sifs + self.difs + crate::airtime::tx_duration_at(self, ack_bytes, self.basic_rate_bps)
+    }
+
+    /// How long a transmitter waits for a CTS or ACK before concluding the
+    /// exchange failed: SIFS + slot + the response's airtime at the basic
+    /// rate, plus one slot of margin (ns-2 uses a comparable timeout).
+    pub fn response_timeout(&self, response_bytes: usize) -> SimDuration {
+        self.sifs
+            + self.slot
+            + crate::airtime::tx_duration_at(self, response_bytes, self.basic_rate_bps)
+            + self.slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot11b_constants() {
+        let p = PhyParams::dot11b();
+        assert_eq!(p.slot.as_micros(), 20);
+        assert_eq!(p.sifs.as_micros(), 10);
+        assert_eq!(p.difs.as_micros(), 50);
+        assert_eq!(p.difs, p.sifs + p.slot * 2);
+        assert_eq!(p.cw_min, 31);
+        assert_eq!(p.cw_max, 1023);
+        assert_eq!(p.data_rate_bps, 11_000_000);
+        assert_eq!(p.plcp_overhead.as_micros(), 192);
+    }
+
+    #[test]
+    fn dot11a_constants() {
+        let p = PhyParams::dot11a();
+        assert_eq!(p.slot.as_micros(), 9);
+        assert_eq!(p.sifs.as_micros(), 16);
+        assert_eq!(p.difs.as_micros(), 34);
+        assert_eq!(p.difs, p.sifs + p.slot * 2);
+        assert_eq!(p.cw_min, 15);
+        assert_eq!(p.bits_per_symbol, 24);
+    }
+
+    #[test]
+    fn for_standard_matches_constructors() {
+        assert_eq!(PhyParams::for_standard(PhyStandard::Dot11b), PhyParams::dot11b());
+        assert_eq!(PhyParams::for_standard(PhyStandard::Dot11a), PhyParams::dot11a());
+    }
+
+    #[test]
+    fn eifs_exceeds_difs() {
+        for p in [PhyParams::dot11b(), PhyParams::dot11a()] {
+            assert!(p.eifs(14) > p.difs, "EIFS must exceed DIFS for {}", p.standard);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PhyStandard::Dot11b.to_string(), "802.11b");
+        assert_eq!(PhyStandard::Dot11a.to_string(), "802.11a");
+    }
+}

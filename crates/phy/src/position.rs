@@ -1,0 +1,63 @@
+//! Node placement on a 2-D plane, in meters.
+
+use std::fmt;
+
+/// A point in the plane, in meters.
+///
+/// # Examples
+///
+/// ```
+/// use gr_phy::Position;
+/// let a = Position::new(0.0, 0.0);
+/// let b = Position::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// The origin.
+    pub const ORIGIN: Position = Position { x: 0.0, y: 0.0 };
+
+    /// Creates a position at `(x, y)` meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance_to(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})m", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_to_self() {
+        let a = Position::new(1.0, 2.0);
+        let b = Position::new(-3.0, 5.0);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+
+    #[test]
+    fn origin_and_display() {
+        assert_eq!(Position::ORIGIN, Position::new(0.0, 0.0));
+        assert_eq!(Position::new(1.25, 3.0).to_string(), "(1.2, 3.0)m");
+    }
+}

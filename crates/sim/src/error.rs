@@ -1,0 +1,58 @@
+//! Error types shared across the simulator crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when building or running a simulation with invalid
+/// configuration.
+///
+/// # Examples
+///
+/// ```
+/// use gr_sim::SimError;
+/// let e = SimError::invalid_config("bit error rate must be in [0, 1]");
+/// assert_eq!(e.to_string(), "invalid configuration: bit error rate must be in [0, 1]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A configuration parameter was out of range or inconsistent.
+    InvalidConfig(String),
+    /// A referenced entity (node, flow, link) does not exist.
+    UnknownEntity(String),
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        SimError::InvalidConfig(msg.into())
+    }
+
+    /// Convenience constructor for [`SimError::UnknownEntity`].
+    pub fn unknown_entity(msg: impl Into<String>) -> Self {
+        SimError::UnknownEntity(msg.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            SimError::UnknownEntity(m) => write!(f, "unknown entity: {m}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_error_trait() {
+        let e = SimError::unknown_entity("node 7");
+        assert_eq!(e.to_string(), "unknown entity: node 7");
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.source().is_none());
+    }
+}

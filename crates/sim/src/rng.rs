@@ -1,0 +1,258 @@
+//! Deterministic random-number generation.
+//!
+//! All randomness in a simulation run derives from one user seed. Components
+//! obtain independent substreams with [`SimRng::fork`], so adding a new
+//! consumer of randomness in one module does not perturb the sequence seen
+//! by another (a classic source of accidental non-reproducibility).
+//!
+//! Internally this is `xoshiro256**` seeded via SplitMix64 — implemented
+//! here (≈30 lines) rather than depending on a specific external algorithm
+//! so that the exact stream is pinned by this crate forever.
+
+/// Deterministic RNG with convenience samplers used across the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use gr_sim::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// let mut sub = a.fork(7); // independent substream
+/// let _slot = sub.uniform_u32_inclusive(31); // backoff in [0, 31]
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { state }
+    }
+
+    /// Derives an independent substream labelled by `stream`.
+    ///
+    /// Forking with distinct labels from the same parent yields streams that
+    /// do not overlap in practice (they are seeded from a hash of the parent
+    /// state and the label).
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        // Mix a fresh draw with the label so sibling forks differ even for
+        // label collisions at different times.
+        let base = self.next_u64() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::new(base)
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound]` (inclusive). Used for 802.11 backoff
+    /// slot selection over `[0, CW]`.
+    pub fn uniform_u32_inclusive(&mut self, bound: u32) -> u32 {
+        if bound == u32::MAX {
+            return self.next_u64() as u32;
+        }
+        // Lemire's unbiased multiply-shift over n = bound + 1 values.
+        let n = bound as u64 + 1;
+        let threshold = (1u64 << 32) % n;
+        loop {
+            let x = self.next_u64() >> 32; // 32 fresh random bits
+            let m = x * n;
+            if (m & 0xFFFF_FFFF) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Uniform integer in `[0, bound)` (exclusive). `bound` must be > 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn uniform_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "uniform_usize bound must be positive");
+        (self.uniform_f64() * bound as f64) as usize % bound
+    }
+
+    /// Bernoulli trial: returns true with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.uniform_f64() < p
+        }
+    }
+
+    /// Sample from a zero-mean normal distribution with standard deviation
+    /// `sigma` (Box–Muller). Used for RSSI shadowing jitter.
+    pub fn normal(&mut self, sigma: f64) -> f64 {
+        let u1 = loop {
+            let u = self.uniform_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.uniform_f64();
+        sigma * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Sample an exponential random variable with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.uniform_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(123);
+        let mut b = SimRng::new(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let mut parent1 = SimRng::new(9);
+        let mut parent2 = SimRng::new(9);
+        let mut f1 = parent1.fork(5);
+        let mut f2 = parent2.fork(5);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        // Distinct labels give distinct streams.
+        let mut parent3 = SimRng::new(9);
+        let mut f3 = parent3.fork(6);
+        assert_ne!(f1.next_u64(), f3.next_u64());
+    }
+
+    #[test]
+    fn uniform_f64_in_unit_interval() {
+        let mut r = SimRng::new(77);
+        for _ in 0..10_000 {
+            let x = r.uniform_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_bounds_respected() {
+        let mut r = SimRng::new(3);
+        let mut saw_zero = false;
+        let mut saw_max = false;
+        for _ in 0..20_000 {
+            let x = r.uniform_u32_inclusive(31);
+            assert!(x <= 31);
+            saw_zero |= x == 0;
+            saw_max |= x == 31;
+        }
+        assert!(saw_zero && saw_max, "both endpoints should be reachable");
+    }
+
+    #[test]
+    fn uniform_inclusive_roughly_uniform() {
+        let mut r = SimRng::new(4);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[r.uniform_u32_inclusive(7) as usize] += 1;
+        }
+        let expected = n as f64 / 8.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "bucket count {c} deviates from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_frequency_close_to_p() {
+        let mut r = SimRng::new(6);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.chance(0.3)).count();
+        let freq = hits as f64 / n as f64;
+        assert!((freq - 0.3).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SimRng::new(8);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean={mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = SimRng::new(10);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean={mean}");
+    }
+}

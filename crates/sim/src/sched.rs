@@ -1,0 +1,190 @@
+//! Cancellable scheduler: the event queue plus a simulation clock.
+//!
+//! Cancellation is lazy: [`Scheduler::cancel`] records the [`EventId`] in a
+//! set, and [`Scheduler::next`] silently discards cancelled entries when
+//! they surface. This keeps scheduling O(log n) without intrusive handles.
+
+use std::collections::HashSet;
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// The simulation clock plus pending events of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use gr_sim::{Scheduler, SimDuration};
+///
+/// let mut s: Scheduler<u32> = Scheduler::new();
+/// let id = s.schedule_in(SimDuration::from_micros(10), 1);
+/// s.schedule_in(SimDuration::from_micros(20), 2);
+/// s.cancel(id);
+/// assert_eq!(s.next(), Some((gr_sim::SimTime::from_micros(20), 2)));
+/// assert_eq!(s.next(), None);
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    cancelled: HashSet<EventId>,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates a scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            cancelled: HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last event returned by
+    /// [`next`](Self::next), or zero before any event ran).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending (possibly cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is before the current time — events
+    /// may not be scheduled in the past.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        self.queue.push(at.max(self.now), event)
+    }
+
+    /// Schedules `event` after delay `d` from now.
+    pub fn schedule_in(&mut self, d: SimDuration, event: E) -> EventId {
+        let at = self.now + d;
+        self.queue.push(at, event)
+    }
+
+    /// Marks a previously scheduled event as cancelled. Cancelling an event
+    /// that already fired (or an unknown id) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id);
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    /// Returns `None` when the queue is exhausted.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: &mut self with internal clock
+    pub fn next(&mut self) -> Option<(SimTime, E)> {
+        while let Some((t, id, ev)) = self.queue.pop() {
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            debug_assert!(t >= self.now, "event queue time went backwards");
+            self.now = t;
+            self.processed += 1;
+            return Some((t, ev));
+        }
+        None
+    }
+
+    /// Pops the next live event only if it occurs at or before `horizon`.
+    /// The clock never advances past `horizon` through this method.
+    pub fn next_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= horizon => {
+                    let (t, id, ev) = self.queue.pop().expect("peeked entry must exist");
+                    if self.cancelled.remove(&id) {
+                        continue;
+                    }
+                    self.now = t;
+                    self.processed += 1;
+                    return Some((t, ev));
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule(SimTime::from_micros(4), ());
+        s.schedule(SimTime::from_micros(9), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.next();
+        assert_eq!(s.now(), SimTime::from_micros(4));
+        s.next();
+        assert_eq!(s.now(), SimTime::from_micros(9));
+        assert_eq!(s.processed(), 2);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule(SimTime::from_micros(1), 1);
+        s.schedule(SimTime::from_micros(2), 2);
+        let c = s.schedule(SimTime::from_micros(3), 3);
+        s.cancel(a);
+        s.cancel(c);
+        assert_eq!(s.next(), Some((SimTime::from_micros(2), 2)));
+        assert_eq!(s.next(), None);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let a = s.schedule(SimTime::from_micros(1), 1);
+        assert!(s.next().is_some());
+        s.cancel(a); // already fired
+        s.schedule(SimTime::from_micros(2), 2);
+        assert_eq!(s.next(), Some((SimTime::from_micros(2), 2)));
+    }
+
+    #[test]
+    fn next_until_respects_horizon() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::from_micros(5), 1);
+        s.schedule(SimTime::from_micros(15), 2);
+        assert_eq!(
+            s.next_until(SimTime::from_micros(10)),
+            Some((SimTime::from_micros(5), 1))
+        );
+        assert_eq!(s.next_until(SimTime::from_micros(10)), None);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(
+            s.next_until(SimTime::from_micros(20)),
+            Some((SimTime::from_micros(15), 2))
+        );
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule(SimTime::from_micros(10), 0);
+        s.next();
+        s.schedule_in(SimDuration::from_micros(5), 1);
+        assert_eq!(s.next(), Some((SimTime::from_micros(15), 1)));
+    }
+}

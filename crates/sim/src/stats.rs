@@ -1,0 +1,330 @@
+//! Statistics primitives used by the MAC counters, metrics collection and
+//! the experiment harness.
+
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use gr_sim::Counter;
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running arithmetic mean (Welford update, numerically stable).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Mean {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Mean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Mean::default()
+    }
+
+    /// Incorporates one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The mean, or `None` before any observation.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Population variance, or `None` before any observation.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+/// Time-weighted mean of a piecewise-constant signal — e.g. the average
+/// contention window over a run, where the CW holds its value between
+/// updates.
+///
+/// Feed it `(time, new_value)` transitions; it weights each value by how
+/// long it was held.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeightedMean {
+    last_time: SimTime,
+    last_value: f64,
+    weighted_sum: f64,
+    total: SimDuration,
+    started: bool,
+}
+
+impl Default for TimeWeightedMean {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TimeWeightedMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        TimeWeightedMean {
+            last_time: SimTime::ZERO,
+            last_value: 0.0,
+            weighted_sum: 0.0,
+            total: SimDuration::ZERO,
+            started: false,
+        }
+    }
+
+    /// Records that the signal changed to `value` at time `t`. The previous
+    /// value is credited for the interval since the previous transition.
+    pub fn set(&mut self, t: SimTime, value: f64) {
+        if self.started {
+            let dt = t.saturating_since(self.last_time);
+            self.weighted_sum += self.last_value * dt.as_secs_f64();
+            self.total += dt;
+        }
+        self.started = true;
+        self.last_time = t;
+        self.last_value = value;
+    }
+
+    /// Closes the signal at time `t` and returns the time-weighted mean, or
+    /// `None` if no interval was observed.
+    pub fn finish(mut self, t: SimTime) -> Option<f64> {
+        if self.started {
+            let dt = t.saturating_since(self.last_time);
+            self.weighted_sum += self.last_value * dt.as_secs_f64();
+            self.total += dt;
+        }
+        let secs = self.total.as_secs_f64();
+        (secs > 0.0).then(|| self.weighted_sum / secs)
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi)` with saturating under/overflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `nbins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nbins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / (self.hi - self.lo) * self.bins.len() as f64) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Bin counts within the range (excludes under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Under- and overflow counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Fraction of observations at or below `x` (empirical CDF, counting
+    /// whole bins whose upper edge is ≤ x plus any underflow).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut acc = self.underflow;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            let upper = self.lo + width * (i as f64 + 1.0);
+            if upper <= x {
+                acc += b;
+            }
+        }
+        if x >= self.hi {
+            acc += self.overflow;
+        }
+        acc as f64 / self.count as f64
+    }
+}
+
+/// Returns the median of a slice (average of the two central elements for
+/// even lengths), or `None` if empty. The input need not be sorted.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("median over NaN"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or `None` if empty.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("quantile over NaN"));
+    let idx = ((q.clamp(0.0, 1.0)) * (v.len() - 1) as f64).round() as usize;
+    Some(v[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let mut m = Mean::new();
+        assert_eq!(m.mean(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 8);
+        assert!((m.mean().unwrap() - 5.0).abs() < 1e-12);
+        assert!((m.std_dev().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut t = TimeWeightedMean::new();
+        t.set(SimTime::from_secs(0), 10.0); // 10 for 1s
+        t.set(SimTime::from_secs(1), 20.0); // 20 for 3s
+        let mean = t.finish(SimTime::from_secs(4)).unwrap();
+        assert!((mean - 17.5).abs() < 1e-9, "mean={mean}");
+    }
+
+    #[test]
+    fn time_weighted_mean_empty_is_none() {
+        let t = TimeWeightedMean::new();
+        assert_eq!(t.finish(SimTime::from_secs(1)), None);
+        // A single set with zero elapsed time also yields None.
+        let mut t = TimeWeightedMean::new();
+        t.set(SimTime::from_secs(1), 5.0);
+        assert_eq!(t.finish(SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    fn histogram_binning_and_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9, -1.0, 10.0, 25.0] {
+            h.push(x);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.outliers(), (1, 2));
+        // CDF at 2.0: underflow(1) + bin0(1) + bin1(2) = 4/7
+        assert!((h.cdf_at(2.0) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((h.cdf_at(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_and_quantile() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(median(&[3.0, 1.0]), Some(2.0));
+        assert_eq!(median(&[5.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.0), Some(1.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 1.0), Some(5.0));
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.5), Some(3.0));
+    }
+}

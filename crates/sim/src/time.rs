@@ -1,0 +1,355 @@
+//! Virtual time for the simulator.
+//!
+//! Time is kept in integer nanoseconds since the start of the run. The
+//! 802.11 standard specifies all protocol timing in microseconds, which
+//! nanosecond resolution represents exactly, while leaving headroom for
+//! sub-microsecond quantities (e.g. per-byte airtime at 11 Mb/s is
+//! 727.27 ns; we round per-frame, not per-byte, so rounding error stays
+//! below one microsecond per frame).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant of virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is an absolute point on the simulation clock; use
+/// [`SimDuration`] for spans. The two interact in the usual way:
+///
+/// ```
+/// use gr_sim::{SimTime, SimDuration};
+/// let t = SimTime::ZERO + SimDuration::from_micros(50);
+/// assert_eq!(t.as_micros(), 50);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The beginning of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant (used as an "infinitely far" sentinel).
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates an instant `micros` microseconds after simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates an instant `millis` milliseconds after simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates an instant `secs` seconds after simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Whole milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of `self` and `other`.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of `self` and `other`.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a duration of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a duration of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a duration of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a duration from a float number of seconds, rounding to the
+    /// nearest nanosecond. Negative or non-finite inputs yield zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_finite() && secs > 0.0 {
+            SimDuration((secs * 1e9).round() as u64)
+        } else {
+            SimDuration(0)
+        }
+    }
+
+    /// Length in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Length in whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Length in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Length in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    pub fn checked_mul(self, factor: u64) -> Option<SimDuration> {
+        self.0.checked_mul(factor).map(SimDuration)
+    }
+
+    /// The larger of `self` and `other`.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// The smaller of `self` and `other`.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self >= rhs, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow.
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self >= rhs, "SimDuration subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(SimTime::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimTime::from_secs(3).as_millis(), 3_000);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_micros(100);
+        let d = SimDuration::from_micros(30);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_since_future_is_zero() {
+        let early = SimTime::from_micros(10);
+        let late = SimTime::from_micros(20);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn duration_from_secs_f64() {
+        assert_eq!(
+            SimDuration::from_secs_f64(0.000_001),
+            SimDuration::from_micros(1)
+        );
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let slot = SimDuration::from_micros(20);
+        assert_eq!(slot * 31, SimDuration::from_micros(620));
+        assert_eq!(SimDuration::from_micros(620) / 31, slot);
+        let total: SimDuration = (0..5).map(|_| slot).sum();
+        assert_eq!(total, SimDuration::from_micros(100));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimDuration::from_micros(1);
+        let b = SimDuration::from_micros(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        let ta = SimTime::from_micros(1);
+        let tb = SimTime::from_micros(2);
+        assert_eq!(ta.max(tb), tb);
+        assert_eq!(ta.min(tb), ta);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.000us");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+        assert_eq!(SimTime::from_secs(1).to_string(), "1.000000s");
+    }
+
+    #[test]
+    fn add_saturates_at_max() {
+        let t = SimTime::MAX + SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+}

@@ -1,0 +1,24 @@
+//! Transport protocols for the greedy80211 simulator.
+//!
+//! * [`tcp`] — a TCP Reno sender/receiver pair (packet-granular, ns-2
+//!   style) with slow start, congestion avoidance, fast retransmit/fast
+//!   recovery and RTO handling. TCP matters to the paper twice over: TCP
+//!   ACKs are MAC *data* frames a greedy receiver can inflate NAVs on, and
+//!   TCP congestion control is what ACK spoofing weaponizes.
+//! * [`udp`] — constant-bit-rate sources and duplicate-filtering sinks,
+//!   plus probe bookkeeping for the fake-ACK detector.
+//! * [`packet`] — the [`Segment`] type that rides inside 802.11 data
+//!   frames, implementing [`mac::Msdu`].
+//! * [`rto`] — RFC 6298-style retransmission-timeout estimation.
+
+
+#![warn(missing_docs)]
+pub mod packet;
+pub mod rto;
+pub mod tcp;
+pub mod udp;
+
+pub use packet::{FlowId, Segment};
+pub use rto::RtoEstimator;
+pub use tcp::{TcpConfig, TcpOutput, TcpReceiver, TcpSender};
+pub use udp::{CbrSource, ProbeStats, UdpSink};

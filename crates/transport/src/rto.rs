@@ -1,0 +1,155 @@
+//! Retransmission-timeout estimation (RFC 6298 style).
+
+use sim::SimDuration;
+
+/// Smoothed RTT estimator producing the retransmission timeout.
+///
+/// `SRTT`/`RTTVAR` follow RFC 6298 with the usual gains (α = 1/8,
+/// β = 1/4); the RTO is clamped to `[min_rto, max_rto]` and doubles on
+/// each consecutive timeout (Karn's backoff), resetting when a fresh
+/// sample arrives.
+///
+/// # Examples
+///
+/// ```
+/// use gr_transport::rto::RtoEstimator;
+/// use sim::SimDuration;
+///
+/// let mut r = RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(60));
+/// r.sample(SimDuration::from_millis(10));
+/// assert!(r.rto() >= SimDuration::from_millis(200)); // floor applies
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+    backoff_exp: u32,
+}
+
+impl RtoEstimator {
+    /// Creates an estimator with the given RTO clamp.
+    pub fn new(min_rto: SimDuration, max_rto: SimDuration) -> Self {
+        RtoEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto,
+            max_rto,
+            backoff_exp: 0,
+        }
+    }
+
+    /// Incorporates an RTT sample (first sample initializes per RFC 6298)
+    /// and clears any timeout backoff.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_secs_f64();
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        self.backoff_exp = 0;
+    }
+
+    /// Doubles the effective RTO after a retransmission timeout.
+    pub fn back_off(&mut self) {
+        self.backoff_exp = (self.backoff_exp + 1).min(16);
+    }
+
+    /// Current smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// The retransmission timeout to arm now.
+    pub fn rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            None => SimDuration::from_secs(1), // RFC 6298 initial RTO
+            Some(srtt) => SimDuration::from_secs_f64(srtt + (4.0 * self.rttvar).max(0.01)),
+        };
+        let base = base.max(self.min_rto);
+        let backed = base
+            .checked_mul(1u64 << self.backoff_exp.min(16))
+            .unwrap_or(self.max_rto);
+        backed.min(self.max_rto)
+    }
+}
+
+impl Default for RtoEstimator {
+    /// 200 ms floor, 60 s ceiling — the values used throughout the
+    /// experiments.
+    fn default() -> Self {
+        RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(60))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let r = RtoEstimator::default();
+        assert_eq!(r.rto(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn floor_applies_to_small_rtts() {
+        let mut r = RtoEstimator::default();
+        for _ in 0..50 {
+            r.sample(SimDuration::from_millis(2));
+        }
+        assert_eq!(r.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn large_rtts_raise_rto() {
+        let mut r = RtoEstimator::default();
+        for _ in 0..50 {
+            r.sample(SimDuration::from_millis(400));
+        }
+        assert!(r.rto() >= SimDuration::from_millis(400));
+        assert!(r.rto() < SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn backoff_doubles_and_sample_resets() {
+        let mut r = RtoEstimator::default();
+        for _ in 0..10 {
+            r.sample(SimDuration::from_millis(100));
+        }
+        let base = r.rto();
+        r.back_off();
+        assert_eq!(r.rto(), base * 2);
+        r.back_off();
+        assert_eq!(r.rto(), base * 4);
+        r.sample(SimDuration::from_millis(100));
+        assert!(r.rto() <= base + SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn rto_capped_at_max() {
+        let mut r = RtoEstimator::new(SimDuration::from_millis(200), SimDuration::from_secs(5));
+        for _ in 0..20 {
+            r.back_off();
+        }
+        assert_eq!(r.rto(), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn srtt_tracks_samples() {
+        let mut r = RtoEstimator::default();
+        assert!(r.srtt().is_none());
+        for _ in 0..100 {
+            r.sample(SimDuration::from_millis(50));
+        }
+        let srtt = r.srtt().unwrap();
+        assert!((srtt.as_secs_f64() - 0.05).abs() < 0.005);
+    }
+}

@@ -1,0 +1,549 @@
+//! TCP NewReno sender and receiver (packet-granular, ns-2 style).
+//!
+//! The sender implements slow start, congestion avoidance, fast
+//! retransmit on three duplicate ACKs, NewReno fast recovery (partial
+//! ACKs retransmit the next hole without leaving recovery, so a burst of
+//! drops costs one RTT per drop instead of a retransmission timeout) and
+//! RTO-based recovery with Karn's rule and exponential backoff. The
+//! receiver delivers in order, buffers out-of-order segments, and emits
+//! an immediate cumulative ACK for every data segment (no delayed ACKs,
+//! matching the paper's ns-2 setup).
+//!
+//! Sequence numbers count *segments*, not bytes. The flow is assumed
+//! infinite (always more data to send), as in the paper's long-lived FTP
+//! transfers.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sim::{SimDuration, SimTime, TimeWeightedMean};
+
+use crate::packet::{FlowId, Segment};
+use crate::rto::RtoEstimator;
+
+/// Configuration of a TCP connection.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Payload bytes per data segment (the paper's 1024).
+    pub mss: usize,
+    /// Receiver-advertised window cap, in segments.
+    pub max_window: f64,
+    /// Initial slow-start threshold, in segments.
+    pub initial_ssthresh: f64,
+    /// Floor of the retransmission timeout.
+    pub min_rto: SimDuration,
+    /// Ceiling of the retransmission timeout.
+    pub max_rto: SimDuration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        // The window cap equals the MAC interface-queue capacity (50) so a
+        // single flow cannot overflow its own queue — matching the paper's
+        // setup, where Table II's congestion windows plateau just below 50.
+        TcpConfig {
+            mss: 1024,
+            max_window: 50.0,
+            initial_ssthresh: 50.0,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Outputs a TCP endpoint hands to the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TcpOutput {
+    /// Transmit this segment toward the peer.
+    Send(Segment),
+    /// (Re)arm the retransmission timer after this delay, replacing any
+    /// previously armed timer.
+    ArmTimer(SimDuration),
+    /// Cancel the retransmission timer (no data outstanding).
+    CancelTimer,
+}
+
+/// TCP Reno sender with an infinite backlog.
+///
+/// # Examples
+///
+/// ```
+/// use gr_transport::tcp::{TcpSender, TcpConfig, TcpOutput};
+/// use sim::SimTime;
+///
+/// let mut s = TcpSender::new(gr_transport::FlowId(0), TcpConfig::default());
+/// let out = s.start(SimTime::ZERO);
+/// // Initial window: one segment plus the armed timer.
+/// assert!(matches!(out[0], TcpOutput::Send(_)));
+/// ```
+#[derive(Debug)]
+pub struct TcpSender {
+    flow: FlowId,
+    cfg: TcpConfig,
+    next_seq: u64,
+    snd_una: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    in_recovery: bool,
+    /// Highest sequence outstanding when fast recovery began; recovery
+    /// ends only once everything up to here is acknowledged (NewReno).
+    recover: u64,
+    rto: RtoEstimator,
+    send_times: HashMap<u64, SimTime>,
+    timer_armed: bool,
+    /// Retransmissions performed (fast + timeout), for the cross-layer
+    /// spoof detector and experiment reporting.
+    pub retransmissions: u64,
+    /// Timeout events.
+    pub timeouts: u64,
+    cwnd_timeline: TimeWeightedMean,
+}
+
+impl TcpSender {
+    /// Creates a sender for `flow`.
+    pub fn new(flow: FlowId, cfg: TcpConfig) -> Self {
+        let mut cwnd_timeline = TimeWeightedMean::new();
+        cwnd_timeline.set(SimTime::ZERO, 1.0);
+        TcpSender {
+            flow,
+            next_seq: 0,
+            snd_una: 0,
+            cwnd: 1.0,
+            ssthresh: cfg.initial_ssthresh,
+            dupacks: 0,
+            in_recovery: false,
+            recover: 0,
+            rto: RtoEstimator::new(cfg.min_rto, cfg.max_rto),
+            send_times: HashMap::new(),
+            timer_armed: false,
+            retransmissions: 0,
+            timeouts: 0,
+            cwnd_timeline,
+            cfg,
+        }
+    }
+
+    /// The flow identifier.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Current congestion window in segments.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in segments.
+    pub fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    /// Segments in flight.
+    pub fn flight_size(&self) -> u64 {
+        self.next_seq - self.snd_una
+    }
+
+    /// Time-weighted average congestion window over `[0, end]`
+    /// (paper Table II).
+    pub fn avg_cwnd(&self, end: SimTime) -> Option<f64> {
+        self.cwnd_timeline.finish(end)
+    }
+
+    fn effective_window(&self) -> u64 {
+        self.cwnd.min(self.cfg.max_window).floor().max(1.0) as u64
+    }
+
+    fn record_cwnd(&mut self, now: SimTime) {
+        self.cwnd_timeline.set(now, self.cwnd.min(self.cfg.max_window));
+    }
+
+    fn fill_window(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
+        while self.next_seq < self.snd_una + self.effective_window() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.send_times.insert(seq, now);
+            out.push(TcpOutput::Send(Segment::tcp_data(
+                self.flow,
+                seq,
+                self.cfg.mss,
+            )));
+        }
+    }
+
+    fn manage_timer(&mut self, out: &mut Vec<TcpOutput>) {
+        if self.snd_una < self.next_seq {
+            out.push(TcpOutput::ArmTimer(self.rto.rto()));
+            self.timer_armed = true;
+        } else if self.timer_armed {
+            out.push(TcpOutput::CancelTimer);
+            self.timer_armed = false;
+        }
+    }
+
+    /// Opens the connection: sends the initial window.
+    pub fn start(&mut self, now: SimTime) -> Vec<TcpOutput> {
+        let mut out = Vec::new();
+        self.fill_window(now, &mut out);
+        self.manage_timer(&mut out);
+        out
+    }
+
+    /// Handles a cumulative ACK (`ack` = peer's next expected sequence).
+    pub fn on_ack(&mut self, now: SimTime, ack: u64) -> Vec<TcpOutput> {
+        let mut out = Vec::new();
+        if ack > self.next_seq {
+            // Corrupt/duplicate future ACK; ignore defensively.
+            return out;
+        }
+        if ack > self.snd_una {
+            // New data acknowledged.
+            if let Some(sent_at) = self.send_times.remove(&(ack - 1)) {
+                self.rto.sample(now.saturating_since(sent_at));
+            }
+            for seq in self.snd_una..ack {
+                self.send_times.remove(&seq);
+            }
+            let newly_acked = (ack - self.snd_una) as f64;
+            self.snd_una = ack;
+            self.dupacks = 0;
+            if self.in_recovery {
+                if ack > self.recover {
+                    // Full ACK: leave fast recovery.
+                    self.in_recovery = false;
+                    self.cwnd = self.ssthresh;
+                } else {
+                    // NewReno partial ACK: the next hole is lost too —
+                    // retransmit it immediately, deflate the window by
+                    // the amount acknowledged, stay in recovery.
+                    self.retransmissions += 1;
+                    self.send_times.remove(&ack); // Karn
+                    self.cwnd = (self.cwnd - newly_acked + 1.0).max(1.0);
+                    out.push(TcpOutput::Send(Segment::tcp_data(
+                        self.flow,
+                        ack,
+                        self.cfg.mss,
+                    )));
+                }
+            } else if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0; // slow start
+            } else {
+                self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+            }
+            self.record_cwnd(now);
+            self.fill_window(now, &mut out);
+            self.manage_timer(&mut out);
+        } else if ack == self.snd_una && self.flight_size() > 0 {
+            // Duplicate ACK.
+            self.dupacks += 1;
+            if self.in_recovery {
+                // Window inflation keeps the pipe full.
+                self.cwnd += 1.0;
+                self.record_cwnd(now);
+                self.fill_window(now, &mut out);
+            } else if self.dupacks == 3 {
+                // Fast retransmit + fast recovery.
+                self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
+                self.cwnd = self.ssthresh + 3.0;
+                self.in_recovery = true;
+                self.recover = self.next_seq.saturating_sub(1);
+                self.retransmissions += 1;
+                self.send_times.remove(&self.snd_una); // Karn
+                self.record_cwnd(now);
+                out.push(TcpOutput::Send(Segment::tcp_data(
+                    self.flow,
+                    self.snd_una,
+                    self.cfg.mss,
+                )));
+                out.push(TcpOutput::ArmTimer(self.rto.rto()));
+                self.timer_armed = true;
+            }
+        }
+        out
+    }
+
+    /// Handles a retransmission-timer expiry.
+    pub fn on_timeout(&mut self, now: SimTime) -> Vec<TcpOutput> {
+        let mut out = Vec::new();
+        if self.snd_una >= self.next_seq {
+            return out; // nothing outstanding; stale timer
+        }
+        self.timeouts += 1;
+        self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        self.dupacks = 0;
+        self.in_recovery = false;
+        self.recover = self.next_seq.saturating_sub(1);
+        self.rto.back_off();
+        self.retransmissions += 1;
+        self.send_times.remove(&self.snd_una); // Karn
+        self.record_cwnd(now);
+        out.push(TcpOutput::Send(Segment::tcp_data(
+            self.flow,
+            self.snd_una,
+            self.cfg.mss,
+        )));
+        out.push(TcpOutput::ArmTimer(self.rto.rto()));
+        self.timer_armed = true;
+        out
+    }
+}
+
+/// TCP receiver: in-order delivery with out-of-order buffering and an
+/// immediate cumulative ACK per data segment.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    flow: FlowId,
+    expected: u64,
+    buffer: BTreeSet<u64>,
+    /// Distinct data segments received (first copies) — the paper's
+    /// goodput numerator.
+    pub distinct_segments: u64,
+    /// Bytes of those segments (wire bytes).
+    pub distinct_bytes: u64,
+    /// Duplicate data segments received.
+    pub duplicates: u64,
+}
+
+impl TcpReceiver {
+    /// Creates a receiver for `flow`.
+    pub fn new(flow: FlowId) -> Self {
+        TcpReceiver {
+            flow,
+            expected: 0,
+            buffer: BTreeSet::new(),
+            distinct_segments: 0,
+            distinct_bytes: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// The flow identifier.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Next expected sequence number.
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Processes an arriving data segment, returning the ACK to send.
+    pub fn on_data(&mut self, seq: u64, wire_bytes: usize) -> Segment {
+        let is_new = seq >= self.expected && !self.buffer.contains(&seq);
+        if is_new {
+            self.distinct_segments += 1;
+            self.distinct_bytes += wire_bytes as u64;
+            if seq == self.expected {
+                self.expected += 1;
+                while self.buffer.remove(&self.expected) {
+                    self.expected += 1;
+                }
+            } else {
+                self.buffer.insert(seq);
+            }
+        } else {
+            self.duplicates += 1;
+        }
+        Segment::tcp_ack(self.flow, self.expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sends(out: &[TcpOutput]) -> Vec<u64> {
+        out.iter()
+            .filter_map(|o| match o {
+                TcpOutput::Send(Segment::TcpData { seq, .. }) => Some(*seq),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn start_sends_initial_window_of_one() {
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        let out = s.start(SimTime::ZERO);
+        assert_eq!(sends(&out), vec![0]);
+        assert!(out.iter().any(|o| matches!(o, TcpOutput::ArmTimer(_))));
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        // ACK seq 0 → cwnd 2, sends 2 more.
+        let out = s.on_ack(SimTime::from_millis(10), 1);
+        assert_eq!(sends(&out), vec![1, 2]);
+        assert_eq!(s.cwnd(), 2.0);
+        let out = s.on_ack(SimTime::from_millis(20), 2);
+        assert_eq!(sends(&out), vec![3, 4]);
+        assert_eq!(s.cwnd(), 3.0);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_slowly() {
+        let cfg = TcpConfig {
+            initial_ssthresh: 2.0,
+            ..TcpConfig::default()
+        };
+        let mut s = TcpSender::new(FlowId(0), cfg);
+        s.start(SimTime::ZERO);
+        s.on_ack(SimTime::from_millis(10), 1); // cwnd 2 = ssthresh
+        let cwnd_before = s.cwnd();
+        s.on_ack(SimTime::from_millis(20), 2);
+        assert!((s.cwnd() - (cwnd_before + 1.0 / cwnd_before)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_retransmit_on_three_dupacks() {
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        // Grow the window a bit.
+        for i in 1..=6 {
+            s.on_ack(SimTime::from_millis(i * 10), i);
+        }
+        let flight = s.flight_size();
+        assert!(flight >= 4, "need enough in flight, got {flight}");
+        // Three dup ACKs for seq 6.
+        s.on_ack(SimTime::from_millis(100), 6);
+        s.on_ack(SimTime::from_millis(101), 6);
+        let out = s.on_ack(SimTime::from_millis(102), 6);
+        assert_eq!(sends(&out), vec![6], "fast retransmit of snd_una");
+        assert_eq!(s.retransmissions, 1);
+        assert!((s.ssthresh() - (flight as f64 / 2.0).max(2.0)).abs() < 1e-9);
+        // Full ACK (covering everything outstanding at entry) exits
+        // recovery with cwnd = ssthresh.
+        let full = s.recover + 1;
+        s.on_ack(SimTime::from_millis(110), full);
+        assert!(!s.in_recovery);
+        assert!((s.cwnd() - s.ssthresh()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn newreno_partial_ack_retransmits_next_hole() {
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        for i in 1..=6 {
+            s.on_ack(SimTime::from_millis(i * 10), i);
+        }
+        // Two holes: 6 and 8 lost. Dup ACKs for 6 trigger recovery.
+        s.on_ack(SimTime::from_millis(100), 6);
+        s.on_ack(SimTime::from_millis(101), 6);
+        let out = s.on_ack(SimTime::from_millis(102), 6);
+        assert_eq!(sends(&out), vec![6]);
+        let recover = s.recover;
+        // Partial ACK up to 8 (6..7 repaired, 8 still missing):
+        // NewReno retransmits 8 immediately, stays in recovery.
+        let out = s.on_ack(SimTime::from_millis(110), 8);
+        assert!(sends(&out).contains(&8), "next hole must be retransmitted");
+        assert!(s.in_recovery);
+        assert_eq!(s.retransmissions, 2);
+        // Full ACK ends recovery.
+        s.on_ack(SimTime::from_millis(120), recover + 1);
+        assert!(!s.in_recovery);
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        for i in 1..=6 {
+            s.on_ack(SimTime::from_millis(i * 10), i);
+        }
+        let out = s.on_timeout(SimTime::from_secs(2));
+        assert_eq!(sends(&out), vec![6]);
+        assert_eq!(s.cwnd(), 1.0);
+        assert_eq!(s.timeouts, 1);
+        // A second timeout doubles the RTO (backoff) — the re-armed timer
+        // must be at least as long.
+        let rto1 = match out.last() {
+            Some(TcpOutput::ArmTimer(d)) => *d,
+            _ => panic!("timer must be re-armed"),
+        };
+        let out2 = s.on_timeout(SimTime::from_secs(4));
+        let rto2 = match out2.last() {
+            Some(TcpOutput::ArmTimer(d)) => *d,
+            _ => panic!("timer must be re-armed"),
+        };
+        assert!(rto2 >= rto1 * 2 - SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn stale_timeout_with_nothing_outstanding_is_ignored() {
+        // Before `start` nothing is in flight; a stray timer is a no-op.
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        assert_eq!(s.flight_size(), 0);
+        assert!(s.on_timeout(SimTime::from_secs(1)).is_empty());
+        assert_eq!(s.timeouts, 0);
+    }
+
+    #[test]
+    fn infinite_backlog_keeps_pipe_full() {
+        // With an infinite source, acking everything immediately refills
+        // the window, so flight never drains to zero after start.
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        s.on_ack(SimTime::from_millis(5), 1);
+        let next = s.next_seq;
+        s.on_ack(SimTime::from_millis(6), next);
+        assert!(s.flight_size() > 0);
+    }
+
+    #[test]
+    fn window_respects_receiver_cap() {
+        let cfg = TcpConfig {
+            max_window: 4.0,
+            ..TcpConfig::default()
+        };
+        let mut s = TcpSender::new(FlowId(0), cfg);
+        s.start(SimTime::ZERO);
+        for i in 1..=20 {
+            s.on_ack(SimTime::from_millis(i * 10), i);
+        }
+        assert!(s.flight_size() <= 4);
+    }
+
+    #[test]
+    fn receiver_acks_cumulatively_and_buffers_ooo() {
+        let mut r = TcpReceiver::new(FlowId(0));
+        assert_eq!(r.on_data(0, 1078), Segment::tcp_ack(FlowId(0), 1));
+        // Gap: 2 arrives before 1 → dup ack 1, buffered.
+        assert_eq!(r.on_data(2, 1078), Segment::tcp_ack(FlowId(0), 1));
+        // 1 fills the hole → ack jumps to 3.
+        assert_eq!(r.on_data(1, 1078), Segment::tcp_ack(FlowId(0), 3));
+        assert_eq!(r.distinct_segments, 3);
+        assert_eq!(r.duplicates, 0);
+    }
+
+    #[test]
+    fn receiver_counts_duplicates_once() {
+        let mut r = TcpReceiver::new(FlowId(0));
+        r.on_data(0, 1078);
+        r.on_data(0, 1078);
+        assert_eq!(r.distinct_segments, 1);
+        assert_eq!(r.duplicates, 1);
+        // Old (already delivered) segment is also a duplicate.
+        r.on_data(5, 1078);
+        r.on_data(5, 1078);
+        assert_eq!(r.duplicates, 2);
+    }
+
+    #[test]
+    fn avg_cwnd_is_time_weighted() {
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        s.on_ack(SimTime::from_secs(1), 1); // cwnd 1 for 1 s, then 2
+        let avg = s.avg_cwnd(SimTime::from_secs(2)).unwrap();
+        assert!((avg - 1.5).abs() < 1e-9, "avg={avg}");
+    }
+
+    #[test]
+    fn future_ack_ignored() {
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        assert!(s.on_ack(SimTime::from_millis(1), 999).is_empty());
+        assert_eq!(s.snd_una, 0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the `greedy80211` reproduction.
+//!
+//! Re-exports the public API of every workspace crate so the runnable
+//! examples (`examples/`) and cross-crate integration tests (`tests/`)
+//! have a single import root. The substance lives in:
+//!
+//! * [`greedy80211`] — misbehaviors, GRC detection, scenarios, models;
+//! * [`net`] — the simulation runtime;
+//! * [`mac`] / [`phy`] / [`transport`] / [`sim`] — the substrates.
+
+pub use greedy80211::*;
+pub use {greedy80211 as core, mac, net, phy, sim, transport};

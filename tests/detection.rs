@@ -1,0 +1,225 @@
+//! Cross-crate integration tests of the GRC countermeasures (paper
+//! §VII–VIII): detection fires on misbehavior, stays quiet on honest
+//! traffic, and mitigation restores fairness.
+
+use greedy80211_repro::{
+    CrossLayerDetector, FakeAckDetector, GreedyConfig, NavInflationConfig, Scenario,
+    TransportKind,
+};
+use sim::SimDuration;
+
+fn quick(mut s: Scenario) -> Scenario {
+    s.duration = SimDuration::from_secs(5);
+    s
+}
+
+#[test]
+fn grc_restores_fairness_under_nav_inflation() {
+    // Paper Fig. 23 (in-range region): with GRC the victim recovers.
+    let mut s = quick(Scenario::two_pair_udp(GreedyConfig::nav_inflation(
+        NavInflationConfig::cts_only(31_000, 1.0),
+    )));
+    let attacked = s.run().unwrap();
+    assert!(attacked.goodput_mbps(0) < 0.05, "attack must work first");
+    s.grc = Some(true);
+    let guarded = s.run().unwrap();
+    assert!(
+        guarded.goodput_mbps(0) > 1.0,
+        "victim must recover with GRC: {}",
+        guarded.goodput_mbps(0)
+    );
+    assert!(
+        guarded.nav_detections() > 100,
+        "detections must accumulate: {}",
+        guarded.nav_detections()
+    );
+}
+
+#[test]
+fn grc_detects_inflated_ack_and_data_frames_too() {
+    let mut s = quick(Scenario::two_pair_tcp(GreedyConfig::nav_inflation(
+        NavInflationConfig {
+            inflate_us: 10_000,
+            gp: 1.0,
+            frames: greedy80211_repro::InflatedFrames::ALL,
+        },
+    )));
+    s.grc = Some(true);
+    let out = s.run().unwrap();
+    assert!(out.nav_detections() > 50);
+    // The greedy node is the one fingered.
+    let greedy_id = out.receivers[1].0;
+    for (_, handles) in &out.grc_reports {
+        for (&src, _) in handles.nav.borrow().detections.iter() {
+            assert_eq!(src, greedy_id, "only the greedy node may be flagged");
+        }
+    }
+}
+
+#[test]
+fn nav_guard_is_silent_on_honest_traffic() {
+    let mut s = quick(Scenario::default());
+    s.grc = Some(true);
+    let out = s.run().unwrap();
+    assert_eq!(
+        out.nav_detections(),
+        0,
+        "no false NAV detections on honest runs"
+    );
+}
+
+#[test]
+fn detection_only_mode_observes_without_recovering() {
+    let mut s = quick(Scenario::two_pair_udp(GreedyConfig::nav_inflation(
+        NavInflationConfig::cts_only(31_000, 1.0),
+    )));
+    s.grc = Some(false); // detect, do not mitigate
+    let out = s.run().unwrap();
+    assert!(out.nav_detections() > 0, "must still detect");
+    assert!(
+        out.goodput_mbps(0) < 0.05,
+        "without mitigation the victim still starves"
+    );
+}
+
+#[test]
+fn grc_restores_fairness_under_ack_spoofing() {
+    // Paper Fig. 24 at moderate BER.
+    let mut s = quick(Scenario::default());
+    s.byte_error_rate = 2e-4;
+    let base = s.run().unwrap();
+    s.greedy = vec![(
+        1,
+        GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0),
+    )];
+    let attacked = s.run().unwrap();
+    s.grc = Some(true);
+    let guarded = s.run().unwrap();
+    assert!(
+        attacked.goodput_mbps(0) < base.goodput_mbps(0) * 0.3,
+        "attack must bite first"
+    );
+    assert!(
+        guarded.goodput_mbps(0) > attacked.goodput_mbps(0) * 3.0,
+        "GRC must recover the victim: {} -> {}",
+        attacked.goodput_mbps(0),
+        guarded.goodput_mbps(0)
+    );
+    assert!(guarded.spoof_flags() > 20, "spoofed ACKs must be flagged");
+}
+
+#[test]
+fn spoof_guard_is_quiet_on_honest_lossy_traffic() {
+    let mut s = quick(Scenario::default());
+    s.byte_error_rate = 2e-4;
+    s.grc = Some(true);
+    let out = s.run().unwrap();
+    let flags = out.spoof_flags();
+    // Jitter occasionally exceeds 1 dB; the false-flag rate must stay
+    // tiny relative to the thousands of vetted ACKs.
+    let accepted: u64 = out
+        .grc_reports
+        .iter()
+        .map(|(_, h)| h.spoof.borrow().accepted)
+        .sum();
+    assert!(accepted > 1_000, "plenty of ACKs vetted: {accepted}");
+    assert!(
+        (flags as f64) < accepted as f64 * 0.08,
+        "false-positive rate too high: {flags} flags vs {accepted} accepted"
+    );
+}
+
+#[test]
+fn fake_ack_detector_separates_faker_from_honest() {
+    let p = 1.0 - (1.0f64 - 0.5).powf(1.0 / 1104.0);
+    let mut s = quick(Scenario {
+        transport: TransportKind::SATURATING_UDP,
+        rts: false,
+        byte_error_rate: p,
+        probes: true,
+        ..Scenario::default()
+    });
+    // Honest run: MAC loss is visible, app loss near MAC prediction.
+    let honest = s.run().unwrap();
+    let det = FakeAckDetector::default();
+    let honest_mac =
+        FakeAckDetector::mac_loss_from_counters(&honest.metrics.node(honest.senders[1]).unwrap().counters);
+    let honest_app = honest
+        .metrics
+        .flow(honest.probe_flows[1])
+        .unwrap()
+        .probe_app_loss
+        .unwrap();
+    assert!(
+        !det.is_greedy_round_trip(honest_mac, honest_app),
+        "honest receiver flagged: mac={honest_mac} app={honest_app}"
+    );
+    // Faking run: MAC loss hidden, app loss revealed by probes.
+    s.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
+    let faked = s.run().unwrap();
+    let faked_mac =
+        FakeAckDetector::mac_loss_from_counters(&faked.metrics.node(faked.senders[1]).unwrap().counters);
+    let faked_app = faked
+        .metrics
+        .flow(faked.probe_flows[1])
+        .unwrap()
+        .probe_app_loss
+        .unwrap();
+    assert!(
+        det.is_greedy_round_trip(faked_mac, faked_app),
+        "faker must be flagged: mac={faked_mac} app={faked_app}"
+    );
+    assert!(faked_mac < honest_mac, "fake ACKs must hide MAC loss");
+}
+
+#[test]
+fn cross_layer_detector_flags_spoofed_flow() {
+    let det = CrossLayerDetector::default();
+    let mut s = quick(Scenario::default());
+    s.byte_error_rate = 2e-4;
+    let base = s.run().unwrap();
+    // Honest: TCP retransmissions exist (MAC drops) but rarely concern
+    // MAC-acked segments.
+    let fm = base.metrics.flow(base.flows[0]).unwrap();
+    assert!(
+        !det.is_spoofed(fm.retx_of_mac_acked, fm.retransmissions),
+        "honest flow flagged: {}/{}",
+        fm.retx_of_mac_acked,
+        fm.retransmissions
+    );
+    // Attacked: the victim's retransmissions concern MAC-acked segments.
+    s.greedy = vec![(
+        1,
+        GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0),
+    )];
+    let attacked = s.run().unwrap();
+    let fm = attacked.metrics.flow(attacked.flows[0]).unwrap();
+    assert!(
+        det.is_spoofed(fm.retx_of_mac_acked, fm.retransmissions),
+        "spoofed flow must be flagged: {}/{}",
+        fm.retx_of_mac_acked,
+        fm.retransmissions
+    );
+}
+
+#[test]
+fn grc_under_tcp_nav_inflation_recovers_cwnd() {
+    // The victim's congestion window collapse (Table II) reverses once
+    // GRC clamps the inflated NAVs.
+    let mut s = quick(Scenario::two_pair_tcp(GreedyConfig::nav_inflation(
+        NavInflationConfig::cts_only(31_000, 1.0),
+    )));
+    let attacked = s.run().unwrap();
+    s.grc = Some(true);
+    let guarded = s.run().unwrap();
+    let cwnd = |out: &greedy80211_repro::ScenarioOutcome| {
+        out.metrics.flow(out.flows[0]).unwrap().avg_cwnd.unwrap()
+    };
+    assert!(cwnd(&attacked) < 5.0, "attack collapses victim cwnd");
+    assert!(
+        cwnd(&guarded) > cwnd(&attacked) * 3.0,
+        "GRC revives victim cwnd: {} -> {}",
+        cwnd(&attacked),
+        cwnd(&guarded)
+    );
+}

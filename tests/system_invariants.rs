@@ -1,0 +1,189 @@
+//! System-level invariants checked across the full stack, including
+//! property-based sweeps over random scenario configurations.
+
+use greedy80211_repro::{
+    GreedyConfig, NavInflationConfig, Scenario, TransportKind,
+};
+use proptest::prelude::*;
+use sim::SimDuration;
+
+#[test]
+fn whole_system_determinism() {
+    // Same seed → byte-identical metrics across independent builds of a
+    // scenario mixing every subsystem: greedy policy, GRC, loss, TCP.
+    let run = || {
+        let mut s = Scenario::two_pair_tcp(GreedyConfig::nav_inflation(
+            NavInflationConfig::cts_only(5_000, 0.7),
+        ));
+        s.byte_error_rate = 1e-4;
+        s.grc = Some(true);
+        s.duration = SimDuration::from_secs(4);
+        s.seed = 99;
+        let out = s.run().unwrap();
+        (
+            out.metrics.flow(out.flows[0]).unwrap().distinct_packets,
+            out.metrics.flow(out.flows[1]).unwrap().distinct_packets,
+            out.nav_detections(),
+            out.metrics.events_processed,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let run = |seed| {
+        let s = Scenario {
+            duration: SimDuration::from_secs(3),
+            seed,
+            ..Scenario::default()
+        };
+        s.run().unwrap().metrics.events_processed
+    };
+    assert_ne!(run(1), run(2));
+}
+
+#[test]
+fn goodput_bounded_by_channel_capacity() {
+    // Nothing can deliver more payload than the PHY rate.
+    for (phy, cap_mbps) in [
+        (phy::PhyStandard::Dot11b, 11.0),
+        (phy::PhyStandard::Dot11a, 6.0),
+    ] {
+        let s = Scenario {
+            phy,
+            transport: TransportKind::SATURATING_UDP,
+            pairs: 3,
+            duration: SimDuration::from_secs(3),
+            ..Scenario::default()
+        };
+        let out = s.run().unwrap();
+        let total: f64 = (0..3).map(|i| out.goodput_mbps(i)).sum();
+        assert!(
+            total < cap_mbps,
+            "{phy:?}: total goodput {total} exceeds PHY rate"
+        );
+        assert!(total > 0.5, "{phy:?}: channel unused");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any mix of inflation amount, GP, transport and seed, the
+    /// system conserves packets: the sink never reports more distinct
+    /// packets than the senders transmitted, and duplicates only arise
+    /// from retransmissions.
+    #[test]
+    fn delivery_conservation(
+        inflate_ms in 0u32..32,
+        gp in 0.0f64..1.0,
+        udp in any::<bool>(),
+        seed in 1u64..1_000,
+    ) {
+        let nav = NavInflationConfig::cts_only(inflate_ms * 1_000, gp);
+        let mut s = if udp {
+            Scenario::two_pair_udp(GreedyConfig::nav_inflation(nav))
+        } else {
+            Scenario::two_pair_tcp(GreedyConfig::nav_inflation(nav))
+        };
+        s.duration = SimDuration::from_secs(2);
+        s.seed = seed;
+        let out = s.run().unwrap();
+        for i in 0..2 {
+            let fm = out.metrics.flow(out.flows[i]).unwrap();
+            let sender = out.metrics.node(out.senders[i]).unwrap();
+            prop_assert!(
+                fm.distinct_packets <= sender.counters.data_first_tx.get(),
+                "flow {i}: delivered {} > first transmissions {}",
+                fm.distinct_packets,
+                sender.counters.data_first_tx.get()
+            );
+        }
+    }
+
+    /// A greedy receiver never *loses* by inflating NAV in the two-pair
+    /// separate-sender topology (monotone damage hypothesis, checked
+    /// loosely: greedy goodput ≥ 80 % of its honest share).
+    #[test]
+    fn nav_inflation_never_backfires(inflate_ms in 1u32..32, seed in 1u64..100) {
+        let honest = Scenario {
+            transport: TransportKind::SATURATING_UDP,
+            duration: SimDuration::from_secs(2),
+            seed,
+            ..Scenario::default()
+        };
+        let base = honest.run().unwrap();
+        let mut s = Scenario::two_pair_udp(GreedyConfig::nav_inflation(
+            NavInflationConfig::cts_only(inflate_ms * 1_000, 1.0),
+        ));
+        s.duration = SimDuration::from_secs(2);
+        s.seed = seed;
+        let out = s.run().unwrap();
+        prop_assert!(
+            out.goodput_mbps(1) >= base.goodput_mbps(1) * 0.8,
+            "greedy lost by inflating: {} vs honest {}",
+            out.goodput_mbps(1),
+            base.goodput_mbps(1)
+        );
+    }
+
+    /// MAC counters remain mutually consistent in arbitrary scenarios:
+    /// successes never exceed attempts, deliveries never exceed the
+    /// peer's attempts.
+    #[test]
+    fn counter_consistency(pairs in 1usize..5, ber_exp in 0u32..3, seed in 1u64..500) {
+        let ber = match ber_exp {
+            0 => 0.0,
+            1 => 1e-4,
+            _ => 4e-4,
+        };
+        let s = Scenario {
+            pairs,
+            transport: TransportKind::SATURATING_UDP,
+            byte_error_rate: ber,
+            duration: SimDuration::from_secs(2),
+            seed,
+            ..Scenario::default()
+        };
+        let out = s.run().unwrap();
+        for i in 0..pairs {
+            let snd = &out.metrics.node(out.senders[i]).unwrap().counters;
+            let rcv = &out.metrics.node(out.receivers[i]).unwrap().counters;
+            prop_assert!(snd.tx_successes.get() <= snd.data_sent.get());
+            prop_assert!(snd.data_first_tx.get() <= snd.data_sent.get());
+            prop_assert!(rcv.delivered_msdus.get() <= snd.data_sent.get());
+            prop_assert!(rcv.duplicates.get() <= snd.data_sent.get());
+        }
+    }
+}
+
+#[test]
+fn simulator_matches_analytic_saturation_capacity() {
+    // A single uncontended saturated UDP flow must land within a few
+    // percent of the closed-form DCF capacity model, on both PHYs and
+    // with RTS/CTS on and off.
+    use greedy80211_repro::CapacityModel;
+    for phy_std in [phy::PhyStandard::Dot11b, phy::PhyStandard::Dot11a] {
+        for rts in [true, false] {
+            let s = Scenario {
+                phy: phy_std,
+                transport: TransportKind::SATURATING_UDP,
+                pairs: 1,
+                rts,
+                duration: SimDuration::from_secs(5),
+                ..Scenario::default()
+            };
+            let out = s.run().unwrap();
+            let measured = out.goodput_mbps(0);
+            let model = CapacityModel::new(phy::PhyParams::for_standard(phy_std), rts)
+                .saturation_goodput_mbps(1024, 28);
+            let err = (measured - model).abs() / model;
+            assert!(
+                err < 0.06,
+                "{phy_std:?} rts={rts}: measured {measured:.3} vs model {model:.3} ({:.1} % off)",
+                err * 100.0
+            );
+        }
+    }
+}
