@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the full offline test suite.
+# Everything runs with --offline — the workspace must never need the
+# network (proptest/criterion resolve to in-tree stand-ins in vendor/).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI OK"

@@ -3,9 +3,7 @@
 //! regressions in the hot paths — medium, DCF, TCP — are caught).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use greedy80211::{
-    GreedyConfig, NavInflationConfig, Scenario, TransportKind,
-};
+use greedy80211::{GreedyConfig, NavInflationConfig, Scenario, TransportKind};
 use sim::SimDuration;
 
 fn bench_udp_saturation(c: &mut Criterion) {

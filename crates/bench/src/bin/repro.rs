@@ -4,20 +4,74 @@
 //! repro all                # every artifact at full fidelity
 //! repro fig1 tab2          # selected artifacts
 //! repro --quick all        # fast low-fidelity pass
+//! repro --jobs 8 all       # shard sweep points across 8 workers
 //! repro --list             # available ids
 //! repro --out results all  # CSV output directory (default: results)
 //! ```
+//!
+//! Outputs are independent of `--jobs`: every simulation run draws from
+//! an RNG stream keyed by `(experiment label, sweep point, seed index)`,
+//! and sweep results are aggregated in submission order, so the CSVs are
+//! byte-identical at any worker count. Alongside the CSVs the campaign
+//! writes `bench_summary.json` with per-experiment wall-clock and
+//! simulator event throughput.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gr_bench::{registry, Quality};
+use gr_bench::{registry, Quality, RunCtx};
+use net::stats;
+
+/// Per-experiment timing record for `bench_summary.json`.
+struct Timing {
+    id: String,
+    wall_s: f64,
+    events: u64,
+    runs: u64,
+}
+
+fn write_summary(
+    out_dir: &Path,
+    jobs: usize,
+    quick: bool,
+    timings: &[Timing],
+    total_s: f64,
+) -> std::io::Result<()> {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!(
+        "  \"quality\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    s.push_str(&format!("  \"total_wall_s\": {total_s:.3},\n"));
+    let total_events: u64 = timings.iter().map(|t| t.events).sum();
+    s.push_str(&format!("  \"total_events\": {total_events},\n"));
+    s.push_str(&format!(
+        "  \"total_events_per_sec\": {:.0},\n",
+        total_events as f64 / total_s.max(1e-9)
+    ));
+    s.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \"runs\": {}, \"events_per_sec\": {:.0}}}{}\n",
+            t.id,
+            t.wall_s,
+            t.events,
+            t.runs,
+            t.events as f64 / t.wall_s.max(1e-9),
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(out_dir.join("bench_summary.json"), s)
+}
 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut list = false;
     let mut out_dir = PathBuf::from("results");
+    let mut jobs = runner::available_jobs();
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,9 +85,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" | "-j" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => jobs = n,
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--out DIR] (all | <id>...)\n       repro --list"
+                    "usage: repro [--quick] [--jobs N] [--out DIR] (all | <id>...)\n       repro --list"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -52,50 +113,76 @@ fn main() -> ExitCode {
         eprintln!("no experiments selected; try `repro all` or `repro --list`");
         return ExitCode::FAILURE;
     }
-    let selected: Vec<&(&str, gr_bench::Generator)> =
-        if ids.iter().any(|i| i == "all") {
-            reg.iter().collect()
-        } else {
-            let mut sel = Vec::new();
-            for id in &ids {
-                match reg.iter().find(|(rid, _)| rid == id) {
-                    Some(entry) => sel.push(entry),
-                    None => {
-                        eprintln!("unknown experiment id `{id}` (see --list)");
-                        return ExitCode::FAILURE;
-                    }
+    let selected: Vec<&(&str, gr_bench::Generator)> = if ids.iter().any(|i| i == "all") {
+        reg.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for id in &ids {
+            match reg.iter().find(|(rid, _)| rid == id) {
+                Some(entry) => sel.push(entry),
+                None => {
+                    eprintln!("unknown experiment id `{id}` (see --list)");
+                    return ExitCode::FAILURE;
                 }
             }
-            sel
-        };
+        }
+        sel
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!(
+            "failed to create output directory {}: {e}",
+            out_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
 
     let quality = if quick {
         Quality::quick()
     } else {
         Quality::full()
     };
+    let ctx = RunCtx::with_jobs(quality, jobs);
     println!(
-        "# greedy80211 reproduction — {} experiment(s), {} fidelity\n",
+        "# greedy80211 reproduction — {} experiment(s), {} fidelity, {} job(s)\n",
         selected.len(),
-        if quick { "quick" } else { "full" }
+        if quick { "quick" } else { "full" },
+        jobs,
     );
     let t_all = Instant::now();
+    let mut timings = Vec::new();
     for (id, gen) in selected {
         let t = Instant::now();
-        let experiment = gen(&quality);
+        let before = stats::snapshot();
+        let experiment = gen(&ctx);
+        let used = stats::snapshot().since(before);
+        let wall_s = t.elapsed().as_secs_f64();
         print!("{}", experiment.render());
         match experiment.write_csv(&out_dir) {
             Ok(()) => println!(
-                "  -> {} ({:.1}s)\n",
+                "  -> {} ({:.1}s, {:.0} events/s)\n",
                 out_dir.join(format!("{id}.csv")).display(),
-                t.elapsed().as_secs_f64()
+                wall_s,
+                used.events_processed as f64 / wall_s.max(1e-9),
             ),
             Err(e) => {
                 eprintln!("failed to write CSV for {id}: {e}");
                 return ExitCode::FAILURE;
             }
         }
+        timings.push(Timing {
+            id: id.to_string(),
+            wall_s,
+            events: used.events_processed,
+            runs: used.runs_completed,
+        });
     }
-    println!("total: {:.1}s", t_all.elapsed().as_secs_f64());
+    let total_s = t_all.elapsed().as_secs_f64();
+    println!("total: {total_s:.1}s");
+    if let Err(e) = write_summary(&out_dir, jobs, quick, &timings, total_s) {
+        eprintln!("failed to write bench_summary.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("  -> {}", out_dir.join("bench_summary.json").display());
     ExitCode::SUCCESS
 }

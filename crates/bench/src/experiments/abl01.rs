@@ -13,7 +13,7 @@ use net::NetworkBuilder;
 use phy::{PhyParams, Position};
 
 use crate::table::{ratio, Experiment};
-use crate::Quality;
+use crate::{sweep, sweep_scalar, Quality, RunCtx};
 
 fn timeout_rate(q: &Quality, seed: u64, slots: u32) -> Vec<f64> {
     let mut b = NetworkBuilder::new(PhyParams::dot11b())
@@ -34,19 +34,25 @@ fn timeout_rate(q: &Quality, seed: u64, slots: u32) -> Vec<f64> {
     vec![timeouts / attempts]
 }
 
+/// Carrier-sense latencies swept, in slots.
+const SLOTS: &[u32] = &[0, 1, 2, 4];
+
 /// Runs the latency sweep, plus the paper-default fairness check.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "abl1",
         "Ablation: carrier-sense latency vs contention-loss rate (2 saturated UDP pairs)",
         &["cs_latency_slots", "rts_timeout_rate"],
     );
-    for slots in [0u32, 1, 2, 4] {
-        let vals = q.median_vec_over_seeds(|seed| timeout_rate(q, seed, slots));
+    let rows = sweep(ctx, "abl1/cs", SLOTS, |&slots, seed| {
+        timeout_rate(q, seed, slots)
+    });
+    for (&slots, vals) in SLOTS.iter().zip(rows) {
         e.push_row(vec![slots.to_string(), ratio(vals[0])]);
     }
     // Sanity anchor: the default scenario's fairness is unaffected.
-    let fair = q.median_over_seeds(|seed| {
+    let fair = sweep_scalar(ctx, "abl1/fair", &[()], |_, seed| {
         let s = Scenario {
             transport: TransportKind::SATURATING_UDP,
             duration: q.duration,
@@ -55,7 +61,7 @@ pub fn run(q: &Quality) -> Experiment {
         };
         let out = s.run().expect("valid");
         out.goodput_mbps(0) / out.goodput_mbps(1).max(1e-9)
-    });
+    })[0];
     e.push_row(vec!["default_fairness_ratio".into(), ratio(fair)]);
     e
 }

@@ -11,7 +11,7 @@
 use greedy80211::{GreedyConfig, Scenario};
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 fn spoof_with_threshold(q: &Quality, seed: u64, threshold_db: f64) -> Vec<f64> {
     // Scenario drives placement; we rebuild with a custom capture model
@@ -23,24 +23,27 @@ fn spoof_with_threshold(q: &Quality, seed: u64, threshold_db: f64) -> Vec<f64> {
         ..Scenario::default()
     };
     let probe = s.run().expect("valid");
-    s.greedy = vec![(
-        1,
-        GreedyConfig::ack_spoofing(vec![probe.receivers[0]], 1.0),
-    )];
+    s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![probe.receivers[0]], 1.0))];
     s.capture_threshold_db = Some(threshold_db);
     let out = s.run().expect("valid");
     vec![out.goodput_mbps(0), out.goodput_mbps(1)]
 }
 
+/// Capture thresholds swept, in dB.
+const THRESHOLDS_DB: &[f64] = &[0.0, 5.0, 10.0, 15.0, 25.0];
+
 /// Runs the threshold sweep.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "abl2",
         "Ablation: capture threshold vs ACK-spoofing outcome (TCP, BER 2e-4)",
         &["capture_threshold_db", "NR_mbps", "GR_mbps"],
     );
-    for thr in [0.0f64, 5.0, 10.0, 15.0, 25.0] {
-        let vals = q.median_vec_over_seeds(|seed| spoof_with_threshold(q, seed, thr));
+    let rows = sweep(ctx, "abl2", THRESHOLDS_DB, |&thr, seed| {
+        spoof_with_threshold(q, seed, thr)
+    });
+    for (&thr, vals) in THRESHOLDS_DB.iter().zip(rows) {
         e.push_row(vec![format!("{thr}"), mbps(vals[0]), mbps(vals[1])]);
     }
     e

@@ -12,7 +12,7 @@ use net::NetworkBuilder;
 use phy::{ChannelModel, PhyParams, Position};
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 fn run_case(q: &Quality, seed: u64, mtu: usize) -> Vec<f64> {
     // Fig. 23 geometry pinned at d = 48 m: victims hear R2's CTS but
@@ -40,17 +40,20 @@ fn run_case(q: &Quality, seed: u64, mtu: usize) -> Vec<f64> {
     vec![m.goodput_mbps(f1), m.goodput_mbps(f2)]
 }
 
+/// Assumed MTUs swept: 1060 ≈ the true packet size (tight bound),
+/// 1500 = paper's choice, 2304 = 802.11 maximum MSDU (loosest sound bound).
+const MTUS: &[usize] = &[1060, 1500, 2304];
+
 /// Runs the MTU-assumption sweep.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "abl3",
         "Ablation: NAV-guard MTU assumption in the CTS-only band (Fig. 23 topology, d = 48 m)",
         &["assumed_mtu", "victim_mbps", "GR_mbps"],
     );
-    // 1060 ≈ the true packet size (tight bound), 1500 = paper's choice,
-    // 2304 = 802.11 maximum MSDU (loosest sound bound).
-    for mtu in [1060usize, 1500, 2304] {
-        let vals = q.median_vec_over_seeds(|seed| run_case(q, seed, mtu));
+    let rows = sweep(ctx, "abl3", MTUS, |&mtu, seed| run_case(q, seed, mtu));
+    for (&mtu, vals) in MTUS.iter().zip(rows) {
         e.push_row(vec![mtu.to_string(), mbps(vals[0]), mbps(vals[1])]);
     }
     e

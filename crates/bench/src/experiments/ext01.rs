@@ -18,7 +18,7 @@ use phy::{ErrorModel, ErrorUnit, PhyParams, Position};
 
 use crate::experiments::fer_to_byte_rate;
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 /// Frame error rates per 802.11b rate for the degraded link.
 const RATE_FER: [(u64, f64); 4] = [
@@ -69,7 +69,9 @@ fn spoof_case(q: &Quality, seed: u64, arf: bool, spoof: bool) -> Vec<f64> {
 /// Fake ACK × ARF: the *greedy receiver's own* link degrades with rate.
 /// Returns `(normal, greedy)` goodput.
 fn fake_case(q: &Quality, seed: u64, arf: bool, fake: bool) -> Vec<f64> {
-    let mut b = NetworkBuilder::new(PhyParams::dot11b()).seed(seed).rts(false);
+    let mut b = NetworkBuilder::new(PhyParams::dot11b())
+        .seed(seed)
+        .rts(false);
     let s0 = b.add_node(Position::new(0.0, 0.0));
     let s1 = b.add_node(Position::new(0.0, 20.0));
     let r0 = b.add_node(Position::new(20.0, 0.0));
@@ -93,36 +95,40 @@ fn fake_case(q: &Quality, seed: u64, arf: bool, fake: bool) -> Vec<f64> {
     vec![m.goodput_mbps(f0), m.goodput_mbps(f1)]
 }
 
+/// `(ARF on, attack on)` grid shared by both studies.
+const GRID: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
+
 /// Runs both interaction studies.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "ext1",
         "Extension: misbehaviors under Automatic Rate Fallback (802.11b rate ladder)",
         &["study", "rate_ctrl", "attack", "victim/NR_mbps", "GR_mbps"],
     );
-    for arf in [false, true] {
-        for spoof in [false, true] {
-            let vals = q.median_vec_over_seeds(|seed| spoof_case(q, seed, arf, spoof));
-            e.push_row(vec![
-                "spoofing".into(),
-                if arf { "ARF" } else { "fixed_11M" }.into(),
-                if spoof { "spoof" } else { "none" }.into(),
-                mbps(vals[0]),
-                mbps(vals[1]),
-            ]);
-        }
+    let spoof_rows = sweep(ctx, "ext1/spoofing", &GRID, |&(arf, spoof), seed| {
+        spoof_case(q, seed, arf, spoof)
+    });
+    for (&(arf, spoof), vals) in GRID.iter().zip(spoof_rows) {
+        e.push_row(vec![
+            "spoofing".into(),
+            if arf { "ARF" } else { "fixed_11M" }.into(),
+            if spoof { "spoof" } else { "none" }.into(),
+            mbps(vals[0]),
+            mbps(vals[1]),
+        ]);
     }
-    for arf in [false, true] {
-        for fake in [false, true] {
-            let vals = q.median_vec_over_seeds(|seed| fake_case(q, seed, arf, fake));
-            e.push_row(vec![
-                "fake_acks".into(),
-                if arf { "ARF" } else { "fixed_11M" }.into(),
-                if fake { "fake" } else { "none" }.into(),
-                mbps(vals[0]),
-                mbps(vals[1]),
-            ]);
-        }
+    let fake_rows = sweep(ctx, "ext1/fake_acks", &GRID, |&(arf, fake), seed| {
+        fake_case(q, seed, arf, fake)
+    });
+    for (&(arf, fake), vals) in GRID.iter().zip(fake_rows) {
+        e.push_row(vec![
+            "fake_acks".into(),
+            if arf { "ARF" } else { "fixed_11M" }.into(),
+            if fake { "fake" } else { "none" }.into(),
+            mbps(vals[0]),
+            mbps(vals[1]),
+        ]);
     }
     e
 }

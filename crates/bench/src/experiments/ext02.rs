@@ -9,12 +9,14 @@
 //! motivation ("existing work focuses on sender-side misbehavior") in
 //! one table.
 
-use greedy80211::{DominoDetector, GrcObserver, GreedyConfig, GreedySenderPolicy, NavInflationConfig};
+use greedy80211::{
+    DominoDetector, GrcObserver, GreedyConfig, GreedySenderPolicy, NavInflationConfig,
+};
 use net::NetworkBuilder;
 use phy::{ErrorModel, ErrorUnit, PhyParams, Position};
 
 use crate::table::Experiment;
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Attack {
@@ -67,7 +69,10 @@ fn run_case(q: &Quality, seed: u64, attack: Attack) -> Vec<f64> {
     net.run(q.duration);
     let domino = DominoDetector::new(params);
     let report = domino.analyze(net.trace().expect("trace enabled"));
-    let nav: u64 = handles.iter().map(|h| h.nav.borrow().total_detections()).sum();
+    let nav: u64 = handles
+        .iter()
+        .map(|h| h.nav.borrow().total_detections())
+        .sum();
     let flagged: u64 = handles.iter().map(|h| h.spoof.borrow().flagged).sum();
     let accepted: u64 = handles.iter().map(|h| h.spoof.borrow().accepted).sum();
     let flag_rate = flagged as f64 / (flagged + accepted).max(1) as f64;
@@ -75,7 +80,8 @@ fn run_case(q: &Quality, seed: u64, attack: Attack) -> Vec<f64> {
 }
 
 /// Runs the detector-coverage matrix.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "ext2",
         "Extension: detector coverage — DOMINO (sender baseline) vs GRC per misbehavior",
@@ -92,8 +98,10 @@ pub fn run(q: &Quality) -> Experiment {
         ("nav_inflation", Attack::NavInflation),
         ("ack_spoofing", Attack::AckSpoof),
     ];
-    for (name, attack) in cases {
-        let vals = q.median_vec_over_seeds(|seed| run_case(q, seed, attack));
+    let rows = sweep(ctx, "ext2", &cases, |&(_, attack), seed| {
+        run_case(q, seed, attack)
+    });
+    for (&(name, _), vals) in cases.iter().zip(rows) {
         e.push_row(vec![
             name.into(),
             format!("{:.0}", vals[0]),

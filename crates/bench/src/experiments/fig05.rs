@@ -6,14 +6,14 @@ use phy::PhyStandard;
 
 use crate::experiments::nav_frames_experiment;
 use crate::table::Experiment;
-use crate::Quality;
+use crate::RunCtx;
 
 /// Runs the four sub-figures on 802.11a.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
     nav_frames_experiment(
         "fig5",
         "Fig. 5: TCP goodput vs NAV inflation per inflated frame kind (802.11a)",
         PhyStandard::Dot11a,
-        q,
+        ctx,
     )
 }

@@ -6,7 +6,7 @@ use greedy80211::{GreedyConfig, NavInflationConfig, Scenario, TransportKind};
 
 use crate::experiments::TCP_NAV_SWEEP_MS;
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 fn shared(q: &Quality, seed: u64, pairs: usize, udp: bool, inflate_ms: u32) -> Scenario {
     let mut s = Scenario {
@@ -29,18 +29,19 @@ fn shared(q: &Quality, seed: u64, pairs: usize, udp: bool, inflate_ms: u32) -> S
 }
 
 /// Runs all three sub-figures.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "fig10",
         "Fig. 10: one sender, multiple receivers, last receiver inflates CTS NAV (802.11b)",
         &["variant", "inflate_ms", "NR_mbps", "GR_mbps"],
     );
     // (a) TCP, 2 receivers.
-    for &ms in TCP_NAV_SWEEP_MS {
-        let vals = q.median_vec_over_seeds(|seed| {
-            let out = shared(q, seed, 2, false, ms).run().expect("valid");
-            vec![out.goodput_mbps(0), out.goodput_mbps(1)]
-        });
+    let rows = sweep(ctx, "fig10/tcp_2rx", TCP_NAV_SWEEP_MS, |&ms, seed| {
+        let out = shared(q, seed, 2, false, ms).run().expect("valid");
+        vec![out.goodput_mbps(0), out.goodput_mbps(1)]
+    });
+    for (&ms, vals) in TCP_NAV_SWEEP_MS.iter().zip(rows) {
         e.push_row(vec![
             "tcp_2rx".into(),
             ms.to_string(),
@@ -50,12 +51,12 @@ pub fn run(q: &Quality) -> Experiment {
     }
     // (b) TCP, 8 receivers (7 normal + 1 greedy); NR column is the
     // average of the seven normal receivers.
-    for &ms in TCP_NAV_SWEEP_MS {
-        let vals = q.median_vec_over_seeds(|seed| {
-            let out = shared(q, seed, 8, false, ms).run().expect("valid");
-            let avg_nr = (0..7).map(|i| out.goodput_mbps(i)).sum::<f64>() / 7.0;
-            vec![avg_nr, out.goodput_mbps(7)]
-        });
+    let rows = sweep(ctx, "fig10/tcp_8rx", TCP_NAV_SWEEP_MS, |&ms, seed| {
+        let out = shared(q, seed, 8, false, ms).run().expect("valid");
+        let avg_nr = (0..7).map(|i| out.goodput_mbps(i)).sum::<f64>() / 7.0;
+        vec![avg_nr, out.goodput_mbps(7)]
+    });
+    for (&ms, vals) in TCP_NAV_SWEEP_MS.iter().zip(rows) {
         e.push_row(vec![
             "tcp_8rx".into(),
             ms.to_string(),
@@ -64,11 +65,11 @@ pub fn run(q: &Quality) -> Experiment {
         ]);
     }
     // (c) UDP, 2 receivers: both flows suffer together.
-    for &ms in TCP_NAV_SWEEP_MS {
-        let vals = q.median_vec_over_seeds(|seed| {
-            let out = shared(q, seed, 2, true, ms).run().expect("valid");
-            vec![out.goodput_mbps(0), out.goodput_mbps(1)]
-        });
+    let rows = sweep(ctx, "fig10/udp_2rx", TCP_NAV_SWEEP_MS, |&ms, seed| {
+        let out = shared(q, seed, 2, true, ms).run().expect("valid");
+        vec![out.goodput_mbps(0), out.goodput_mbps(1)]
+    });
+    for (&ms, vals) in TCP_NAV_SWEEP_MS.iter().zip(rows) {
         e.push_row(vec![
             "udp_2rx".into(),
             ms.to_string(),

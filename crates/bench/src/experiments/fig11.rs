@@ -7,7 +7,7 @@ use greedy80211::{GreedyConfig, Scenario};
 use phy::PhyStandard;
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 /// BER values swept (paper Table III's grid, plus clean).
 pub(crate) const BER_SWEEP: &[f64] = &[0.0, 1e-5, 1e-4, 2e-4, 3.2e-4, 4.4e-4, 8e-4];
@@ -28,10 +28,7 @@ pub(crate) fn spoof_pair(
     };
     let base = s.run().expect("valid");
     if gp > 0.0 {
-        s.greedy = vec![(
-            1,
-            GreedyConfig::ack_spoofing(vec![base.receivers[0]], gp),
-        )];
+        s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], gp))];
         s.run().expect("valid")
     } else {
         base
@@ -39,24 +36,26 @@ pub(crate) fn spoof_pair(
 }
 
 /// Runs both PHYs over the BER sweep.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "fig11",
         "Fig. 11: TCP goodput vs BER, R2 spoofs MAC ACKs for R1",
         &["phy", "BER", "noGR_R1", "noGR_R2", "wGR_NR", "wGR_GR"],
     );
     for phy in [PhyStandard::Dot11b, PhyStandard::Dot11a] {
-        for &ber in BER_SWEEP {
-            let vals = q.median_vec_over_seeds(|seed| {
-                let base = spoof_pair(q, seed, phy, ber, 0.0);
-                let attacked = spoof_pair(q, seed, phy, ber, 1.0);
-                vec![
-                    base.goodput_mbps(0),
-                    base.goodput_mbps(1),
-                    attacked.goodput_mbps(0),
-                    attacked.goodput_mbps(1),
-                ]
-            });
+        let label = format!("fig11/{phy}");
+        let rows = sweep(ctx, &label, BER_SWEEP, |&ber, seed| {
+            let base = spoof_pair(q, seed, phy, ber, 0.0);
+            let attacked = spoof_pair(q, seed, phy, ber, 1.0);
+            vec![
+                base.goodput_mbps(0),
+                base.goodput_mbps(1),
+                attacked.goodput_mbps(0),
+                attacked.goodput_mbps(1),
+            ]
+        });
+        for (&ber, vals) in BER_SWEEP.iter().zip(rows) {
             e.push_row(vec![
                 phy.to_string(),
                 format!("{ber:.1e}"),

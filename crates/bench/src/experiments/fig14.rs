@@ -5,7 +5,7 @@
 use greedy80211::{GreedyConfig, Scenario};
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 fn run_case(q: &Quality, seed: u64, pairs: usize, shared: bool) -> Vec<f64> {
     let greedy_idx = pairs - 1;
@@ -27,17 +27,23 @@ fn run_case(q: &Quality, seed: u64, pairs: usize, shared: bool) -> Vec<f64> {
 }
 
 /// Runs both sub-figures over the pair count.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "fig14",
         "Fig. 14: one spoofing receiver vs N normal pairs (TCP, BER 2e-4, 802.11b)",
         &["topology", "normal_pairs", "GR_mbps", "avg_NR_mbps"],
     );
     for shared in [true, false] {
-        for &n in &[1usize, 2, 4, 7] {
-            let vals = q.median_vec_over_seeds(|seed| run_case(q, seed, n + 1, shared));
+        let name = if shared { "one_AP" } else { "per_pair_APs" };
+        let label = format!("fig14/{name}");
+        let counts = [1usize, 2, 4, 7];
+        let rows = sweep(ctx, &label, &counts, |&n, seed| {
+            run_case(q, seed, n + 1, shared)
+        });
+        for (&n, vals) in counts.iter().zip(rows) {
             e.push_row(vec![
-                if shared { "one_AP" } else { "per_pair_APs" }.into(),
+                name.into(),
                 n.to_string(),
                 mbps(vals[0]),
                 mbps(vals[1]),

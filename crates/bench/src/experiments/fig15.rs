@@ -6,7 +6,7 @@ use greedy80211::{GreedyConfig, Scenario};
 use sim::SimDuration;
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 /// Wire latencies swept, in ms (paper: 2–400 ms).
 pub(crate) const WIRE_SWEEP_MS: &[u64] = &[2, 10, 50, 100, 200, 400];
@@ -35,23 +35,24 @@ pub(crate) fn remote_pair(
 }
 
 /// Runs the latency sweep.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "fig15",
         "Fig. 15: remote TCP senders over a wired backbone, R2 spoofs for R1 (BER 2e-5)",
         &["wire_ms", "noGR_R1", "noGR_R2", "wGR_NR", "wGR_GR"],
     );
-    for &wire_ms in WIRE_SWEEP_MS {
-        let vals = q.median_vec_over_seeds(|seed| {
-            let base = remote_pair(q, seed, wire_ms, 0.0);
-            let attacked = remote_pair(q, seed, wire_ms, 1.0);
-            vec![
-                base.goodput_mbps(0),
-                base.goodput_mbps(1),
-                attacked.goodput_mbps(0),
-                attacked.goodput_mbps(1),
-            ]
-        });
+    let rows = sweep(ctx, "fig15", WIRE_SWEEP_MS, |&wire_ms, seed| {
+        let base = remote_pair(q, seed, wire_ms, 0.0);
+        let attacked = remote_pair(q, seed, wire_ms, 1.0);
+        vec![
+            base.goodput_mbps(0),
+            base.goodput_mbps(1),
+            attacked.goodput_mbps(0),
+            attacked.goodput_mbps(1),
+        ]
+    });
+    for (&wire_ms, vals) in WIRE_SWEEP_MS.iter().zip(rows) {
         e.push_row(vec![
             wire_ms.to_string(),
             mbps(vals[0]),

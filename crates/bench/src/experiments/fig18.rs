@@ -8,7 +8,7 @@ use phy::{ChannelModel, PhyParams, PhyStandard, Position};
 use sim::SimDuration;
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, RunCtx};
 
 /// Hidden-terminal outcome: `(R1 goodput, R2 goodput, S1 avg CW, S2 avg CW)`.
 pub(crate) fn hidden_terminal(
@@ -48,33 +48,34 @@ pub(crate) fn hidden_terminal(
 }
 
 /// Runs the GP sweep for one and two fakers.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "fig18",
         "Fig. 18: fake ACKs under hidden-terminal collisions (UDP, 802.11b, no RTS)",
         &["num_greedy", "gp_pct", "R1_mbps", "R2_mbps"],
     );
-    for greedy in [&[][..], &[1][..], &[0, 1][..]] {
-        for &gp in &[25u32, 50, 75, 100] {
-            if greedy.is_empty() && gp != 100 {
-                continue;
-            }
-            let vals = q.median_vec_over_seeds(|seed| {
-                hidden_terminal(
-                    PhyStandard::Dot11b,
-                    seed,
-                    q.duration,
-                    greedy,
-                    gp as f64 / 100.0,
-                )
-            });
-            e.push_row(vec![
-                greedy.len().to_string(),
-                gp.to_string(),
-                mbps(vals[0]),
-                mbps(vals[1]),
-            ]);
-        }
+    let grid: Vec<(&[usize], u32)> = [&[][..], &[1][..], &[0, 1][..]]
+        .iter()
+        .flat_map(|&greedy| [25u32, 50, 75, 100].iter().map(move |&gp| (greedy, gp)))
+        .filter(|&(greedy, gp)| !(greedy.is_empty() && gp != 100))
+        .collect();
+    let rows = sweep(ctx, "fig18", &grid, |&(greedy, gp), seed| {
+        hidden_terminal(
+            PhyStandard::Dot11b,
+            seed,
+            q.duration,
+            greedy,
+            gp as f64 / 100.0,
+        )
+    });
+    for (&(greedy, gp), vals) in grid.iter().zip(rows) {
+        e.push_row(vec![
+            greedy.len().to_string(),
+            gp.to_string(),
+            mbps(vals[0]),
+            mbps(vals[1]),
+        ]);
     }
     e
 }

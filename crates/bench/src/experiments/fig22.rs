@@ -6,10 +6,14 @@ use greedy80211::{RssiStudy, RssiStudyConfig};
 use sim::SimRng;
 
 use crate::table::{ratio, Experiment};
-use crate::Quality;
+use crate::RunCtx;
 
 /// Generates the FP/FN curves.
-pub fn run(q: &Quality) -> Experiment {
+///
+/// Analytic-style study with a fixed internal seed (22): intentionally
+/// not routed through the sweep runner.
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "fig22",
         "Fig. 22: spoof-detector false positive / false negative vs RSSI threshold",

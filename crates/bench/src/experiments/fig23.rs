@@ -16,7 +16,7 @@ use phy::{ChannelModel, PhyParams, Position};
 use sim::SimDuration;
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, RunCtx};
 
 const DISTANCES_M: &[f64] = &[10.0, 25.0, 40.0, 48.0, 54.0, 60.0, 80.0, 95.0, 105.0, 120.0];
 
@@ -72,7 +72,8 @@ fn run_case(seed: u64, duration: SimDuration, d: f64, udp: bool, mode: Mode) -> 
 }
 
 /// Runs UDP and TCP sweeps over the pair separation.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "fig23",
         "Fig. 23: GRC vs inflated CTS NAV over pair separation (ranges 55/99 m, 802.11b)",
@@ -88,17 +89,16 @@ pub fn run(q: &Quality) -> Experiment {
         ],
     );
     for udp in [true, false] {
-        for &d in DISTANCES_M {
-            let vals = q.median_vec_over_seeds(|seed| {
-                let mut row = run_case(seed, q.duration, d, udp, Mode::NoGreedy);
-                row.extend(run_case(seed, q.duration, d, udp, Mode::Greedy));
-                row.extend(run_case(seed, q.duration, d, udp, Mode::GreedyWithGrc));
-                row
-            });
-            let mut row = vec![
-                if udp { "udp" } else { "tcp" }.to_string(),
-                format!("{d:.0}"),
-            ];
+        let name = if udp { "udp" } else { "tcp" };
+        let label = format!("fig23/{name}");
+        let rows = sweep(ctx, &label, DISTANCES_M, |&d, seed| {
+            let mut row = run_case(seed, q.duration, d, udp, Mode::NoGreedy);
+            row.extend(run_case(seed, q.duration, d, udp, Mode::Greedy));
+            row.extend(run_case(seed, q.duration, d, udp, Mode::GreedyWithGrc));
+            row
+        });
+        for (&d, vals) in DISTANCES_M.iter().zip(rows) {
+            let mut row = vec![name.to_string(), format!("{d:.0}")];
             row.extend(vals.iter().map(|&v| mbps(v)));
             e.push_row(row);
         }

@@ -1,7 +1,9 @@
 //! One module per regenerated paper artifact.
 //!
 //! Naming: `figNN`/`tabNN` mirrors the paper's numbering. Every module
-//! exposes `run(&Quality) -> Experiment`. See `DESIGN.md` for the
+//! exposes `run(&RunCtx) -> Experiment`; sweeps inside each generator
+//! are submitted to the context's runner and execute in parallel when
+//! the campaign was launched with `--jobs N`. See `DESIGN.md` for the
 //! experiment index and `EXPERIMENTS.md` for paper-vs-measured notes.
 
 pub mod abl01;
@@ -48,20 +50,16 @@ use crate::Quality;
 
 /// NAV-inflation sweep values used by the UDP figures, in µs
 /// (the paper sweeps α·100 µs up to the 32 767 µs maximum).
-pub(crate) const UDP_NAV_SWEEP_US: &[u32] =
-    &[0, 100, 200, 400, 600, 1_000, 2_000, 5_000, 10_000, 20_000, 31_000];
+pub(crate) const UDP_NAV_SWEEP_US: &[u32] = &[
+    0, 100, 200, 400, 600, 1_000, 2_000, 5_000, 10_000, 20_000, 31_000,
+];
 
 /// NAV-inflation sweep values used by the TCP figures, in ms.
 pub(crate) const TCP_NAV_SWEEP_MS: &[u32] = &[0, 1, 2, 5, 10, 20, 31];
 
 /// Builds the standard 2-pair scenario with receiver 1 greedy
 /// (NAV-inflating) and the given transport, seeded and sized by `q`.
-pub(crate) fn nav_two_pair(
-    udp: bool,
-    nav: NavInflationConfig,
-    q: &Quality,
-    seed: u64,
-) -> Scenario {
+pub(crate) fn nav_two_pair(udp: bool, nav: NavInflationConfig, q: &Quality, seed: u64) -> Scenario {
     let mut s = if udp {
         Scenario::two_pair_udp(GreedyConfig::nav_inflation(nav))
     } else {
@@ -79,16 +77,18 @@ pub(crate) fn fer_to_byte_rate(fer: f64) -> f64 {
 }
 
 /// Shared driver for Figs. 4 and 5: sweep NAV inflation over the four
-/// inflated-frame variants under TCP.
+/// inflated-frame variants under TCP. Each variant is its own labelled
+/// sweep so the derived RNG streams never alias between variants.
 pub(crate) fn nav_frames_experiment(
     id: &'static str,
     title: &str,
     phy: phy::PhyStandard,
-    q: &Quality,
+    ctx: &crate::RunCtx,
 ) -> crate::table::Experiment {
     use crate::table::{mbps, Experiment};
     use greedy80211::InflatedFrames;
 
+    let q = &ctx.quality;
     let variants: [(&str, InflatedFrames); 4] = [
         ("cts", InflatedFrames::CTS),
         ("rts+cts", InflatedFrames::RTS_CTS),
@@ -97,18 +97,19 @@ pub(crate) fn nav_frames_experiment(
     ];
     let mut e = Experiment::new(id, title, &["frames", "inflate_ms", "NR_mbps", "GR_mbps"]);
     for (name, frames) in variants {
-        for &ms in TCP_NAV_SWEEP_MS {
-            let vals = q.median_vec_over_seeds(|seed| {
-                let nav = NavInflationConfig {
-                    inflate_us: ms * 1_000,
-                    gp: 1.0,
-                    frames,
-                };
-                let mut s = nav_two_pair(false, nav, q, seed);
-                s.phy = phy;
-                let out = s.run().expect("valid scenario");
-                vec![out.goodput_mbps(0), out.goodput_mbps(1)]
-            });
+        let label = format!("{id}/{name}");
+        let rows = crate::sweep(ctx, &label, TCP_NAV_SWEEP_MS, |&ms, seed| {
+            let nav = NavInflationConfig {
+                inflate_us: ms * 1_000,
+                gp: 1.0,
+                frames,
+            };
+            let mut s = nav_two_pair(false, nav, q, seed);
+            s.phy = phy;
+            let out = s.run().expect("valid scenario");
+            vec![out.goodput_mbps(0), out.goodput_mbps(1)]
+        });
+        for (&ms, vals) in TCP_NAV_SWEEP_MS.iter().zip(rows) {
             e.push_row(vec![
                 name.to_string(),
                 ms.to_string(),

@@ -9,13 +9,17 @@ use greedy80211::CorruptionStudy;
 use sim::SimRng;
 
 use crate::table::{ratio, Experiment};
-use crate::Quality;
+use crate::RunCtx;
 
 /// 1024 B payload + headers + PLCP-equivalent, as elsewhere.
 const FRAME_BYTES: usize = 1104;
 
 /// Runs both rows.
-pub fn run(q: &Quality) -> Experiment {
+///
+/// Analytic-style study with a fixed internal seed (1): intentionally
+/// not routed through the sweep runner.
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "tab1",
         "Table I: corrupted frames preserving MAC addresses (synthetic corruption model)",

@@ -4,7 +4,7 @@
 use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
 
 use crate::table::Experiment;
-use crate::Quality;
+use crate::{sweep, RunCtx};
 
 fn avg_cwnd(out: &greedy80211::ScenarioOutcome, i: usize) -> f64 {
     out.metrics
@@ -13,50 +13,51 @@ fn avg_cwnd(out: &greedy80211::ScenarioOutcome, i: usize) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
+/// Inflation amounts swept, in ms.
+const INFLATE_MS: &[u32] = &[0, 1, 2, 5, 10, 20, 31];
+
 /// Runs both columns of the table.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "tab2",
         "Table II: average TCP congestion window vs CTS-NAV inflation (802.11b)",
         &["inflate_ms", "S-NR", "S-GR", "NS-NR", "GS-GR"],
     );
-    for &ms in &[0u32, 1, 2, 5, 10, 20, 31] {
-        let vals = q.median_vec_over_seeds(|seed| {
-            let greedy = |s: &mut Scenario| {
-                if ms > 0 {
-                    s.greedy = vec![(
-                        1,
-                        GreedyConfig::nav_inflation(NavInflationConfig::cts_only(
-                            ms * 1_000,
-                            1.0,
-                        )),
-                    )];
-                }
-            };
-            // One shared sender.
-            let mut one = Scenario {
-                shared_sender: true,
-                duration: q.duration,
-                seed,
-                ..Scenario::default()
-            };
-            greedy(&mut one);
-            let one = one.run().expect("valid");
-            // Two senders.
-            let mut two = Scenario {
-                duration: q.duration,
-                seed,
-                ..Scenario::default()
-            };
-            greedy(&mut two);
-            let two = two.run().expect("valid");
-            vec![
-                avg_cwnd(&one, 0),
-                avg_cwnd(&one, 1),
-                avg_cwnd(&two, 0),
-                avg_cwnd(&two, 1),
-            ]
-        });
+    let rows = sweep(ctx, "tab2", INFLATE_MS, |&ms, seed| {
+        let greedy = |s: &mut Scenario| {
+            if ms > 0 {
+                s.greedy = vec![(
+                    1,
+                    GreedyConfig::nav_inflation(NavInflationConfig::cts_only(ms * 1_000, 1.0)),
+                )];
+            }
+        };
+        // One shared sender.
+        let mut one = Scenario {
+            shared_sender: true,
+            duration: q.duration,
+            seed,
+            ..Scenario::default()
+        };
+        greedy(&mut one);
+        let one = one.run().expect("valid");
+        // Two senders.
+        let mut two = Scenario {
+            duration: q.duration,
+            seed,
+            ..Scenario::default()
+        };
+        greedy(&mut two);
+        let two = two.run().expect("valid");
+        vec![
+            avg_cwnd(&one, 0),
+            avg_cwnd(&one, 1),
+            avg_cwnd(&two, 0),
+            avg_cwnd(&two, 1),
+        ]
+    });
+    for (&ms, vals) in INFLATE_MS.iter().zip(rows) {
         e.push_row(vec![
             ms.to_string(),
             format!("{:.3}", vals[0]),

@@ -6,7 +6,7 @@
 use phy::{ErrorModel, ErrorUnit};
 
 use crate::table::Experiment;
-use crate::Quality;
+use crate::RunCtx;
 
 /// Total byte counts entering the corruption process, per frame type.
 const FRAME_BYTES: [(&str, usize); 4] = [
@@ -17,7 +17,7 @@ const FRAME_BYTES: [(&str, usize); 4] = [
 ];
 
 /// Regenerates the table (analytic; no simulation required).
-pub fn run(_q: &Quality) -> Experiment {
+pub fn run(_ctx: &RunCtx) -> Experiment {
     let mut e = Experiment::new(
         "tab3",
         "Table III: BER and the corresponding FER per frame type",

@@ -7,24 +7,27 @@ use phy::PhyStandard;
 
 use crate::experiments::fig18::hidden_terminal;
 use crate::table::Experiment;
-use crate::Quality;
+use crate::{sweep, RunCtx};
 
 /// Runs the three configurations on both PHYs.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "tab4",
         "Table IV: sender contention windows under hidden-terminal fake ACKs (GP 100 %)",
         &["phy", "config", "S1_avg_cw", "S2_avg_cw"],
     );
+    let configs = [
+        ("no_GR", &[][..]),
+        ("R2_GR", &[1][..]),
+        ("both_GR", &[0, 1][..]),
+    ];
     for phy in [PhyStandard::Dot11b, PhyStandard::Dot11a] {
-        for (name, greedy) in [
-            ("no_GR", &[][..]),
-            ("R2_GR", &[1][..]),
-            ("both_GR", &[0, 1][..]),
-        ] {
-            let vals = q.median_vec_over_seeds(|seed| {
-                hidden_terminal(phy, seed, q.duration, greedy, 1.0)
-            });
+        let label = format!("tab4/{phy}");
+        let rows = sweep(ctx, &label, &configs, |&(_, greedy), seed| {
+            hidden_terminal(phy, seed, q.duration, greedy, 1.0)
+        });
+        for (&(name, _), vals) in configs.iter().zip(rows) {
             e.push_row(vec![
                 phy.to_string(),
                 name.into(),

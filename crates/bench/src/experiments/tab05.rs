@@ -6,10 +6,14 @@ use greedy80211::{GreedyConfig, Scenario, TransportKind};
 
 use crate::experiments::fer_to_byte_rate;
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, RunCtx};
+
+/// Frame error rates swept.
+const FERS: &[f64] = &[0.2, 0.5, 0.8];
 
 /// Runs the frame-error-rate grid.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "tab5",
         "Table V: UDP goodput under inherent losses with fake ACKs (802.11b)",
@@ -23,35 +27,35 @@ pub fn run(q: &Quality) -> Experiment {
             "2GR_R2",
         ],
     );
-    for &fer in &[0.2, 0.5, 0.8] {
-        let vals = q.median_vec_over_seeds(|seed| {
-            let base_scenario = || Scenario {
-                transport: TransportKind::SATURATING_UDP,
-                rts: false,
-                byte_error_rate: fer_to_byte_rate(fer),
-                duration: q.duration,
-                seed,
-                ..Scenario::default()
-            };
-            let no_gr = base_scenario().run().expect("valid");
-            let mut one = base_scenario();
-            one.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
-            let one = one.run().expect("valid");
-            let mut two = base_scenario();
-            two.greedy = vec![
-                (0, GreedyConfig::fake_acks(1.0)),
-                (1, GreedyConfig::fake_acks(1.0)),
-            ];
-            let two = two.run().expect("valid");
-            vec![
-                no_gr.goodput_mbps(0),
-                no_gr.goodput_mbps(1),
-                one.goodput_mbps(0),
-                one.goodput_mbps(1),
-                two.goodput_mbps(0),
-                two.goodput_mbps(1),
-            ]
-        });
+    let rows = sweep(ctx, "tab5", FERS, |&fer, seed| {
+        let base_scenario = || Scenario {
+            transport: TransportKind::SATURATING_UDP,
+            rts: false,
+            byte_error_rate: fer_to_byte_rate(fer),
+            duration: q.duration,
+            seed,
+            ..Scenario::default()
+        };
+        let no_gr = base_scenario().run().expect("valid");
+        let mut one = base_scenario();
+        one.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
+        let one = one.run().expect("valid");
+        let mut two = base_scenario();
+        two.greedy = vec![
+            (0, GreedyConfig::fake_acks(1.0)),
+            (1, GreedyConfig::fake_acks(1.0)),
+        ];
+        let two = two.run().expect("valid");
+        vec![
+            no_gr.goodput_mbps(0),
+            no_gr.goodput_mbps(1),
+            one.goodput_mbps(0),
+            one.goodput_mbps(1),
+            two.goodput_mbps(0),
+            two.goodput_mbps(1),
+        ]
+    });
+    for (&fer, vals) in FERS.iter().zip(rows) {
         let mut row = vec![format!("{fer}")];
         row.extend(vals.iter().map(|&v| mbps(v)));
         e.push_row(row);

@@ -8,10 +8,11 @@ use phy::PhyStandard;
 
 use crate::experiments::nav_two_pair;
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, RunCtx};
 
 /// Runs baseline and attack.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "tab6",
         "Table VI: TCP throughput, GR inflates NAV on RTS of TCP ACKs to max (802.11a)",
@@ -25,7 +26,7 @@ pub fn run(q: &Quality) -> Experiment {
             ..InflatedFrames::default()
         },
     };
-    let vals = q.median_vec_over_seeds(|seed| {
+    let rows = sweep(ctx, "tab6", &[()], |_, seed| {
         let mut base = Scenario {
             phy: PhyStandard::Dot11a,
             duration: q.duration,
@@ -44,6 +45,7 @@ pub fn run(q: &Quality) -> Experiment {
             attack.goodput_mbps(1),
         ]
     });
+    let vals = &rows[0];
     e.push_row(vec!["no_GR".into(), mbps(vals[0]), mbps(vals[1])]);
     e.push_row(vec!["R2_GR".into(), mbps(vals[2]), mbps(vals[3])]);
     e

@@ -6,7 +6,7 @@ use greedy80211::{GreedyConfig, InflatedFrames, NavInflationConfig, Scenario, Tr
 use phy::PhyStandard;
 
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 fn scenario(q: &Quality, seed: u64, rts: bool, frames: Option<InflatedFrames>) -> Vec<f64> {
     let mut s = Scenario {
@@ -32,7 +32,8 @@ fn scenario(q: &Quality, seed: u64, rts: bool, frames: Option<InflatedFrames>) -
 }
 
 /// Runs all rows of the table.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "tab7",
         "Table VII: UDP throughput, GR inflates NAV to max (802.11a)",
@@ -52,12 +53,12 @@ pub fn run(q: &Quality) -> Experiment {
             },
         ),
     ];
-    for (name, rts, frames) in cases {
-        let vals = q.median_vec_over_seeds(|seed| {
-            let mut row = scenario(q, seed, rts, None);
-            row.extend(scenario(q, seed, rts, Some(frames)));
-            row
-        });
+    let rows = sweep(ctx, "tab7", &cases, |&(_, rts, frames), seed| {
+        let mut row = scenario(q, seed, rts, None);
+        row.extend(scenario(q, seed, rts, Some(frames)));
+        row
+    });
+    for (&(name, _, _), vals) in cases.iter().zip(rows) {
         e.push_row(vec![
             name.into(),
             mbps(vals[0]),

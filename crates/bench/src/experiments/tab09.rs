@@ -8,7 +8,7 @@ use phy::{ErrorModel, ErrorUnit, PhyParams, Position};
 
 use crate::experiments::fer_to_byte_rate;
 use crate::table::{mbps, Experiment};
-use crate::Quality;
+use crate::{sweep, Quality, RunCtx};
 
 fn run_case(q: &Quality, seed: u64, emulate_fake: bool) -> Vec<f64> {
     let mut b = NetworkBuilder::new(PhyParams::dot11a())
@@ -31,17 +31,19 @@ fn run_case(q: &Quality, seed: u64, emulate_fake: bool) -> Vec<f64> {
 }
 
 /// Runs baseline and emulated attack.
-pub fn run(q: &Quality) -> Experiment {
+pub fn run(ctx: &RunCtx) -> Experiment {
+    let q = &ctx.quality;
     let mut e = Experiment::new(
         "tab9",
         "Table IX: testbed emulation of fake ACKs (UDP, shared AP, 802.11a, FER 15 %)",
         &["case", "R1(NR)_mbps", "R2(GR)_mbps"],
     );
-    let vals = q.median_vec_over_seeds(|seed| {
+    let rows = sweep(ctx, "tab9", &[()], |_, seed| {
         let mut row = run_case(q, seed, false);
         row.extend(run_case(q, seed, true));
         row
     });
+    let vals = &rows[0];
     e.push_row(vec!["no_GR".into(), mbps(vals[0]), mbps(vals[1])]);
     e.push_row(vec!["emulated_GR".into(), mbps(vals[2]), mbps(vals[3])]);
     e

@@ -20,13 +20,43 @@
 
 pub mod experiments;
 pub mod quality;
+pub mod sweep;
 pub mod table;
 
 pub use quality::Quality;
+pub use sweep::{sweep, sweep_scalar};
 pub use table::Experiment;
 
+/// Everything an experiment generator needs: fidelity settings plus the
+/// worker pool its sweeps execute on.
+#[derive(Debug, Clone)]
+pub struct RunCtx {
+    /// Seeds, run length, sample counts.
+    pub quality: Quality,
+    /// Campaign executor sweeps submit their jobs to.
+    pub runner: runner::Runner,
+}
+
+impl RunCtx {
+    /// Context running `quality` sequentially on the calling thread.
+    pub fn sequential(quality: Quality) -> Self {
+        RunCtx {
+            quality,
+            runner: runner::Runner::sequential(),
+        }
+    }
+
+    /// Context running `quality` on a pool of `jobs` workers.
+    pub fn with_jobs(quality: Quality, jobs: usize) -> Self {
+        RunCtx {
+            quality,
+            runner: runner::Runner::new(jobs),
+        }
+    }
+}
+
 /// An experiment generator function.
-pub type Generator = fn(&Quality) -> Experiment;
+pub type Generator = fn(&RunCtx) -> Experiment;
 
 /// All experiment ids in presentation order, with their generators.
 pub fn registry() -> Vec<(&'static str, Generator)> {
@@ -83,7 +113,9 @@ mod tests {
         for (id, _) in &reg {
             assert!(seen.insert(*id), "duplicate experiment id {id}");
             assert!(
-                id.starts_with("fig") || id.starts_with("tab") || id.starts_with("ext")
+                id.starts_with("fig")
+                    || id.starts_with("tab")
+                    || id.starts_with("ext")
                     || id.starts_with("abl"),
                 "unexpected id scheme: {id}"
             );
@@ -101,11 +133,11 @@ mod tests {
     fn analytic_tables_generate_instantly() {
         // tab3 (analytic) and tab1 (Monte Carlo) need no simulation and
         // should produce full tables even at quick quality.
-        let q = Quality::quick();
-        let t3 = experiments::tab03::run(&q);
+        let ctx = RunCtx::sequential(Quality::quick());
+        let t3 = experiments::tab03::run(&ctx);
         assert_eq!(t3.rows.len(), 5);
         assert_eq!(t3.columns.len(), 5);
-        let t1 = experiments::tab01::run(&q);
+        let t1 = experiments::tab01::run(&ctx);
         assert_eq!(t1.rows.len(), 2);
         // The 802.11b row must show ≥ 95 % address survival.
         let ratio: f64 = t1.rows[0][5].parse().expect("numeric ratio");
@@ -114,8 +146,8 @@ mod tests {
 
     #[test]
     fn fig21_cdf_row_at_one_db_matches_calibration() {
-        let q = Quality::quick();
-        let e = experiments::fig21::run(&q);
+        let ctx = RunCtx::sequential(Quality::quick());
+        let e = experiments::fig21::run(&ctx);
         let row = e
             .rows
             .iter()

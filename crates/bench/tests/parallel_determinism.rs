@@ -1,0 +1,59 @@
+//! The tentpole guarantee: a campaign's output is a pure function of
+//! `(experiment, quality)` — the `--jobs` worker count, the execution
+//! order of the jobs, and whatever else ran in the process beforehand
+//! must not change a single byte of the results.
+
+use gr_bench::{experiments, Experiment, Quality, RunCtx};
+use sim::SimDuration;
+
+/// Small-but-real fidelity: two seeds so the median path is exercised,
+/// short runs so the suite stays fast.
+fn test_quality() -> Quality {
+    Quality {
+        seeds: vec![1, 2],
+        duration: SimDuration::from_millis(300),
+        samples: 2_000,
+    }
+}
+
+fn csv_bytes(e: &Experiment, dir: &std::path::Path) -> Vec<u8> {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    e.write_csv(dir).expect("write csv");
+    std::fs::read(dir.join(format!("{}.csv", e.id))).expect("read csv back")
+}
+
+#[test]
+fn jobs_1_and_jobs_4_produce_identical_csv_bytes() {
+    let sequential = experiments::fig17::run(&RunCtx::sequential(test_quality()));
+    let parallel = experiments::fig17::run(&RunCtx::with_jobs(test_quality(), 4));
+    assert_eq!(sequential.rows, parallel.rows, "row values diverged");
+
+    let base = std::env::temp_dir().join(format!("gr-bench-det-{}", std::process::id()));
+    let a = csv_bytes(&sequential, &base.join("jobs1"));
+    let b = csv_bytes(&parallel, &base.join("jobs4"));
+    std::fs::remove_dir_all(&base).ok();
+    assert_eq!(a, b, "CSV bytes differ between --jobs 1 and --jobs 4");
+}
+
+#[test]
+fn multi_sweep_experiment_is_jobs_invariant() {
+    // abl1 runs two labelled sweeps back to back — the case where
+    // execution-order-derived seeds would alias or reorder.
+    let sequential = experiments::abl01::run(&RunCtx::sequential(test_quality()));
+    let parallel = experiments::abl01::run(&RunCtx::with_jobs(test_quality(), 4));
+    assert_eq!(sequential.rows, parallel.rows);
+}
+
+#[test]
+fn rng_streams_are_independent_of_surrounding_work() {
+    // Each run's stream is keyed by (label, point, seed) — not by any
+    // process-global RNG state — so running another experiment first
+    // must not perturb the results.
+    let alone = experiments::tab05::run(&RunCtx::sequential(test_quality()));
+
+    let ctx = RunCtx::with_jobs(test_quality(), 2);
+    let _other = experiments::abl01::run(&ctx);
+    let after_other = experiments::tab05::run(&ctx);
+
+    assert_eq!(alone.rows, after_other.rows, "cross-experiment RNG bleed");
+}

@@ -69,8 +69,7 @@ impl DominoDetector {
         // SIFS responses).
         let mut senders: BTreeMap<u16, ()> = BTreeMap::new();
         for r in trace.records() {
-            if r.kind == TraceKind::TxStart && matches!(r.frame, FrameKind::Rts | FrameKind::Data)
-            {
+            if r.kind == TraceKind::TxStart && matches!(r.frame, FrameKind::Rts | FrameKind::Data) {
                 senders.insert(r.node.0, ());
             }
         }
@@ -168,8 +167,14 @@ mod tests {
         let trace = synthetic_trace(&pattern);
         let det = DominoDetector::new(PhyParams::dot11b());
         let report = det.analyze(&trace);
-        assert!(report.flagged.contains(&1), "greedy sender must be flagged: {report:?}");
-        assert!(!report.flagged.contains(&0), "honest sender must pass: {report:?}");
+        assert!(
+            report.flagged.contains(&1),
+            "greedy sender must be flagged: {report:?}"
+        );
+        assert!(
+            !report.flagged.contains(&0),
+            "honest sender must pass: {report:?}"
+        );
         assert!(report.avg_backoff_slots[&1] < report.avg_backoff_slots[&0]);
     }
 
@@ -180,7 +185,10 @@ mod tests {
         let report = det.analyze(&trace);
         assert!(report.flagged.is_empty());
         assert_eq!(report.samples[&1], 3);
-        assert!(report.avg_backoff_slots[&1] < 1.0, "zero-gap accesses score ~0");
+        assert!(
+            report.avg_backoff_slots[&1] < 1.0,
+            "zero-gap accesses score ~0"
+        );
     }
 
     #[test]

@@ -34,9 +34,7 @@ impl FakeAckDetector {
     /// The application loss an honest receiver would show given the
     /// observed per-attempt MAC loss.
     pub fn expected_app_loss(&self, mac_loss: f64) -> f64 {
-        mac_loss
-            .clamp(0.0, 1.0)
-            .powi(self.max_retries as i32 + 1)
+        mac_loss.clamp(0.0, 1.0).powi(self.max_retries as i32 + 1)
     }
 
     /// The detection rule:

@@ -5,8 +5,8 @@
 use mac::{Frame, FrameMeta, MacObserver, Msdu, NodeId};
 use phy::PhyParams;
 
-use super::nav_guard::{NavGuard, NavGuardHandle};
-use super::spoof_guard::{SpoofGuard, SpoofGuardConfig, SpoofGuardHandle};
+use super::nav_guard::{NavGuard, NavGuardHandle, NavGuardReport};
+use super::spoof_guard::{SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport};
 
 /// Handles for reading a [`GrcObserver`]'s reports after a run.
 #[derive(Debug, Clone)]
@@ -15,6 +15,26 @@ pub struct GrcReportHandles {
     pub nav: NavGuardHandle,
     /// Spoofed-ACK detections and rejections.
     pub spoof: SpoofGuardHandle,
+}
+
+/// Plain-data copy of both GRC reports — what a run outcome carries back
+/// to the aggregating thread once the run (and its live handles) is done.
+#[derive(Debug, Clone, Default)]
+pub struct GrcSnapshot {
+    /// NAV-inflation detections and corrections.
+    pub nav: NavGuardReport,
+    /// Spoofed-ACK detections and rejections.
+    pub spoof: SpoofGuardReport,
+}
+
+impl GrcReportHandles {
+    /// Detached copies of the current report contents.
+    pub fn snapshot(&self) -> GrcSnapshot {
+        GrcSnapshot {
+            nav: self.nav.snapshot(),
+            spoof: self.spoof.snapshot(),
+        }
+    }
 }
 
 /// Observer stacking the NAV guard and the spoof guard.
@@ -32,11 +52,7 @@ impl GrcObserver {
 
     /// Like [`new`](Self::new) with an explicit MTU assumption for the
     /// NAV guard's fallback bounds.
-    pub fn with_nav_mtu(
-        params: PhyParams,
-        mitigate: bool,
-        mtu: usize,
-    ) -> (Self, GrcReportHandles) {
+    pub fn with_nav_mtu(params: PhyParams, mitigate: bool, mtu: usize) -> (Self, GrcReportHandles) {
         let (nav, nav_handle) = NavGuard::new(params, mitigate);
         let nav = nav.with_mtu(mtu);
         let spoof_cfg = SpoofGuardConfig {

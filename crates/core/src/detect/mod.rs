@@ -16,20 +16,23 @@
 //! * [`FakeAckDetector`] — compares probed application loss against
 //!   `MACLoss^(maxRetries+1)`.
 //!
-//! Detector state is shared out through `Rc<RefCell<…>>` handles so
-//! experiments can read detection counts after a run while the observer
-//! itself lives inside the MAC.
+//! Detector state is shared out through [`Shared`] handles (thread-safe
+//! cells) so experiments can read detection counts after a run while the
+//! observer itself lives inside the MAC — and so a network with detectors
+//! attached stays `Send` and can run on any campaign worker thread.
 
 mod cross_layer;
 mod domino;
 mod fake_guard;
 mod grc;
 mod nav_guard;
+mod shared;
 mod spoof_guard;
 
 pub use cross_layer::CrossLayerDetector;
 pub use domino::{DominoDetector, DominoReport};
 pub use fake_guard::FakeAckDetector;
-pub use grc::{GrcObserver, GrcReportHandles};
+pub use grc::{GrcObserver, GrcReportHandles, GrcSnapshot};
 pub use nav_guard::{NavGuard, NavGuardHandle, NavGuardReport};
+pub use shared::Shared;
 pub use spoof_guard::{SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport};

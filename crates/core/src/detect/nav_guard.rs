@@ -14,13 +14,13 @@
 //! reconstructed value (when mitigation is enabled), recovering virtual
 //! carrier sense.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
 
 use mac::{Frame, FrameKind, FrameMeta, MacObserver, Msdu, NavCalculator};
 use phy::PhyParams;
 use sim::{SimDuration, SimTime};
+
+use super::shared::Shared;
 
 /// Detection statistics shared out of the observer.
 #[derive(Debug, Clone, Default)]
@@ -38,8 +38,9 @@ impl NavGuardReport {
     }
 }
 
-/// Shared handle to a [`NavGuardReport`].
-pub type NavGuardHandle = Rc<RefCell<NavGuardReport>>;
+/// Shared handle to a [`NavGuardReport`]. Thread-safe so a network with
+/// the guard attached remains `Send`.
+pub type NavGuardHandle = Shared<NavGuardReport>;
 
 /// The NAV-sanitizing observer.
 #[derive(Debug)]
@@ -59,7 +60,7 @@ impl NavGuard {
     /// honors claimed values (used to measure attack impact with
     /// detection-only deployments).
     pub fn new(params: PhyParams, mitigate: bool) -> (Self, NavGuardHandle) {
-        let report: NavGuardHandle = Rc::new(RefCell::new(NavGuardReport::default()));
+        let report: NavGuardHandle = Shared::new(NavGuardReport::default());
         (
             NavGuard {
                 calc: NavCalculator::new(params),
@@ -67,7 +68,7 @@ impl NavGuard {
                 tolerance_us: 2,
                 mtu: 1500,
                 pending_cts: HashMap::new(),
-                report: Rc::clone(&report),
+                report: report.clone(),
             },
             report,
         )
@@ -82,12 +83,7 @@ impl NavGuard {
     }
 
     fn flag(&self, src: u16) {
-        *self
-            .report
-            .borrow_mut()
-            .detections
-            .entry(src)
-            .or_insert(0) += 1;
+        *self.report.borrow_mut().detections.entry(src).or_insert(0) += 1;
     }
 
     fn resolve(&self, claimed: u32, expected: u32, src: u16) -> u32 {
@@ -171,7 +167,10 @@ mod tests {
         assert_eq!(g.on_frame(&cts, &meta(400), false), cts_dur);
         let data: Frame<usize> =
             Frame::data(NodeId(0), NodeId(1), calc.data_duration_us(), 1, 1024);
-        assert_eq!(g.on_frame(&data, &meta(800), false), calc.data_duration_us());
+        assert_eq!(
+            g.on_frame(&data, &meta(800), false),
+            calc.data_duration_us()
+        );
         let ack: Frame<usize> = Frame::ack(NodeId(1), NodeId(0), 0);
         assert_eq!(g.on_frame(&ack, &meta(1800), false), 0);
         assert_eq!(report.borrow().total_detections(), 0);
@@ -217,7 +216,10 @@ mod tests {
         let (mut g, _) = guard(true);
         let calc = NavCalculator::new(PhyParams::dot11b());
         let inflated: Frame<usize> = Frame::data(NodeId(1), NodeId(0), 31_000, 1, 60);
-        assert_eq!(g.on_frame(&inflated, &meta(0), false), calc.data_duration_us());
+        assert_eq!(
+            g.on_frame(&inflated, &meta(0), false),
+            calc.data_duration_us()
+        );
     }
 
     #[test]
@@ -238,8 +240,7 @@ mod tests {
         g.on_frame(&rts, &meta(0), false);
         // 50 ms later the entry expired; the CTS bound applies instead of
         // the (smaller) exact expectation.
-        let cts: Frame<usize> =
-            Frame::cts(NodeId(1), NodeId(0), calc.cts_duration_bound_us(1500));
+        let cts: Frame<usize> = Frame::cts(NodeId(1), NodeId(0), calc.cts_duration_bound_us(1500));
         let honored = g.on_frame(&cts, &meta(50_000), false);
         assert_eq!(honored, calc.cts_duration_bound_us(1500));
     }

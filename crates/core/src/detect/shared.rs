@@ -1,0 +1,81 @@
+//! Thread-safe shared report cells.
+//!
+//! Detector observers live inside the MAC while experiments hold a handle
+//! to read detection counts after the run. The handles used to be
+//! `Rc<RefCell<…>>`, which made every network with a detector attached
+//! `!Send` and blocked sharding campaigns across worker threads.
+//! [`Shared`] is the drop-in replacement: `Arc<Mutex<…>>` behind the same
+//! `borrow`/`borrow_mut` surface, so the ~20 existing call sites read
+//! unchanged.
+//!
+//! Lock contention is not a concern: a run is single-threaded, so a cell
+//! is only ever touched from one thread at a time — the `Mutex` exists to
+//! make that safety claim checkable by the compiler rather than by
+//! convention.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cloneable, `Send` shared cell with `RefCell`-style accessors.
+#[derive(Debug, Default)]
+pub struct Shared<T>(Arc<Mutex<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps `value` in a fresh shared cell.
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(Mutex::new(value)))
+    }
+
+    /// Read access. The name mirrors `RefCell::borrow` so existing call
+    /// sites compile unchanged; the guard is a plain `MutexGuard`.
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("report cell poisoned")
+    }
+
+    /// Write access, mirroring `RefCell::borrow_mut`.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("report cell poisoned")
+    }
+
+    /// An owned copy of the current contents — what run outcomes carry
+    /// back across the thread boundary.
+    pub fn snapshot(&self) -> T
+    where
+        T: Clone,
+    {
+        self.borrow().clone()
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_alias_the_same_cell() {
+        let a = Shared::new(0u64);
+        let b = a.clone();
+        *a.borrow_mut() += 5;
+        assert_eq!(*b.borrow(), 5);
+    }
+
+    #[test]
+    fn snapshot_is_detached() {
+        let a = Shared::new(vec![1, 2]);
+        let snap = a.snapshot();
+        a.borrow_mut().push(3);
+        assert_eq!(snap, vec![1, 2]);
+        assert_eq!(*a.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shared_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Shared<u64>>();
+    }
+}

@@ -14,11 +14,11 @@
 //!   received, and duplicate filtering absorbs any redundant
 //!   retransmission.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 
 use mac::{Frame, FrameKind, FrameMeta, MacObserver, Msdu, NodeId};
+
+use super::shared::Shared;
 
 /// Tuning of the [`SpoofGuard`].
 #[derive(Debug, Clone)]
@@ -58,8 +58,9 @@ pub struct SpoofGuardReport {
     pub unvetted: u64,
 }
 
-/// Shared handle to a [`SpoofGuardReport`].
-pub type SpoofGuardHandle = Rc<RefCell<SpoofGuardReport>>;
+/// Shared handle to a [`SpoofGuardReport`]. Thread-safe so a network with
+/// the guard attached remains `Send`.
+pub type SpoofGuardHandle = Shared<SpoofGuardReport>;
 
 /// The sender-side ACK-vetting observer.
 #[derive(Debug)]
@@ -72,12 +73,12 @@ pub struct SpoofGuard {
 impl SpoofGuard {
     /// Creates a guard with the given configuration.
     pub fn new(cfg: SpoofGuardConfig) -> (Self, SpoofGuardHandle) {
-        let report: SpoofGuardHandle = Rc::new(RefCell::new(SpoofGuardReport::default()));
+        let report: SpoofGuardHandle = Shared::new(SpoofGuardReport::default());
         (
             SpoofGuard {
                 cfg,
                 history: HashMap::new(),
-                report: Rc::clone(&report),
+                report: report.clone(),
             },
             report,
         )

@@ -40,7 +40,6 @@
 //! # Ok::<(), sim::SimError>(())
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod capacity;
 pub mod corruption;
@@ -48,19 +47,21 @@ pub mod detect;
 pub mod misbehavior;
 pub mod model;
 pub mod rssi_study;
+pub mod runplan;
 pub mod scenario;
 
 pub use capacity::CapacityModel;
 pub use corruption::{CorruptionCounts, CorruptionStudy};
 pub use detect::{
     CrossLayerDetector, DominoDetector, DominoReport, FakeAckDetector, GrcObserver,
-    GrcReportHandles, NavGuard, NavGuardReport, SpoofGuard, SpoofGuardConfig,
+    GrcReportHandles, GrcSnapshot, NavGuard, NavGuardReport, Shared, SpoofGuard, SpoofGuardConfig,
     SpoofGuardReport,
 };
 pub use misbehavior::{
-    AckSpoofPolicy, FakeAckPolicy, FakeConfig, GreedyConfig, GreedyPolicy,
-    GreedySenderPolicy, InflatedFrames, NavInflationConfig, NavInflationPolicy, SpoofConfig,
+    AckSpoofPolicy, FakeAckPolicy, FakeConfig, GreedyConfig, GreedyPolicy, GreedySenderPolicy,
+    InflatedFrames, NavInflationConfig, NavInflationPolicy, SpoofConfig,
 };
 pub use model::{nav_inflation_model, SendProbabilities};
 pub use rssi_study::{RssiStudy, RssiStudyConfig};
-pub use scenario::{Scenario, ScenarioOutcome, TransportKind};
+pub use runplan::{execute, RunOutcome, RunPlan};
+pub use scenario::{BuiltScenario, Scenario, ScenarioOutcome, TransportKind};

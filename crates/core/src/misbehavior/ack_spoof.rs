@@ -38,9 +38,7 @@ impl AckSpoofPolicy {
 
 impl<M: mac::Msdu> StationPolicy<M> for AckSpoofPolicy {
     fn spoof_ack_for(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
-        frame.kind == FrameKind::Data
-            && self.victims.contains(&frame.dst)
-            && rng.chance(self.gp)
+        frame.kind == FrameKind::Data && self.victims.contains(&frame.dst) && rng.chance(self.gp)
     }
 }
 

@@ -102,9 +102,7 @@ impl GreedyPolicy {
     pub fn new(cfg: GreedyConfig) -> Self {
         GreedyPolicy {
             nav: cfg.nav.map(NavInflationPolicy::new),
-            spoof: cfg
-                .spoof
-                .map(|s| AckSpoofPolicy::new(s.victims, s.gp)),
+            spoof: cfg.spoof.map(|s| AckSpoofPolicy::new(s.victims, s.gp)),
             fake: cfg.fake.map(|f| FakeAckPolicy::new(f.gp)),
         }
     }

@@ -125,7 +125,9 @@ impl NavInflationPolicy {
             FrameKind::Data => self.cfg.frames.data && carries_transport_ack,
         };
         if eligible && rng.chance(self.cfg.gp) {
-            normal_us.saturating_add(self.cfg.inflate_us).min(MAX_NAV_US)
+            normal_us
+                .saturating_add(self.cfg.inflate_us)
+                .min(MAX_NAV_US)
         } else {
             normal_us
         }

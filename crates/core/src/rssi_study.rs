@@ -13,7 +13,7 @@
 //!   falls within the threshold of the victim's median.
 
 use phy::{Position, RssiModel};
-use sim::{SimRng, stats};
+use sim::{stats, SimRng};
 
 /// Configuration of the synthetic testbed.
 #[derive(Debug, Clone)]
@@ -103,11 +103,7 @@ impl RssiStudy {
     pub fn deviations(&self) -> Vec<f64> {
         self.links
             .iter()
-            .flat_map(|l| {
-                l.samples_dbm
-                    .iter()
-                    .map(move |s| (s - l.median_dbm).abs())
-            })
+            .flat_map(|l| l.samples_dbm.iter().map(move |s| (s - l.median_dbm).abs()))
             .collect()
     }
 

@@ -156,6 +156,45 @@ impl ScenarioOutcome {
     }
 }
 
+/// A scenario materialized into a runnable network, not yet run.
+///
+/// Splitting construction from execution lets a campaign build the run
+/// description on the submitting thread and execute it on any worker:
+/// the built value is `Send` and self-contained.
+#[derive(Debug)]
+pub struct BuiltScenario {
+    /// The wired-up simulation.
+    pub net: net::Network,
+    /// Data-flow ids, index-aligned with receivers.
+    pub flows: Vec<FlowId>,
+    /// Probe-flow ids (empty unless probes were requested).
+    pub probe_flows: Vec<FlowId>,
+    /// Sender node ids.
+    pub senders: Vec<NodeId>,
+    /// Receiver node ids, index-aligned with flows.
+    pub receivers: Vec<NodeId>,
+    /// GRC report handles per observed node (empty unless GRC).
+    pub grc_reports: Vec<(NodeId, GrcReportHandles)>,
+    /// Virtual run length.
+    pub duration: SimDuration,
+}
+
+impl BuiltScenario {
+    /// Executes the simulation and packages the outcome.
+    pub fn run(mut self) -> ScenarioOutcome {
+        let metrics = self.net.run(self.duration);
+        ScenarioOutcome {
+            metrics,
+            flows: self.flows,
+            probe_flows: self.probe_flows,
+            senders: self.senders,
+            receivers: self.receivers,
+            grc_reports: self.grc_reports,
+            duration: self.duration,
+        }
+    }
+}
+
 impl Scenario {
     /// Convenience: the classic 2-pair UDP topology with receiver 1
     /// greedy.
@@ -176,13 +215,32 @@ impl Scenario {
         }
     }
 
-    /// Runs the scenario.
+    /// Same scenario with a different master seed — how campaign plans
+    /// stamp the per-run derived seed onto a shared scenario template.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the scenario: [`build`](Self::build) followed by
+    /// [`BuiltScenario::run`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] for zero pairs, out-of-range
     /// greedy indices, or invalid error rates.
     pub fn run(&self) -> Result<ScenarioOutcome, SimError> {
+        Ok(self.build()?.run())
+    }
+
+    /// Materializes the scenario into a runnable network without running
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for zero pairs, out-of-range
+    /// greedy indices, or invalid error rates.
+    pub fn build(&self) -> Result<BuiltScenario, SimError> {
         if self.pairs == 0 {
             return Err(SimError::invalid_config("need at least one pair"));
         }
@@ -208,8 +266,8 @@ impl Scenario {
         // receivers get their misbehavior policy.
         let mut grc_reports = Vec::new();
         let add_honest = |b: &mut NetworkBuilder,
-                              grc_reports: &mut Vec<(NodeId, GrcReportHandles)>,
-                              pos: Position| {
+                          grc_reports: &mut Vec<(NodeId, GrcReportHandles)>,
+                          pos: Position| {
             match self.grc {
                 Some(mitigate) => {
                     let (obs, handles) = GrcObserver::new(params, mitigate);
@@ -295,10 +353,8 @@ impl Scenario {
             b.link_error(receivers[*i], src, em);
         }
 
-        let mut net = b.build();
-        let metrics = net.run(self.duration);
-        Ok(ScenarioOutcome {
-            metrics,
+        Ok(BuiltScenario {
+            net: b.build(),
             flows,
             probe_flows,
             senders,

@@ -44,8 +44,8 @@ impl ArfConfig {
     pub fn dot11a() -> Self {
         ArfConfig {
             rates: vec![
-                6_000_000, 9_000_000, 12_000_000, 18_000_000, 24_000_000, 36_000_000,
-                48_000_000, 54_000_000,
+                6_000_000, 9_000_000, 12_000_000, 18_000_000, 24_000_000, 36_000_000, 48_000_000,
+                54_000_000,
             ],
             initial_index: 0,
             up_threshold: 10,
@@ -78,7 +78,10 @@ impl Arf {
     /// range.
     pub fn new(cfg: ArfConfig) -> Self {
         assert!(!cfg.rates.is_empty(), "ARF needs at least one rate");
-        assert!(cfg.initial_index < cfg.rates.len(), "initial rate out of range");
+        assert!(
+            cfg.initial_index < cfg.rates.len(),
+            "initial rate out of range"
+        );
         Arf {
             index: cfg.initial_index,
             consecutive_ok: 0,
@@ -105,8 +108,7 @@ impl Arf {
         self.probing = false;
         self.consecutive_fail = 0;
         self.consecutive_ok += 1;
-        if self.consecutive_ok >= self.cfg.up_threshold && self.index + 1 < self.cfg.rates.len()
-        {
+        if self.consecutive_ok >= self.cfg.up_threshold && self.index + 1 < self.cfg.rates.len() {
             self.index += 1;
             self.step_ups += 1;
             self.consecutive_ok = 0;

@@ -484,28 +484,27 @@ impl<M: Msdu> Dcf<M> {
         let mut actions = Vec::new();
         self.use_eifs = false;
         let to_me = frame.dst == self.id;
-        let meta = FrameMeta {
-            rssi_dbm,
-            now,
-        };
+        let meta = FrameMeta { rssi_dbm, now };
         let honored_duration = self.observer.on_frame(&frame, &meta, to_me);
         if !to_me {
             self.nav.update(now, honored_duration, false);
         }
         match frame.kind {
-            FrameKind::Rts if to_me
+            FrameKind::Rts
+                if to_me
                 // Respond with CTS only if our virtual carrier is idle.
-                && self.nav.is_idle(now) => {
-                    let normal = self.navcalc.cts_duration_us(frame.duration_us);
-                    let dur =
-                        self.policy
-                            .outgoing_duration_us(FrameKind::Cts, normal, false, &mut self.rng);
-                    if dur > normal {
-                        self.counters.inflated_navs_sent.incr();
-                    }
-                    self.queue_response(Frame::cts(self.id, frame.src, dur), &mut actions);
-                    self.counters.cts_sent.incr();
+                && self.nav.is_idle(now) =>
+            {
+                let normal = self.navcalc.cts_duration_us(frame.duration_us);
+                let dur =
+                    self.policy
+                        .outgoing_duration_us(FrameKind::Cts, normal, false, &mut self.rng);
+                if dur > normal {
+                    self.counters.inflated_navs_sent.incr();
                 }
+                self.queue_response(Frame::cts(self.id, frame.src, dur), &mut actions);
+                self.counters.cts_sent.incr();
+            }
             FrameKind::Cts if to_me && self.awaiting == Some(Awaiting::Cts) => {
                 actions.push(MacAction::CancelTimer(TimerKind::Response));
                 self.awaiting = None;
@@ -544,16 +543,17 @@ impl<M: Msdu> Dcf<M> {
                 // Rejected ACKs are ignored: the Response timer keeps
                 // running and a timeout will trigger retransmission.
             }
-            FrameKind::Data if !to_me
+            FrameKind::Data
+                if !to_me
                 // Promiscuous sniffing: misbehavior 2 hook.
                 && self.policy.spoof_ack_for(&frame, &mut self.rng)
                     && self.pending_response.is_none()
-                    && !self.txing
-                => {
-                    let spoof = Frame::spoofed_ack(self.id, frame.dst, frame.src);
-                    self.counters.spoofed_acks_sent.incr();
-                    self.queue_response(spoof, &mut actions);
-                }
+                    && !self.txing =>
+            {
+                let spoof = Frame::spoofed_ack(self.id, frame.dst, frame.src);
+                self.counters.spoofed_acks_sent.incr();
+                self.queue_response(spoof, &mut actions);
+            }
             _ => {}
         }
         self.reschedule_access(now, &mut actions);
@@ -573,10 +573,7 @@ impl<M: Msdu> Dcf<M> {
             CorruptionCause::Noise => self.counters.corrupted_rx.incr(),
             CorruptionCause::Collision => self.counters.collision_rx.incr(),
         }
-        let meta = FrameMeta {
-            rssi_dbm,
-            now,
-        };
+        let meta = FrameMeta { rssi_dbm, now };
         self.observer.on_corrupted(&meta);
         // Misbehavior 3: fake ACK for a corrupted frame addressed to us.
         if frame.dst == self.id
@@ -794,8 +791,8 @@ impl<M: Msdu> Dcf<M> {
             self.access_armed = false;
             if let (Some(slots), Some(decr_start)) = (self.backoff_slots, self.decr_start) {
                 let consumed = if now > decr_start {
-                    (now.saturating_since(decr_start).as_nanos()
-                        / self.cfg.params.slot.as_nanos()) as u32
+                    (now.saturating_since(decr_start).as_nanos() / self.cfg.params.slot.as_nanos())
+                        as u32
                 } else {
                     0
                 };
@@ -953,7 +950,10 @@ mod tests {
                 ..
             }
         )));
-        let actions = d.on_timer(SimTime::from_millis(1) + SimDuration::from_micros(10), TimerKind::Sifs);
+        let actions = d.on_timer(
+            SimTime::from_millis(1) + SimDuration::from_micros(10),
+            TimerKind::Sifs,
+        );
         let f = has_start_tx(&actions).unwrap();
         assert_eq!(f.kind, FrameKind::Cts);
         let calc = NavCalculator::new(PhyParams::dot11b());
@@ -1177,7 +1177,8 @@ mod tests {
         let t1 = t0 + SimDuration::from_micros(500);
         let a = d.on_channel_idle(t1);
         // Access armed at DIFS + slots·slot after idle.
-        let expected_after = SimDuration::from_micros(50) + SimDuration::from_micros(20) * slots as u64;
+        let expected_after =
+            SimDuration::from_micros(50) + SimDuration::from_micros(20) * slots as u64;
         assert!(a.iter().any(|x| matches!(
             x,
             MacAction::SetTimer {

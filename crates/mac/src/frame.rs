@@ -208,9 +208,7 @@ impl<M: Msdu> Frame<M> {
             FrameKind::Rts => RTS_BYTES,
             FrameKind::Cts => CTS_BYTES,
             FrameKind::Ack => ACK_BYTES,
-            FrameKind::Data => {
-                DATA_HEADER_BYTES + self.body.as_ref().map_or(0, |b| b.wire_bytes())
-            }
+            FrameKind::Data => DATA_HEADER_BYTES + self.body.as_ref().map_or(0, |b| b.wire_bytes()),
         }
     }
 
@@ -372,7 +370,10 @@ mod tests {
         let p = PhyParams::dot11b();
         let data_air = airtime::tx_duration(&p, DATA_HEADER_BYTES + 1024).as_micros() as u32;
         // 3 SIFS + CTS(304) + DATA + ACK(304)
-        assert_eq!(c.rts_duration_us(DATA_HEADER_BYTES + 1024), 30 + 304 + data_air + 304);
+        assert_eq!(
+            c.rts_duration_us(DATA_HEADER_BYTES + 1024),
+            30 + 304 + data_air + 304
+        );
     }
 
     #[test]

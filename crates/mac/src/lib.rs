@@ -15,7 +15,6 @@
 //! The state machine ([`dcf::Dcf`]) is passive and event-driven; the
 //! `gr-net` crate supplies the medium and event loop.
 
-
 #![warn(missing_docs)]
 pub mod arf;
 pub mod backoff;

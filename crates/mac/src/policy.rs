@@ -27,7 +27,10 @@ pub struct FrameMeta {
 /// receivers override them. All hooks receive the deterministic per-node
 /// RNG so probabilistic misbehavior (the paper's *greedy percentage*)
 /// stays reproducible.
-pub trait StationPolicy<M: Msdu>: std::fmt::Debug {
+///
+/// Policies are `Send` so a built network — which boxes one policy per
+/// station — can execute on any worker thread of a campaign runner.
+pub trait StationPolicy<M: Msdu>: std::fmt::Debug + Send {
     /// Returns the Duration/NAV value (µs) to place on an outgoing frame
     /// of `kind` whose honest value is `normal_us`. For RTS and DATA
     /// frames, `carries_transport_ack` reports whether the pending MSDU is
@@ -81,7 +84,10 @@ impl<M: Msdu> StationPolicy<M> for NormalPolicy {}
 /// Observation and mitigation hooks — where GRC attaches.
 ///
 /// The default implementation observes nothing and trusts everything.
-pub trait MacObserver<M: Msdu>: std::fmt::Debug {
+///
+/// Observers are `Send` for the same reason as [`StationPolicy`]: a run,
+/// including its attached detectors, must be movable to a worker thread.
+pub trait MacObserver<M: Msdu>: std::fmt::Debug + Send {
     /// Called for every correctly received or overheard frame, *before*
     /// the NAV update. Returns the Duration value (µs) the station should
     /// honor; a mitigating observer clamps inflated values.

@@ -26,12 +26,14 @@ use std::collections::HashMap;
 use mac::{Dcf, DcfConfig, MacObserver, NodeId, StationPolicy};
 use phy::{CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
 use sim::{SimDuration, SimRng};
-use transport::{CbrSource, FlowId, ProbeStats, Segment, TcpConfig, TcpReceiver, TcpSender, UdpSink};
+use transport::{
+    CbrSource, FlowId, ProbeStats, Segment, TcpConfig, TcpReceiver, TcpSender, UdpSink,
+};
 
 use crate::network::{FlowKindState, FlowState, Network};
 
-type PolicyBox = Box<dyn StationPolicy<Segment>>;
-type ObserverBox = Box<dyn MacObserver<Segment>>;
+type PolicyBox = Box<dyn StationPolicy<Segment> + Send>;
+type ObserverBox = Box<dyn MacObserver<Segment> + Send>;
 
 struct NodeSpec {
     pos: Position,

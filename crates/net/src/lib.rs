@@ -5,14 +5,15 @@
 //! [`Network::run`], and read goodput / contention-window / retry
 //! statistics from the returned [`RunMetrics`].
 
-
 #![warn(missing_docs)]
 pub mod builder;
 pub mod metrics;
 pub mod network;
+pub mod stats;
 pub mod trace;
 
 pub use builder::NetworkBuilder;
 pub use metrics::{FlowMetrics, NodeMetrics, RunMetrics};
 pub use network::Network;
+pub use stats::SimStats;
 pub use trace::{Trace, TraceKind, TraceRecord};

@@ -18,9 +18,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use mac::{
-    CorruptionCause, Dcf, Frame, MacAction, NodeId, RxEvent, TimerKind,
-};
+use mac::{CorruptionCause, Dcf, Frame, MacAction, NodeId, RxEvent, TimerKind};
 use phy::error_model::PLCP_EQUIVALENT_BYTES;
 use phy::{channel::Reach, CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
 use sim::{EventId, Scheduler, SimDuration, SimRng, SimTime};
@@ -34,15 +32,37 @@ use crate::trace::{Trace, TraceKind, TraceRecord};
 /// Events the runtime schedules.
 #[derive(Debug, Clone)]
 pub(crate) enum Event {
-    MacTimer { node: NodeId, kind: TimerKind },
-    TxEnd { tx: u64 },
-    BusyOnset { node: NodeId },
-    BusyEnd { node: NodeId },
-    RxConclude { node: NodeId, tx: u64 },
-    CbrTick { flow: FlowId },
-    TcpTimer { flow: FlowId },
-    ProbeTick { flow: FlowId },
-    WireDeliver { flow: FlowId, to_remote: bool, seg: Segment },
+    MacTimer {
+        node: NodeId,
+        kind: TimerKind,
+    },
+    TxEnd {
+        tx: u64,
+    },
+    BusyOnset {
+        node: NodeId,
+    },
+    BusyEnd {
+        node: NodeId,
+    },
+    RxConclude {
+        node: NodeId,
+        tx: u64,
+    },
+    CbrTick {
+        flow: FlowId,
+    },
+    TcpTimer {
+        flow: FlowId,
+    },
+    ProbeTick {
+        flow: FlowId,
+    },
+    WireDeliver {
+        flow: FlowId,
+        to_remote: bool,
+        seg: Segment,
+    },
 }
 
 pub(crate) struct NodeState {
@@ -132,6 +152,15 @@ pub struct Network {
     trace: Option<Trace>,
 }
 
+// A built network is a self-contained job: the campaign runner moves it to
+// whichever worker thread picks it up. This fails to compile if any field
+// (policies, observers, detector handles, …) regresses to a thread-local
+// type such as `Rc`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Network>();
+};
+
 impl Network {
     #[allow(clippy::too_many_arguments)] // crate-internal constructor fed by the builder
     pub(crate) fn assemble(
@@ -215,7 +244,9 @@ impl Network {
         while let Some((now, ev)) = self.sched.next_until(horizon) {
             self.dispatch(now, ev);
         }
-        self.collect_metrics(duration)
+        let metrics = self.collect_metrics(duration);
+        crate::stats::record_run(metrics.events_processed);
+        metrics
     }
 
     fn start_flows(&mut self) {
@@ -234,7 +265,8 @@ impl Network {
                     self.sched.schedule_in(offset, Event::TcpTimer { flow: id });
                 }
                 FlowKindState::Probe { .. } => {
-                    self.sched.schedule_in(offset, Event::ProbeTick { flow: id });
+                    self.sched
+                        .schedule_in(offset, Event::ProbeTick { flow: id });
                 }
             }
         }
@@ -287,9 +319,7 @@ impl Network {
                 // whichever flow always arrives second (the mean rate is
                 // unchanged).
                 let jitter = 0.99 + 0.02 * self.rng.uniform_f64();
-                let next = SimDuration::from_nanos(
-                    (interval.as_nanos() as f64 * jitter) as u64,
-                );
+                let next = SimDuration::from_nanos((interval.as_nanos() as f64 * jitter) as u64);
                 self.sched.schedule_in(next, Event::CbrTick { flow });
                 self.enqueue_at(now, src, dst, seg);
             }
@@ -376,7 +406,9 @@ impl Network {
             match action {
                 MacAction::StartTx(frame) => self.start_transmission(now, frame),
                 MacAction::SetTimer { kind, after } => {
-                    let id = self.sched.schedule_in(after, Event::MacTimer { node, kind });
+                    let id = self
+                        .sched
+                        .schedule_in(after, Event::MacTimer { node, kind });
                     if let Some(old) = self.nodes[node.0 as usize].timers.insert(kind, id) {
                         self.sched.cancel(old);
                     }
@@ -403,10 +435,8 @@ impl Network {
                     // interface) must not count as a *sent* probe, or the
                     // fake-ACK detector would read congestion as channel
                     // loss.
-                    if let (
-                        Segment::ProbeReq { flow, .. },
-                        mac::DropReason::QueueFull,
-                    ) = (&body, reason)
+                    if let (Segment::ProbeReq { flow, .. }, mac::DropReason::QueueFull) =
+                        (&body, reason)
                     {
                         let f = &mut self.flows[flow.0 as usize];
                         if let FlowKindState::Probe { stats, .. } = &mut f.kind {
@@ -475,16 +505,16 @@ impl Network {
     }
 
     fn conclude_reception(&mut self, now: SimTime, node: NodeId, tx: u64) {
-        let a = self.txs.get(&tx).expect("rx conclude without record").clone();
+        let a = self
+            .txs
+            .get(&tx)
+            .expect("rx conclude without record")
+            .clone();
         // Half-duplex: if we transmitted at any point during the frame, we
         // heard nothing of it.
         {
             let st = &self.nodes[node.0 as usize];
-            if st
-                .tx_history
-                .iter()
-                .any(|&(s, e)| s < a.end && a.start < e)
-            {
+            if st.tx_history.iter().any(|&(s, e)| s < a.end && a.start < e) {
                 return;
             }
         }
@@ -663,8 +693,7 @@ impl Network {
                                 cross.retx_of_acked += 1;
                             }
                         }
-                        cross.max_seq_sent =
-                            Some(cross.max_seq_sent.map_or(seq, |m| m.max(seq)));
+                        cross.max_seq_sent = Some(cross.max_seq_sent.map_or(seq, |m| m.max(seq)));
                     }
                     let f = &self.flows[flow.0 as usize];
                     match f.wire {

@@ -82,7 +82,10 @@ fn two_tcp_flows_share_fairly() {
     let g1 = m.goodput_mbps(f1);
     let g2 = m.goodput_mbps(f2);
     assert!(g1 > 0.5 && g2 > 0.5, "both must progress: {g1} vs {g2}");
-    assert!(close(g1, g2, 0.25), "fair shares expected, got {g1} vs {g2}");
+    assert!(
+        close(g1, g2, 0.25),
+        "fair shares expected, got {g1} vs {g2}"
+    );
 }
 
 #[test]
@@ -129,7 +132,12 @@ fn remote_tcp_sender_over_wire_transfers() {
     let mut b = NetworkBuilder::new(PhyParams::dot11b()).seed(6);
     let ap = b.add_node(Position::new(0.0, 0.0));
     let client = b.add_node(Position::new(5.0, 0.0));
-    let f = b.tcp_flow_remote(ap, client, TcpConfig::default(), SimDuration::from_millis(50));
+    let f = b.tcp_flow_remote(
+        ap,
+        client,
+        TcpConfig::default(),
+        SimDuration::from_millis(50),
+    );
     let mut net = b.build();
     let m = net.run(SimDuration::from_secs(5));
     let g = m.goodput_mbps(f);
@@ -180,5 +188,8 @@ fn probe_flow_measures_app_loss() {
     // MAC retransmissions hide most probe losses; loss should be tiny but
     // the plumbing (send → echo → count) must work.
     assert!(loss < 0.2, "app loss unexpectedly high: {loss}");
-    assert!(m.flow(p).unwrap().distinct_packets > 100, "echoes must flow");
+    assert!(
+        m.flow(p).unwrap().distinct_packets > 100,
+        "echoes must flow"
+    );
 }

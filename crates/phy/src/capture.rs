@@ -55,7 +55,10 @@ impl CaptureModel {
     ///
     /// Panics if `threshold_db` is negative.
     pub fn new(threshold_db: f64) -> Self {
-        assert!(threshold_db >= 0.0, "capture threshold must be non-negative");
+        assert!(
+            threshold_db >= 0.0,
+            "capture threshold must be non-negative"
+        );
         CaptureModel { threshold_db }
     }
 

@@ -151,10 +151,10 @@ mod tests {
     fn table_iii_byte_process() {
         // Paper Table III, per-byte interpretation: sizes incl. 24 B PLCP.
         let cases = [
-            (1e-5, 38, 3.799e-4),   // ACK/CTS
-            (1e-5, 44, 4.399e-4),   // RTS
-            (2e-4, 38, 7.519e-3),   // ACK/CTS at BER 2e-4
-            (8e-4, 38, 2.995e-2),   // ACK/CTS at BER 8e-4
+            (1e-5, 38, 3.799e-4), // ACK/CTS
+            (1e-5, 44, 4.399e-4), // RTS
+            (2e-4, 38, 7.519e-3), // ACK/CTS at BER 2e-4
+            (8e-4, 38, 2.995e-2), // ACK/CTS at BER 8e-4
         ];
         for (rate, bytes, expected) in cases {
             let em = ErrorModel::new(ErrorUnit::Byte, rate).unwrap();

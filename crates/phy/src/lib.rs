@@ -19,7 +19,6 @@
 //!   the paper's testbed measurement (≈95 % of samples within 1 dB of the
 //!   link median).
 
-
 #![warn(missing_docs)]
 pub mod airtime;
 pub mod capture;

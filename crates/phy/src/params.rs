@@ -164,14 +164,24 @@ mod tests {
 
     #[test]
     fn for_standard_matches_constructors() {
-        assert_eq!(PhyParams::for_standard(PhyStandard::Dot11b), PhyParams::dot11b());
-        assert_eq!(PhyParams::for_standard(PhyStandard::Dot11a), PhyParams::dot11a());
+        assert_eq!(
+            PhyParams::for_standard(PhyStandard::Dot11b),
+            PhyParams::dot11b()
+        );
+        assert_eq!(
+            PhyParams::for_standard(PhyStandard::Dot11a),
+            PhyParams::dot11a()
+        );
     }
 
     #[test]
     fn eifs_exceeds_difs() {
         for p in [PhyParams::dot11b(), PhyParams::dot11a()] {
-            assert!(p.eifs(14) > p.difs, "EIFS must exceed DIFS for {}", p.standard);
+            assert!(
+                p.eifs(14) > p.difs,
+                "EIFS must exceed DIFS for {}",
+                p.standard
+            );
         }
     }
 

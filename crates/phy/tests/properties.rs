@@ -1,8 +1,8 @@
 //! Property-based tests of the PHY models.
 
 use gr_phy::{
-    airtime, capture::CaptureOutcome, CaptureModel, ChannelModel, ErrorModel, ErrorUnit,
-    PhyParams, Position, RssiModel,
+    airtime, capture::CaptureOutcome, CaptureModel, ChannelModel, ErrorModel, ErrorUnit, PhyParams,
+    Position, RssiModel,
 };
 use proptest::prelude::*;
 

@@ -24,7 +24,6 @@
 //! assert_eq!(t.as_micros(), 5);
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod error;
 pub mod queue;
@@ -35,7 +34,7 @@ pub mod time;
 
 pub use error::SimError;
 pub use queue::{EventId, EventQueue};
-pub use rng::SimRng;
+pub use rng::{RunKey, SimRng};
 pub use sched::Scheduler;
 pub use stats::{Counter, Histogram, Mean, TimeWeightedMean};
 pub use time::{SimDuration, SimTime};

@@ -71,7 +71,11 @@ impl<E> Scheduler<E> {
     /// Panics in debug builds if `at` is before the current time — events
     /// may not be scheduled in the past.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         self.queue.push(at.max(self.now), event)
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests of the simulation kernel.
 
-use proptest::prelude::*;
 use gr_sim::{EventQueue, Scheduler, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
 
 proptest! {
     /// Events always pop in non-decreasing time order, and equal

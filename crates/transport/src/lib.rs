@@ -11,7 +11,6 @@
 //!   frames, implementing [`mac::Msdu`].
 //! * [`rto`] — RFC 6298-style retransmission-timeout estimation.
 
-
 #![warn(missing_docs)]
 pub mod packet;
 pub mod rto;

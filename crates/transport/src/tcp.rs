@@ -154,7 +154,8 @@ impl TcpSender {
     }
 
     fn record_cwnd(&mut self, now: SimTime) {
-        self.cwnd_timeline.set(now, self.cwnd.min(self.cfg.max_window));
+        self.cwnd_timeline
+            .set(now, self.cwnd.min(self.cfg.max_window));
     }
 
     fn fill_window(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {

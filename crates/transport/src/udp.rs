@@ -51,8 +51,9 @@ impl CbrSource {
     /// Creates a source that offers `rate_bps` of *payload* bits per
     /// second using `payload`-byte datagrams.
     pub fn with_rate(flow: FlowId, payload: usize, rate_bps: u64) -> Self {
-        let interval =
-            SimDuration::from_nanos((payload as u64 * 8).saturating_mul(1_000_000_000) / rate_bps.max(1));
+        let interval = SimDuration::from_nanos(
+            (payload as u64 * 8).saturating_mul(1_000_000_000) / rate_bps.max(1),
+        );
         Self::new(flow, payload, interval)
     }
 

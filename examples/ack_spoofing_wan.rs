@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Two TCP downloads from remote servers (BER 2e-5 on the WLAN);\n\
          client 1 spoofs MAC ACKs for client 0.\n"
     );
-    println!("wire latency   victim (no GR)  greedy (no GR)   victim (GR)   greedy (GR)   victim (GRC)");
+    println!(
+        "wire latency   victim (no GR)  greedy (no GR)   victim (GR)   greedy (GR)   victim (GRC)"
+    );
 
     for wire_ms in [2u64, 50, 100, 200, 400] {
         let mut s = Scenario {

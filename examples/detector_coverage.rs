@@ -41,7 +41,10 @@ fn run(attack: Attack) -> (f64, f64, usize, u64, u64) {
     let s0 = honest(&mut b, Position::new(0.0, 0.0));
     let r0 = honest(&mut b, Position::new(20.0, 0.0));
     let s1 = if attack == Attack::GreedySender {
-        b.add_node_with_policy(Position::new(0.0, 20.0), Box::new(GreedySenderPolicy::new(0.1)))
+        b.add_node_with_policy(
+            Position::new(0.0, 20.0),
+            Box::new(GreedySenderPolicy::new(0.1)),
+        )
     } else {
         honest(&mut b, Position::new(0.0, 20.0))
     };
@@ -62,7 +65,10 @@ fn run(attack: Attack) -> (f64, f64, usize, u64, u64) {
     net.enable_trace(2_000_000);
     let m = net.run(SimDuration::from_secs(10));
     let report = DominoDetector::new(params).analyze(net.trace().expect("trace on"));
-    let nav: u64 = handles.iter().map(|h| h.nav.borrow().total_detections()).sum();
+    let nav: u64 = handles
+        .iter()
+        .map(|h| h.nav.borrow().total_detections())
+        .sum();
     let spoof: u64 = handles.iter().map(|h| h.spoof.borrow().flagged).sum();
     (
         m.goodput_mbps(f0),
@@ -82,9 +88,7 @@ fn main() {
         ("ACK spoofing  ", Attack::AckSpoof),
     ] {
         let (g0, g1, domino, nav, spoof) = run(attack);
-        println!(
-            "{name}  {g0:>6.3}   {g1:>7.3}   {domino:>4}   {nav:>6}   {spoof:>7}"
-        );
+        println!("{name}  {g0:>6.3}   {g1:>7.3}   {domino:>4}   {nav:>6}   {spoof:>7}");
     }
     println!(
         "\nDOMINO (timing-based, sender-side) flags only the backoff cheat;\n\

@@ -45,9 +45,8 @@ fn inherent_loss() -> Result<(), Box<dyn std::error::Error>> {
     // reveal the true application loss.
     let detector = FakeAckDetector::default();
     let greedy_sender = out.senders[1];
-    let mac_loss = FakeAckDetector::mac_loss_from_counters(
-        &out.metrics.node(greedy_sender).unwrap().counters,
-    );
+    let mac_loss =
+        FakeAckDetector::mac_loss_from_counters(&out.metrics.node(greedy_sender).unwrap().counters);
     let app_loss = out
         .metrics
         .flow(out.probe_flows[1])

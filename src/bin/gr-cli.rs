@@ -54,9 +54,13 @@ fn parse_greedy(spec: &str, pairs: usize) -> Result<(usize, GreedyConfig), Strin
         .parse()
         .map_err(|_| format!("bad receiver index in `{spec}`"))?;
     if idx >= pairs {
-        return Err(format!("receiver index {idx} out of range (pairs = {pairs})"));
+        return Err(format!(
+            "receiver index {idx} out of range (pairs = {pairs})"
+        ));
     }
-    let kind = *parts.get(1).ok_or("missing misbehavior kind (nav|spoof|fake)")?;
+    let kind = *parts
+        .get(1)
+        .ok_or("missing misbehavior kind (nav|spoof|fake)")?;
     let gp_of = |s: Option<&&str>| -> Result<f64, String> {
         match s {
             None => Ok(1.0),

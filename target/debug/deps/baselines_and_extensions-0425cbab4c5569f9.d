@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_and_extensions-0425cbab4c5569f9.d: tests/baselines_and_extensions.rs
+
+/root/repo/target/debug/deps/baselines_and_extensions-0425cbab4c5569f9: tests/baselines_and_extensions.rs
+
+tests/baselines_and_extensions.rs:

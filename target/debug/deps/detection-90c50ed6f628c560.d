@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection-90c50ed6f628c560.d: tests/detection.rs
+
+/root/repo/target/debug/deps/detection-90c50ed6f628c560: tests/detection.rs
+
+tests/detection.rs:

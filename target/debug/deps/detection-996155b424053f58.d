@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection-996155b424053f58.d: tests/detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection-996155b424053f58.rmeta: tests/detection.rs Cargo.toml
+
+tests/detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

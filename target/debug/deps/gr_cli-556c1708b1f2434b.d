@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gr_cli-556c1708b1f2434b.d: src/bin/gr-cli.rs
+
+/root/repo/target/debug/deps/libgr_cli-556c1708b1f2434b.rmeta: src/bin/gr-cli.rs
+
+src/bin/gr-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gr_cli-cd07b4c981577a33.d: src/bin/gr-cli.rs
+
+/root/repo/target/debug/deps/gr_cli-cd07b4c981577a33: src/bin/gr-cli.rs
+
+src/bin/gr-cli.rs:

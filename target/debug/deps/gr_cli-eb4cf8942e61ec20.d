@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gr_cli-eb4cf8942e61ec20.d: src/bin/gr-cli.rs
+
+/root/repo/target/debug/deps/gr_cli-eb4cf8942e61ec20: src/bin/gr-cli.rs
+
+src/bin/gr-cli.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gr_mac-d3c4875f21cabfd3.d: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/policy.rs
+
+/root/repo/target/debug/deps/libgr_mac-d3c4875f21cabfd3.rlib: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/policy.rs
+
+/root/repo/target/debug/deps/libgr_mac-d3c4875f21cabfd3.rmeta: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/policy.rs
+
+crates/mac/src/lib.rs:
+crates/mac/src/arf.rs:
+crates/mac/src/backoff.rs:
+crates/mac/src/counters.rs:
+crates/mac/src/dcf.rs:
+crates/mac/src/dedup.rs:
+crates/mac/src/frame.rs:
+crates/mac/src/nav.rs:
+crates/mac/src/policy.rs:

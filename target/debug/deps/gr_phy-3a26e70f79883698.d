@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gr_phy-3a26e70f79883698.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+/root/repo/target/debug/deps/gr_phy-3a26e70f79883698: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/capture.rs:
+crates/phy/src/channel.rs:
+crates/phy/src/error_model.rs:
+crates/phy/src/params.rs:
+crates/phy/src/position.rs:
+crates/phy/src/rssi.rs:

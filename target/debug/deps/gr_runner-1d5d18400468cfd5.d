@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gr_runner-1d5d18400468cfd5.d: crates/runner/src/lib.rs
+
+/root/repo/target/debug/deps/libgr_runner-1d5d18400468cfd5.rlib: crates/runner/src/lib.rs
+
+/root/repo/target/debug/deps/libgr_runner-1d5d18400468cfd5.rmeta: crates/runner/src/lib.rs
+
+crates/runner/src/lib.rs:

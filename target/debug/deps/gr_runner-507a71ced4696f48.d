@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gr_runner-507a71ced4696f48.d: crates/runner/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_runner-507a71ced4696f48.rmeta: crates/runner/src/lib.rs Cargo.toml
+
+crates/runner/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

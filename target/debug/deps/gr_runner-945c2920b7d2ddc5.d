@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gr_runner-945c2920b7d2ddc5.d: crates/runner/src/lib.rs
+
+/root/repo/target/debug/deps/libgr_runner-945c2920b7d2ddc5.rmeta: crates/runner/src/lib.rs
+
+crates/runner/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gr_runner-c00d773a265de01b.d: crates/runner/src/lib.rs
+
+/root/repo/target/debug/deps/gr_runner-c00d773a265de01b: crates/runner/src/lib.rs
+
+crates/runner/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gr_sim-014cb0a95b3bf948.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libgr_sim-014cb0a95b3bf948.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

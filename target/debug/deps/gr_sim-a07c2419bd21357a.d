@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gr_sim-a07c2419bd21357a.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/gr_sim-a07c2419bd21357a: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

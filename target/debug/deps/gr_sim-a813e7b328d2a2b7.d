@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gr_sim-a813e7b328d2a2b7.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_sim-a813e7b328d2a2b7.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gr_transport-1b6f3215df024c7c.d: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libgr_transport-1b6f3215df024c7c.rlib: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libgr_transport-1b6f3215df024c7c.rmeta: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

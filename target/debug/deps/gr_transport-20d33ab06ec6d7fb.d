@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gr_transport-20d33ab06ec6d7fb.d: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/gr_transport-20d33ab06ec6d7fb: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

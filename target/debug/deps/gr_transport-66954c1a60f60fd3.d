@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gr_transport-66954c1a60f60fd3.d: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libgr_transport-66954c1a60f60fd3.rmeta: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

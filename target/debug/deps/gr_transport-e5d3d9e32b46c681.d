@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gr_transport-e5d3d9e32b46c681.d: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_transport-e5d3d9e32b46c681.rmeta: crates/transport/src/lib.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/greedy80211_repro-0b37eec1982a35ef.d: src/lib.rs
+
+/root/repo/target/debug/deps/greedy80211_repro-0b37eec1982a35ef: src/lib.rs
+
+src/lib.rs:

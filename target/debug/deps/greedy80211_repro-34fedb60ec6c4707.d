@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/greedy80211_repro-34fedb60ec6c4707.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgreedy80211_repro-34fedb60ec6c4707.rmeta: src/lib.rs
+
+src/lib.rs:

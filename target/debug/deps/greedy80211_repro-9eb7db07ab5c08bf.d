@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/greedy80211_repro-9eb7db07ab5c08bf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgreedy80211_repro-9eb7db07ab5c08bf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgreedy80211_repro-9eb7db07ab5c08bf.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medium-e1dc04865e0ca58a.d: crates/net/tests/medium.rs
+
+/root/repo/target/debug/deps/medium-e1dc04865e0ca58a: crates/net/tests/medium.rs
+
+crates/net/tests/medium.rs:

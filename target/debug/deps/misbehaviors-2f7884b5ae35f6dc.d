@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/misbehaviors-2f7884b5ae35f6dc.d: tests/misbehaviors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmisbehaviors-2f7884b5ae35f6dc.rmeta: tests/misbehaviors.rs Cargo.toml
+
+tests/misbehaviors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

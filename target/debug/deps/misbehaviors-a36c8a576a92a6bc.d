@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/misbehaviors-a36c8a576a92a6bc.d: tests/misbehaviors.rs
+
+/root/repo/target/debug/deps/misbehaviors-a36c8a576a92a6bc: tests/misbehaviors.rs
+
+tests/misbehaviors.rs:

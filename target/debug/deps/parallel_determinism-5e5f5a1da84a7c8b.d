@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_determinism-5e5f5a1da84a7c8b.d: crates/bench/tests/parallel_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_determinism-5e5f5a1da84a7c8b.rmeta: crates/bench/tests/parallel_determinism.rs Cargo.toml
+
+crates/bench/tests/parallel_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

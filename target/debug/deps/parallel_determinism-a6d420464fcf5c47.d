@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-a6d420464fcf5c47.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-a6d420464fcf5c47: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

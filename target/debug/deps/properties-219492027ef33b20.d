@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-219492027ef33b20.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-219492027ef33b20: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

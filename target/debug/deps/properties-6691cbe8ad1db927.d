@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6691cbe8ad1db927.d: crates/mac/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6691cbe8ad1db927: crates/mac/tests/properties.rs
+
+crates/mac/tests/properties.rs:

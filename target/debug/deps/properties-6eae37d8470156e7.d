@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6eae37d8470156e7.d: crates/mac/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6eae37d8470156e7.rmeta: crates/mac/tests/properties.rs Cargo.toml
+
+crates/mac/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

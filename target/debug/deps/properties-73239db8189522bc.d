@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-73239db8189522bc.d: crates/sim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-73239db8189522bc.rmeta: crates/sim/tests/properties.rs Cargo.toml
+
+crates/sim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7b81bac398c9a25b.d: crates/transport/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7b81bac398c9a25b: crates/transport/tests/properties.rs
+
+crates/transport/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a4184e549e75a9b4.d: crates/phy/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a4184e549e75a9b4.rmeta: crates/phy/tests/properties.rs Cargo.toml
+
+crates/phy/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

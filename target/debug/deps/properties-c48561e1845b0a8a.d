@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c48561e1845b0a8a.d: crates/phy/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c48561e1845b0a8a: crates/phy/tests/properties.rs
+
+crates/phy/tests/properties.rs:

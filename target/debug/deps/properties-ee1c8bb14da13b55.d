@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ee1c8bb14da13b55.d: crates/transport/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ee1c8bb14da13b55.rmeta: crates/transport/tests/properties.rs Cargo.toml
+
+crates/transport/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

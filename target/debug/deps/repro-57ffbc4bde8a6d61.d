@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-57ffbc4bde8a6d61.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-57ffbc4bde8a6d61.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8b8fe605e044f9c5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8b8fe605e044f9c5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a993c8ce6c241727.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a993c8ce6c241727: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e501a537982236af.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-e501a537982236af.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

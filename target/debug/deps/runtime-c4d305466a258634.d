@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-c4d305466a258634.d: crates/net/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-c4d305466a258634: crates/net/tests/runtime.rs
+
+crates/net/tests/runtime.rs:

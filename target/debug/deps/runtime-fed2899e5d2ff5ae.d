@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-fed2899e5d2ff5ae.d: crates/net/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-fed2899e5d2ff5ae.rmeta: crates/net/tests/runtime.rs Cargo.toml
+
+crates/net/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_invariants-2b658d225205679b.d: tests/system_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_invariants-2b658d225205679b.rmeta: tests/system_invariants.rs Cargo.toml
+
+tests/system_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

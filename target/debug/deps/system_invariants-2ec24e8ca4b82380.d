@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_invariants-2ec24e8ca4b82380.d: tests/system_invariants.rs
+
+/root/repo/target/debug/deps/system_invariants-2ec24e8ca4b82380: tests/system_invariants.rs
+
+tests/system_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ack_spoofing_wan-4ecacd73f58c2d7c.d: examples/ack_spoofing_wan.rs
+
+/root/repo/target/debug/examples/ack_spoofing_wan-4ecacd73f58c2d7c: examples/ack_spoofing_wan.rs
+
+examples/ack_spoofing_wan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ack_spoofing_wan-d8aa0b2aa5588089.d: examples/ack_spoofing_wan.rs Cargo.toml
+
+/root/repo/target/debug/examples/liback_spoofing_wan-d8aa0b2aa5588089.rmeta: examples/ack_spoofing_wan.rs Cargo.toml
+
+examples/ack_spoofing_wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

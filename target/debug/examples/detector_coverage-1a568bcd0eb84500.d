@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detector_coverage-1a568bcd0eb84500.d: examples/detector_coverage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetector_coverage-1a568bcd0eb84500.rmeta: examples/detector_coverage.rs Cargo.toml
+
+examples/detector_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

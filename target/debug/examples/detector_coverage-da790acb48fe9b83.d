@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detector_coverage-da790acb48fe9b83.d: examples/detector_coverage.rs
+
+/root/repo/target/debug/examples/detector_coverage-da790acb48fe9b83: examples/detector_coverage.rs
+
+examples/detector_coverage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fake_ack_survival-2158144cf140b269.d: examples/fake_ack_survival.rs
+
+/root/repo/target/debug/examples/fake_ack_survival-2158144cf140b269: examples/fake_ack_survival.rs
+
+examples/fake_ack_survival.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot_cafe-9304e6686260acf8.d: examples/hotspot_cafe.rs
+
+/root/repo/target/debug/examples/hotspot_cafe-9304e6686260acf8: examples/hotspot_cafe.rs
+
+examples/hotspot_cafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cdfe6ad1fe805567.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cdfe6ad1fe805567: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gr_cli-d69433f44e4d4de7.d: src/bin/gr-cli.rs
+
+/root/repo/target/release/deps/gr_cli-d69433f44e4d4de7: src/bin/gr-cli.rs
+
+src/bin/gr-cli.rs:

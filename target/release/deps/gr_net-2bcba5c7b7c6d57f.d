@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gr_net-2bcba5c7b7c6d57f.d: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libgr_net-2bcba5c7b7c6d57f.rlib: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libgr_net-2bcba5c7b7c6d57f.rmeta: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/builder.rs:
+crates/net/src/metrics.rs:
+crates/net/src/network.rs:
+crates/net/src/stats.rs:
+crates/net/src/trace.rs:

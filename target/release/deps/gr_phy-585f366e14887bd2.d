@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gr_phy-585f366e14887bd2.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+/root/repo/target/release/deps/libgr_phy-585f366e14887bd2.rlib: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+/root/repo/target/release/deps/libgr_phy-585f366e14887bd2.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/capture.rs:
+crates/phy/src/channel.rs:
+crates/phy/src/error_model.rs:
+crates/phy/src/params.rs:
+crates/phy/src/position.rs:
+crates/phy/src/rssi.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gr_runner-d74e315d92249dd2.d: crates/runner/src/lib.rs
+
+/root/repo/target/release/deps/libgr_runner-d74e315d92249dd2.rlib: crates/runner/src/lib.rs
+
+/root/repo/target/release/deps/libgr_runner-d74e315d92249dd2.rmeta: crates/runner/src/lib.rs
+
+crates/runner/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gr_sim-386a3792263a4b50.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libgr_sim-386a3792263a4b50.rlib: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libgr_sim-386a3792263a4b50.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/sched.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/sched.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/greedy80211_repro-27556c6ae431963e.d: src/lib.rs
+
+/root/repo/target/release/deps/libgreedy80211_repro-27556c6ae431963e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgreedy80211_repro-27556c6ae431963e.rmeta: src/lib.rs
+
+src/lib.rs:

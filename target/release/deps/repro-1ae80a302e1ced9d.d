@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1ae80a302e1ced9d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1ae80a302e1ced9d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -2,9 +2,7 @@
 //! *sender* baseline + DOMINO detection, tracing, and ARF rate
 //! adaptation interacting with the misbehaviors.
 
-use greedy80211_repro::{
-    DominoDetector, GreedyConfig, GreedySenderPolicy, NavInflationConfig,
-};
+use greedy80211_repro::{DominoDetector, GreedyConfig, GreedySenderPolicy, NavInflationConfig};
 use mac::ArfConfig;
 use net::NetworkBuilder;
 use phy::{ErrorModel, ErrorUnit, PhyParams, Position};
@@ -136,7 +134,11 @@ fn arf_steps_down_on_a_rate_degraded_link() {
                 ErrorModel::new(ErrorUnit::Byte, fer_to_byte(fer)).unwrap(),
             );
         }
-        b.link_error(s, r, ErrorModel::new(ErrorUnit::Byte, fer_to_byte(0.9)).unwrap());
+        b.link_error(
+            s,
+            r,
+            ErrorModel::new(ErrorUnit::Byte, fer_to_byte(0.9)).unwrap(),
+        );
         if arf {
             b.set_auto_rate(s, ArfConfig::dot11b());
         }
@@ -153,7 +155,11 @@ fn arf_steps_down_on_a_rate_degraded_link() {
     );
     // The sender's ARF state settled below the top rate.
     let arf = net.dcf(mac::NodeId(0)).arf().expect("ARF enabled");
-    assert!(arf.rate_bps() < 11_000_000, "rate {} too high", arf.rate_bps());
+    assert!(
+        arf.rate_bps() < 11_000_000,
+        "rate {} too high",
+        arf.rate_bps()
+    );
     assert!(arf.step_downs > 0);
 }
 

@@ -3,8 +3,7 @@
 //! traffic, and mitigation restores fairness.
 
 use greedy80211_repro::{
-    CrossLayerDetector, FakeAckDetector, GreedyConfig, NavInflationConfig, Scenario,
-    TransportKind,
+    CrossLayerDetector, FakeAckDetector, GreedyConfig, NavInflationConfig, Scenario, TransportKind,
 };
 use sim::SimDuration;
 
@@ -88,10 +87,7 @@ fn grc_restores_fairness_under_ack_spoofing() {
     let mut s = quick(Scenario::default());
     s.byte_error_rate = 2e-4;
     let base = s.run().unwrap();
-    s.greedy = vec![(
-        1,
-        GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0),
-    )];
+    s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
     let attacked = s.run().unwrap();
     s.grc = Some(true);
     let guarded = s.run().unwrap();
@@ -142,8 +138,9 @@ fn fake_ack_detector_separates_faker_from_honest() {
     // Honest run: MAC loss is visible, app loss near MAC prediction.
     let honest = s.run().unwrap();
     let det = FakeAckDetector::default();
-    let honest_mac =
-        FakeAckDetector::mac_loss_from_counters(&honest.metrics.node(honest.senders[1]).unwrap().counters);
+    let honest_mac = FakeAckDetector::mac_loss_from_counters(
+        &honest.metrics.node(honest.senders[1]).unwrap().counters,
+    );
     let honest_app = honest
         .metrics
         .flow(honest.probe_flows[1])
@@ -157,8 +154,9 @@ fn fake_ack_detector_separates_faker_from_honest() {
     // Faking run: MAC loss hidden, app loss revealed by probes.
     s.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
     let faked = s.run().unwrap();
-    let faked_mac =
-        FakeAckDetector::mac_loss_from_counters(&faked.metrics.node(faked.senders[1]).unwrap().counters);
+    let faked_mac = FakeAckDetector::mac_loss_from_counters(
+        &faked.metrics.node(faked.senders[1]).unwrap().counters,
+    );
     let faked_app = faked
         .metrics
         .flow(faked.probe_flows[1])
@@ -188,10 +186,7 @@ fn cross_layer_detector_flags_spoofed_flow() {
         fm.retransmissions
     );
     // Attacked: the victim's retransmissions concern MAC-acked segments.
-    s.greedy = vec![(
-        1,
-        GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0),
-    )];
+    s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
     let attacked = s.run().unwrap();
     let fm = attacked.metrics.flow(attacked.flows[0]).unwrap();
     assert!(

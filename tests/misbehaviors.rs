@@ -129,10 +129,7 @@ fn ack_spoofing_punishes_victim_under_loss() {
     let mut s = quick(Scenario::default());
     s.byte_error_rate = 2e-4;
     let base = s.run().unwrap();
-    s.greedy = vec![(
-        1,
-        GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0),
-    )];
+    s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
     let out = s.run().unwrap();
     assert!(
         out.goodput_mbps(0) < base.goodput_mbps(0) * 0.3,
@@ -153,10 +150,7 @@ fn ack_spoofing_harmless_on_lossless_links() {
     // Nothing to disable if no frame is ever lost.
     let mut s = quick(Scenario::default());
     let base = s.run().unwrap();
-    s.greedy = vec![(
-        1,
-        GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0),
-    )];
+    s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
     let out = s.run().unwrap();
     assert!(
         out.goodput_mbps(0) > base.goodput_mbps(0) * 0.6,
@@ -198,10 +192,7 @@ fn remote_senders_amplify_spoofing_damage() {
             ..Scenario::default()
         };
         let base = s.run().unwrap();
-        s.greedy = vec![(
-            1,
-            GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0),
-        )];
+        s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
         let out = s.run().unwrap();
         out.goodput_mbps(0) / base.goodput_mbps(0).max(1e-9)
     };
@@ -259,8 +250,20 @@ fn fake_acker_mimics_a_lossless_receiver() {
     // The faker's *channel share* (attempt rate at its sender) should be
     // comparable to the clean receiver's, even though corrupted frames
     // cost it goodput. Compare sender transmission counts.
-    let atk = a.metrics.node(a.senders[1]).unwrap().counters.data_sent.get() as f64;
-    let clean = b.metrics.node(b.senders[1]).unwrap().counters.data_sent.get() as f64;
+    let atk = a
+        .metrics
+        .node(a.senders[1])
+        .unwrap()
+        .counters
+        .data_sent
+        .get() as f64;
+    let clean = b
+        .metrics
+        .node(b.senders[1])
+        .unwrap()
+        .counters
+        .data_sent
+        .get() as f64;
     assert!(
         atk > clean * 0.75,
         "faker should hold a similar channel share: {atk} vs {clean}"

@@ -1,9 +1,7 @@
 //! System-level invariants checked across the full stack, including
 //! property-based sweeps over random scenario configurations.
 
-use greedy80211_repro::{
-    GreedyConfig, NavInflationConfig, Scenario, TransportKind,
-};
+use greedy80211_repro::{GreedyConfig, NavInflationConfig, Scenario, TransportKind};
 use proptest::prelude::*;
 use sim::SimDuration;
 

@@ -1,0 +1,165 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the Criterion API the workspace's benches use
+//! (`Criterion`, `bench_function`, `benchmark_group`/`bench_with_input`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!`)
+//! with a simple best-of-N wall-clock measurement instead of Criterion's
+//! statistical machinery. Good enough to spot large regressions without
+//! network access to crates.io.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations used to size one measurement batch.
+const WARMUP_ITERS: u32 = 3;
+/// Measurement batches; the best (lowest) batch average is reported.
+const BATCHES: u32 = 5;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration timing harness passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best batch average.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            black_box(f());
+            let dt = t.elapsed();
+            if self.best.is_none_or(|b| dt < b) {
+                self.best = Some(dt);
+            }
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the swept parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with an explicit function name and parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Top-level bench registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+fn report(name: &str, best: Option<Duration>) {
+    match best {
+        Some(d) => println!("bench {name:<40} {:>12.3} ms/iter", d.as_secs_f64() * 1e3),
+        None => println!("bench {name:<40} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, b.best);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.best);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_best() {
+        let mut b = Bencher::default();
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(b.best.expect("measured") >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+        c.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+    }
+}
