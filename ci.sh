@@ -17,4 +17,10 @@ cargo build --release --workspace --offline
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> obs determinism (artifacts byte-identical across --jobs)"
+cargo test --offline -q -p gr-bench --test obs_determinism
+
+echo "==> cargo doc"
+cargo doc --workspace --no-deps --offline -q
+
 echo "CI OK"

@@ -73,6 +73,29 @@ fn bench_corruption_study(c: &mut Criterion) {
     });
 }
 
+fn bench_recording_overhead(c: &mut Criterion) {
+    // Same TCP scenario with the flight recorder off vs on: the delta is
+    // the whole cost of `--record` (DESIGN.md §9 quotes these numbers).
+    let mut g = c.benchmark_group("recording_overhead");
+    for on in [false, true] {
+        let name = if on { "on" } else { "off" };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &on, |b, &on| {
+            b.iter(|| {
+                let mut s = Scenario {
+                    duration: SimDuration::from_millis(500),
+                    ..Scenario::default()
+                };
+                if on {
+                    s.record = Some(obs::ObsSpec::default());
+                }
+                let out = s.run().expect("valid scenario");
+                out.obs_report()
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_analytical_model(c: &mut Criterion) {
     c.bench_function("nav_inflation_model_full_dist", |b| {
         // Worst-case: both distributions spread over all CW stages.
@@ -91,6 +114,7 @@ criterion_group!(
     bench_nav_inflation,
     bench_spoofing_with_grc,
     bench_corruption_study,
+    bench_recording_overhead,
     bench_analytical_model
 );
 criterion_main!(benches);

@@ -3,10 +3,12 @@
 //! ```sh
 //! repro all                # every artifact at full fidelity
 //! repro fig1 tab2          # selected artifacts
+//! repro --experiment fig06 # selected artifact (zero-padded ids accepted)
 //! repro --quick all        # fast low-fidelity pass
 //! repro --jobs 8 all       # shard sweep points across 8 workers
 //! repro --list             # available ids
 //! repro --out results all  # CSV output directory (default: results)
+//! repro --record fig6      # flight-record every run into results/obs/
 //! ```
 //!
 //! Outputs are independent of `--jobs`: every simulation run draws from
@@ -15,12 +17,22 @@
 //! byte-identical at any worker count. Alongside the CSVs the campaign
 //! writes `bench_summary.json` with per-experiment wall-clock and
 //! simulator event throughput.
+//!
+//! With `--record`, every simulation run additionally drains its flight
+//! recorder into `DIR/obs/<experiment>-p<point>-s<seed>/` (JSONL events,
+//! per-gauge probe CSVs, histogram summaries — see the `obs` crate), and
+//! `bench_summary.json` gains a `profile` section with per-layer wall
+//! time. Recording never touches the scheduler or any RNG stream, so the
+//! CSVs are byte-identical with and without it, and the obs artifacts
+//! themselves are byte-identical at any `--jobs` width.
+//! `--record-filter phy,mac,3` narrows recording to the given layers
+//! and/or node ids.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gr_bench::{registry, Quality, RunCtx};
+use gr_bench::{registry, ObsCampaign, Quality, RunCtx};
 use net::stats;
 
 /// Per-experiment timing record for `bench_summary.json`.
@@ -37,6 +49,7 @@ fn write_summary(
     quick: bool,
     timings: &[Timing],
     total_s: f64,
+    profile: Option<&[(&'static str, obs::profile::SpanStat)]>,
 ) -> std::io::Result<()> {
     let mut s = String::from("{\n");
     s.push_str(&format!("  \"jobs\": {jobs},\n"));
@@ -63,8 +76,50 @@ fn write_summary(
             if i + 1 < timings.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    match profile {
+        None => s.push_str("  ]\n}\n"),
+        Some(spans) => {
+            s.push_str("  ],\n  \"profile\": [\n");
+            for (i, (label, stat)) in spans.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"span\": \"{label}\", \"calls\": {}, \"wall_s\": {:.3}}}{}\n",
+                    stat.calls,
+                    stat.secs(),
+                    if i + 1 < spans.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("  ]\n}\n");
+        }
+    }
     std::fs::write(out_dir.join("bench_summary.json"), s)
+}
+
+/// Canonicalizes a user-supplied experiment id: registry ids carry no
+/// zero padding, so `fig06` and `tab02` resolve to `fig6` and `tab2`.
+fn normalize_id(id: &str) -> String {
+    match id.find(|c: char| c.is_ascii_digit()) {
+        Some(i) => {
+            let (prefix, digits) = id.split_at(i);
+            match digits.parse::<u64>() {
+                Ok(n) => format!("{prefix}{n}"),
+                Err(_) => id.to_string(),
+            }
+        }
+        None => id.to_string(),
+    }
+}
+
+/// Exports every report a recording campaign has accumulated so far into
+/// `out_dir/obs/<run-key>/`, in deterministic run-key order.
+fn export_obs(out_dir: &Path, campaign: &ObsCampaign) -> std::io::Result<usize> {
+    let _span = obs::span!("obs/export");
+    let reports = campaign.take_reports();
+    let n = reports.len();
+    for (key, report) in &reports {
+        let dir = out_dir.join("obs").join(obs::run_dir_name(key));
+        obs::write_artifacts(&dir, key, report)?;
+    }
+    Ok(n)
 }
 
 fn main() -> ExitCode {
@@ -72,12 +127,38 @@ fn main() -> ExitCode {
     let mut list = false;
     let mut out_dir = PathBuf::from("results");
     let mut jobs = runner::available_jobs();
+    let mut record = false;
+    let mut filter = obs::Filter::all();
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--list" | "-l" => list = true,
+            "--record" => record = true,
+            "--record-filter" => match args.next() {
+                Some(spec) => match obs::Filter::parse(&spec) {
+                    Ok(f) => {
+                        filter = f;
+                        record = true;
+                    }
+                    Err(e) => {
+                        eprintln!("--record-filter: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--record-filter requires a spec (e.g. phy,mac or 0,3)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--experiment" | "-e" => match args.next() {
+                Some(id) => ids.push(id),
+                None => {
+                    eprintln!("--experiment requires an id (see --list)");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--out" | "-o" => match args.next() {
                 Some(dir) => out_dir = PathBuf::from(dir),
                 None => {
@@ -94,7 +175,13 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--jobs N] [--out DIR] (all | <id>...)\n       repro --list"
+                    "usage: repro [--quick] [--jobs N] [--out DIR] [--record] \
+                     [--record-filter SPEC] (all | <id>...)\n       \
+                     repro --list\n\n  \
+                     --experiment ID       select an artifact (same as a positional id)\n  \
+                     --record              flight-record every run into DIR/obs/\n  \
+                     --record-filter SPEC  comma-separated layers (phy|mac|transport|net)\n                        \
+                     and/or node ids; implies --record"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -118,10 +205,15 @@ fn main() -> ExitCode {
     } else {
         let mut sel = Vec::new();
         for id in &ids {
-            match reg.iter().find(|(rid, _)| rid == id) {
+            let canonical = normalize_id(id);
+            match reg.iter().find(|(rid, _)| *rid == canonical) {
                 Some(entry) => sel.push(entry),
                 None => {
-                    eprintln!("unknown experiment id `{id}` (see --list)");
+                    let valid: Vec<&str> = reg.iter().map(|(rid, _)| *rid).collect();
+                    eprintln!(
+                        "unknown experiment id `{id}`; valid ids: all, {}",
+                        valid.join(", ")
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -142,12 +234,24 @@ fn main() -> ExitCode {
     } else {
         Quality::full()
     };
-    let ctx = RunCtx::with_jobs(quality, jobs);
+    let campaign = record.then(|| {
+        obs::profile::reset();
+        obs::profile::set_enabled(true);
+        ObsCampaign::new(obs::ObsSpec {
+            filter: filter.clone(),
+            ..obs::ObsSpec::default()
+        })
+    });
+    let mut ctx = RunCtx::with_jobs(quality, jobs);
+    if let Some(camp) = &campaign {
+        ctx = ctx.with_record(camp.clone());
+    }
     println!(
-        "# greedy80211 reproduction — {} experiment(s), {} fidelity, {} job(s)\n",
+        "# greedy80211 reproduction — {} experiment(s), {} fidelity, {} job(s){}\n",
         selected.len(),
         if quick { "quick" } else { "full" },
         jobs,
+        if record { ", recording" } else { "" },
     );
     let t_all = Instant::now();
     let mut timings = Vec::new();
@@ -170,6 +274,16 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if let Some(camp) = &campaign {
+            match export_obs(&out_dir, camp) {
+                Ok(0) => {}
+                Ok(n) => println!("  -> {} ({n} run(s))\n", out_dir.join("obs").display()),
+                Err(e) => {
+                    eprintln!("failed to write obs artifacts for {id}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
         timings.push(Timing {
             id: id.to_string(),
             wall_s,
@@ -179,7 +293,8 @@ fn main() -> ExitCode {
     }
     let total_s = t_all.elapsed().as_secs_f64();
     println!("total: {total_s:.1}s");
-    if let Err(e) = write_summary(&out_dir, jobs, quick, &timings, total_s) {
+    let profile = campaign.as_ref().map(|_| obs::profile::snapshot());
+    if let Err(e) = write_summary(&out_dir, jobs, quick, &timings, total_s, profile.as_deref()) {
         eprintln!("failed to write bench_summary.json: {e}");
         return ExitCode::FAILURE;
     }

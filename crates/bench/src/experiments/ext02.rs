@@ -68,7 +68,8 @@ fn run_case(q: &Quality, seed: u64, attack: Attack) -> Vec<f64> {
     net.enable_trace(2_000_000);
     net.run(q.duration);
     let domino = DominoDetector::new(params);
-    let report = domino.analyze(net.trace().expect("trace enabled"));
+    let trace = net.trace().expect("trace enabled");
+    let report = domino.analyze(&trace);
     let nav: u64 = handles
         .iter()
         .map(|h| h.nav.borrow().total_detections())

@@ -27,6 +27,44 @@ pub use quality::Quality;
 pub use sweep::{sweep, sweep_scalar};
 pub use table::Experiment;
 
+use sim::RunKey;
+
+/// Campaign-wide flight-recorder collection: the recorder configuration
+/// every run records under, plus the shared sink per-run reports are
+/// deposited into as jobs finish (in worker-completion order; see
+/// [`ObsCampaign::take_reports`] for the deterministic view).
+#[derive(Debug, Clone)]
+pub struct ObsCampaign {
+    /// Recorder configuration applied to every run.
+    pub spec: obs::ObsSpec,
+    sink: obs::Shared<Vec<(RunKey, obs::ObsReport)>>,
+}
+
+impl ObsCampaign {
+    /// Creates an empty campaign collector recording under `spec`.
+    pub fn new(spec: obs::ObsSpec) -> Self {
+        ObsCampaign {
+            spec,
+            sink: obs::Shared::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn deposit(&self, key: RunKey, report: obs::ObsReport) {
+        self.sink.borrow_mut().push((key, report));
+    }
+
+    /// Takes every report deposited so far, sorted by run key so artifact
+    /// export order is independent of worker scheduling. The sink is left
+    /// empty.
+    pub fn take_reports(&self) -> Vec<(RunKey, obs::ObsReport)> {
+        let mut v = std::mem::take(&mut *self.sink.borrow_mut());
+        v.sort_by(|(a, _), (b, _)| {
+            (a.experiment.as_str(), a.point, a.seed).cmp(&(b.experiment.as_str(), b.point, b.seed))
+        });
+        v
+    }
+}
+
 /// Everything an experiment generator needs: fidelity settings plus the
 /// worker pool its sweeps execute on.
 #[derive(Debug, Clone)]
@@ -35,6 +73,8 @@ pub struct RunCtx {
     pub quality: Quality,
     /// Campaign executor sweeps submit their jobs to.
     pub runner: runner::Runner,
+    /// Flight-recorder campaign; `None` (the default) records nothing.
+    pub record: Option<ObsCampaign>,
 }
 
 impl RunCtx {
@@ -43,6 +83,7 @@ impl RunCtx {
         RunCtx {
             quality,
             runner: runner::Runner::sequential(),
+            record: None,
         }
     }
 
@@ -51,7 +92,14 @@ impl RunCtx {
         RunCtx {
             quality,
             runner: runner::Runner::new(jobs),
+            record: None,
         }
+    }
+
+    /// Same context with flight recording enabled under `campaign`.
+    pub fn with_record(mut self, campaign: ObsCampaign) -> Self {
+        self.record = Some(campaign);
+        self
     }
 }
 

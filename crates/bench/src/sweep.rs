@@ -37,13 +37,40 @@ where
     let n_seeds = ctx.quality.seeds.len();
     assert!(n_seeds > 0, "at least one seed");
     let measure = &measure;
+    let record = ctx.record.as_ref();
     let jobs: Vec<_> = points
         .iter()
         .enumerate()
         .flat_map(|(pi, point)| {
             (0..n_seeds).map(move |si| {
-                let seed = RunKey::new(label, pi as u64, si as u64).stream_seed();
-                move || measure(point, seed)
+                let key = RunKey::new(label, pi as u64, si as u64);
+                let seed = key.stream_seed();
+                let record = record.cloned();
+                move || match record {
+                    Some(camp) => {
+                        // One fresh recorder per job, installed as the
+                        // worker thread's ambient recorder so every
+                        // `Scenario::build` inside `measure` picks it up
+                        // without signature changes. The report lands in
+                        // the campaign sink keyed by the job's RunKey —
+                        // content depends only on the key, never on
+                        // which worker ran it.
+                        let rec = camp.spec.recorder();
+                        let out = {
+                            let _guard = obs::ambient::install(rec.clone());
+                            measure(point, seed)
+                        };
+                        let report = rec.borrow_mut().drain_report();
+                        let empty = report.events.is_empty()
+                            && report.hists.is_empty()
+                            && report.series.is_empty();
+                        if !empty {
+                            camp.deposit(key, report);
+                        }
+                        out
+                    }
+                    None => measure(point, seed),
+                }
             })
         })
         .collect();
@@ -94,6 +121,7 @@ mod tests {
                 ..Quality::quick()
             },
             runner: Runner::new(jobs),
+            record: None,
         }
     }
 

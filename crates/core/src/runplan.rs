@@ -37,9 +37,9 @@ impl RunPlan {
     }
 }
 
-/// Plain-data result of one run — everything [`ScenarioOutcome`]
-/// (crate::ScenarioOutcome) exposes, minus live handles, so it can move
-/// freely between threads.
+/// Plain-data result of one run — everything
+/// [`ScenarioOutcome`](crate::ScenarioOutcome) exposes, minus live
+/// handles, so it can move freely between threads.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
     /// The key the run was planned under.
@@ -56,6 +56,8 @@ pub struct RunOutcome {
     pub receivers: Vec<NodeId>,
     /// Detached GRC report copies per observed node (empty unless GRC).
     pub grc: Vec<(NodeId, GrcSnapshot)>,
+    /// Drained flight-recorder report, if the run recorded.
+    pub obs: Option<::obs::ObsReport>,
     /// Run length (for goodput conversions).
     pub duration: SimDuration,
 }
@@ -98,6 +100,7 @@ pub fn execute(plan: RunPlan) -> Result<RunOutcome, SimError> {
         .iter()
         .map(|(node, handles)| (*node, handles.snapshot()))
         .collect();
+    let obs = outcome.obs_report();
     Ok(RunOutcome {
         key,
         metrics: outcome.metrics,
@@ -106,6 +109,7 @@ pub fn execute(plan: RunPlan) -> Result<RunOutcome, SimError> {
         senders: outcome.senders,
         receivers: outcome.receivers,
         grc,
+        obs,
         duration: outcome.duration,
     })
 }

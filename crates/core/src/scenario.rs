@@ -84,6 +84,12 @@ pub struct Scenario {
     pub probe_interval: SimDuration,
     /// Capture threshold override in dB (`None` = the 10 dB default).
     pub capture_threshold_db: Option<f64>,
+    /// Flight-recorder configuration. `None` (the default) still records
+    /// when an ambient recorder spec is installed for the thread (see
+    /// `obs::ambient`), which is how campaign runners enable recording
+    /// without touching every experiment; otherwise recording is off and
+    /// costs nothing.
+    pub record: Option<::obs::ObsSpec>,
     /// Virtual run length.
     pub duration: SimDuration,
     /// Master seed.
@@ -108,6 +114,7 @@ impl Default for Scenario {
             probes: false,
             probe_interval: SimDuration::from_millis(200),
             capture_threshold_db: None,
+            record: None,
             duration: SimDuration::from_secs(10),
             seed: 1,
         }
@@ -129,11 +136,21 @@ pub struct ScenarioOutcome {
     pub receivers: Vec<NodeId>,
     /// GRC report handles per observed node (empty unless `grc`).
     pub grc_reports: Vec<(NodeId, GrcReportHandles)>,
+    /// The flight recorder, if the run recorded.
+    pub recorder: Option<::obs::RecorderHandle>,
     /// Run length (for goodput conversions).
     pub duration: SimDuration,
 }
 
 impl ScenarioOutcome {
+    /// Drains the flight recorder into an exportable report, if the run
+    /// recorded. Subsequent calls return an empty report.
+    pub fn obs_report(&self) -> Option<::obs::ObsReport> {
+        self.recorder
+            .as_ref()
+            .map(|r| r.borrow_mut().drain_report())
+    }
+
     /// Goodput of receiver `i`'s flow in Mb/s.
     pub fn goodput_mbps(&self, i: usize) -> f64 {
         self.metrics.goodput_mbps(self.flows[i])
@@ -175,6 +192,8 @@ pub struct BuiltScenario {
     pub receivers: Vec<NodeId>,
     /// GRC report handles per observed node (empty unless GRC).
     pub grc_reports: Vec<(NodeId, GrcReportHandles)>,
+    /// The flight recorder wired into the network, if recording.
+    pub recorder: Option<::obs::RecorderHandle>,
     /// Virtual run length.
     pub duration: SimDuration,
 }
@@ -190,6 +209,7 @@ impl BuiltScenario {
             senders: self.senders,
             receivers: self.receivers,
             grc_reports: self.grc_reports,
+            recorder: self.recorder,
             duration: self.duration,
         }
     }
@@ -353,13 +373,26 @@ impl Scenario {
             b.link_error(receivers[*i], src, em);
         }
 
+        // --- recording -------------------------------------------------
+        // An explicit spec beats the thread's ambient one; with neither,
+        // recording is off and the network carries no recorder at all.
+        let recorder = match &self.record {
+            Some(spec) => Some(spec.recorder()),
+            None => ::obs::ambient::current(),
+        };
+        let mut net = b.build();
+        if let Some(rec) = &recorder {
+            net.set_recorder(rec.clone());
+        }
+
         Ok(BuiltScenario {
-            net: b.build(),
+            net,
             flows,
             probe_flows,
             senders,
             receivers,
             grc_reports,
+            recorder,
             duration: self.duration,
         })
     }

@@ -194,6 +194,9 @@ struct TxOp<M> {
     seq: u64,
     short_retries: u32,
     long_retries: u32,
+    /// When the MSDU entered the interface queue (access-latency
+    /// telemetry).
+    enqueued_at: SimTime,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,7 +219,7 @@ pub struct Dcf<M: Msdu> {
     observer: Box<dyn MacObserver<M>>,
     /// Statistics, publicly readable by experiments.
     pub counters: MacCounters,
-    queue: VecDeque<(NodeId, M)>,
+    queue: VecDeque<(NodeId, M, SimTime)>,
     current: Option<TxOp<M>>,
     awaiting: Option<Awaiting>,
     pending_response: Option<Frame<M>>,
@@ -235,6 +238,10 @@ pub struct Dcf<M: Msdu> {
     next_seq: u64,
     dedup: DedupCache,
     arf: Option<Arf>,
+    /// Flight recorder, if this run records (see [`Dcf::set_recorder`]).
+    recorder: Option<::obs::RecorderHandle>,
+    /// Time of the last acknowledged MSDU (inter-ACK gap telemetry).
+    last_ack_at: Option<SimTime>,
 }
 
 impl<M: Msdu> std::fmt::Debug for Dcf<M> {
@@ -295,6 +302,27 @@ impl<M: Msdu> Dcf<M> {
             next_seq: 0,
             dedup: DedupCache::new(),
             arf,
+            recorder: None,
+            last_ack_at: None,
+        }
+    }
+
+    /// Installs a flight recorder. All MAC instrumentation sites are
+    /// no-ops until this is called, so the honest path costs one `None`
+    /// check per site.
+    pub fn set_recorder(&mut self, recorder: ::obs::RecorderHandle) {
+        self.recorder = Some(recorder);
+    }
+
+    fn obs_emit(&self, at: SimTime, kind: &'static ::obs::EventKind, vals: &[f64]) {
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut().emit(at, self.id.0, kind, vals);
+        }
+    }
+
+    fn obs_hist(&self, name: &'static str, value: f64) {
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut().record_hist(name, value);
         }
     }
 
@@ -354,6 +382,11 @@ impl<M: Msdu> Dcf<M> {
         let mut actions = Vec::new();
         if self.queue.len() >= self.cfg.queue_capacity {
             self.counters.queue_drops.incr();
+            self.obs_emit(
+                now,
+                &crate::obs::MAC_DROP,
+                &[crate::obs::DROP_QUEUE_FULL, dst.0 as f64],
+            );
             actions.push(MacAction::Dropped {
                 body,
                 to: dst,
@@ -361,7 +394,7 @@ impl<M: Msdu> Dcf<M> {
             });
             return actions;
         }
-        self.queue.push_back((dst, body));
+        self.queue.push_back((dst, body, now));
         // Immediate access: medium idle ≥ IFS, nothing pending, no backoff.
         if self.current.is_none()
             && self.awaiting.is_none()
@@ -376,7 +409,7 @@ impl<M: Msdu> Dcf<M> {
                     }
                 }
                 // Medium busy (or not yet idle long enough): draw a backoff.
-                self.backoff_slots = Some(self.draw_slots());
+                self.backoff_slots = Some(self.draw_slots(now));
             }
             self.reschedule_access(now, &mut actions);
         }
@@ -458,6 +491,11 @@ impl<M: Msdu> Dcf<M> {
                 }
             }
             TimerKind::NavEnd => {
+                self.obs_emit(
+                    now,
+                    &crate::obs::NAV_END,
+                    &[self.nav.until().as_micros() as f64],
+                );
                 self.reschedule_access(now, &mut actions);
             }
             TimerKind::Sifs => {
@@ -488,6 +526,13 @@ impl<M: Msdu> Dcf<M> {
         let honored_duration = self.observer.on_frame(&frame, &meta, to_me);
         if !to_me {
             self.nav.update(now, honored_duration, false);
+            if honored_duration > 0 {
+                self.obs_emit(
+                    now,
+                    &crate::obs::NAV_SET,
+                    &[frame.src.0 as f64, self.nav.until().as_micros() as f64],
+                );
+            }
         }
         match frame.kind {
             FrameKind::Rts
@@ -597,13 +642,18 @@ impl<M: Msdu> Dcf<M> {
         self.cfg.cw_clamp_to.contains(&dst)
     }
 
-    fn draw_slots(&mut self) -> u32 {
+    fn draw_slots(&mut self, now: SimTime) -> u32 {
         let cw = self.backoff.cw();
         self.counters.record_draw(cw);
-        match self.policy.backoff_slots(cw, &mut self.rng) {
+        let slots = match self.policy.backoff_slots(cw, &mut self.rng) {
             Some(slots) => slots.min(cw),
             None => self.backoff.draw(&mut self.rng),
+        };
+        if self.recorder.is_some() {
+            self.obs_emit(now, &crate::obs::BACKOFF, &[cw as f64, slots as f64]);
+            self.obs_hist(crate::obs::HIST_BACKOFF_SLOTS, slots as f64);
         }
+        slots
     }
 
     fn build_data_frame(&mut self) -> Frame<M> {
@@ -634,7 +684,7 @@ impl<M: Msdu> Dcf<M> {
     fn begin_transmission(&mut self, now: SimTime, actions: &mut Vec<MacAction<M>>) {
         debug_assert!(self.nav.is_idle(now), "transmitting against NAV");
         if self.current.is_none() {
-            let (dst, body) = match self.queue.pop_front() {
+            let (dst, body, enqueued_at) = match self.queue.pop_front() {
                 Some(x) => x,
                 None => return,
             };
@@ -646,6 +696,7 @@ impl<M: Msdu> Dcf<M> {
                 seq,
                 short_retries: 0,
                 long_retries: 0,
+                enqueued_at,
             });
         }
         let (dst, mac_bytes, is_tack, rts_retry) = {
@@ -706,7 +757,23 @@ impl<M: Msdu> Dcf<M> {
         }
         self.backoff.on_success();
         self.counters.record_cw(now, self.backoff.cw());
-        self.backoff_slots = Some(self.draw_slots());
+        if self.recorder.is_some() {
+            let queue_us = now.saturating_since(op.enqueued_at).as_micros() as f64;
+            self.obs_emit(
+                now,
+                &crate::obs::TX_SUCCESS,
+                &[op.long_retries as f64, queue_us, self.backoff.cw() as f64],
+            );
+            self.obs_hist(crate::obs::HIST_ACCESS_US, queue_us);
+            if let Some(prev) = self.last_ack_at {
+                self.obs_hist(
+                    crate::obs::HIST_INTER_ACK_US,
+                    now.saturating_since(prev).as_micros() as f64,
+                );
+            }
+            self.last_ack_at = Some(now);
+        }
+        self.backoff_slots = Some(self.draw_slots(now));
         self.reschedule_access(now, actions);
     }
 
@@ -716,16 +783,24 @@ impl<M: Msdu> Dcf<M> {
             Some(a) => a,
             None => return,
         };
-        let (dst, drop) = {
+        let (dst, drop, retry_count) = {
             let op = self.current.as_mut().expect("timeout without tx op");
             match awaiting {
                 Awaiting::Cts => {
                     op.short_retries += 1;
-                    (op.dst, op.short_retries > self.cfg.short_retry_limit)
+                    (
+                        op.dst,
+                        op.short_retries > self.cfg.short_retry_limit,
+                        op.short_retries,
+                    )
                 }
                 Awaiting::Ack => {
                     op.long_retries += 1;
-                    (op.dst, op.long_retries > self.cfg.long_retry_limit)
+                    (
+                        op.dst,
+                        op.long_retries > self.cfg.long_retry_limit,
+                        op.long_retries,
+                    )
                 }
             }
         };
@@ -742,6 +817,11 @@ impl<M: Msdu> Dcf<M> {
         if drop || no_retx {
             let op = self.current.take().expect("drop without tx op");
             self.counters.retry_drops.incr();
+            self.obs_emit(
+                now,
+                &crate::obs::MAC_DROP,
+                &[crate::obs::DROP_RETRY_LIMIT, op.dst.0 as f64],
+            );
             actions.push(MacAction::Dropped {
                 body: op.body,
                 to: op.dst,
@@ -755,7 +835,15 @@ impl<M: Msdu> Dcf<M> {
             self.backoff.on_failure();
         }
         self.counters.record_cw(now, self.backoff.cw());
-        self.backoff_slots = Some(self.draw_slots());
+        if self.recorder.is_some() {
+            let long = if awaiting == Awaiting::Ack { 1.0 } else { 0.0 };
+            self.obs_emit(
+                now,
+                &crate::obs::RETRY,
+                &[long, retry_count as f64, self.backoff.cw() as f64],
+            );
+        }
+        self.backoff_slots = Some(self.draw_slots(now));
         self.reschedule_access(now, actions);
     }
 
@@ -823,7 +911,7 @@ impl<M: Msdu> Dcf<M> {
                 && self.awaiting.is_none()
                 && self.pending_response.is_none()
             {
-                self.backoff_slots = Some(self.draw_slots());
+                self.backoff_slots = Some(self.draw_slots(now));
             } else {
                 return;
             }

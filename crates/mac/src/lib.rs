@@ -23,6 +23,7 @@ pub mod dcf;
 pub mod dedup;
 pub mod frame;
 pub mod nav;
+pub mod obs;
 pub mod policy;
 
 pub use arf::{Arf, ArfConfig};

@@ -1,0 +1,68 @@
+//! MAC-layer flight-recorder events and histogram names.
+//!
+//! [`crate::Dcf`] emits these when a recorder is installed (see
+//! [`crate::Dcf::set_recorder`]): NAV set/expiry, backoff draws, retry
+//! and contention-window evolution, queue/retry drops and acknowledged
+//! transmissions. Event `node` is always the emitting station.
+
+use ::obs::{EventKind, Layer};
+
+/// An overheard frame updated the NAV. Payload: claimed source and the
+/// new NAV expiry instant.
+pub static NAV_SET: EventKind = EventKind {
+    name: "nav_set",
+    layer: Layer::Mac,
+    fields: &["src", "until_us"],
+};
+
+/// The NAV-end wake-up fired: virtual carrier reconsidered.
+pub static NAV_END: EventKind = EventKind {
+    name: "nav_end",
+    layer: Layer::Mac,
+    fields: &["until_us"],
+};
+
+/// A backoff countdown was drawn. Payload: contention window and the
+/// drawn slot count (a greedy draw may be smaller than honest).
+pub static BACKOFF: EventKind = EventKind {
+    name: "backoff",
+    layer: Layer::Mac,
+    fields: &["cw", "slots"],
+};
+
+/// A response (CTS/ACK) timeout triggered a retry. Payload: `long` is 1
+/// for data (ACK) retries, 0 for RTS (CTS) retries; `count` the per-op
+/// retry counter after the increment; `cw` the window after the update.
+pub static RETRY: EventKind = EventKind {
+    name: "retry",
+    layer: Layer::Mac,
+    fields: &["long", "count", "cw"],
+};
+
+/// An MSDU was abandoned. Payload: reason code ([`DROP_QUEUE_FULL`] or
+/// [`DROP_RETRY_LIMIT`]) and intended destination.
+pub static MAC_DROP: EventKind = EventKind {
+    name: "drop",
+    layer: Layer::Mac,
+    fields: &["reason", "dst"],
+};
+
+/// A data MSDU was transmitted and acknowledged. Payload: data retries
+/// used, enqueue→ACK latency, and the post-success contention window.
+pub static TX_SUCCESS: EventKind = EventKind {
+    name: "tx_success",
+    layer: Layer::Mac,
+    fields: &["retries", "queue_us", "cw"],
+};
+
+/// Drop reason code: interface queue overflow.
+pub const DROP_QUEUE_FULL: f64 = 0.0;
+/// Drop reason code: retry limit exhausted (or no-retx emulation).
+pub const DROP_RETRY_LIMIT: f64 = 1.0;
+
+/// Histogram of drawn backoff slot counts.
+pub const HIST_BACKOFF_SLOTS: &str = "mac_backoff_slots";
+/// Histogram of enqueue→ACK access latency in µs.
+pub const HIST_ACCESS_US: &str = "mac_access_us";
+/// Histogram of gaps between consecutive ACKed MSDUs in µs.
+pub const HIST_INTER_ACK_US: &str = "mac_inter_ack_us";

@@ -18,7 +18,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use mac::{CorruptionCause, Dcf, Frame, MacAction, NodeId, RxEvent, TimerKind};
+use mac::{CorruptionCause, Dcf, Frame, FrameKind, MacAction, NodeId, RxEvent, TimerKind};
 use phy::error_model::PLCP_EQUIVALENT_BYTES;
 use phy::{channel::Reach, CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
 use sim::{EventId, Scheduler, SimDuration, SimRng, SimTime};
@@ -27,7 +27,27 @@ use transport::{
 };
 
 use crate::metrics::{FlowMetrics, NodeMetrics, RunMetrics};
-use crate::trace::{Trace, TraceKind, TraceRecord};
+use crate::trace::Trace;
+
+/// Probe gauge: MAC interface-queue depth, sampled per node.
+pub const GAUGE_QUEUE_LEN: &str = "queue_len";
+/// Probe gauge: remaining NAV time in µs, sampled per node.
+pub const GAUGE_NAV_REMAINING_US: &str = "nav_remaining_us";
+/// Probe gauge: current contention window, sampled per node.
+pub const GAUGE_CW: &str = "cw";
+/// Probe gauge: TCP congestion window in segments, sampled per flow
+/// (the series id is the *flow* id, not a node id).
+pub const GAUGE_CWND: &str = "cwnd";
+
+/// Maps a MAC frame kind to the compact PHY event code.
+fn frame_code(kind: FrameKind) -> u8 {
+    match kind {
+        FrameKind::Rts => phy::obs::FRAME_RTS,
+        FrameKind::Cts => phy::obs::FRAME_CTS,
+        FrameKind::Data => phy::obs::FRAME_DATA,
+        FrameKind::Ack => phy::obs::FRAME_ACK,
+    }
+}
 
 /// Events the runtime schedules.
 #[derive(Debug, Clone)]
@@ -149,7 +169,7 @@ pub struct Network {
     txs: HashMap<u64, ActiveTx>,
     next_tx: u64,
     flow_timers: HashMap<u32, EventId>,
-    trace: Option<Trace>,
+    recorder: Option<::obs::RecorderHandle>,
 }
 
 // A built network is a self-contained job: the campaign runner moves it to
@@ -199,18 +219,58 @@ impl Network {
             txs: HashMap::new(),
             next_tx: 0,
             flow_timers: HashMap::new(),
-            trace: None,
+            recorder: None,
         }
     }
 
-    /// Enables frame-level tracing, keeping at most `capacity` records.
-    pub fn enable_trace(&mut self, capacity: usize) {
-        self.trace = Some(Trace::new(capacity));
+    /// Installs a flight recorder, wiring it into every MAC instance and
+    /// TCP sender. PHY events and periodic gauge samples are recorded by
+    /// the runtime itself. Recording never touches the event scheduler
+    /// or the RNG streams, so simulation outcomes are identical with it
+    /// on or off.
+    pub fn set_recorder(&mut self, recorder: ::obs::RecorderHandle) {
+        for st in &mut self.nodes {
+            st.dcf.set_recorder(recorder.clone());
+        }
+        for f in &mut self.flows {
+            if let FlowKindState::Tcp { sender, .. } = &mut f.kind {
+                // Remote senders are attributed to the AP they sit behind.
+                sender.set_recorder(recorder.clone(), f.src.0);
+            }
+        }
+        self.recorder = Some(recorder);
     }
 
-    /// The collected trace, if tracing was enabled.
-    pub fn trace(&self) -> Option<&Trace> {
-        self.trace.as_ref()
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&::obs::RecorderHandle> {
+        self.recorder.as_ref()
+    }
+
+    /// Enables frame-level tracing, keeping at most `capacity` events.
+    ///
+    /// Compatibility shim over the flight recorder: installs a PHY-only
+    /// recorder (no probes) unless one is already present, in which case
+    /// the existing recorder — which already captures PHY events — backs
+    /// [`Network::trace`] and this is a no-op.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        if self.recorder.is_none() {
+            self.recorder = Some(
+                ::obs::ObsSpec {
+                    capacity,
+                    probe_interval: None,
+                    filter: ::obs::Filter::layers(&[::obs::Layer::Phy]),
+                }
+                .recorder(),
+            );
+        }
+    }
+
+    /// The collected frame trace, if a recorder is installed: rebuilt
+    /// from the recorder's PHY events on each call.
+    pub fn trace(&self) -> Option<Trace> {
+        let rec = self.recorder.as_ref()?;
+        let r = rec.borrow();
+        Some(Trace::from_events(r.events(), r.dropped(), r.capacity()))
     }
 
     /// Immutable access to a node's DCF (counters, NAV, …).
@@ -239,14 +299,59 @@ impl Network {
     /// Runs the simulation for `duration` of virtual time and returns the
     /// collected metrics. Can be called once per network.
     pub fn run(&mut self, duration: SimDuration) -> RunMetrics {
+        let _span = ::obs::span!("net/run");
         self.start_flows();
         let horizon = SimTime::ZERO + duration;
+        // Gauge sampling rides the event loop on a fixed virtual-time
+        // grid instead of scheduling its own events, so the event count
+        // and every RNG stream are byte-identical with recording off.
+        let probe_iv = self
+            .recorder
+            .as_ref()
+            .and_then(|r| r.borrow().probe_interval());
+        let mut next_probe = SimTime::ZERO;
         while let Some((now, ev)) = self.sched.next_until(horizon) {
+            if let Some(iv) = probe_iv {
+                while next_probe <= now {
+                    self.sample_gauges(next_probe);
+                    next_probe += iv;
+                }
+            }
             self.dispatch(now, ev);
+        }
+        if let Some(iv) = probe_iv {
+            while next_probe <= horizon {
+                self.sample_gauges(next_probe);
+                next_probe += iv;
+            }
         }
         let metrics = self.collect_metrics(duration);
         crate::stats::record_run(metrics.events_processed);
         metrics
+    }
+
+    /// Samples every probe gauge at virtual instant `at`. Values reflect
+    /// the state after the last event dispatched before `at`.
+    fn sample_gauges(&mut self, at: SimTime) {
+        let _span = ::obs::span!("obs/probe");
+        let Some(rec) = &self.recorder else { return };
+        let mut r = rec.borrow_mut();
+        for (i, st) in self.nodes.iter().enumerate() {
+            let node = i as u16;
+            r.sample(GAUGE_QUEUE_LEN, node, at, st.dcf.queue_len() as f64);
+            r.sample(
+                GAUGE_NAV_REMAINING_US,
+                node,
+                at,
+                st.dcf.nav_until().saturating_since(at).as_micros() as f64,
+            );
+            r.sample(GAUGE_CW, node, at, st.dcf.cw() as f64);
+        }
+        for f in &self.flows {
+            if let FlowKindState::Tcp { sender, .. } = &f.kind {
+                r.sample(GAUGE_CWND, f.id.0 as u16, at, sender.cwnd());
+            }
+        }
     }
 
     fn start_flows(&mut self) {
@@ -275,6 +380,7 @@ impl Network {
     fn dispatch(&mut self, now: SimTime, ev: Event) {
         match ev {
             Event::MacTimer { node, kind } => {
+                let _span = ::obs::span!("mac/timer");
                 self.nodes[node.0 as usize].timers.remove(&kind);
                 let actions = self.nodes[node.0 as usize].dcf.on_timer(now, kind);
                 self.process_actions(now, node, actions);
@@ -452,16 +558,15 @@ impl Network {
         let src = frame.actual_tx;
         let airtime = frame.airtime(&self.phy);
         let end = now + airtime;
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceRecord {
-                at: now,
-                kind: TraceKind::TxStart,
-                node: src,
-                tx: src,
-                dst: frame.dst,
-                frame: frame.kind,
+        if let Some(rec) = &self.recorder {
+            phy::obs::record_tx_start(
+                rec,
+                now,
+                src.0,
+                frame.dst.0,
+                frame_code(frame.kind),
                 airtime,
-            });
+            );
         }
         let id = self.next_tx;
         self.next_tx += 1;
@@ -505,6 +610,7 @@ impl Network {
     }
 
     fn conclude_reception(&mut self, now: SimTime, node: NodeId, tx: u64) {
+        let _span = ::obs::span!("phy/receive");
         let a = self
             .txs
             .get(&tx)
@@ -572,24 +678,25 @@ impl Network {
                 }
             }
         };
-        if let Some(trace) = &mut self.trace {
-            let kind = match &event {
-                RxEvent::Ok { .. } => TraceKind::RxOk,
+        if let Some(rec) = &self.recorder {
+            let outcome = match &event {
+                RxEvent::Ok { .. } => phy::obs::RxOutcome::Ok,
                 RxEvent::Corrupted {
                     cause: CorruptionCause::Noise,
                     ..
-                } => TraceKind::RxCorrupt,
-                RxEvent::Corrupted { .. } => TraceKind::RxCollision,
+                } => phy::obs::RxOutcome::Noise,
+                RxEvent::Corrupted { .. } => phy::obs::RxOutcome::Collision,
             };
-            trace.push(TraceRecord {
-                at: now,
-                kind,
-                node,
-                tx: a.frame.actual_tx,
-                dst: a.frame.dst,
-                frame: a.frame.kind,
-                airtime: a.end.saturating_since(a.start),
-            });
+            phy::obs::record_rx(
+                rec,
+                now,
+                node.0,
+                a.frame.actual_tx.0,
+                a.frame.dst.0,
+                frame_code(a.frame.kind),
+                outcome,
+                a.end.saturating_since(a.start),
+            );
         }
         let actions = self.nodes[node.0 as usize].dcf.on_rx_end(now, event);
         self.process_actions(now, node, actions);
@@ -682,6 +789,7 @@ impl Network {
     }
 
     fn process_tcp_outputs(&mut self, now: SimTime, flow: FlowId, outputs: Vec<TcpOutput>) {
+        let _span = ::obs::span!("transport/tcp");
         for out in outputs {
             match out {
                 TcpOutput::Send(seg) => {

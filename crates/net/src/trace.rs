@@ -65,6 +65,80 @@ impl Trace {
         }
     }
 
+    /// Rebuilds a trace from recorded PHY flight-recorder events — the
+    /// compatibility path behind [`crate::Network::trace`]. Non-PHY
+    /// events are skipped; `dropped` and `capacity` are carried over
+    /// from the recorder's ring buffer.
+    pub fn from_events<'a>(
+        events: impl IntoIterator<Item = &'a ::obs::ObsEvent>,
+        dropped: u64,
+        capacity: usize,
+    ) -> Trace {
+        fn frame_of(code: f64) -> Option<FrameKind> {
+            Some(match code as u8 {
+                phy::obs::FRAME_RTS => FrameKind::Rts,
+                phy::obs::FRAME_CTS => FrameKind::Cts,
+                phy::obs::FRAME_DATA => FrameKind::Data,
+                phy::obs::FRAME_ACK => FrameKind::Ack,
+                _ => return None,
+            })
+        }
+        let mut t = Trace {
+            records: Vec::new(),
+            capacity,
+            dropped,
+        };
+        for ev in events {
+            if ev.kind.layer != ::obs::Layer::Phy {
+                continue;
+            }
+            let (kind, tx, dst, frame, airtime) = match ev.kind.name {
+                "tx_start" => (
+                    TraceKind::TxStart,
+                    ev.node as f64,
+                    ev.vals[0],
+                    ev.vals[1],
+                    ev.vals[2],
+                ),
+                "rx_ok" => (
+                    TraceKind::RxOk,
+                    ev.vals[0],
+                    ev.vals[1],
+                    ev.vals[2],
+                    ev.vals[3],
+                ),
+                "rx_noise" => (
+                    TraceKind::RxCorrupt,
+                    ev.vals[0],
+                    ev.vals[1],
+                    ev.vals[2],
+                    ev.vals[3],
+                ),
+                "rx_collision" => (
+                    TraceKind::RxCollision,
+                    ev.vals[0],
+                    ev.vals[1],
+                    ev.vals[2],
+                    ev.vals[3],
+                ),
+                _ => continue,
+            };
+            let Some(frame) = frame_of(frame) else {
+                continue;
+            };
+            t.records.push(TraceRecord {
+                at: ev.at,
+                kind,
+                node: NodeId(ev.node),
+                tx: NodeId(tx as u16),
+                dst: NodeId(dst as u16),
+                frame,
+                airtime: SimDuration::from_micros(airtime as u64),
+            });
+        }
+        t
+    }
+
     /// Appends a record (public so offline analyses and tests can build
     /// synthetic traces).
     pub fn push(&mut self, rec: TraceRecord) {

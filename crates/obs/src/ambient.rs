@@ -1,0 +1,66 @@
+//! Per-thread ambient recorder.
+//!
+//! Experiment generators build their scenarios inside plain closures
+//! whose signatures the sweep machinery cannot change without touching
+//! all 38 experiments. Instead, the campaign installs the run's recorder
+//! into a thread-local slot around each job; `Scenario::build()` picks
+//! it up if no recorder was set explicitly. Jobs never share a thread
+//! concurrently (the runner executes one job at a time per worker), and
+//! the guard restores the previous slot value on drop, so nesting and
+//! worker-thread reuse are safe.
+
+use std::cell::RefCell;
+
+use crate::recorder::RecorderHandle;
+
+thread_local! {
+    static CURRENT: RefCell<Option<RecorderHandle>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed recorder when dropped.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<RecorderHandle>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|slot| *slot.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `handle` as this thread's ambient recorder until the
+/// returned guard drops.
+#[must_use = "the recorder is uninstalled when the guard drops"]
+pub fn install(handle: RecorderHandle) -> AmbientGuard {
+    let prev = CURRENT.with(|slot| slot.borrow_mut().replace(handle));
+    AmbientGuard { prev }
+}
+
+/// The currently installed ambient recorder, if any.
+pub fn current() -> Option<RecorderHandle> {
+    CURRENT.with(|slot| slot.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::ObsSpec;
+
+    #[test]
+    fn install_is_scoped_and_nestable() {
+        assert!(current().is_none());
+        let outer = ObsSpec::default().recorder();
+        {
+            let _g1 = install(outer.clone());
+            assert!(current().unwrap().same_cell(&outer));
+            {
+                let inner = ObsSpec::default().recorder();
+                let _g2 = install(inner.clone());
+                assert!(current().unwrap().same_cell(&inner));
+            }
+            assert!(current().unwrap().same_cell(&outer));
+        }
+        assert!(current().is_none());
+    }
+}

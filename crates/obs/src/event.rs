@@ -1,0 +1,167 @@
+//! Structured event records and their schema registry.
+//!
+//! Each instrumented crate declares its event kinds as `static`
+//! [`EventKind`]s — a name, a stack layer and the ordered field names of
+//! the payload. An [`ObsEvent`] then only stores a reference to its kind
+//! plus up to [`MAX_FIELDS`] numeric values, keeping the ring-buffer
+//! entry small (no per-event string allocation) while the JSONL export
+//! can still render self-describing records.
+
+use sim::SimTime;
+
+/// Maximum payload values per event. Kinds with fewer fields leave the
+/// tail unused.
+pub const MAX_FIELDS: usize = 4;
+
+/// Which stack layer emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Medium-level outcomes: transmissions, receptions, capture, noise.
+    Phy,
+    /// DCF state: NAV, backoff, retries, queue drops.
+    Mac,
+    /// TCP endpoints: cwnd, RTO, retransmit causes.
+    Transport,
+    /// Runtime-level events that belong to no single protocol layer.
+    Net,
+}
+
+impl Layer {
+    /// Lower-case layer name used in exports and `--record-filter`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Phy => "phy",
+            Layer::Mac => "mac",
+            Layer::Transport => "transport",
+            Layer::Net => "net",
+        }
+    }
+
+    /// Bit in a layer-filter mask.
+    pub fn mask(self) -> u8 {
+        match self {
+            Layer::Phy => 1,
+            Layer::Mac => 2,
+            Layer::Transport => 4,
+            Layer::Net => 8,
+        }
+    }
+
+    /// Parses a layer name as accepted by `--record-filter`.
+    pub fn parse(s: &str) -> Option<Layer> {
+        match s {
+            "phy" => Some(Layer::Phy),
+            "mac" => Some(Layer::Mac),
+            "transport" | "tcp" => Some(Layer::Transport),
+            "net" => Some(Layer::Net),
+            _ => None,
+        }
+    }
+}
+
+/// Schema of one event kind. Declared `static` by the emitting crate so
+/// events reference it for free.
+#[derive(Debug)]
+pub struct EventKind {
+    /// Stable kind name (snake_case), unique within a layer.
+    pub name: &'static str,
+    /// Emitting layer.
+    pub layer: Layer,
+    /// Ordered names of the payload values. Length ≤ [`MAX_FIELDS`].
+    pub fields: &'static [&'static str],
+}
+
+/// One recorded event: when, who, what, payload.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Station (or flow, for transport kinds) the event concerns.
+    pub node: u16,
+    /// Schema reference.
+    pub kind: &'static EventKind,
+    /// Payload values, index-aligned with `kind.fields`.
+    pub vals: [f64; MAX_FIELDS],
+}
+
+impl ObsEvent {
+    /// Builds an event, padding unused payload slots with zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `vals` does not match the kind's field count.
+    pub fn new(at: SimTime, node: u16, kind: &'static EventKind, vals: &[f64]) -> Self {
+        debug_assert_eq!(
+            vals.len(),
+            kind.fields.len(),
+            "payload arity mismatch for {}",
+            kind.name
+        );
+        let mut padded = [0.0; MAX_FIELDS];
+        padded[..vals.len()].copy_from_slice(vals);
+        ObsEvent {
+            at,
+            node,
+            kind,
+            vals: padded,
+        }
+    }
+
+    /// Renders the event as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"t_us\":{},\"layer\":\"{}\",\"node\":{},\"kind\":\"{}\"",
+            self.at.as_micros(),
+            self.kind.layer.name(),
+            self.node,
+            self.kind.name
+        );
+        for (name, val) in self.kind.fields.iter().zip(self.vals.iter()) {
+            s.push_str(&format!(",\"{}\":{}", name, fmt_num(*val)));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Formats a payload value: integral magnitudes print without a
+/// fractional part so timestamps and ids stay readable, everything else
+/// uses Rust's shortest-roundtrip float formatting (deterministic across
+/// platforms).
+pub(crate) fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static TEST_KIND: EventKind = EventKind {
+        name: "unit",
+        layer: Layer::Mac,
+        fields: &["a", "b"],
+    };
+
+    #[test]
+    fn json_rendering_is_self_describing() {
+        let ev = ObsEvent::new(SimTime::from_micros(1500), 3, &TEST_KIND, &[7.0, 0.25]);
+        assert_eq!(
+            ev.to_json(),
+            "{\"t_us\":1500,\"layer\":\"mac\",\"node\":3,\"kind\":\"unit\",\"a\":7,\"b\":0.25}"
+        );
+    }
+
+    #[test]
+    fn layer_mask_and_parse_roundtrip() {
+        for layer in [Layer::Phy, Layer::Mac, Layer::Transport, Layer::Net] {
+            assert_eq!(Layer::parse(layer.name()), Some(layer));
+            assert_eq!(layer.mask().count_ones(), 1);
+        }
+        assert_eq!(Layer::parse("tcp"), Some(Layer::Transport));
+        assert_eq!(Layer::parse("nope"), None);
+    }
+}

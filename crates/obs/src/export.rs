@@ -1,0 +1,217 @@
+//! Deterministic artifact export.
+//!
+//! A drained [`ObsReport`] renders to a per-run directory named after
+//! its [`RunKey`]:
+//!
+//! ```text
+//! results/obs/<experiment>-p<point>-s<seed>/
+//!   events.jsonl       one JSON object per event, ring order
+//!   probe_<gauge>.csv  id,t_us,value — one file per sampled gauge
+//!   histograms.csv     name,lo,hi,count — log-bucket rows
+//!   meta.json          run key, seed, counts, histogram summaries
+//! ```
+//!
+//! Every writer iterates `BTreeMap`s or already-ordered vectors, and
+//! every number formats through a fixed rule, so the bytes are a pure
+//! function of the recorded data — the determinism tests byte-compare
+//! these files across `--jobs` widths.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use sim::stats::LogHistogram;
+use sim::{RunKey, SimTime};
+
+use crate::event::{fmt_num, ObsEvent};
+
+/// Plain-data snapshot of one run's telemetry (see
+/// [`crate::Recorder::drain_report`]). `Send`, clonable, thread-safe to
+/// move to an aggregator.
+#[derive(Debug, Clone, Default)]
+pub struct ObsReport {
+    /// Buffered events, oldest first.
+    pub events: Vec<ObsEvent>,
+    /// Events the ring evicted before the drain.
+    pub dropped: u64,
+    /// Ring capacity the run recorded under.
+    pub capacity: usize,
+    /// Log-bucketed histograms by metric name.
+    pub hists: BTreeMap<&'static str, LogHistogram>,
+    /// Gauge time series by `(gauge, id)`.
+    pub series: BTreeMap<(&'static str, u16), Vec<(SimTime, f64)>>,
+}
+
+// Reports travel from worker threads back to the campaign aggregator.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ObsReport>();
+};
+
+impl ObsReport {
+    /// Renders all events as JSON Lines.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders one CSV per sampled gauge: `(file name, contents)`.
+    pub fn probe_csvs(&self) -> Vec<(String, String)> {
+        let mut files: BTreeMap<&'static str, String> = BTreeMap::new();
+        for ((gauge, id), samples) in &self.series {
+            let body = files
+                .entry(gauge)
+                .or_insert_with(|| String::from("id,t_us,value\n"));
+            for (at, value) in samples {
+                body.push_str(&format!("{id},{},{}\n", at.as_micros(), fmt_num(*value)));
+            }
+        }
+        files
+            .into_iter()
+            .map(|(gauge, body)| (format!("probe_{gauge}.csv"), body))
+            .collect()
+    }
+
+    /// Renders every histogram's non-empty buckets as CSV.
+    pub fn histograms_csv(&self) -> String {
+        let mut out = String::from("name,lo,hi,count\n");
+        for (name, hist) in &self.hists {
+            for (lo, hi, count) in hist.buckets() {
+                out.push_str(&format!("{name},{},{},{count}\n", fmt_num(lo), fmt_num(hi)));
+            }
+        }
+        out
+    }
+
+    /// Renders the run's metadata and histogram summaries as JSON.
+    pub fn meta_json(&self, key: &RunKey) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"experiment\": \"{}\",\n  \"point\": {},\n  \"seed\": {},\n  \"stream_seed\": {},\n",
+            key.experiment,
+            key.point,
+            key.seed,
+            key.stream_seed()
+        ));
+        s.push_str(&format!(
+            "  \"events\": {},\n  \"dropped\": {},\n  \"capacity\": {},\n",
+            self.events.len(),
+            self.dropped,
+            self.capacity
+        ));
+        s.push_str("  \"histograms\": [");
+        for (i, (name, hist)) in self.hists.iter().enumerate() {
+            s.push_str(&format!(
+                "{}\n    {{\"name\": \"{name}\", \"count\": {}, \"p50\": {}, \"p95\": {}}}",
+                if i == 0 { "" } else { "," },
+                hist.count(),
+                fmt_num(hist.quantile(0.5).unwrap_or(0.0)),
+                fmt_num(hist.quantile(0.95).unwrap_or(0.0)),
+            ));
+        }
+        if self.hists.is_empty() {
+            s.push_str("]\n}\n");
+        } else {
+            s.push_str("\n  ]\n}\n");
+        }
+        s
+    }
+}
+
+/// Directory name for a run's artifacts: `<experiment>-p<point>-s<seed>`
+/// with path separators in the label flattened.
+pub fn run_dir_name(key: &RunKey) -> String {
+    let label: String = key
+        .experiment
+        .chars()
+        .map(|c| if c == '/' || c == '\\' { '_' } else { c })
+        .collect();
+    format!("{label}-p{}-s{}", key.point, key.seed)
+}
+
+/// Writes all of a report's artifacts into `dir` (created if missing).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or file writes.
+pub fn write_artifacts(dir: &Path, key: &RunKey, report: &ObsReport) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("events.jsonl"), report.events_jsonl())?;
+    for (name, body) in report.probe_csvs() {
+        std::fs::write(dir.join(name), body)?;
+    }
+    std::fs::write(dir.join("histograms.csv"), report.histograms_csv())?;
+    std::fs::write(dir.join("meta.json"), report.meta_json(key))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Layer};
+
+    static KIND: EventKind = EventKind {
+        name: "k",
+        layer: Layer::Phy,
+        fields: &["x"],
+    };
+
+    fn report() -> ObsReport {
+        let mut r = ObsReport {
+            capacity: 8,
+            dropped: 1,
+            ..ObsReport::default()
+        };
+        r.events
+            .push(ObsEvent::new(SimTime::from_micros(10), 1, &KIND, &[2.5]));
+        r.hists.entry("lat_us").or_default().push(300.0);
+        r.series
+            .insert(("cw", 0), vec![(SimTime::from_micros(5), 31.0)]);
+        r
+    }
+
+    #[test]
+    fn artifacts_render_deterministically() {
+        let r = report();
+        assert_eq!(
+            r.events_jsonl(),
+            "{\"t_us\":10,\"layer\":\"phy\",\"node\":1,\"kind\":\"k\",\"x\":2.5}\n"
+        );
+        let probes = r.probe_csvs();
+        assert_eq!(probes.len(), 1);
+        assert_eq!(probes[0].0, "probe_cw.csv");
+        assert_eq!(probes[0].1, "id,t_us,value\n0,5,31\n");
+        assert!(r.histograms_csv().contains("lat_us,256,512,1"));
+        let key = RunKey::new("fig6", 2, 0);
+        let meta = r.meta_json(&key);
+        assert!(meta.contains("\"experiment\": \"fig6\""));
+        assert!(meta.contains("\"dropped\": 1"));
+        assert!(meta.contains("\"name\": \"lat_us\""));
+    }
+
+    #[test]
+    fn dir_name_flattens_label_paths() {
+        assert_eq!(run_dir_name(&RunKey::new("abl1/cs", 3, 1)), "abl1_cs-p3-s1");
+    }
+
+    #[test]
+    fn write_artifacts_creates_all_files() {
+        let dir = std::env::temp_dir().join(format!("gr-obs-export-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = RunKey::new("t", 0, 0);
+        write_artifacts(&dir, &key, &report()).unwrap();
+        for f in [
+            "events.jsonl",
+            "probe_cw.csv",
+            "histograms.csv",
+            "meta.json",
+        ] {
+            assert!(dir.join(f).is_file(), "{f} missing");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared mutable handles to recorder state.
+//!
+//! Mirrors the `Shared<T>` idiom used by the detection layer: an
+//! `Arc<Mutex<T>>` with panic-on-poison borrows. Every layer of one run
+//! holds a clone of the same [`crate::RecorderHandle`]; runs never share
+//! a recorder, so the mutex is uncontended and exists only to make the
+//! handle `Send` for the campaign runner's worker threads.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cheaply clonable shared cell (`Arc<Mutex<T>>`).
+pub struct Shared<T>(Arc<Mutex<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps `value` in a new shared cell.
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(Mutex::new(value)))
+    }
+
+    /// Locks the cell for reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (a holder panicked).
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("shared cell poisoned")
+    }
+
+    /// Locks the cell for writing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned (a holder panicked).
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.0.lock().expect("shared cell poisoned")
+    }
+
+    /// Whether `self` and `other` point at the same cell.
+    pub fn same_cell(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+// Deliberately does not require `T: Debug`: handles are embedded in
+// `Debug`-deriving hosts (MAC, TCP sender) that must not grow bounds.
+impl<T> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Shared").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Shared::new(1u32);
+        let b = a.clone();
+        *b.borrow_mut() += 41;
+        assert_eq!(*a.borrow(), 42);
+        assert!(a.same_cell(&b));
+        assert!(!a.same_cell(&Shared::new(1)));
+    }
+}

@@ -24,6 +24,7 @@ pub mod airtime;
 pub mod capture;
 pub mod channel;
 pub mod error_model;
+pub mod obs;
 pub mod params;
 pub mod position;
 pub mod rssi;

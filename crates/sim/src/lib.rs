@@ -36,5 +36,5 @@ pub use error::SimError;
 pub use queue::{EventId, EventQueue};
 pub use rng::{RunKey, SimRng};
 pub use sched::Scheduler;
-pub use stats::{Counter, Histogram, Mean, TimeWeightedMean};
+pub use stats::{Counter, Histogram, LogHistogram, Mean, TimeWeightedMean};
 pub use time::{SimDuration, SimTime};

@@ -229,6 +229,115 @@ impl Histogram {
     }
 }
 
+/// Log-bucketed (power-of-two) histogram for positive values spanning
+/// many orders of magnitude — microsecond latencies, backoff slot
+/// counts, inter-ACK gaps.
+///
+/// Bucket 0 holds `[0, 1)` (and any negative input); bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i)`. Buckets are integer-indexed from the value's
+/// integer part, so binning is exact and platform-independent.
+///
+/// # Examples
+///
+/// ```
+/// use gr_sim::stats::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for x in [3.0, 5.0, 300.0] {
+///     h.push(x);
+/// }
+/// let buckets: Vec<_> = h.buckets().collect();
+/// assert_eq!(buckets, vec![(2.0, 4.0, 1), (4.0, 8.0, 1), (256.0, 512.0, 1)]);
+/// assert_eq!(h.quantile(0.5), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    bins: Vec<u64>,
+    count: u64,
+    sum: f64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    fn bucket_of(x: f64) -> usize {
+        if x < 1.0 {
+            0
+        } else {
+            // floor(log2(x)) + 1 via the integer part — exact for the
+            // bucket edges, unlike a float log.
+            let u = if x >= u64::MAX as f64 {
+                u64::MAX
+            } else {
+                x as u64
+            };
+            (64 - u.leading_zeros()) as usize
+        }
+    }
+
+    /// Lower and upper bound of bucket `i`.
+    fn bounds(i: usize) -> (f64, f64) {
+        if i == 0 {
+            (0.0, 1.0)
+        } else {
+            ((1u128 << (i - 1)) as f64, (1u128 << i) as f64)
+        }
+    }
+
+    /// Records one observation.
+    pub fn push(&mut self, x: f64) {
+        let b = Self::bucket_of(x);
+        if self.bins.len() <= b {
+            self.bins.resize(b + 1, 0);
+        }
+        self.bins[b] += 1;
+        self.count += 1;
+        self.sum += x;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bounds(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Nearest-rank `q`-quantile reported as the holding bucket's lower
+    /// bound (a conservative estimate exact to one power of two), or
+    /// `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut acc = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(Self::bounds(i).0);
+            }
+        }
+        Some(Self::bounds(self.bins.len().saturating_sub(1)).0)
+    }
+}
+
 /// Returns the median of a slice (average of the two central elements for
 /// even lengths), or `None` if empty. The input need not be sorted.
 pub fn median(values: &[f64]) -> Option<f64> {
@@ -315,6 +424,40 @@ mod tests {
         // CDF at 2.0: underflow(1) + bin0(1) + bin1(2) = 4/7
         assert!((h.cdf_at(2.0) - 4.0 / 7.0).abs() < 1e-12);
         assert!((h.cdf_at(100.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_buckets_exactly_at_powers_of_two() {
+        let mut h = LogHistogram::new();
+        for x in [-2.0, 0.0, 0.9, 1.0, 1.9, 2.0, 1024.0, 1048576.0] {
+            h.push(x);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(
+            buckets,
+            vec![
+                (0.0, 1.0, 3),             // -2, 0, 0.9
+                (1.0, 2.0, 2),             // 1.0, 1.9
+                (2.0, 4.0, 1),             // 2.0
+                (1024.0, 2048.0, 1),       // 2^10
+                (1048576.0, 2097152.0, 1), // 2^20
+            ]
+        );
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_are_bucket_floors() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..9 {
+            h.push(3.0); // bucket [2, 4)
+        }
+        h.push(1000.0); // bucket [512, 1024)
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.95), Some(512.0));
+        assert_eq!(h.quantile(1.0), Some(512.0));
+        assert!((h.mean().unwrap() - 102.7).abs() < 1e-9);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! * [`rto`] — RFC 6298-style retransmission-timeout estimation.
 
 #![warn(missing_docs)]
+pub mod obs;
 pub mod packet;
 pub mod rto;
 pub mod tcp;

@@ -1,0 +1,52 @@
+//! Transport-layer flight-recorder events and histogram names.
+//!
+//! [`crate::TcpSender`] emits these when a recorder is installed (see
+//! [`crate::TcpSender::set_recorder`]): congestion-window evolution and
+//! every retransmission tagged with its cause (fast retransmit, NewReno
+//! partial ACK, RTO expiry). Event `node` is the station hosting the
+//! sender.
+
+use ::obs::{EventKind, Layer};
+
+/// The congestion window changed. Payload: flow id, new cwnd (segments),
+/// slow-start threshold, and segments in flight.
+pub static CWND: EventKind = EventKind {
+    name: "cwnd",
+    layer: Layer::Transport,
+    fields: &["flow", "cwnd", "ssthresh", "flight"],
+};
+
+/// The retransmission timer expired. Payload: flow id, the backed-off
+/// RTO now armed, and the cumulative timeout count.
+pub static RTO_TIMEOUT: EventKind = EventKind {
+    name: "rto_timeout",
+    layer: Layer::Transport,
+    fields: &["flow", "rto_us", "timeouts"],
+};
+
+/// Fast retransmit after three duplicate ACKs. Payload: flow id and the
+/// retransmitted sequence.
+pub static RETX_FAST: EventKind = EventKind {
+    name: "retx_fast",
+    layer: Layer::Transport,
+    fields: &["flow", "seq"],
+};
+
+/// NewReno partial-ACK retransmission of the next hole while in fast
+/// recovery. Payload: flow id and the retransmitted sequence.
+pub static RETX_PARTIAL: EventKind = EventKind {
+    name: "retx_partial",
+    layer: Layer::Transport,
+    fields: &["flow", "seq"],
+};
+
+/// RTO-driven retransmission (window collapsed to one). Payload: flow id
+/// and the retransmitted sequence.
+pub static RETX_TIMEOUT: EventKind = EventKind {
+    name: "retx_timeout",
+    layer: Layer::Transport,
+    fields: &["flow", "seq"],
+};
+
+/// Histogram of sender-measured RTT samples in µs (Karn-filtered).
+pub const HIST_RTT_US: &str = "tcp_rtt_us";

@@ -97,6 +97,9 @@ pub struct TcpSender {
     /// Timeout events.
     pub timeouts: u64,
     cwnd_timeline: TimeWeightedMean,
+    /// Flight recorder and the station id hosting this sender, if this
+    /// run records (see [`TcpSender::set_recorder`]).
+    recorder: Option<(::obs::RecorderHandle, u16)>,
 }
 
 impl TcpSender {
@@ -119,7 +122,21 @@ impl TcpSender {
             retransmissions: 0,
             timeouts: 0,
             cwnd_timeline,
+            recorder: None,
             cfg,
+        }
+    }
+
+    /// Installs a flight recorder; `node` is the station the sender runs
+    /// on (transport events are attributed to it). Instrumentation sites
+    /// are no-ops until this is called.
+    pub fn set_recorder(&mut self, recorder: ::obs::RecorderHandle, node: u16) {
+        self.recorder = Some((recorder, node));
+    }
+
+    fn obs_emit(&self, at: SimTime, kind: &'static ::obs::EventKind, vals: &[f64]) {
+        if let Some((rec, node)) = &self.recorder {
+            rec.borrow_mut().emit(at, *node, kind, vals);
         }
     }
 
@@ -156,6 +173,16 @@ impl TcpSender {
     fn record_cwnd(&mut self, now: SimTime) {
         self.cwnd_timeline
             .set(now, self.cwnd.min(self.cfg.max_window));
+        self.obs_emit(
+            now,
+            &crate::obs::CWND,
+            &[
+                self.flow.0 as f64,
+                self.cwnd,
+                self.ssthresh,
+                self.flight_size() as f64,
+            ],
+        );
     }
 
     fn fill_window(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
@@ -199,7 +226,12 @@ impl TcpSender {
         if ack > self.snd_una {
             // New data acknowledged.
             if let Some(sent_at) = self.send_times.remove(&(ack - 1)) {
-                self.rto.sample(now.saturating_since(sent_at));
+                let rtt = now.saturating_since(sent_at);
+                self.rto.sample(rtt);
+                if let Some((rec, _)) = &self.recorder {
+                    rec.borrow_mut()
+                        .record_hist(crate::obs::HIST_RTT_US, rtt.as_micros() as f64);
+                }
             }
             for seq in self.snd_una..ack {
                 self.send_times.remove(&seq);
@@ -219,6 +251,11 @@ impl TcpSender {
                     self.retransmissions += 1;
                     self.send_times.remove(&ack); // Karn
                     self.cwnd = (self.cwnd - newly_acked + 1.0).max(1.0);
+                    self.obs_emit(
+                        now,
+                        &crate::obs::RETX_PARTIAL,
+                        &[self.flow.0 as f64, ack as f64],
+                    );
                     out.push(TcpOutput::Send(Segment::tcp_data(
                         self.flow,
                         ack,
@@ -250,6 +287,11 @@ impl TcpSender {
                 self.retransmissions += 1;
                 self.send_times.remove(&self.snd_una); // Karn
                 self.record_cwnd(now);
+                self.obs_emit(
+                    now,
+                    &crate::obs::RETX_FAST,
+                    &[self.flow.0 as f64, self.snd_una as f64],
+                );
                 out.push(TcpOutput::Send(Segment::tcp_data(
                     self.flow,
                     self.snd_una,
@@ -278,6 +320,22 @@ impl TcpSender {
         self.retransmissions += 1;
         self.send_times.remove(&self.snd_una); // Karn
         self.record_cwnd(now);
+        if self.recorder.is_some() {
+            self.obs_emit(
+                now,
+                &crate::obs::RTO_TIMEOUT,
+                &[
+                    self.flow.0 as f64,
+                    self.rto.rto().as_micros() as f64,
+                    self.timeouts as f64,
+                ],
+            );
+            self.obs_emit(
+                now,
+                &crate::obs::RETX_TIMEOUT,
+                &[self.flow.0 as f64, self.snd_una as f64],
+            );
+        }
         out.push(TcpOutput::Send(Segment::tcp_data(
             self.flow,
             self.snd_una,

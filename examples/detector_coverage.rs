@@ -64,7 +64,8 @@ fn run(attack: Attack) -> (f64, f64, usize, u64, u64) {
     let mut net = b.build();
     net.enable_trace(2_000_000);
     let m = net.run(SimDuration::from_secs(10));
-    let report = DominoDetector::new(params).analyze(net.trace().expect("trace on"));
+    let trace = net.trace().expect("trace on");
+    let report = DominoDetector::new(params).analyze(&trace);
     let nav: u64 = handles
         .iter()
         .map(|h| h.nav.borrow().total_detections())

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_and_extensions-5f0c65dbc87a6f36.d: tests/baselines_and_extensions.rs
+
+/root/repo/target/debug/deps/baselines_and_extensions-5f0c65dbc87a6f36: tests/baselines_and_extensions.rs
+
+tests/baselines_and_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detection-5313aa5d98f050aa.d: tests/detection.rs
+
+/root/repo/target/debug/deps/detection-5313aa5d98f050aa: tests/detection.rs
+
+tests/detection.rs:

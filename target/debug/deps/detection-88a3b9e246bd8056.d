@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detection-88a3b9e246bd8056.d: tests/detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetection-88a3b9e246bd8056.rmeta: tests/detection.rs Cargo.toml
+
+tests/detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

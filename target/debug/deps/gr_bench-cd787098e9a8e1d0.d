@@ -1,0 +1,48 @@
+/root/repo/target/debug/deps/gr_bench-cd787098e9a8e1d0.d: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/abl01.rs crates/bench/src/experiments/abl02.rs crates/bench/src/experiments/abl03.rs crates/bench/src/experiments/ext01.rs crates/bench/src/experiments/ext02.rs crates/bench/src/experiments/fig01.rs crates/bench/src/experiments/fig02.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig04.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/fig22.rs crates/bench/src/experiments/fig23.rs crates/bench/src/experiments/fig24.rs crates/bench/src/experiments/tab01.rs crates/bench/src/experiments/tab02.rs crates/bench/src/experiments/tab03.rs crates/bench/src/experiments/tab04.rs crates/bench/src/experiments/tab05.rs crates/bench/src/experiments/tab06.rs crates/bench/src/experiments/tab07.rs crates/bench/src/experiments/tab08.rs crates/bench/src/experiments/tab09.rs crates/bench/src/quality.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgr_bench-cd787098e9a8e1d0.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/abl01.rs crates/bench/src/experiments/abl02.rs crates/bench/src/experiments/abl03.rs crates/bench/src/experiments/ext01.rs crates/bench/src/experiments/ext02.rs crates/bench/src/experiments/fig01.rs crates/bench/src/experiments/fig02.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig04.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/fig22.rs crates/bench/src/experiments/fig23.rs crates/bench/src/experiments/fig24.rs crates/bench/src/experiments/tab01.rs crates/bench/src/experiments/tab02.rs crates/bench/src/experiments/tab03.rs crates/bench/src/experiments/tab04.rs crates/bench/src/experiments/tab05.rs crates/bench/src/experiments/tab06.rs crates/bench/src/experiments/tab07.rs crates/bench/src/experiments/tab08.rs crates/bench/src/experiments/tab09.rs crates/bench/src/quality.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libgr_bench-cd787098e9a8e1d0.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/abl01.rs crates/bench/src/experiments/abl02.rs crates/bench/src/experiments/abl03.rs crates/bench/src/experiments/ext01.rs crates/bench/src/experiments/ext02.rs crates/bench/src/experiments/fig01.rs crates/bench/src/experiments/fig02.rs crates/bench/src/experiments/fig03.rs crates/bench/src/experiments/fig04.rs crates/bench/src/experiments/fig05.rs crates/bench/src/experiments/fig06.rs crates/bench/src/experiments/fig07.rs crates/bench/src/experiments/fig08.rs crates/bench/src/experiments/fig09.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig12.rs crates/bench/src/experiments/fig13.rs crates/bench/src/experiments/fig14.rs crates/bench/src/experiments/fig15.rs crates/bench/src/experiments/fig16.rs crates/bench/src/experiments/fig17.rs crates/bench/src/experiments/fig18.rs crates/bench/src/experiments/fig19.rs crates/bench/src/experiments/fig21.rs crates/bench/src/experiments/fig22.rs crates/bench/src/experiments/fig23.rs crates/bench/src/experiments/fig24.rs crates/bench/src/experiments/tab01.rs crates/bench/src/experiments/tab02.rs crates/bench/src/experiments/tab03.rs crates/bench/src/experiments/tab04.rs crates/bench/src/experiments/tab05.rs crates/bench/src/experiments/tab06.rs crates/bench/src/experiments/tab07.rs crates/bench/src/experiments/tab08.rs crates/bench/src/experiments/tab09.rs crates/bench/src/quality.rs crates/bench/src/sweep.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/abl01.rs:
+crates/bench/src/experiments/abl02.rs:
+crates/bench/src/experiments/abl03.rs:
+crates/bench/src/experiments/ext01.rs:
+crates/bench/src/experiments/ext02.rs:
+crates/bench/src/experiments/fig01.rs:
+crates/bench/src/experiments/fig02.rs:
+crates/bench/src/experiments/fig03.rs:
+crates/bench/src/experiments/fig04.rs:
+crates/bench/src/experiments/fig05.rs:
+crates/bench/src/experiments/fig06.rs:
+crates/bench/src/experiments/fig07.rs:
+crates/bench/src/experiments/fig08.rs:
+crates/bench/src/experiments/fig09.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig12.rs:
+crates/bench/src/experiments/fig13.rs:
+crates/bench/src/experiments/fig14.rs:
+crates/bench/src/experiments/fig15.rs:
+crates/bench/src/experiments/fig16.rs:
+crates/bench/src/experiments/fig17.rs:
+crates/bench/src/experiments/fig18.rs:
+crates/bench/src/experiments/fig19.rs:
+crates/bench/src/experiments/fig21.rs:
+crates/bench/src/experiments/fig22.rs:
+crates/bench/src/experiments/fig23.rs:
+crates/bench/src/experiments/fig24.rs:
+crates/bench/src/experiments/tab01.rs:
+crates/bench/src/experiments/tab02.rs:
+crates/bench/src/experiments/tab03.rs:
+crates/bench/src/experiments/tab04.rs:
+crates/bench/src/experiments/tab05.rs:
+crates/bench/src/experiments/tab06.rs:
+crates/bench/src/experiments/tab07.rs:
+crates/bench/src/experiments/tab08.rs:
+crates/bench/src/experiments/tab09.rs:
+crates/bench/src/quality.rs:
+crates/bench/src/sweep.rs:
+crates/bench/src/table.rs:

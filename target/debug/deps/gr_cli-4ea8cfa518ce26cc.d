@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gr_cli-4ea8cfa518ce26cc.d: src/bin/gr-cli.rs
+
+/root/repo/target/debug/deps/gr_cli-4ea8cfa518ce26cc: src/bin/gr-cli.rs
+
+src/bin/gr-cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gr_cli-79b1242e8dbd2b30.d: src/bin/gr-cli.rs
+
+/root/repo/target/debug/deps/gr_cli-79b1242e8dbd2b30: src/bin/gr-cli.rs
+
+src/bin/gr-cli.rs:

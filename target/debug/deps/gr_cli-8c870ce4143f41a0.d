@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gr_cli-8c870ce4143f41a0.d: src/bin/gr-cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_cli-8c870ce4143f41a0.rmeta: src/bin/gr-cli.rs Cargo.toml
+
+src/bin/gr-cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

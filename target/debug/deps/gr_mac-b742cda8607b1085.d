@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gr_mac-b742cda8607b1085.d: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/obs.rs crates/mac/src/policy.rs
+
+/root/repo/target/debug/deps/gr_mac-b742cda8607b1085: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/obs.rs crates/mac/src/policy.rs
+
+crates/mac/src/lib.rs:
+crates/mac/src/arf.rs:
+crates/mac/src/backoff.rs:
+crates/mac/src/counters.rs:
+crates/mac/src/dcf.rs:
+crates/mac/src/dedup.rs:
+crates/mac/src/frame.rs:
+crates/mac/src/nav.rs:
+crates/mac/src/obs.rs:
+crates/mac/src/policy.rs:

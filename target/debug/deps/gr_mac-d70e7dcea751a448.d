@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/gr_mac-d70e7dcea751a448.d: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/obs.rs crates/mac/src/policy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_mac-d70e7dcea751a448.rmeta: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/obs.rs crates/mac/src/policy.rs Cargo.toml
+
+crates/mac/src/lib.rs:
+crates/mac/src/arf.rs:
+crates/mac/src/backoff.rs:
+crates/mac/src/counters.rs:
+crates/mac/src/dcf.rs:
+crates/mac/src/dedup.rs:
+crates/mac/src/frame.rs:
+crates/mac/src/nav.rs:
+crates/mac/src/obs.rs:
+crates/mac/src/policy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gr_net-77aa97cc9898576c.d: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libgr_net-77aa97cc9898576c.rmeta: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/builder.rs:
+crates/net/src/metrics.rs:
+crates/net/src/network.rs:
+crates/net/src/stats.rs:
+crates/net/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gr_net-baaaad202526c343.d: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libgr_net-baaaad202526c343.rlib: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libgr_net-baaaad202526c343.rmeta: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/builder.rs:
+crates/net/src/metrics.rs:
+crates/net/src/network.rs:
+crates/net/src/stats.rs:
+crates/net/src/trace.rs:

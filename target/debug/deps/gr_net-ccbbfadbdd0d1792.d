@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gr_net-ccbbfadbdd0d1792.d: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_net-ccbbfadbdd0d1792.rmeta: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/builder.rs:
+crates/net/src/metrics.rs:
+crates/net/src/network.rs:
+crates/net/src/stats.rs:
+crates/net/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

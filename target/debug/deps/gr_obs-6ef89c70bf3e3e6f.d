@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gr_obs-6ef89c70bf3e3e6f.d: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+/root/repo/target/debug/deps/libgr_obs-6ef89c70bf3e3e6f.rlib: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+/root/repo/target/debug/deps/libgr_obs-6ef89c70bf3e3e6f.rmeta: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/ambient.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/shared.rs:

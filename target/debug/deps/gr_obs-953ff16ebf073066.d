@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/gr_obs-953ff16ebf073066.d: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_obs-953ff16ebf073066.rmeta: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/ambient.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/shared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gr_obs-e7c0596a7c1b1801.d: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+/root/repo/target/debug/deps/libgr_obs-e7c0596a7c1b1801.rmeta: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/ambient.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/shared.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/gr_phy-c8606f249972de26.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/obs.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+/root/repo/target/debug/deps/libgr_phy-c8606f249972de26.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/obs.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/capture.rs:
+crates/phy/src/channel.rs:
+crates/phy/src/error_model.rs:
+crates/phy/src/obs.rs:
+crates/phy/src/params.rs:
+crates/phy/src/position.rs:
+crates/phy/src/rssi.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/gr_phy-f2694fc637cfe69c.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/obs.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_phy-f2694fc637cfe69c.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/obs.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs Cargo.toml
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/capture.rs:
+crates/phy/src/channel.rs:
+crates/phy/src/error_model.rs:
+crates/phy/src/obs.rs:
+crates/phy/src/params.rs:
+crates/phy/src/position.rs:
+crates/phy/src/rssi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gr_transport-1a34e4c1c20561e3.d: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgr_transport-1a34e4c1c20561e3.rmeta: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/obs.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gr_transport-70a3b91bfc6946b7.d: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libgr_transport-70a3b91bfc6946b7.rmeta: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/obs.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/gr_transport-b1b66e48b572bdb7.d: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libgr_transport-b1b66e48b572bdb7.rlib: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libgr_transport-b1b66e48b572bdb7.rmeta: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/obs.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

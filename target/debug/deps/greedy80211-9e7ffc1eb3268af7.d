@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/greedy80211-9e7ffc1eb3268af7.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/corruption.rs crates/core/src/detect/mod.rs crates/core/src/detect/cross_layer.rs crates/core/src/detect/domino.rs crates/core/src/detect/fake_guard.rs crates/core/src/detect/grc.rs crates/core/src/detect/nav_guard.rs crates/core/src/detect/shared.rs crates/core/src/detect/spoof_guard.rs crates/core/src/misbehavior/mod.rs crates/core/src/misbehavior/ack_spoof.rs crates/core/src/misbehavior/fake_ack.rs crates/core/src/misbehavior/greedy_sender.rs crates/core/src/misbehavior/nav_inflation.rs crates/core/src/model.rs crates/core/src/rssi_study.rs crates/core/src/runplan.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libgreedy80211-9e7ffc1eb3268af7.rlib: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/corruption.rs crates/core/src/detect/mod.rs crates/core/src/detect/cross_layer.rs crates/core/src/detect/domino.rs crates/core/src/detect/fake_guard.rs crates/core/src/detect/grc.rs crates/core/src/detect/nav_guard.rs crates/core/src/detect/shared.rs crates/core/src/detect/spoof_guard.rs crates/core/src/misbehavior/mod.rs crates/core/src/misbehavior/ack_spoof.rs crates/core/src/misbehavior/fake_ack.rs crates/core/src/misbehavior/greedy_sender.rs crates/core/src/misbehavior/nav_inflation.rs crates/core/src/model.rs crates/core/src/rssi_study.rs crates/core/src/runplan.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/libgreedy80211-9e7ffc1eb3268af7.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/corruption.rs crates/core/src/detect/mod.rs crates/core/src/detect/cross_layer.rs crates/core/src/detect/domino.rs crates/core/src/detect/fake_guard.rs crates/core/src/detect/grc.rs crates/core/src/detect/nav_guard.rs crates/core/src/detect/shared.rs crates/core/src/detect/spoof_guard.rs crates/core/src/misbehavior/mod.rs crates/core/src/misbehavior/ack_spoof.rs crates/core/src/misbehavior/fake_ack.rs crates/core/src/misbehavior/greedy_sender.rs crates/core/src/misbehavior/nav_inflation.rs crates/core/src/model.rs crates/core/src/rssi_study.rs crates/core/src/runplan.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/corruption.rs:
+crates/core/src/detect/mod.rs:
+crates/core/src/detect/cross_layer.rs:
+crates/core/src/detect/domino.rs:
+crates/core/src/detect/fake_guard.rs:
+crates/core/src/detect/grc.rs:
+crates/core/src/detect/nav_guard.rs:
+crates/core/src/detect/shared.rs:
+crates/core/src/detect/spoof_guard.rs:
+crates/core/src/misbehavior/mod.rs:
+crates/core/src/misbehavior/ack_spoof.rs:
+crates/core/src/misbehavior/fake_ack.rs:
+crates/core/src/misbehavior/greedy_sender.rs:
+crates/core/src/misbehavior/nav_inflation.rs:
+crates/core/src/model.rs:
+crates/core/src/rssi_study.rs:
+crates/core/src/runplan.rs:
+crates/core/src/scenario.rs:

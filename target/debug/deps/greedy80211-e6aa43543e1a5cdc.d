@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/greedy80211-e6aa43543e1a5cdc.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/corruption.rs crates/core/src/detect/mod.rs crates/core/src/detect/cross_layer.rs crates/core/src/detect/domino.rs crates/core/src/detect/fake_guard.rs crates/core/src/detect/grc.rs crates/core/src/detect/nav_guard.rs crates/core/src/detect/shared.rs crates/core/src/detect/spoof_guard.rs crates/core/src/misbehavior/mod.rs crates/core/src/misbehavior/ack_spoof.rs crates/core/src/misbehavior/fake_ack.rs crates/core/src/misbehavior/greedy_sender.rs crates/core/src/misbehavior/nav_inflation.rs crates/core/src/model.rs crates/core/src/rssi_study.rs crates/core/src/runplan.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgreedy80211-e6aa43543e1a5cdc.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/corruption.rs crates/core/src/detect/mod.rs crates/core/src/detect/cross_layer.rs crates/core/src/detect/domino.rs crates/core/src/detect/fake_guard.rs crates/core/src/detect/grc.rs crates/core/src/detect/nav_guard.rs crates/core/src/detect/shared.rs crates/core/src/detect/spoof_guard.rs crates/core/src/misbehavior/mod.rs crates/core/src/misbehavior/ack_spoof.rs crates/core/src/misbehavior/fake_ack.rs crates/core/src/misbehavior/greedy_sender.rs crates/core/src/misbehavior/nav_inflation.rs crates/core/src/model.rs crates/core/src/rssi_study.rs crates/core/src/runplan.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/corruption.rs:
+crates/core/src/detect/mod.rs:
+crates/core/src/detect/cross_layer.rs:
+crates/core/src/detect/domino.rs:
+crates/core/src/detect/fake_guard.rs:
+crates/core/src/detect/grc.rs:
+crates/core/src/detect/nav_guard.rs:
+crates/core/src/detect/shared.rs:
+crates/core/src/detect/spoof_guard.rs:
+crates/core/src/misbehavior/mod.rs:
+crates/core/src/misbehavior/ack_spoof.rs:
+crates/core/src/misbehavior/fake_ack.rs:
+crates/core/src/misbehavior/greedy_sender.rs:
+crates/core/src/misbehavior/nav_inflation.rs:
+crates/core/src/model.rs:
+crates/core/src/rssi_study.rs:
+crates/core/src/runplan.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/greedy80211_repro-855bf7d17126b2af.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgreedy80211_repro-855bf7d17126b2af.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libgreedy80211_repro-855bf7d17126b2af.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/greedy80211_repro-8ece4f03078b2d74.d: src/lib.rs
+
+/root/repo/target/debug/deps/libgreedy80211_repro-8ece4f03078b2d74.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/greedy80211_repro-e3889515a51d3b4b.d: src/lib.rs
+
+/root/repo/target/debug/deps/greedy80211_repro-e3889515a51d3b4b: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/greedy80211_repro-fcffd17c91c09feb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgreedy80211_repro-fcffd17c91c09feb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

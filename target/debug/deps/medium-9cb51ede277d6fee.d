@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/medium-9cb51ede277d6fee.d: crates/net/tests/medium.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmedium-9cb51ede277d6fee.rmeta: crates/net/tests/medium.rs Cargo.toml
+
+crates/net/tests/medium.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/medium-aa92ab487e96c2dc.d: crates/net/tests/medium.rs
+
+/root/repo/target/debug/deps/medium-aa92ab487e96c2dc: crates/net/tests/medium.rs
+
+crates/net/tests/medium.rs:

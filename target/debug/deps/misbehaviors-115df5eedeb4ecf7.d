@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/misbehaviors-115df5eedeb4ecf7.d: tests/misbehaviors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmisbehaviors-115df5eedeb4ecf7.rmeta: tests/misbehaviors.rs Cargo.toml
+
+tests/misbehaviors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/misbehaviors-9040f83d99a534d3.d: tests/misbehaviors.rs
+
+/root/repo/target/debug/deps/misbehaviors-9040f83d99a534d3: tests/misbehaviors.rs
+
+tests/misbehaviors.rs:

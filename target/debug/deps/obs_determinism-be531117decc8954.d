@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/obs_determinism-be531117decc8954.d: crates/bench/tests/obs_determinism.rs
+
+/root/repo/target/debug/deps/obs_determinism-be531117decc8954: crates/bench/tests/obs_determinism.rs
+
+crates/bench/tests/obs_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_determinism-f2cce9fc834371a3.d: crates/bench/tests/obs_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_determinism-f2cce9fc834371a3.rmeta: crates/bench/tests/obs_determinism.rs Cargo.toml
+
+crates/bench/tests/obs_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

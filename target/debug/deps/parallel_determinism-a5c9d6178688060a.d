@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-a5c9d6178688060a.d: crates/bench/tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-a5c9d6178688060a: crates/bench/tests/parallel_determinism.rs
+
+crates/bench/tests/parallel_determinism.rs:

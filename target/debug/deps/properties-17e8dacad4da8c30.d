@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-17e8dacad4da8c30.d: crates/phy/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-17e8dacad4da8c30.rmeta: crates/phy/tests/properties.rs Cargo.toml
+
+crates/phy/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

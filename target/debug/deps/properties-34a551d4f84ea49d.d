@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-34a551d4f84ea49d.d: crates/mac/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-34a551d4f84ea49d: crates/mac/tests/properties.rs
+
+crates/mac/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5669c18db43d4b5e.d: crates/phy/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5669c18db43d4b5e: crates/phy/tests/properties.rs
+
+crates/phy/tests/properties.rs:

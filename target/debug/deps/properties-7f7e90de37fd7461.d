@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7f7e90de37fd7461.d: crates/transport/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7f7e90de37fd7461.rmeta: crates/transport/tests/properties.rs Cargo.toml
+
+crates/transport/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

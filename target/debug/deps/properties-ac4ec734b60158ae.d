@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ac4ec734b60158ae.d: crates/mac/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ac4ec734b60158ae.rmeta: crates/mac/tests/properties.rs Cargo.toml
+
+crates/mac/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bafe69a662a1b033.d: crates/transport/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bafe69a662a1b033: crates/transport/tests/properties.rs
+
+crates/transport/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0290ac0ec430ed5a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0290ac0ec430ed5a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

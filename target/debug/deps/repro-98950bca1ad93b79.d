@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-98950bca1ad93b79.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-98950bca1ad93b79: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-1969f704eb7d65fd.d: crates/net/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-1969f704eb7d65fd.rmeta: crates/net/tests/runtime.rs Cargo.toml
+
+crates/net/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-c6e1b9d809de8a00.d: crates/net/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-c6e1b9d809de8a00: crates/net/tests/runtime.rs
+
+crates/net/tests/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/system_invariants-3f3558eae882bc42.d: tests/system_invariants.rs
+
+/root/repo/target/debug/deps/system_invariants-3f3558eae882bc42: tests/system_invariants.rs
+
+tests/system_invariants.rs:

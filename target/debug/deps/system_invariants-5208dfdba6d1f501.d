@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/system_invariants-5208dfdba6d1f501.d: tests/system_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsystem_invariants-5208dfdba6d1f501.rmeta: tests/system_invariants.rs Cargo.toml
+
+tests/system_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

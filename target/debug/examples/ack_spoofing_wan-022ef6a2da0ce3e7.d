@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ack_spoofing_wan-022ef6a2da0ce3e7.d: examples/ack_spoofing_wan.rs Cargo.toml
+
+/root/repo/target/debug/examples/liback_spoofing_wan-022ef6a2da0ce3e7.rmeta: examples/ack_spoofing_wan.rs Cargo.toml
+
+examples/ack_spoofing_wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ack_spoofing_wan-3af8694b06597b0e.d: examples/ack_spoofing_wan.rs
+
+/root/repo/target/debug/examples/ack_spoofing_wan-3af8694b06597b0e: examples/ack_spoofing_wan.rs
+
+examples/ack_spoofing_wan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/detector_coverage-45651a9de5739e3d.d: examples/detector_coverage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdetector_coverage-45651a9de5739e3d.rmeta: examples/detector_coverage.rs Cargo.toml
+
+examples/detector_coverage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/detector_coverage-f730c2837d6b961d.d: examples/detector_coverage.rs
+
+/root/repo/target/debug/examples/detector_coverage-f730c2837d6b961d: examples/detector_coverage.rs
+
+examples/detector_coverage.rs:

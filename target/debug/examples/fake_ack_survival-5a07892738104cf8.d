@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fake_ack_survival-5a07892738104cf8.d: examples/fake_ack_survival.rs
+
+/root/repo/target/debug/examples/fake_ack_survival-5a07892738104cf8: examples/fake_ack_survival.rs
+
+examples/fake_ack_survival.rs:

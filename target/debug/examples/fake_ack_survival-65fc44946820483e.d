@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fake_ack_survival-65fc44946820483e.d: examples/fake_ack_survival.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfake_ack_survival-65fc44946820483e.rmeta: examples/fake_ack_survival.rs Cargo.toml
+
+examples/fake_ack_survival.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hotspot_cafe-04cde60f508538c4.d: examples/hotspot_cafe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhotspot_cafe-04cde60f508538c4.rmeta: examples/hotspot_cafe.rs Cargo.toml
+
+examples/hotspot_cafe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot_cafe-3a33506ad7585241.d: examples/hotspot_cafe.rs
+
+/root/repo/target/debug/examples/hotspot_cafe-3a33506ad7585241: examples/hotspot_cafe.rs
+
+examples/hotspot_cafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c86b6f94c890f8e0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c86b6f94c890f8e0: examples/quickstart.rs
+
+examples/quickstart.rs:

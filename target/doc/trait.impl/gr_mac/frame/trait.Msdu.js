@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["gr_mac",[]],["gr_transport",[["impl Msdu for <a class=\"enum\" href=\"gr_transport/packet/enum.Segment.html\" title=\"enum gr_transport::packet::Segment\">Segment</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[13,161]}

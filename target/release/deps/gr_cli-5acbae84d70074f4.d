@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gr_cli-5acbae84d70074f4.d: src/bin/gr-cli.rs
+
+/root/repo/target/release/deps/gr_cli-5acbae84d70074f4: src/bin/gr-cli.rs
+
+src/bin/gr-cli.rs:

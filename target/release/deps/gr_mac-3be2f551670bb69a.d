@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/gr_mac-3be2f551670bb69a.d: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/obs.rs crates/mac/src/policy.rs
+
+/root/repo/target/release/deps/libgr_mac-3be2f551670bb69a.rlib: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/obs.rs crates/mac/src/policy.rs
+
+/root/repo/target/release/deps/libgr_mac-3be2f551670bb69a.rmeta: crates/mac/src/lib.rs crates/mac/src/arf.rs crates/mac/src/backoff.rs crates/mac/src/counters.rs crates/mac/src/dcf.rs crates/mac/src/dedup.rs crates/mac/src/frame.rs crates/mac/src/nav.rs crates/mac/src/obs.rs crates/mac/src/policy.rs
+
+crates/mac/src/lib.rs:
+crates/mac/src/arf.rs:
+crates/mac/src/backoff.rs:
+crates/mac/src/counters.rs:
+crates/mac/src/dcf.rs:
+crates/mac/src/dedup.rs:
+crates/mac/src/frame.rs:
+crates/mac/src/nav.rs:
+crates/mac/src/obs.rs:
+crates/mac/src/policy.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gr_net-7bf79b3550c83730.d: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libgr_net-7bf79b3550c83730.rlib: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libgr_net-7bf79b3550c83730.rmeta: crates/net/src/lib.rs crates/net/src/builder.rs crates/net/src/metrics.rs crates/net/src/network.rs crates/net/src/stats.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/builder.rs:
+crates/net/src/metrics.rs:
+crates/net/src/network.rs:
+crates/net/src/stats.rs:
+crates/net/src/trace.rs:

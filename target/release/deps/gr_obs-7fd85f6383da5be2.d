@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/gr_obs-7fd85f6383da5be2.d: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+/root/repo/target/release/deps/libgr_obs-7fd85f6383da5be2.rlib: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+/root/repo/target/release/deps/libgr_obs-7fd85f6383da5be2.rmeta: crates/obs/src/lib.rs crates/obs/src/ambient.rs crates/obs/src/event.rs crates/obs/src/export.rs crates/obs/src/profile.rs crates/obs/src/recorder.rs crates/obs/src/shared.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/ambient.rs:
+crates/obs/src/event.rs:
+crates/obs/src/export.rs:
+crates/obs/src/profile.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/shared.rs:

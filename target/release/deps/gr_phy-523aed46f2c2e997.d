@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/gr_phy-523aed46f2c2e997.d: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/obs.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+/root/repo/target/release/deps/libgr_phy-523aed46f2c2e997.rlib: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/obs.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+/root/repo/target/release/deps/libgr_phy-523aed46f2c2e997.rmeta: crates/phy/src/lib.rs crates/phy/src/airtime.rs crates/phy/src/capture.rs crates/phy/src/channel.rs crates/phy/src/error_model.rs crates/phy/src/obs.rs crates/phy/src/params.rs crates/phy/src/position.rs crates/phy/src/rssi.rs
+
+crates/phy/src/lib.rs:
+crates/phy/src/airtime.rs:
+crates/phy/src/capture.rs:
+crates/phy/src/channel.rs:
+crates/phy/src/error_model.rs:
+crates/phy/src/obs.rs:
+crates/phy/src/params.rs:
+crates/phy/src/position.rs:
+crates/phy/src/rssi.rs:

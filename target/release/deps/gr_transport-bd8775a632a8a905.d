@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gr_transport-bd8775a632a8a905.d: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/release/deps/libgr_transport-bd8775a632a8a905.rlib: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/release/deps/libgr_transport-bd8775a632a8a905.rmeta: crates/transport/src/lib.rs crates/transport/src/obs.rs crates/transport/src/packet.rs crates/transport/src/rto.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/obs.rs:
+crates/transport/src/packet.rs:
+crates/transport/src/rto.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/greedy80211_repro-199d6336cabc051c.d: src/lib.rs
+
+/root/repo/target/release/deps/libgreedy80211_repro-199d6336cabc051c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libgreedy80211_repro-199d6336cabc051c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-193af1f8766f21c6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-193af1f8766f21c6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-649706ea6f0b9de5.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-649706ea6f0b9de5: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

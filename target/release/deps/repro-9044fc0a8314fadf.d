@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-9044fc0a8314fadf.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-9044fc0a8314fadf: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

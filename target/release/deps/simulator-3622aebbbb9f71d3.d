@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-3622aebbbb9f71d3.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-3622aebbbb9f71d3: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

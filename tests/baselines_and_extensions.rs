@@ -49,7 +49,8 @@ fn domino_flags_greedy_sender_not_honest_nodes() {
     let mut net = b.build();
     net.enable_trace(1_000_000);
     net.run(SimDuration::from_secs(5));
-    let report = DominoDetector::new(PhyParams::dot11b()).analyze(net.trace().unwrap());
+    let trace = net.trace().unwrap();
+    let report = DominoDetector::new(PhyParams::dot11b()).analyze(&trace);
     assert!(
         report.flagged.contains(&s_greedy.0),
         "DOMINO must flag the backoff cheat: {report:?}"
@@ -78,7 +79,8 @@ fn domino_is_blind_to_nav_inflating_receivers() {
     // The attack works…
     assert!(m.goodput_mbps(f2) > m.goodput_mbps(f1) * 3.0);
     // …but DOMINO sees honest timing everywhere.
-    let report = DominoDetector::new(PhyParams::dot11b()).analyze(net.trace().unwrap());
+    let trace = net.trace().unwrap();
+    let report = DominoDetector::new(PhyParams::dot11b()).analyze(&trace);
     assert!(
         report.flagged.is_empty(),
         "DOMINO must not flag receiver misbehavior: {report:?}"
