@@ -20,6 +20,12 @@ cargo test --workspace --offline -q
 echo "==> obs determinism (artifacts byte-identical across --jobs)"
 cargo test --offline -q -p gr-bench --test obs_determinism
 
+echo "==> scheduler wheel vs heap property tests"
+cargo test --offline -q -p gr-sim --test properties
+
+echo "==> perf gate (pinned subset vs committed baseline, ±25%)"
+cargo run --release --offline -p gr-bench --bin repro -- --bench-gate --check
+
 echo "==> cargo doc"
 cargo doc --workspace --no-deps --offline -q
 

@@ -3,7 +3,7 @@
 //! regressions in the hot paths — medium, DCF, TCP — are caught).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use greedy80211::{GreedyConfig, NavInflationConfig, Scenario, TransportKind};
+use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario, TransportKind};
 use sim::SimDuration;
 
 fn bench_udp_saturation(c: &mut Criterion) {
@@ -17,7 +17,7 @@ fn bench_udp_saturation(c: &mut Criterion) {
                     duration: SimDuration::from_millis(500),
                     ..Scenario::default()
                 };
-                s.run().expect("valid scenario")
+                Run::plan(&s).execute().expect("valid scenario")
             });
         });
     }
@@ -31,7 +31,7 @@ fn bench_tcp_pairs(c: &mut Criterion) {
                 duration: SimDuration::from_millis(500),
                 ..Scenario::default()
             };
-            s.run().expect("valid scenario")
+            Run::plan(&s).execute().expect("valid scenario")
         });
     });
 }
@@ -43,7 +43,7 @@ fn bench_nav_inflation(c: &mut Criterion) {
                 NavInflationConfig::cts_only(10_000, 1.0),
             ));
             s.duration = SimDuration::from_millis(500);
-            s.run().expect("valid scenario")
+            Run::plan(&s).execute().expect("valid scenario")
         });
     });
 }
@@ -58,7 +58,7 @@ fn bench_spoofing_with_grc(c: &mut Criterion) {
                 ..Scenario::default()
             };
             s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![mac::NodeId(1)], 1.0))];
-            s.run().expect("valid scenario")
+            Run::plan(&s).execute().expect("valid scenario")
         });
     });
 }
@@ -88,7 +88,7 @@ fn bench_recording_overhead(c: &mut Criterion) {
                 if on {
                     s.record = Some(obs::ObsSpec::default());
                 }
-                let out = s.run().expect("valid scenario");
+                let out = Run::plan(&s).execute().expect("valid scenario");
                 out.obs_report()
             });
         });

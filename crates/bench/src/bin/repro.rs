@@ -32,7 +32,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gr_bench::{registry, ObsCampaign, Quality, RunCtx};
+use gr_bench::{gate, registry, ObsCampaign, Quality, RunCtx};
 use net::stats;
 
 /// Per-experiment timing record for `bench_summary.json`.
@@ -125,6 +125,8 @@ fn export_obs(out_dir: &Path, campaign: &ObsCampaign) -> std::io::Result<usize> 
 fn main() -> ExitCode {
     let mut quick = false;
     let mut list = false;
+    let mut bench_gate = false;
+    let mut gate_check = false;
     let mut out_dir = PathBuf::from("results");
     let mut jobs = runner::available_jobs();
     let mut record = false;
@@ -135,6 +137,8 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--list" | "-l" => list = true,
+            "--bench-gate" => bench_gate = true,
+            "--check" => gate_check = true,
             "--record" => record = true,
             "--record-filter" => match args.next() {
                 Some(spec) => match obs::Filter::parse(&spec) {
@@ -177,16 +181,69 @@ fn main() -> ExitCode {
                 println!(
                     "usage: repro [--quick] [--jobs N] [--out DIR] [--record] \
                      [--record-filter SPEC] (all | <id>...)\n       \
+                     repro --bench-gate [--check]\n       \
                      repro --list\n\n  \
                      --experiment ID       select an artifact (same as a positional id)\n  \
                      --record              flight-record every run into DIR/obs/\n  \
                      --record-filter SPEC  comma-separated layers (phy|mac|transport|net)\n                        \
-                     and/or node ids; implies --record"
+                     and/or node ids; implies --record\n  \
+                     --bench-gate          time the pinned perf-gate subset, write BENCH_<date>.json\n  \
+                     --check               with --bench-gate: fail on regression vs BENCH_BASELINE.json"
                 );
                 return ExitCode::SUCCESS;
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    if bench_gate {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!(
+                "failed to create output directory {}: {e}",
+                out_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "# perf gate — pinned subset {:?}, sequential, 1 seed\n",
+            gate::GATE_SUBSET
+        );
+        let report = gate::run_gate();
+        for st in &report.stats {
+            println!(
+                "  {:<6} {:>10.3}s  {:>10} events  {:>9.0} events/s  {:>6.1} ns/event",
+                st.id,
+                st.wall_s,
+                st.events,
+                st.events_per_sec(),
+                st.ns_per_event()
+            );
+        }
+        println!(
+            "  total  {:>10.3}s  {:>10} events  {:>9.0} events/s  {:>6.1} ns/event  (peak RSS {} KiB)",
+            report.total_wall_s(),
+            report.total_events(),
+            report.events_per_sec(),
+            report.ns_per_event(),
+            report.peak_rss_kib
+        );
+        let path = out_dir.join(format!("BENCH_{}.json", report.date));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("  -> {}", path.display());
+        if gate_check {
+            let baseline = out_dir.join("BENCH_BASELINE.json");
+            match gate::check_against_baseline(&report, &baseline, gate::GATE_TOLERANCE) {
+                Ok(msg) => println!("  {msg}"),
+                Err(msg) => {
+                    eprintln!("  {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
 
     let reg = registry();

@@ -8,7 +8,7 @@
 //! directly controls how much contention loss exists for misbehaviors
 //! to exploit.
 
-use greedy80211::{Scenario, TransportKind};
+use greedy80211::{Run, Scenario, TransportKind};
 use net::NetworkBuilder;
 use phy::{PhyParams, Position};
 
@@ -59,7 +59,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             seed,
             ..Scenario::default()
         };
-        let out = s.run().expect("valid");
+        let out = Run::plan(&s).execute().expect("valid");
         out.goodput_mbps(0) / out.goodput_mbps(1).max(1e-9)
     })[0];
     e.push_row(vec!["default_fairness_ratio".into(), ratio(fair)]);

@@ -8,7 +8,7 @@
 //! every overlap into a collision — the spoofer then additionally jams
 //! the victim's genuine ACKs, and the victim does even worse.
 
-use greedy80211::{GreedyConfig, Scenario};
+use greedy80211::{GreedyConfig, Run, Scenario};
 
 use crate::table::{mbps, Experiment};
 use crate::{sweep, Quality, RunCtx};
@@ -22,10 +22,10 @@ fn spoof_with_threshold(q: &Quality, seed: u64, threshold_db: f64) -> Vec<f64> {
         seed,
         ..Scenario::default()
     };
-    let probe = s.run().expect("valid");
+    let probe = Run::plan(&s).execute().expect("valid");
     s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![probe.receivers[0]], 1.0))];
     s.capture_threshold_db = Some(threshold_db);
-    let out = s.run().expect("valid");
+    let out = Run::plan(&s).execute().expect("valid");
     vec![out.goodput_mbps(0), out.goodput_mbps(1)]
 }
 

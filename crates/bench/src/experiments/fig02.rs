@@ -2,7 +2,7 @@
 //! as the NAV inflation grows (UDP, 802.11b). GS stays near CWmin while
 //! NS's collisions drive its window up.
 
-use greedy80211::NavInflationConfig;
+use greedy80211::{NavInflationConfig, Run};
 
 use crate::experiments::{nav_two_pair, UDP_NAV_SWEEP_US};
 use crate::table::Experiment;
@@ -18,7 +18,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
     );
     let rows = sweep(ctx, "fig2", UDP_NAV_SWEEP_US, |&inflate, seed| {
         let s = nav_two_pair(true, NavInflationConfig::cts_only(inflate, 1.0), q, seed);
-        let out = s.run().expect("valid scenario");
+        let out = Run::plan(&s).execute().expect("valid scenario");
         let cw = |node| {
             out.metrics
                 .node(node)

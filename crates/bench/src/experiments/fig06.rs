@@ -1,7 +1,7 @@
 //! Fig. 6 — Eight TCP flows, one greedy receiver sweeping its CTS-NAV
 //! inflation. ~10 ms suffices to dominate the cell.
 
-use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
+use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
 
 use crate::experiments::TCP_NAV_SWEEP_MS;
 use crate::table::{mbps, Experiment};
@@ -31,7 +31,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
                 GreedyConfig::nav_inflation(NavInflationConfig::cts_only(ms * 1_000, 1.0)),
             )];
         }
-        let out = s.run().expect("valid scenario");
+        let out = Run::plan(&s).execute().expect("valid scenario");
         let normals: Vec<f64> = (0..PAIRS)
             .filter(|&i| i != GREEDY)
             .map(|i| out.goodput_mbps(i))

@@ -1,7 +1,7 @@
 //! Fig. 8 — Zero, one or two greedy receivers among two TCP pairs.
 //! With both greedy, whoever grabs the medium first keeps it.
 
-use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
+use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
 
 use crate::table::{mbps, Experiment};
 use crate::{sweep, RunCtx};
@@ -30,7 +30,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             1 => vec![(1, cfg())],
             _ => vec![(0, cfg()), (1, cfg())],
         };
-        let out = s.run().expect("valid scenario");
+        let out = Run::plan(&s).execute().expect("valid scenario");
         vec![out.goodput_mbps(0), out.goodput_mbps(1)]
     });
     for (&(ms, num_greedy), vals) in grid.iter().zip(rows) {

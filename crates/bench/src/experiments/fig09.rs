@@ -2,7 +2,7 @@
 //! (CTS NAV +31 ms, GP 100 %). Beyond one greedy receiver only a single
 //! one survives: the first to grab the channel re-reserves it forever.
 
-use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
+use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
 
 use crate::table::{mbps, Experiment};
 use crate::{sweep, RunCtx};
@@ -36,7 +36,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
                 )
             })
             .collect();
-        let out = s.run().expect("valid scenario");
+        let out = Run::plan(&s).execute().expect("valid scenario");
         (0..PAIRS).map(|i| out.goodput_mbps(i)).collect()
     });
     for (&num_greedy, vals) in points.iter().zip(rows) {

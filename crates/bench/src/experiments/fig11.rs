@@ -3,7 +3,7 @@
 //! little loss gives nothing to disable, too much loss hurts the greedy
 //! flow itself.
 
-use greedy80211::{GreedyConfig, Scenario};
+use greedy80211::{GreedyConfig, Run, Scenario};
 use phy::PhyStandard;
 
 use crate::table::{mbps, Experiment};
@@ -18,7 +18,7 @@ pub(crate) fn spoof_pair(
     phy: PhyStandard,
     ber: f64,
     gp: f64,
-) -> greedy80211::ScenarioOutcome {
+) -> greedy80211::RunOutcome {
     let mut s = Scenario {
         phy,
         byte_error_rate: ber,
@@ -26,10 +26,10 @@ pub(crate) fn spoof_pair(
         seed,
         ..Scenario::default()
     };
-    let base = s.run().expect("valid");
+    let base = Run::plan(&s).execute().expect("valid");
     if gp > 0.0 {
         s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], gp))];
-        s.run().expect("valid")
+        Run::plan(&s).execute().expect("valid")
     } else {
         base
     }

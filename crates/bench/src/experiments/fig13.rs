@@ -2,7 +2,7 @@
 //! With mutual spoofing both flows disable each other's MAC recovery
 //! and total goodput collapses as GP grows.
 
-use greedy80211::{GreedyConfig, Scenario};
+use greedy80211::{GreedyConfig, Run, Scenario};
 
 use crate::table::{mbps, Experiment};
 use crate::{sweep, RunCtx};
@@ -27,7 +27,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             seed,
             ..Scenario::default()
         };
-        let probe = s.run().expect("valid");
+        let probe = Run::plan(&s).execute().expect("valid");
         let (r0, r1) = (probe.receivers[0], probe.receivers[1]);
         let gpf = gp as f64 / 100.0;
         s.greedy = match num_greedy {
@@ -38,7 +38,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
                 (1, GreedyConfig::ack_spoofing(vec![r0], gpf)),
             ],
         };
-        let out = s.run().expect("valid");
+        let out = Run::plan(&s).execute().expect("valid");
         let (a, b) = (out.goodput_mbps(0), out.goodput_mbps(1));
         vec![a, b, a + b]
     });

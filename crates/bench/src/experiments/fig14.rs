@@ -2,7 +2,7 @@
 //! pairs (TCP, BER 2e-4): shared AP vs one AP per pair. Head-of-line
 //! blocking at a shared AP narrows the gap.
 
-use greedy80211::{GreedyConfig, Scenario};
+use greedy80211::{GreedyConfig, Run, Scenario};
 
 use crate::table::{mbps, Experiment};
 use crate::{sweep, Quality, RunCtx};
@@ -17,10 +17,10 @@ fn run_case(q: &Quality, seed: u64, pairs: usize, shared: bool) -> Vec<f64> {
         seed,
         ..Scenario::default()
     };
-    let probe = s.run().expect("valid");
+    let probe = Run::plan(&s).execute().expect("valid");
     let victims: Vec<_> = (0..pairs - 1).map(|i| probe.receivers[i]).collect();
     s.greedy = vec![(greedy_idx, GreedyConfig::ack_spoofing(victims, 1.0))];
-    let out = s.run().expect("valid");
+    let out = Run::plan(&s).execute().expect("valid");
     let normals: Vec<f64> = (0..pairs - 1).map(|i| out.goodput_mbps(i)).collect();
     let avg_nr = normals.iter().sum::<f64>() / normals.len().max(1) as f64;
     vec![out.goodput_mbps(greedy_idx), avg_nr]

@@ -2,7 +2,7 @@
 //! multiplies the cost of end-to-end recovery. The gap peaks around
 //! 200 ms, after which ACK clocking throttles the greedy flow too.
 
-use greedy80211::{GreedyConfig, Scenario};
+use greedy80211::{GreedyConfig, Run, Scenario};
 use sim::SimDuration;
 
 use crate::table::{mbps, Experiment};
@@ -16,7 +16,7 @@ pub(crate) fn remote_pair(
     seed: u64,
     wire_ms: u64,
     gp: f64,
-) -> greedy80211::ScenarioOutcome {
+) -> greedy80211::RunOutcome {
     let mut s = Scenario {
         byte_error_rate: 2e-5,
         wire_delay: Some(SimDuration::from_millis(wire_ms)),
@@ -25,10 +25,10 @@ pub(crate) fn remote_pair(
         seed,
         ..Scenario::default()
     };
-    let base = s.run().expect("valid");
+    let base = Run::plan(&s).execute().expect("valid");
     if gp > 0.0 {
         s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], gp))];
-        s.run().expect("valid")
+        Run::plan(&s).execute().expect("valid")
     } else {
         base
     }

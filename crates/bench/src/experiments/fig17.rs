@@ -3,7 +3,7 @@
 //! service time toward the greedy receiver, though less dramatically
 //! than under TCP (no congestion-control amplification).
 
-use greedy80211::{GreedyConfig, Scenario, TransportKind};
+use greedy80211::{GreedyConfig, Run, Scenario, TransportKind};
 
 use crate::table::{mbps, Experiment};
 use crate::{sweep, RunCtx};
@@ -28,9 +28,9 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             seed,
             ..Scenario::default()
         };
-        let base = s.run().expect("valid");
+        let base = Run::plan(&s).execute().expect("valid");
         s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
-        let out = s.run().expect("valid");
+        let out = Run::plan(&s).execute().expect("valid");
         vec![
             base.goodput_mbps(0),
             base.goodput_mbps(1),

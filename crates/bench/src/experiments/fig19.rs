@@ -3,7 +3,7 @@
 //! competitors (per-flow goodput falls) but the *relative* advantage
 //! persists.
 
-use greedy80211::{GreedyConfig, Scenario, TransportKind};
+use greedy80211::{GreedyConfig, Run, Scenario, TransportKind};
 
 use crate::experiments::fer_to_byte_rate;
 use crate::table::{mbps, Experiment};
@@ -33,7 +33,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             ..Scenario::default()
         };
         s.greedy = vec![(pairs - 1, GreedyConfig::fake_acks(1.0))];
-        let out = s.run().expect("valid");
+        let out = Run::plan(&s).execute().expect("valid");
         let normals: Vec<f64> = (0..n).map(|i| out.goodput_mbps(i)).collect();
         vec![
             out.goodput_mbps(pairs - 1),

@@ -1,7 +1,7 @@
 //! Fig. 24 — GRC against ACK spoofing across the loss-rate sweep: with
 //! the RSSI vetting enabled, both flows track the no-attack curves.
 
-use greedy80211::{GreedyConfig, Scenario};
+use greedy80211::{GreedyConfig, Run, Scenario};
 
 use crate::table::{mbps, Experiment};
 use crate::{sweep, RunCtx};
@@ -26,11 +26,11 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             seed,
             ..Scenario::default()
         };
-        let base = s.run().expect("valid");
+        let base = Run::plan(&s).execute().expect("valid");
         s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
-        let attacked = s.run().expect("valid");
+        let attacked = Run::plan(&s).execute().expect("valid");
         s.grc = Some(true);
-        let guarded = s.run().expect("valid");
+        let guarded = Run::plan(&s).execute().expect("valid");
         vec![
             base.goodput_mbps(0),
             base.goodput_mbps(1),

@@ -44,7 +44,7 @@ pub mod tab07;
 pub mod tab08;
 pub mod tab09;
 
-use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
+use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
 
 use crate::Quality;
 
@@ -106,7 +106,7 @@ pub(crate) fn nav_frames_experiment(
             };
             let mut s = nav_two_pair(false, nav, q, seed);
             s.phy = phy;
-            let out = s.run().expect("valid scenario");
+            let out = Run::plan(&s).execute().expect("valid scenario");
             vec![out.goodput_mbps(0), out.goodput_mbps(1)]
         });
         for (&ms, vals) in TCP_NAV_SWEEP_MS.iter().zip(rows) {

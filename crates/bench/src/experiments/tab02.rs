@@ -1,12 +1,12 @@
 //! Table II — Average TCP congestion window under CTS-NAV inflation,
 //! one shared sender vs two independent senders.
 
-use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
+use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
 
 use crate::table::Experiment;
 use crate::{sweep, RunCtx};
 
-fn avg_cwnd(out: &greedy80211::ScenarioOutcome, i: usize) -> f64 {
+fn avg_cwnd(out: &greedy80211::RunOutcome, i: usize) -> f64 {
     out.metrics
         .flow(out.flows[i])
         .and_then(|f| f.avg_cwnd)
@@ -41,7 +41,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             ..Scenario::default()
         };
         greedy(&mut one);
-        let one = one.run().expect("valid");
+        let one = Run::plan(&one).execute().expect("valid");
         // Two senders.
         let mut two = Scenario {
             duration: q.duration,
@@ -49,7 +49,7 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             ..Scenario::default()
         };
         greedy(&mut two);
-        let two = two.run().expect("valid");
+        let two = Run::plan(&two).execute().expect("valid");
         vec![
             avg_cwnd(&one, 0),
             avg_cwnd(&one, 1),

@@ -2,7 +2,7 @@
 //! consistent gain for the faker; with two fakers both still improve
 //! (backoff was pure waste against noise).
 
-use greedy80211::{GreedyConfig, Scenario, TransportKind};
+use greedy80211::{GreedyConfig, Run, Scenario, TransportKind};
 
 use crate::experiments::fer_to_byte_rate;
 use crate::table::{mbps, Experiment};
@@ -36,16 +36,16 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             seed,
             ..Scenario::default()
         };
-        let no_gr = base_scenario().run().expect("valid");
+        let no_gr = Run::plan(&base_scenario()).execute().expect("valid");
         let mut one = base_scenario();
         one.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
-        let one = one.run().expect("valid");
+        let one = Run::plan(&one).execute().expect("valid");
         let mut two = base_scenario();
         two.greedy = vec![
             (0, GreedyConfig::fake_acks(1.0)),
             (1, GreedyConfig::fake_acks(1.0)),
         ];
-        let two = two.run().expect("valid");
+        let two = Run::plan(&two).execute().expect("valid");
         vec![
             no_gr.goodput_mbps(0),
             no_gr.goodput_mbps(1),

@@ -3,7 +3,7 @@
 //! maximum (32 767 µs). Two pairs, 802.11a at 6 Mb/s, RTS/CTS on —
 //! mirroring the paper's MadWiFi setup in simulation.
 
-use greedy80211::{InflatedFrames, NavInflationConfig, Scenario};
+use greedy80211::{InflatedFrames, NavInflationConfig, Run, Scenario};
 use phy::PhyStandard;
 
 use crate::experiments::nav_two_pair;
@@ -34,10 +34,10 @@ pub fn run(ctx: &RunCtx) -> Experiment {
             ..Scenario::default()
         };
         base.greedy.clear();
-        let base = base.run().expect("valid");
+        let base = Run::plan(&base).execute().expect("valid");
         let mut attack = nav_two_pair(false, nav.clone(), q, seed);
         attack.phy = PhyStandard::Dot11a;
-        let attack = attack.run().expect("valid");
+        let attack = Run::plan(&attack).execute().expect("valid");
         vec![
             base.goodput_mbps(0),
             base.goodput_mbps(1),

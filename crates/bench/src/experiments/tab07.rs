@@ -2,7 +2,7 @@
 //! receiver inflates CTS and/or ACK NAVs to the maximum (802.11a,
 //! 6 Mb/s, two pairs), with and without RTS/CTS.
 
-use greedy80211::{GreedyConfig, InflatedFrames, NavInflationConfig, Scenario, TransportKind};
+use greedy80211::{GreedyConfig, InflatedFrames, NavInflationConfig, Run, Scenario, TransportKind};
 use phy::PhyStandard;
 
 use crate::table::{mbps, Experiment};
@@ -27,7 +27,7 @@ fn scenario(q: &Quality, seed: u64, rts: bool, frames: Option<InflatedFrames>) -
             }),
         )];
     }
-    let out = s.run().expect("valid");
+    let out = Run::plan(&s).execute().expect("valid");
     vec![out.goodput_mbps(0), out.goodput_mbps(1)]
 }
 

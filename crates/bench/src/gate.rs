@@ -1,0 +1,305 @@
+//! Performance gate: a pinned subset of experiments run as a throughput
+//! benchmark, with a committed baseline to regress against.
+//!
+//! `repro --bench-gate` runs [`GATE_SUBSET`] sequentially at a fidelity
+//! pinned *here* (deliberately not [`Quality::quick`], so tuning the
+//! smoke-test fidelity can never silently move the gate), writes
+//! `BENCH_<date>.json` next to `bench_summary.json`, and — with
+//! `--check` — compares simulator event throughput against the committed
+//! `BENCH_BASELINE.json`, failing on a regression beyond the tolerance
+//! band. Everything is wall-clock-sequential and single-threaded so the
+//! numbers are comparable on a 1-core CI container.
+
+use std::path::Path;
+use std::time::Instant;
+
+use net::stats;
+
+use crate::{registry, Quality, RunCtx};
+
+/// Experiments the gate times, in run order. Chosen to cover the three
+/// hot regimes: UDP NAV sweeps (`fig2`), TCP NAV sweeps (`fig6`), and
+/// mixed topologies with GRC attached (`tab5`).
+pub const GATE_SUBSET: &[&str] = &["fig2", "fig6", "tab5"];
+
+/// Relative throughput loss tolerated by `--bench-gate --check` before
+/// the gate fails (0.25 = fail when >25 % slower than baseline).
+pub const GATE_TOLERANCE: f64 = 0.25;
+
+/// Fidelity the gate is pinned at. One seed and short runs: the gate
+/// measures throughput, not statistics, and must finish in CI time.
+fn gate_quality() -> Quality {
+    Quality {
+        seeds: vec![1],
+        duration: sim::SimDuration::from_secs(2),
+        samples: 5_000,
+    }
+}
+
+/// Timing of one gate experiment.
+#[derive(Debug)]
+pub struct GateStat {
+    /// Experiment id (e.g. `"fig2"`).
+    pub id: String,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Simulator events dispatched.
+    pub events: u64,
+}
+
+impl GateStat {
+    /// Events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Nanoseconds of wall clock per simulator event.
+    pub fn ns_per_event(&self) -> f64 {
+        self.wall_s * 1e9 / (self.events as f64).max(1.0)
+    }
+}
+
+/// Result of one full gate run.
+#[derive(Debug)]
+pub struct GateReport {
+    /// `YYYY-MM-DD` (UTC) the gate ran.
+    pub date: String,
+    /// Per-experiment timings, in [`GATE_SUBSET`] order.
+    pub stats: Vec<GateStat>,
+    /// Peak resident set size in KiB (`VmHWM`; 0 if unavailable).
+    pub peak_rss_kib: u64,
+}
+
+impl GateReport {
+    /// Total events across the subset.
+    pub fn total_events(&self) -> u64 {
+        self.stats.iter().map(|s| s.events).sum()
+    }
+
+    /// Total wall-clock seconds across the subset.
+    pub fn total_wall_s(&self) -> f64 {
+        self.stats.iter().map(|s| s.wall_s).sum()
+    }
+
+    /// Aggregate events per second over the whole subset.
+    pub fn events_per_sec(&self) -> f64 {
+        self.total_events() as f64 / self.total_wall_s().max(1e-9)
+    }
+
+    /// Aggregate nanoseconds per event over the whole subset.
+    pub fn ns_per_event(&self) -> f64 {
+        self.total_wall_s() * 1e9 / (self.total_events() as f64).max(1.0)
+    }
+
+    /// Renders the report as JSON (the `BENCH_<date>.json` format).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"date\": \"{}\",\n", self.date));
+        s.push_str(&format!("  \"subset\": {:?},\n", GATE_SUBSET));
+        s.push_str(&format!("  \"total_events\": {},\n", self.total_events()));
+        s.push_str(&format!(
+            "  \"total_wall_s\": {:.3},\n",
+            self.total_wall_s()
+        ));
+        s.push_str(&format!(
+            "  \"total_events_per_sec\": {:.0},\n",
+            self.events_per_sec()
+        ));
+        s.push_str(&format!(
+            "  \"ns_per_event\": {:.1},\n",
+            self.ns_per_event()
+        ));
+        s.push_str(&format!("  \"peak_rss_kib\": {},\n", self.peak_rss_kib));
+        s.push_str("  \"experiments\": [\n");
+        for (i, st) in self.stats.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_s\": {:.3}, \"events\": {}, \
+                 \"events_per_sec\": {:.0}, \"ns_per_event\": {:.1}}}{}\n",
+                st.id,
+                st.wall_s,
+                st.events,
+                st.events_per_sec(),
+                st.ns_per_event(),
+                if i + 1 < self.stats.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Peak resident set size in KiB, from `/proc/self/status` `VmHWM`.
+/// Returns 0 on platforms without procfs.
+pub fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, proleptic
+/// Gregorian — no external time crate in the offline build).
+pub fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Runs the pinned gate subset sequentially and times it.
+///
+/// # Panics
+///
+/// Panics if a [`GATE_SUBSET`] id is missing from the registry — that is
+/// a bug in this crate, not a runtime condition.
+pub fn run_gate() -> GateReport {
+    let reg = registry();
+    let ctx = RunCtx::sequential(gate_quality());
+    let mut stats_out = Vec::new();
+    for id in GATE_SUBSET {
+        let (_, gen) = reg
+            .iter()
+            .find(|(rid, _)| rid == id)
+            .expect("gate subset id in registry");
+        let before = stats::snapshot();
+        let t = Instant::now();
+        let _ = gen(&ctx);
+        let wall_s = t.elapsed().as_secs_f64();
+        let used = stats::snapshot().since(before);
+        stats_out.push(GateStat {
+            id: (*id).to_string(),
+            wall_s,
+            events: used.events_processed,
+        });
+    }
+    GateReport {
+        date: utc_date(),
+        stats: stats_out,
+        peak_rss_kib: peak_rss_kib(),
+    }
+}
+
+/// Extracts `"total_events_per_sec": <number>` from a baseline JSON
+/// file. A hand-rolled scan — the offline build has no JSON parser, and
+/// the format is our own.
+pub fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    let key = "\"total_events_per_sec\":";
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares a gate run against the committed baseline.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the baseline file is missing or
+/// unparsable, or when throughput regressed beyond `tolerance`.
+pub fn check_against_baseline(
+    report: &GateReport,
+    baseline_path: &Path,
+    tolerance: f64,
+) -> Result<String, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", baseline_path.display()))?;
+    let base = baseline_events_per_sec(&text)
+        .ok_or_else(|| format!("no total_events_per_sec in {}", baseline_path.display()))?;
+    let cur = report.events_per_sec();
+    let floor = base * (1.0 - tolerance);
+    if cur < floor {
+        return Err(format!(
+            "throughput regression: {cur:.0} events/s vs baseline {base:.0} \
+             (floor {floor:.0}, tolerance {:.0} %)",
+            tolerance * 100.0
+        ));
+    }
+    Ok(format!(
+        "gate OK: {cur:.0} events/s vs baseline {base:.0} ({:+.1} %)",
+        (cur / base - 1.0) * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_parser_reads_own_format() {
+        let r = GateReport {
+            date: "2026-01-01".into(),
+            stats: vec![GateStat {
+                id: "fig2".into(),
+                wall_s: 2.0,
+                events: 1_000_000,
+            }],
+            peak_rss_kib: 12_345,
+        };
+        let json = r.to_json();
+        let eps = baseline_events_per_sec(&json).expect("parsable");
+        assert!((eps - 500_000.0).abs() < 1.0, "{eps}");
+    }
+
+    #[test]
+    fn check_accepts_within_band_and_rejects_regressions() {
+        let dir = std::env::temp_dir().join("gr-gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_BASELINE.json");
+        std::fs::write(&path, "{\n  \"total_events_per_sec\": 1000000,\n}\n").unwrap();
+        let mk = |events: u64| GateReport {
+            date: "2026-01-01".into(),
+            stats: vec![GateStat {
+                id: "fig2".into(),
+                wall_s: 1.0,
+                events,
+            }],
+            peak_rss_kib: 0,
+        };
+        assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
+        assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());
+        assert!(check_against_baseline(&mk(700_000), &path, 0.25).is_err());
+        assert!(
+            check_against_baseline(&mk(1_000), dir.join("missing.json").as_path(), 0.25).is_err()
+        );
+    }
+
+    #[test]
+    fn civil_date_is_well_formed() {
+        let d = utc_date();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+        // Sanity: the container clock is past 2020.
+        assert!(d[..4].parse::<u32>().unwrap() >= 2020);
+    }
+
+    #[test]
+    fn gate_subset_ids_exist_in_registry() {
+        let reg = registry();
+        for id in GATE_SUBSET {
+            assert!(
+                reg.iter().any(|(rid, _)| rid == id),
+                "gate id {id} missing from registry"
+            );
+        }
+    }
+}

@@ -19,10 +19,12 @@
 //! fast low-fidelity pass (one seed, shorter runs).
 
 pub mod experiments;
+pub mod gate;
 pub mod quality;
 pub mod sweep;
 pub mod table;
 
+pub use gate::{run_gate, GateReport, GATE_SUBSET, GATE_TOLERANCE};
 pub use quality::Quality;
 pub use sweep::{sweep, sweep_scalar};
 pub use table::Experiment;
@@ -33,11 +35,16 @@ use sim::RunKey;
 /// every run records under, plus the shared sink per-run reports are
 /// deposited into as jobs finish (in worker-completion order; see
 /// [`ObsCampaign::take_reports`] for the deterministic view).
+///
+/// The sink is the one piece of observability state that genuinely
+/// crosses worker threads (every sweep job deposits into it), so it is an
+/// explicit `Arc<Mutex<…>>` — unlike per-run recorder handles, which are
+/// single-threaded `Rc<RefCell<…>>` cells that never leave their run.
 #[derive(Debug, Clone)]
 pub struct ObsCampaign {
     /// Recorder configuration applied to every run.
     pub spec: obs::ObsSpec,
-    sink: obs::Shared<Vec<(RunKey, obs::ObsReport)>>,
+    sink: std::sync::Arc<std::sync::Mutex<Vec<(RunKey, obs::ObsReport)>>>,
 }
 
 impl ObsCampaign {
@@ -45,19 +52,22 @@ impl ObsCampaign {
     pub fn new(spec: obs::ObsSpec) -> Self {
         ObsCampaign {
             spec,
-            sink: obs::Shared::new(Vec::new()),
+            sink: std::sync::Arc::new(std::sync::Mutex::new(Vec::new())),
         }
     }
 
     pub(crate) fn deposit(&self, key: RunKey, report: obs::ObsReport) {
-        self.sink.borrow_mut().push((key, report));
+        self.sink
+            .lock()
+            .expect("campaign sink poisoned")
+            .push((key, report));
     }
 
     /// Takes every report deposited so far, sorted by run key so artifact
     /// export order is independent of worker scheduling. The sink is left
     /// empty.
     pub fn take_reports(&self) -> Vec<(RunKey, obs::ObsReport)> {
-        let mut v = std::mem::take(&mut *self.sink.borrow_mut());
+        let mut v = std::mem::take(&mut *self.sink.lock().expect("campaign sink poisoned"));
         v.sort_by(|(a, _), (b, _)| {
             (a.experiment.as_str(), a.point, a.seed).cmp(&(b.experiment.as_str(), b.point, b.seed))
         });

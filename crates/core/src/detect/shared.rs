@@ -1,39 +1,47 @@
-//! Thread-safe shared report cells.
+//! Shared report cells.
 //!
 //! Detector observers live inside the MAC while experiments hold a handle
-//! to read detection counts after the run. The handles used to be
-//! `Rc<RefCell<…>>`, which made every network with a detector attached
-//! `!Send` and blocked sharding campaigns across worker threads.
-//! [`Shared`] is the drop-in replacement: `Arc<Mutex<…>>` behind the same
-//! `borrow`/`borrow_mut` surface, so the ~20 existing call sites read
-//! unchanged.
+//! to read detection counts after the run. The cell is `Rc<RefCell<…>>`:
+//! a run is strictly single-threaded, and since the campaign runner
+//! builds **and** executes each run inside one worker closure (only
+//! plain-data `RunPlan`/`RunOutcome` cross threads — see
+//! `core::runplan`), nothing here ever needs `Send`. An earlier revision
+//! used `Arc<Mutex<…>>` for a compiler-checked `Send` audit; that cost an
+//! atomic ref-count plus a lock on every hot-path borrow, so the audit
+//! boundary moved to the outcome types instead.
 //!
-//! Lock contention is not a concern: a run is single-threaded, so a cell
-//! is only ever touched from one thread at a time — the `Mutex` exists to
-//! make that safety claim checkable by the compiler rather than by
-//! convention.
+//! Cross-run safety is unchanged: a cell never outlives its run's thread,
+//! and `snapshot` detaches a plain value for the outcome to carry.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
 
-/// A cloneable, `Send` shared cell with `RefCell`-style accessors.
+/// A cloneable shared cell with `RefCell` accessors (single-threaded).
 #[derive(Debug, Default)]
-pub struct Shared<T>(Arc<Mutex<T>>);
+pub struct Shared<T>(Rc<RefCell<T>>);
 
 impl<T> Shared<T> {
     /// Wraps `value` in a fresh shared cell.
     pub fn new(value: T) -> Self {
-        Shared(Arc::new(Mutex::new(value)))
+        Shared(Rc::new(RefCell::new(value)))
     }
 
-    /// Read access. The name mirrors `RefCell::borrow` so existing call
-    /// sites compile unchanged; the guard is a plain `MutexGuard`.
-    pub fn borrow(&self) -> MutexGuard<'_, T> {
-        self.0.lock().expect("report cell poisoned")
+    /// Read access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is currently mutably borrowed.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.0.borrow()
     }
 
-    /// Write access, mirroring `RefCell::borrow_mut`.
-    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
-        self.0.lock().expect("report cell poisoned")
+    /// Write access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is currently borrowed.
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.0.borrow_mut()
     }
 
     /// An owned copy of the current contents — what run outcomes carry
@@ -48,7 +56,7 @@ impl<T> Shared<T> {
 
 impl<T> Clone for Shared<T> {
     fn clone(&self) -> Self {
-        Shared(Arc::clone(&self.0))
+        Shared(Rc::clone(&self.0))
     }
 }
 
@@ -71,11 +79,5 @@ mod tests {
         a.borrow_mut().push(3);
         assert_eq!(snap, vec![1, 2]);
         assert_eq!(*a.borrow(), vec![1, 2, 3]);
-    }
-
-    #[test]
-    fn shared_is_send_and_sync() {
-        fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<Shared<u64>>();
     }
 }

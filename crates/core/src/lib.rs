@@ -26,7 +26,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
+//! use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
 //! use sim::SimDuration;
 //!
 //! // Two TCP pairs; receiver 1 inflates its CTS NAV by 10 ms.
@@ -34,7 +34,7 @@
 //!     NavInflationConfig::cts_only(10_000, 1.0),
 //! ));
 //! s.duration = SimDuration::from_secs(2);
-//! let out = s.run()?;
+//! let out = Run::plan(&s).execute()?;
 //! // The greedy receiver out-earns the honest one.
 //! assert!(out.goodput_mbps(1) > out.goodput_mbps(0));
 //! # Ok::<(), sim::SimError>(())
@@ -47,6 +47,7 @@ pub mod detect;
 pub mod misbehavior;
 pub mod model;
 pub mod rssi_study;
+pub mod run;
 pub mod runplan;
 pub mod scenario;
 
@@ -63,5 +64,8 @@ pub use misbehavior::{
 };
 pub use model::{nav_inflation_model, SendProbabilities};
 pub use rssi_study::{RssiStudy, RssiStudyConfig};
-pub use runplan::{execute, RunOutcome, RunPlan};
+pub use run::Run;
+#[allow(deprecated)]
+pub use runplan::execute;
+pub use runplan::{RunOutcome, RunPlan};
 pub use scenario::{BuiltScenario, Scenario, ScenarioOutcome, TransportKind};

@@ -1,0 +1,197 @@
+//! The one documented way to execute a scenario.
+//!
+//! Historically a run could start three ways: `Scenario::build()` +
+//! `Network::run` (two steps, live handles), `Scenario::run` (one step,
+//! still live handles), or `core::runplan::execute` (campaign keyed).
+//! [`Run`] collapses them into a single facade:
+//!
+//! ```
+//! use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
+//!
+//! let s = Scenario::two_pair_udp(GreedyConfig::nav_inflation(
+//!     NavInflationConfig::cts_only(10_000, 1.0),
+//! ));
+//! let out = Run::plan(&s).seeded(7).execute()?;
+//! assert!(out.goodput_mbps(1) > out.goodput_mbps(0));
+//! # Ok::<(), sim::SimError>(())
+//! ```
+//!
+//! `execute` always returns a plain-data [`RunOutcome`] — detector
+//! reports arrive as detached snapshots, never as live `Rc` handles, so
+//! results can cross threads no matter how the run was seeded.
+//!
+//! Seeding comes in two flavours:
+//!
+//! * [`Run::seeded`] — feed a raw 64-bit seed straight to the simulator
+//!   RNG (what experiments do with the stream seed [`sweep`] hands their
+//!   measure closure);
+//! * [`Run::keyed`] — name the run's place in a campaign with a
+//!   [`RunKey`]; the seed is derived from the key alone, so the run is a
+//!   pure function of `(label, point, seed index)`.
+//!
+//! [`sweep`]: ../../gr_bench/fn.sweep.html
+
+use sim::{RunKey, SimError};
+
+use crate::runplan::RunOutcome;
+use crate::scenario::Scenario;
+
+/// A planned simulation run: scenario plus seeding policy.
+///
+/// Build one with [`Run::plan`], pick a seed with [`Run::seeded`] or
+/// [`Run::keyed`] (the last call wins), then [`Run::execute`].
+#[derive(Debug, Clone)]
+pub struct Run {
+    scenario: Scenario,
+    key: Option<RunKey>,
+}
+
+impl Run {
+    /// Plans a run of `scenario` as it stands (its own `seed` field).
+    pub fn plan(scenario: &Scenario) -> Self {
+        Run {
+            scenario: scenario.clone(),
+            key: None,
+        }
+    }
+
+    /// Seeds the run with a raw 64-bit RNG seed.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.scenario.seed = seed;
+        self.key = None;
+        self
+    }
+
+    /// Seeds the run from a campaign [`RunKey`]: the RNG stream is
+    /// derived from the key alone and the outcome carries the key.
+    pub fn keyed(mut self, key: RunKey) -> Self {
+        self.key = Some(key);
+        self
+    }
+
+    /// Builds the network, simulates to completion, and snapshots the
+    /// result into a plain-data [`RunOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the scenario is malformed
+    /// (zero pairs, out-of-range indices, invalid error rates).
+    pub fn execute(self) -> Result<RunOutcome, SimError> {
+        let Run { mut scenario, key } = self;
+        let key = match key {
+            Some(k) => {
+                scenario.seed = k.stream_seed();
+                k
+            }
+            // Ad-hoc (non-campaign) runs still get a key in the outcome;
+            // the label marks them as outside any sweep.
+            None => RunKey::new("adhoc", 0, scenario.seed),
+        };
+        // Drain the recorder into the outcome only when this scenario
+        // asked for recording itself. A recorder inherited from the
+        // ambient campaign spec belongs to the campaign: its report is
+        // drained into the campaign sink after the measure closure
+        // returns, and draining it here would leave that empty.
+        let explicit_record = scenario.record.is_some();
+        let outcome = scenario.build()?.run();
+        let grc = outcome
+            .grc_reports
+            .iter()
+            .map(|(node, handles)| (*node, handles.snapshot()))
+            .collect();
+        let obs = if explicit_record {
+            outcome.obs_report()
+        } else {
+            None
+        };
+        Ok(RunOutcome {
+            key,
+            metrics: outcome.metrics,
+            flows: outcome.flows,
+            probe_flows: outcome.probe_flows,
+            senders: outcome.senders,
+            receivers: outcome.receivers,
+            grc,
+            obs,
+            duration: outcome.duration,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::misbehavior::{GreedyConfig, NavInflationConfig};
+    use sim::SimDuration;
+
+    fn scenario() -> Scenario {
+        let mut s = Scenario::two_pair_udp(GreedyConfig::nav_inflation(
+            NavInflationConfig::cts_only(10_000, 1.0),
+        ));
+        s.duration = SimDuration::from_millis(500);
+        s.grc = Some(false);
+        s
+    }
+
+    #[test]
+    fn keyed_execution_is_a_pure_function_of_the_key() {
+        let a = Run::plan(&scenario())
+            .keyed(RunKey::new("t", 0, 3))
+            .execute()
+            .unwrap();
+        let b = Run::plan(&scenario())
+            .keyed(RunKey::new("t", 0, 3))
+            .execute()
+            .unwrap();
+        assert_eq!(a.goodput_mbps(0), b.goodput_mbps(0));
+        assert_eq!(a.goodput_mbps(1), b.goodput_mbps(1));
+        assert_eq!(a.nav_detections(), b.nav_detections());
+    }
+
+    #[test]
+    fn key_overrides_scenario_and_raw_seeds() {
+        let a = Run::plan(&scenario())
+            .seeded(999) // overridden: the key is the seed source
+            .keyed(RunKey::new("t", 1, 2))
+            .execute()
+            .unwrap();
+        let b = Run::plan(&scenario())
+            .keyed(RunKey::new("t", 1, 2))
+            .execute()
+            .unwrap();
+        assert_eq!(a.metrics.events_processed, b.metrics.events_processed);
+        assert_eq!(a.key, RunKey::new("t", 1, 2));
+    }
+
+    #[test]
+    fn seeded_matches_scenario_seed_field() {
+        // `.seeded(n)` must replay exactly the run `scenario.seed = n`
+        // produces — experiments rely on this for byte-stable CSVs.
+        let mut s = scenario();
+        s.seed = 41;
+        let via_field = Run::plan(&s).execute().unwrap();
+        let via_builder = Run::plan(&scenario()).seeded(41).execute().unwrap();
+        assert_eq!(
+            via_field.metrics.events_processed,
+            via_builder.metrics.events_processed
+        );
+        assert_eq!(via_field.goodput_mbps(0), via_builder.goodput_mbps(0));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_runs() {
+        let a = Run::plan(&scenario()).seeded(0).execute().unwrap();
+        let b = Run::plan(&scenario()).seeded(1).execute().unwrap();
+        // Same topology, different replication: event counts virtually
+        // never tie.
+        assert_ne!(a.metrics.events_processed, b.metrics.events_processed);
+    }
+
+    #[test]
+    fn outcome_carries_detached_grc_snapshots() {
+        let out = Run::plan(&scenario()).seeded(0).execute().unwrap();
+        // 2 senders + 1 honest receiver observed.
+        assert_eq!(out.grc.len(), 3);
+        assert!(out.nav_detections() > 0, "inflated CTS must be noticed");
+    }
+}

@@ -2,12 +2,12 @@
 //!
 //! A [`RunPlan`] pairs a declarative [`Scenario`] with the [`RunKey`] that
 //! names its place in a campaign (experiment label, sweep point,
-//! replication seed). [`execute`] is the whole per-run pipeline — build,
-//! simulate, snapshot — as one pure function: it takes no ambient state,
-//! seeds the scenario from the key alone, and returns a plain-data
-//! [`RunOutcome`] that is `Send`. Because of that, a sweep of plans can be
-//! executed in any order, on any thread, and aggregate to bit-identical
-//! results.
+//! replication seed). Executing one —
+//! `Run::plan(&scenario).keyed(key).execute()` (see [`crate::run::Run`])
+//! — is a pure function: it takes no ambient state, seeds the scenario
+//! from the key alone, and returns a plain-data [`RunOutcome`] that is
+//! `Send`. Because of that, a sweep of plans can be executed in any
+//! order, on any thread, and aggregate to bit-identical results.
 //!
 //! Live detector handles never cross the thread boundary: the outcome
 //! carries detached [`GrcSnapshot`] copies taken after the run finishes.
@@ -92,74 +92,11 @@ impl RunOutcome {
 ///
 /// Returns [`SimError::InvalidConfig`] if the scenario is malformed (zero
 /// pairs, out-of-range indices, invalid error rates).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Run::plan(&scenario).keyed(key).execute()` instead"
+)]
 pub fn execute(plan: RunPlan) -> Result<RunOutcome, SimError> {
     let RunPlan { key, scenario } = plan;
-    let outcome = scenario.with_seed(key.stream_seed()).run()?;
-    let grc = outcome
-        .grc_reports
-        .iter()
-        .map(|(node, handles)| (*node, handles.snapshot()))
-        .collect();
-    let obs = outcome.obs_report();
-    Ok(RunOutcome {
-        key,
-        metrics: outcome.metrics,
-        flows: outcome.flows,
-        probe_flows: outcome.probe_flows,
-        senders: outcome.senders,
-        receivers: outcome.receivers,
-        grc,
-        obs,
-        duration: outcome.duration,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::misbehavior::{GreedyConfig, NavInflationConfig};
-
-    fn plan(key: RunKey) -> RunPlan {
-        let mut s = Scenario::two_pair_udp(GreedyConfig::nav_inflation(
-            NavInflationConfig::cts_only(10_000, 1.0),
-        ));
-        s.duration = SimDuration::from_millis(500);
-        s.grc = Some(false);
-        RunPlan::new(key, s)
-    }
-
-    #[test]
-    fn execution_is_a_pure_function_of_the_key() {
-        let a = execute(plan(RunKey::new("t", 0, 3))).unwrap();
-        let b = execute(plan(RunKey::new("t", 0, 3))).unwrap();
-        assert_eq!(a.goodput_mbps(0), b.goodput_mbps(0));
-        assert_eq!(a.goodput_mbps(1), b.goodput_mbps(1));
-        assert_eq!(a.nav_detections(), b.nav_detections());
-    }
-
-    #[test]
-    fn distinct_seeds_give_distinct_runs() {
-        let a = execute(plan(RunKey::new("t", 0, 0))).unwrap();
-        let b = execute(plan(RunKey::new("t", 0, 1))).unwrap();
-        // Same topology, different replication: metrics should differ in
-        // some fine-grained statistic (event counts virtually never tie).
-        assert_ne!(a.metrics.events_processed, b.metrics.events_processed);
-    }
-
-    #[test]
-    fn key_overrides_scenario_seed() {
-        let mut p = plan(RunKey::new("t", 1, 2));
-        p.scenario.seed = 999; // ignored: the key is the seed source
-        let a = execute(p).unwrap();
-        let b = execute(plan(RunKey::new("t", 1, 2))).unwrap();
-        assert_eq!(a.metrics.events_processed, b.metrics.events_processed);
-    }
-
-    #[test]
-    fn outcome_carries_detached_grc_snapshots() {
-        let out = execute(plan(RunKey::new("t", 0, 0))).unwrap();
-        // 2 senders + 1 honest receiver observed.
-        assert_eq!(out.grc.len(), 3);
-        assert!(out.nav_detections() > 0, "inflated CTS must be noticed");
-    }
+    crate::run::Run::plan(&scenario).keyed(key).execute()
 }

@@ -175,9 +175,10 @@ impl ScenarioOutcome {
 
 /// A scenario materialized into a runnable network, not yet run.
 ///
-/// Splitting construction from execution lets a campaign build the run
-/// description on the submitting thread and execute it on any worker:
-/// the built value is `Send` and self-contained.
+/// Not `Send`: the network's report handles are single-threaded
+/// `Rc<RefCell<…>>` cells. Campaign workers therefore build **and** run
+/// inside one closure, and only plain-data [`crate::RunOutcome`]s travel
+/// back (see `core::runplan`).
 #[derive(Debug)]
 pub struct BuiltScenario {
     /// The wired-up simulation.
@@ -249,6 +250,11 @@ impl Scenario {
     ///
     /// Returns [`SimError::InvalidConfig`] for zero pairs, out-of-range
     /// greedy indices, or invalid error rates.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Run::plan(&scenario).execute()` instead; it returns a \
+                plain-data `RunOutcome` with detached report snapshots"
+    )]
     pub fn run(&self) -> Result<ScenarioOutcome, SimError> {
         Ok(self.build()?.run())
     }
@@ -401,6 +407,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::Run;
 
     #[test]
     fn rejects_invalid_configs() {
@@ -408,17 +415,17 @@ mod tests {
             pairs: 0,
             ..Scenario::default()
         };
-        assert!(s.run().is_err());
+        assert!(Run::plan(&s).execute().is_err());
         let s = Scenario {
             greedy: vec![(5, GreedyConfig::default())],
             ..Scenario::default()
         };
-        assert!(s.run().is_err());
+        assert!(Run::plan(&s).execute().is_err());
         let s = Scenario {
             flow_error_overrides: vec![(7, 1e-4)],
             ..Scenario::default()
         };
-        assert!(s.run().is_err());
+        assert!(Run::plan(&s).execute().is_err());
     }
 
     #[test]
@@ -427,7 +434,7 @@ mod tests {
             duration: SimDuration::from_secs(5),
             ..Scenario::default()
         };
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         let g0 = out.goodput_mbps(0);
         let g1 = out.goodput_mbps(1);
         assert!(g0 > 0.5 && g1 > 0.5);
@@ -443,7 +450,7 @@ mod tests {
             duration: SimDuration::from_secs(2),
             ..Scenario::default()
         };
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         assert_eq!(out.senders.len(), 1);
         assert_eq!(out.receivers.len(), 3);
         for i in 0..3 {
@@ -459,8 +466,8 @@ mod tests {
             duration: SimDuration::from_secs(1),
             ..Scenario::default()
         };
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         // 2 senders + 1 honest receiver = 3 observed nodes.
-        assert_eq!(out.grc_reports.len(), 3);
+        assert_eq!(out.grc.len(), 3);
     }
 }

@@ -27,7 +27,7 @@
 use std::collections::VecDeque;
 
 use phy::PhyParams;
-use sim::{SimDuration, SimRng, SimTime};
+use sim::{Pool, PooledBox, SimDuration, SimRng, SimTime};
 
 use crate::arf::Arf;
 use crate::backoff::Backoff;
@@ -50,6 +50,21 @@ pub enum TimerKind {
     Response,
     /// SIFS gap before transmitting a queued response frame.
     Sifs,
+}
+
+impl TimerKind {
+    /// Number of timer classes, for sizing dense per-node timer tables.
+    pub const COUNT: usize = 4;
+
+    /// Dense index of this kind in `[0, COUNT)`.
+    pub const fn index(self) -> usize {
+        match self {
+            TimerKind::Access => 0,
+            TimerKind::NavEnd => 1,
+            TimerKind::Response => 2,
+            TimerKind::Sifs => 3,
+        }
+    }
 }
 
 /// What a reception concluded to, as reported by the medium.
@@ -132,6 +147,13 @@ pub enum MacAction<M> {
         body: M,
     },
 }
+
+/// Action batch returned by every [`Dcf`] input handler.
+///
+/// The buffer is checked out of the station's internal [`Pool`] and
+/// recycles itself (cleared, capacity kept) when dropped, so steady-state
+/// event handling allocates nothing. It derefs to `Vec<MacAction<M>>`.
+pub type MacActions<M> = PooledBox<Vec<MacAction<M>>>;
 
 /// Static configuration of one station's MAC.
 #[derive(Debug, Clone)]
@@ -242,6 +264,8 @@ pub struct Dcf<M: Msdu> {
     recorder: Option<::obs::RecorderHandle>,
     /// Time of the last acknowledged MSDU (inter-ACK gap telemetry).
     last_ack_at: Option<SimTime>,
+    /// Recycled action buffers handed out by the input handlers.
+    pool: Pool<Vec<MacAction<M>>>,
 }
 
 impl<M: Msdu> std::fmt::Debug for Dcf<M> {
@@ -304,6 +328,7 @@ impl<M: Msdu> Dcf<M> {
             arf,
             recorder: None,
             last_ack_at: None,
+            pool: Pool::new(),
         }
     }
 
@@ -378,8 +403,8 @@ impl<M: Msdu> Dcf<M> {
     // ------------------------------------------------------------------
 
     /// Upper layer hands the MAC an MSDU for `dst`.
-    pub fn on_enqueue(&mut self, now: SimTime, dst: NodeId, body: M) -> Vec<MacAction<M>> {
-        let mut actions = Vec::new();
+    pub fn on_enqueue(&mut self, now: SimTime, dst: NodeId, body: M) -> MacActions<M> {
+        let mut actions = self.pool.take();
         if self.queue.len() >= self.cfg.queue_capacity {
             self.counters.queue_drops.incr();
             self.obs_emit(
@@ -419,8 +444,8 @@ impl<M: Msdu> Dcf<M> {
     /// The physical medium became busy (another station's transmission
     /// reached us). The runtime coalesces overlapping transmissions and
     /// reports only 0→1 transitions.
-    pub fn on_channel_busy(&mut self, now: SimTime) -> Vec<MacAction<M>> {
-        let mut actions = Vec::new();
+    pub fn on_channel_busy(&mut self, now: SimTime) -> MacActions<M> {
+        let mut actions = self.pool.take();
         debug_assert!(!self.phys_busy, "busy transition while already busy");
         self.phys_busy = true;
         self.freeze_countdown(now, &mut actions);
@@ -428,8 +453,8 @@ impl<M: Msdu> Dcf<M> {
     }
 
     /// The physical medium became idle again (1→0 transition).
-    pub fn on_channel_idle(&mut self, now: SimTime) -> Vec<MacAction<M>> {
-        let mut actions = Vec::new();
+    pub fn on_channel_idle(&mut self, now: SimTime) -> MacActions<M> {
+        let mut actions = self.pool.take();
         debug_assert!(self.phys_busy, "idle transition while already idle");
         self.phys_busy = false;
         self.phys_idle_since = now;
@@ -438,8 +463,8 @@ impl<M: Msdu> Dcf<M> {
     }
 
     /// Our own transmission completed.
-    pub fn on_tx_end(&mut self, now: SimTime) -> Vec<MacAction<M>> {
-        let mut actions = Vec::new();
+    pub fn on_tx_end(&mut self, now: SimTime) -> MacActions<M> {
+        let mut actions = self.pool.take();
         debug_assert!(self.txing, "tx end without transmission");
         self.txing = false;
         self.own_tx_idle_since = now;
@@ -466,7 +491,7 @@ impl<M: Msdu> Dcf<M> {
     }
 
     /// A reception concluded at this station.
-    pub fn on_rx_end(&mut self, now: SimTime, event: RxEvent<M>) -> Vec<MacAction<M>> {
+    pub fn on_rx_end(&mut self, now: SimTime, event: RxEvent<M>) -> MacActions<M> {
         match event {
             RxEvent::Ok { frame, rssi_dbm } => self.on_rx_ok(now, frame, rssi_dbm),
             RxEvent::Corrupted {
@@ -478,8 +503,8 @@ impl<M: Msdu> Dcf<M> {
     }
 
     /// A timer armed earlier fired.
-    pub fn on_timer(&mut self, now: SimTime, kind: TimerKind) -> Vec<MacAction<M>> {
-        let mut actions = Vec::new();
+    pub fn on_timer(&mut self, now: SimTime, kind: TimerKind) -> MacActions<M> {
+        let mut actions = self.pool.take();
         match kind {
             TimerKind::Access => {
                 self.access_armed = false;
@@ -518,8 +543,8 @@ impl<M: Msdu> Dcf<M> {
     // Reception handling
     // ------------------------------------------------------------------
 
-    fn on_rx_ok(&mut self, now: SimTime, frame: Frame<M>, rssi_dbm: f64) -> Vec<MacAction<M>> {
-        let mut actions = Vec::new();
+    fn on_rx_ok(&mut self, now: SimTime, frame: Frame<M>, rssi_dbm: f64) -> MacActions<M> {
+        let mut actions = self.pool.take();
         self.use_eifs = false;
         let to_me = frame.dst == self.id;
         let meta = FrameMeta { rssi_dbm, now };
@@ -611,8 +636,8 @@ impl<M: Msdu> Dcf<M> {
         frame: Frame<M>,
         rssi_dbm: f64,
         cause: CorruptionCause,
-    ) -> Vec<MacAction<M>> {
-        let mut actions = Vec::new();
+    ) -> MacActions<M> {
+        let mut actions = self.pool.take();
         self.use_eifs = true;
         match cause {
             CorruptionCause::Noise => self.counters.corrupted_rx.incr(),

@@ -28,7 +28,9 @@ pub mod policy;
 
 pub use arf::{Arf, ArfConfig};
 pub use counters::MacCounters;
-pub use dcf::{CorruptionCause, Dcf, DcfConfig, DropReason, MacAction, RxEvent, TimerKind};
+pub use dcf::{
+    CorruptionCause, Dcf, DcfConfig, DropReason, MacAction, MacActions, RxEvent, TimerKind,
+};
 pub use frame::{Frame, FrameKind, Msdu, NavCalculator, NodeId, MAX_NAV_US};
 pub use nav::Nav;
 pub use policy::{FrameMeta, MacObserver, NoopObserver, NormalPolicy, StationPolicy};

@@ -30,7 +30,7 @@ pub struct FrameMeta {
 ///
 /// Policies are `Send` so a built network — which boxes one policy per
 /// station — can execute on any worker thread of a campaign runner.
-pub trait StationPolicy<M: Msdu>: std::fmt::Debug + Send {
+pub trait StationPolicy<M: Msdu>: std::fmt::Debug {
     /// Returns the Duration/NAV value (µs) to place on an outgoing frame
     /// of `kind` whose honest value is `normal_us`. For RTS and DATA
     /// frames, `carries_transport_ack` reports whether the pending MSDU is
@@ -87,7 +87,7 @@ impl<M: Msdu> StationPolicy<M> for NormalPolicy {}
 ///
 /// Observers are `Send` for the same reason as [`StationPolicy`]: a run,
 /// including its attached detectors, must be movable to a worker thread.
-pub trait MacObserver<M: Msdu>: std::fmt::Debug + Send {
+pub trait MacObserver<M: Msdu>: std::fmt::Debug {
     /// Called for every correctly received or overheard frame, *before*
     /// the NAV update. Returns the Duration value (µs) the station should
     /// honor; a mitigating observer clamps inflated values.

@@ -32,8 +32,8 @@ use transport::{
 
 use crate::network::{FlowKindState, FlowState, Network};
 
-type PolicyBox = Box<dyn StationPolicy<Segment> + Send>;
-type ObserverBox = Box<dyn MacObserver<Segment> + Send>;
+type PolicyBox = Box<dyn StationPolicy<Segment>>;
+type ObserverBox = Box<dyn MacObserver<Segment>>;
 
 struct NodeSpec {
     pos: Position,

@@ -18,10 +18,12 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use mac::{CorruptionCause, Dcf, Frame, FrameKind, MacAction, NodeId, RxEvent, TimerKind};
+use mac::{
+    CorruptionCause, Dcf, Frame, FrameKind, MacAction, MacActions, NodeId, RxEvent, TimerKind,
+};
 use phy::error_model::PLCP_EQUIVALENT_BYTES;
 use phy::{channel::Reach, CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
-use sim::{EventId, Scheduler, SimDuration, SimRng, SimTime};
+use sim::{Arena, ArenaHandle, Scheduler, SimDuration, SimRng, SimTime, TimerHandle};
 use transport::{
     CbrSource, FlowId, ProbeStats, Segment, TcpOutput, TcpReceiver, TcpSender, UdpSink,
 };
@@ -57,7 +59,7 @@ pub(crate) enum Event {
         kind: TimerKind,
     },
     TxEnd {
-        tx: u64,
+        tx: ArenaHandle,
     },
     BusyOnset {
         node: NodeId,
@@ -67,7 +69,7 @@ pub(crate) enum Event {
     },
     RxConclude {
         node: NodeId,
-        tx: u64,
+        tx: ArenaHandle,
     },
     CbrTick {
         flow: FlowId,
@@ -88,7 +90,8 @@ pub(crate) enum Event {
 pub(crate) struct NodeState {
     pub dcf: Dcf<Segment>,
     pub pos: Position,
-    timers: HashMap<TimerKind, EventId>,
+    /// Live timer handles, densely indexed by [`TimerKind::index`].
+    timers: [Option<TimerHandle>; TimerKind::COUNT],
     busy_count: u32,
     tx_history: VecDeque<(SimTime, SimTime)>,
 }
@@ -166,20 +169,19 @@ pub struct Network {
     pub(crate) default_error: ErrorModel,
     pub(crate) rng: SimRng,
     sched: Scheduler<Event>,
-    txs: HashMap<u64, ActiveTx>,
-    next_tx: u64,
-    flow_timers: HashMap<u32, EventId>,
+    /// Recent transmissions (active plus a short interference tail),
+    /// referenced from in-flight events by generation-stamped handle.
+    txs: Arena<ActiveTx>,
+    /// Live TCP retransmission timers, indexed by flow id.
+    flow_timers: Vec<Option<TimerHandle>>,
     recorder: Option<::obs::RecorderHandle>,
 }
 
-// A built network is a self-contained job: the campaign runner moves it to
-// whichever worker thread picks it up. This fails to compile if any field
-// (policies, observers, detector handles, …) regresses to a thread-local
-// type such as `Rc`.
-const _: fn() = || {
-    fn assert_send<T: Send>() {}
-    assert_send::<Network>();
-};
+// `Network` is deliberately NOT `Send`: report handles (GRC, recorder)
+// are `Rc<RefCell<…>>`. The campaign runner never moves a built network
+// across threads — each worker builds, runs and snapshots its own inside
+// one closure; only plain-data `RunPlan`/`RunOutcome` cross the boundary
+// (asserted in `core::runplan`).
 
 impl Network {
     #[allow(clippy::too_many_arguments)] // crate-internal constructor fed by the builder
@@ -205,20 +207,19 @@ impl Network {
                 .map(|(pos, dcf)| NodeState {
                     dcf,
                     pos,
-                    timers: HashMap::new(),
+                    timers: [None; TimerKind::COUNT],
                     busy_count: 0,
                     tx_history: VecDeque::new(),
                 })
                 .collect(),
+            flow_timers: vec![None; flows.len()],
             flows,
             link_error,
             rate_link_error,
             default_error,
             rng,
             sched: Scheduler::new(),
-            txs: HashMap::new(),
-            next_tx: 0,
-            flow_timers: HashMap::new(),
+            txs: Arena::new(),
             recorder: None,
         }
     }
@@ -362,16 +363,15 @@ impl Network {
             let id = self.flows[idx].id;
             match &self.flows[idx].kind {
                 FlowKindState::Udp { .. } => {
-                    self.sched.schedule_in(offset, Event::CbrTick { flow: id });
+                    self.sched.arm(offset, Event::CbrTick { flow: id });
                 }
                 FlowKindState::Tcp { .. } => {
                     // Kick the sender at the offset via a zero-delay timer
                     // path: emit its initial window immediately.
-                    self.sched.schedule_in(offset, Event::TcpTimer { flow: id });
+                    self.sched.arm(offset, Event::TcpTimer { flow: id });
                 }
                 FlowKindState::Probe { .. } => {
-                    self.sched
-                        .schedule_in(offset, Event::ProbeTick { flow: id });
+                    self.sched.arm(offset, Event::ProbeTick { flow: id });
                 }
             }
         }
@@ -381,13 +381,17 @@ impl Network {
         match ev {
             Event::MacTimer { node, kind } => {
                 let _span = ::obs::span!("mac/timer");
-                self.nodes[node.0 as usize].timers.remove(&kind);
+                self.nodes[node.0 as usize].timers[kind.index()] = None;
                 let actions = self.nodes[node.0 as usize].dcf.on_timer(now, kind);
                 self.process_actions(now, node, actions);
             }
             Event::TxEnd { tx } => {
-                let entry = self.txs.get(&tx).expect("tx end without record").clone();
-                let node = entry.frame.actual_tx;
+                let node = self
+                    .txs
+                    .get(tx)
+                    .expect("tx end without record")
+                    .frame
+                    .actual_tx;
                 let actions = self.nodes[node.0 as usize].dcf.on_tx_end(now);
                 self.process_actions(now, node, actions);
                 self.prune_txs(now);
@@ -426,11 +430,11 @@ impl Network {
                 // unchanged).
                 let jitter = 0.99 + 0.02 * self.rng.uniform_f64();
                 let next = SimDuration::from_nanos((interval.as_nanos() as f64 * jitter) as u64);
-                self.sched.schedule_in(next, Event::CbrTick { flow });
+                self.sched.arm(next, Event::CbrTick { flow });
                 self.enqueue_at(now, src, dst, seg);
             }
             Event::TcpTimer { flow } => {
-                self.flow_timers.remove(&flow.0);
+                self.flow_timers[flow.0 as usize] = None;
                 let outputs = {
                     let f = &mut self.flows[flow.0 as usize];
                     let FlowKindState::Tcp { sender, .. } = &mut f.kind else {
@@ -470,7 +474,7 @@ impl Network {
                         f.dst,
                     )
                 };
-                self.sched.schedule_in(interval, Event::ProbeTick { flow });
+                self.sched.arm(interval, Event::ProbeTick { flow });
                 self.enqueue_at(now, src, dst, seg);
             }
             Event::WireDeliver {
@@ -507,21 +511,19 @@ impl Network {
     // MAC action processing
     // ------------------------------------------------------------------
 
-    fn process_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<MacAction<Segment>>) {
-        for action in actions {
+    fn process_actions(&mut self, now: SimTime, node: NodeId, mut actions: MacActions<Segment>) {
+        for action in actions.drain(..) {
             match action {
                 MacAction::StartTx(frame) => self.start_transmission(now, frame),
                 MacAction::SetTimer { kind, after } => {
-                    let id = self
-                        .sched
-                        .schedule_in(after, Event::MacTimer { node, kind });
-                    if let Some(old) = self.nodes[node.0 as usize].timers.insert(kind, id) {
-                        self.sched.cancel(old);
+                    let h = self.sched.arm(after, Event::MacTimer { node, kind });
+                    if let Some(old) = self.nodes[node.0 as usize].timers[kind.index()].replace(h) {
+                        old.cancel(&mut self.sched);
                     }
                 }
                 MacAction::CancelTimer(kind) => {
-                    if let Some(old) = self.nodes[node.0 as usize].timers.remove(&kind) {
-                        self.sched.cancel(old);
+                    if let Some(old) = self.nodes[node.0 as usize].timers[kind.index()].take() {
+                        old.cancel(&mut self.sched);
                     }
                 }
                 MacAction::Deliver { body, from } => {
@@ -568,16 +570,11 @@ impl Network {
                 airtime,
             );
         }
-        let id = self.next_tx;
-        self.next_tx += 1;
-        self.txs.insert(
-            id,
-            ActiveTx {
-                frame,
-                start: now,
-                end,
-            },
-        );
+        let id = self.txs.insert(ActiveTx {
+            frame,
+            start: now,
+            end,
+        });
         {
             let st = &mut self.nodes[src.0 as usize];
             st.tx_history.push_back((now, end));
@@ -585,7 +582,7 @@ impl Network {
                 st.tx_history.pop_front();
             }
         }
-        self.sched.schedule(end, Event::TxEnd { tx: id });
+        self.sched.arm_at(end, Event::TxEnd { tx: id });
         let src_pos = self.nodes[src.0 as usize].pos;
         let onset = (now + self.cs_latency).min(end);
         for m in 0..self.nodes.len() {
@@ -597,85 +594,85 @@ impl Network {
             match reach {
                 Reach::None => {}
                 Reach::Sense => {
-                    self.sched.schedule(onset, Event::BusyOnset { node });
-                    self.sched.schedule(end, Event::BusyEnd { node });
+                    self.sched.arm_at(onset, Event::BusyOnset { node });
+                    self.sched.arm_at(end, Event::BusyEnd { node });
                 }
                 Reach::Decode => {
-                    self.sched.schedule(onset, Event::BusyOnset { node });
-                    self.sched.schedule(end, Event::BusyEnd { node });
-                    self.sched.schedule(end, Event::RxConclude { node, tx: id });
+                    self.sched.arm_at(onset, Event::BusyOnset { node });
+                    self.sched.arm_at(end, Event::BusyEnd { node });
+                    self.sched.arm_at(end, Event::RxConclude { node, tx: id });
                 }
             }
         }
     }
 
-    fn conclude_reception(&mut self, now: SimTime, node: NodeId, tx: u64) {
+    fn conclude_reception(&mut self, now: SimTime, node: NodeId, tx: ArenaHandle) {
         let _span = ::obs::span!("phy/receive");
-        let a = self
-            .txs
-            .get(&tx)
-            .expect("rx conclude without record")
-            .clone();
+        let (a_start, a_end, a_src, a_dst, a_kind) = {
+            let a = self.txs.get(tx).expect("rx conclude without record");
+            (a.start, a.end, a.frame.actual_tx, a.frame.dst, a.frame.kind)
+        };
         // Half-duplex: if we transmitted at any point during the frame, we
         // heard nothing of it.
         {
             let st = &self.nodes[node.0 as usize];
-            if st.tx_history.iter().any(|&(s, e)| s < a.end && a.start < e) {
+            if st.tx_history.iter().any(|&(s, e)| s < a_end && a_start < e) {
                 return;
             }
         }
         let my_pos = self.nodes[node.0 as usize].pos;
-        let power_of = |net: &Self, t: &ActiveTx| {
-            let p = net.nodes[t.frame.actual_tx.0 as usize].pos;
-            net.channel.rx_power_dbm(p.distance_to(my_pos))
-        };
-        let p_a = power_of(self, &a);
+        let p_a = self
+            .channel
+            .rx_power_dbm(self.nodes[a_src.0 as usize].pos.distance_to(my_pos));
         // Strongest overlapping interferer (anything decodable or sensed).
+        // Arena order is arbitrary but the fold is a pure max, so the
+        // result is order-independent.
         let mut max_other = f64::NEG_INFINITY;
-        for (id, b) in &self.txs {
-            if *id == tx || b.frame.actual_tx == node {
+        for (h, b) in self.txs.entries() {
+            if h == tx || b.frame.actual_tx == node {
                 continue;
             }
-            if b.start < a.end && a.start < b.end {
+            if b.start < a_end && a_start < b.end {
                 let b_pos = self.nodes[b.frame.actual_tx.0 as usize].pos;
                 if self.channel.reach_between(b_pos, my_pos) != Reach::None {
-                    max_other = max_other.max(power_of(self, b));
+                    max_other = max_other.max(self.channel.rx_power_dbm(b_pos.distance_to(my_pos)));
                 }
             }
         }
-        let dist = self.nodes[a.frame.actual_tx.0 as usize]
-            .pos
-            .distance_to(my_pos);
+        let dist = self.nodes[a_src.0 as usize].pos.distance_to(my_pos);
         let rssi_dbm = self.channel.rssi().sample_dbm(dist, &mut self.rng);
         let captured = max_other == f64::NEG_INFINITY
             || self.capture.decide(p_a, max_other) == phy::capture::CaptureOutcome::FirstCaptures;
+        // Exactly one frame copy leaves the arena record — it feeds the
+        // receiver's MAC through the RxEvent.
+        let frame = self
+            .txs
+            .get(tx)
+            .expect("rx conclude without record")
+            .frame
+            .clone();
         let event = if !captured {
             RxEvent::Corrupted {
-                frame: a.frame.clone(),
+                frame,
                 rssi_dbm,
                 cause: CorruptionCause::Collision,
             }
         } else {
-            let tx = a.frame.actual_tx.0;
-            let em = a
-                .frame
+            let em = frame
                 .rate_bps
-                .and_then(|rate| self.rate_link_error.get(&(tx, node.0, rate)))
-                .or_else(|| self.link_error.get(&(tx, node.0)))
+                .and_then(|rate| self.rate_link_error.get(&(a_src.0, node.0, rate)))
+                .or_else(|| self.link_error.get(&(a_src.0, node.0)))
                 .copied()
                 .unwrap_or(self.default_error);
-            let bytes = a.frame.mac_bytes() + PLCP_EQUIVALENT_BYTES;
+            let bytes = frame.mac_bytes() + PLCP_EQUIVALENT_BYTES;
             if em.corrupts(bytes, &mut self.rng) {
                 RxEvent::Corrupted {
-                    frame: a.frame.clone(),
+                    frame,
                     rssi_dbm,
                     cause: CorruptionCause::Noise,
                 }
             } else {
-                RxEvent::Ok {
-                    frame: a.frame.clone(),
-                    rssi_dbm,
-                }
+                RxEvent::Ok { frame, rssi_dbm }
             }
         };
         if let Some(rec) = &self.recorder {
@@ -691,11 +688,11 @@ impl Network {
                 rec,
                 now,
                 node.0,
-                a.frame.actual_tx.0,
-                a.frame.dst.0,
-                frame_code(a.frame.kind),
+                a_src.0,
+                a_dst.0,
+                frame_code(a_kind),
                 outcome,
-                a.end.saturating_since(a.start),
+                a_end.saturating_since(a_start),
             );
         }
         let actions = self.nodes[node.0 as usize].dcf.on_rx_end(now, event);
@@ -704,7 +701,7 @@ impl Network {
 
     fn prune_txs(&mut self, now: SimTime) {
         let horizon = SimDuration::from_millis(50);
-        self.txs.retain(|_, t| t.end + horizon > now);
+        self.txs.retain(|t| t.end + horizon > now);
     }
 
     // ------------------------------------------------------------------
@@ -746,7 +743,7 @@ impl Network {
                 }
                 match f.wire {
                     Some(delay) => {
-                        self.sched.schedule_in(
+                        self.sched.arm(
                             delay,
                             Event::WireDeliver {
                                 flow,
@@ -806,7 +803,7 @@ impl Network {
                     let f = &self.flows[flow.0 as usize];
                     match f.wire {
                         Some(delay) => {
-                            self.sched.schedule_in(
+                            self.sched.arm(
                                 delay,
                                 Event::WireDeliver {
                                     flow,
@@ -822,14 +819,14 @@ impl Network {
                     }
                 }
                 TcpOutput::ArmTimer(after) => {
-                    let id = self.sched.schedule_in(after, Event::TcpTimer { flow });
-                    if let Some(old) = self.flow_timers.insert(flow.0, id) {
-                        self.sched.cancel(old);
+                    let h = self.sched.arm(after, Event::TcpTimer { flow });
+                    if let Some(old) = self.flow_timers[flow.0 as usize].replace(h) {
+                        old.cancel(&mut self.sched);
                     }
                 }
                 TcpOutput::CancelTimer => {
-                    if let Some(old) = self.flow_timers.remove(&flow.0) {
-                        self.sched.cancel(old);
+                    if let Some(old) = self.flow_timers[flow.0 as usize].take() {
+                        old.cancel(&mut self.sched);
                     }
                 }
             }

@@ -1,49 +1,52 @@
 //! Shared mutable handles to recorder state.
 //!
 //! Mirrors the `Shared<T>` idiom used by the detection layer: an
-//! `Arc<Mutex<T>>` with panic-on-poison borrows. Every layer of one run
-//! holds a clone of the same [`crate::RecorderHandle`]; runs never share
-//! a recorder, so the mutex is uncontended and exists only to make the
-//! handle `Send` for the campaign runner's worker threads.
+//! `Rc<RefCell<T>>`. Every layer of one run holds a clone of the same
+//! [`crate::RecorderHandle`]; runs never share a recorder and each run is
+//! single-threaded, so interior mutability without atomics is exactly
+//! right — the recorder borrow sits on the per-event hot path. Campaign
+//! aggregation state that genuinely crosses worker threads (e.g. the
+//! bench sink) uses an explicit `Arc<Mutex<…>>` at that one site instead.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
 
-/// A cheaply clonable shared cell (`Arc<Mutex<T>>`).
-pub struct Shared<T>(Arc<Mutex<T>>);
+/// A cheaply clonable shared cell (`Rc<RefCell<T>>`, single-threaded).
+pub struct Shared<T>(Rc<RefCell<T>>);
 
 impl<T> Shared<T> {
     /// Wraps `value` in a new shared cell.
     pub fn new(value: T) -> Self {
-        Shared(Arc::new(Mutex::new(value)))
+        Shared(Rc::new(RefCell::new(value)))
     }
 
-    /// Locks the cell for reading.
+    /// Borrows the cell for reading.
     ///
     /// # Panics
     ///
-    /// Panics if the lock is poisoned (a holder panicked).
-    pub fn borrow(&self) -> MutexGuard<'_, T> {
-        self.0.lock().expect("shared cell poisoned")
+    /// Panics if the cell is currently mutably borrowed.
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.0.borrow()
     }
 
-    /// Locks the cell for writing.
+    /// Borrows the cell for writing.
     ///
     /// # Panics
     ///
-    /// Panics if the lock is poisoned (a holder panicked).
-    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
-        self.0.lock().expect("shared cell poisoned")
+    /// Panics if the cell is currently borrowed.
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.0.borrow_mut()
     }
 
     /// Whether `self` and `other` point at the same cell.
     pub fn same_cell(&self, other: &Self) -> bool {
-        Arc::ptr_eq(&self.0, &other.0)
+        Rc::ptr_eq(&self.0, &other.0)
     }
 }
 
 impl<T> Clone for Shared<T> {
     fn clone(&self) -> Self {
-        Shared(Arc::clone(&self.0))
+        Shared(Rc::clone(&self.0))
     }
 }
 

@@ -1,10 +1,14 @@
 //! Deterministic discrete-event simulation kernel.
 //!
 //! This crate is the foundation of the `greedy80211` simulator: it provides
-//! virtual time ([`SimTime`], [`SimDuration`]), a stable priority event queue
-//! ([`EventQueue`]), a cancellable [`Scheduler`], seedable deterministic
-//! random-number generation ([`SimRng`]) and small statistics primitives used
-//! by every layer above (PHY, MAC, transport, experiments).
+//! virtual time ([`SimTime`], [`SimDuration`]), a cancellable [`Scheduler`]
+//! backed by a hierarchical timing wheel (O(1) arm/cancel through
+//! generation-stamped [`TimerHandle`]s), allocation-free hot-path storage
+//! ([`Arena`], [`Pool`]), seedable deterministic random-number generation
+//! ([`SimRng`]) and small statistics primitives used by every layer above
+//! (PHY, MAC, transport, experiments). The stable binary-heap
+//! [`EventQueue`] remains as the reference model the wheel is
+//! property-tested against.
 //!
 //! Determinism is a design goal: two runs with the same seed and the same
 //! configuration produce identical results. All ties in the event queue are
@@ -17,8 +21,8 @@
 //! use gr_sim::{Scheduler, SimDuration};
 //!
 //! let mut sched: Scheduler<&'static str> = Scheduler::new();
-//! sched.schedule_in(SimDuration::from_micros(10), "b");
-//! sched.schedule_in(SimDuration::from_micros(5), "a");
+//! sched.arm(SimDuration::from_micros(10), "b");
+//! sched.arm(SimDuration::from_micros(5), "a");
 //! let (t, ev) = sched.next().unwrap();
 //! assert_eq!(ev, "a");
 //! assert_eq!(t.as_micros(), 5);
@@ -26,15 +30,18 @@
 
 #![warn(missing_docs)]
 pub mod error;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
+mod wheel;
 
 pub use error::SimError;
+pub use pool::{Arena, ArenaHandle, Pool, PooledBox, Recycle};
 pub use queue::{EventId, EventQueue};
 pub use rng::{RunKey, SimRng};
-pub use sched::Scheduler;
+pub use sched::{Scheduler, TimerHandle};
 pub use stats::{Counter, Histogram, LogHistogram, Mean, TimeWeightedMean};
 pub use time::{SimDuration, SimTime};

@@ -1,13 +1,17 @@
-//! Cancellable scheduler: the event queue plus a simulation clock.
+//! Cancellable scheduler: a hierarchical timing wheel plus a simulation
+//! clock.
 //!
-//! Cancellation is lazy: [`Scheduler::cancel`] records the [`EventId`] in a
-//! set, and [`Scheduler::next`] silently discards cancelled entries when
-//! they surface. This keeps scheduling O(log n) without intrusive handles.
+//! Events are stored in the [`wheel`](crate::wheel) — O(1) to arm and O(1)
+//! to cancel through generation-stamped [`TimerHandle`]s, with dispatch
+//! order identical to a stable `(time, insertion)` priority queue. Unlike
+//! the old lazy-`HashSet` cancellation scheme, a cancel reclaims the
+//! event's slot immediately: cancelling an event that already fired is a
+//! detected no-op and nothing accumulates.
 
-use std::collections::HashSet;
-
-use crate::queue::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::Wheel;
+
+pub use crate::wheel::TimerHandle;
 
 /// The simulation clock plus pending events of type `E`.
 ///
@@ -17,17 +21,17 @@ use crate::time::{SimDuration, SimTime};
 /// use gr_sim::{Scheduler, SimDuration};
 ///
 /// let mut s: Scheduler<u32> = Scheduler::new();
-/// let id = s.schedule_in(SimDuration::from_micros(10), 1);
-/// s.schedule_in(SimDuration::from_micros(20), 2);
-/// s.cancel(id);
+/// let h = s.arm(SimDuration::from_micros(10), 1);
+/// s.arm(SimDuration::from_micros(20), 2);
+/// h.cancel(&mut s);
 /// assert_eq!(s.next(), Some((gr_sim::SimTime::from_micros(20), 2)));
 /// assert_eq!(s.next(), None);
 /// ```
 #[derive(Debug)]
 pub struct Scheduler<E> {
     now: SimTime,
-    queue: EventQueue<E>,
-    cancelled: HashSet<EventId>,
+    wheel: Wheel<E>,
+    next_seq: u64,
     processed: u64,
 }
 
@@ -42,8 +46,8 @@ impl<E> Scheduler<E> {
     pub fn new() -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
-            cancelled: HashSet::new(),
+            wheel: Wheel::new(),
+            next_seq: 0,
             processed: 0,
         }
     }
@@ -59,71 +63,89 @@ impl<E> Scheduler<E> {
         self.processed
     }
 
-    /// Number of pending (possibly cancelled) events.
+    /// Number of live pending events (cancelled events leave no residue).
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.wheel.len()
     }
 
-    /// Schedules `event` at absolute time `at`.
+    /// Arms `event` to fire after delay `d` from now.
+    pub fn arm(&mut self, d: SimDuration, event: E) -> TimerHandle {
+        let at = self.now + d;
+        self.insert(at, event)
+    }
+
+    /// Arms `event` at absolute time `at`.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `at` is before the current time — events
     /// may not be scheduled in the past.
-    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
+    pub fn arm_at(&mut self, at: SimTime, event: E) -> TimerHandle {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
             self.now
         );
-        self.queue.push(at.max(self.now), event)
+        self.insert(at.max(self.now), event)
     }
 
-    /// Schedules `event` after delay `d` from now.
-    pub fn schedule_in(&mut self, d: SimDuration, event: E) -> EventId {
-        let at = self.now + d;
-        self.queue.push(at, event)
+    fn insert(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.wheel.insert(at, seq, event)
     }
 
-    /// Marks a previously scheduled event as cancelled. Cancelling an event
-    /// that already fired (or an unknown id) is a no-op.
-    pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id);
+    /// Cancels a previously armed event, returning `true` if it was still
+    /// pending. Cancelling an event that already fired (or a handle that
+    /// was already cancelled or re-armed) is a no-op returning `false`.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        self.wheel.cancel(handle).is_some()
     }
 
     /// Pops the next live event, advancing the clock to its timestamp.
     /// Returns `None` when the queue is exhausted.
     #[allow(clippy::should_implement_trait)] // not an Iterator: &mut self with internal clock
     pub fn next(&mut self) -> Option<(SimTime, E)> {
-        while let Some((t, id, ev)) = self.queue.pop() {
-            if self.cancelled.remove(&id) {
-                continue;
-            }
-            debug_assert!(t >= self.now, "event queue time went backwards");
-            self.now = t;
-            self.processed += 1;
-            return Some((t, ev));
-        }
-        None
+        let (t, ev) = self.wheel.pop()?;
+        debug_assert!(t >= self.now, "event queue time went backwards");
+        self.now = t;
+        self.processed += 1;
+        Some((t, ev))
     }
 
     /// Pops the next live event only if it occurs at or before `horizon`.
     /// The clock never advances past `horizon` through this method.
     pub fn next_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
-        loop {
-            match self.queue.peek_time() {
-                Some(t) if t <= horizon => {
-                    let (t, id, ev) = self.queue.pop().expect("peeked entry must exist");
-                    if self.cancelled.remove(&id) {
-                        continue;
-                    }
-                    self.now = t;
-                    self.processed += 1;
-                    return Some((t, ev));
-                }
-                _ => return None,
-            }
+        match self.wheel.peek_time() {
+            Some(t) if t <= horizon => self.next(),
+            _ => None,
         }
+    }
+
+    /// Deprecated name for [`arm_at`](Self::arm_at).
+    #[deprecated(since = "0.2.0", note = "use `arm_at`, which returns a TimerHandle")]
+    pub fn schedule(&mut self, at: SimTime, event: E) -> TimerHandle {
+        self.arm_at(at, event)
+    }
+
+    /// Deprecated name for [`arm`](Self::arm).
+    #[deprecated(since = "0.2.0", note = "use `arm`, which returns a TimerHandle")]
+    pub fn schedule_in(&mut self, d: SimDuration, event: E) -> TimerHandle {
+        self.arm(d, event)
+    }
+}
+
+impl TimerHandle {
+    /// Cancels this handle's event; see [`Scheduler::cancel`].
+    pub fn cancel<E>(self, sched: &mut Scheduler<E>) -> bool {
+        sched.cancel(self)
+    }
+
+    /// Cancels this handle's event (if still pending) and arms `event`
+    /// after delay `d`, returning the new handle.
+    pub fn rearm<E>(self, sched: &mut Scheduler<E>, d: SimDuration, event: E) -> TimerHandle {
+        sched.cancel(self);
+        sched.arm(d, event)
     }
 }
 
@@ -134,8 +156,8 @@ mod tests {
     #[test]
     fn clock_advances_with_events() {
         let mut s: Scheduler<()> = Scheduler::new();
-        s.schedule(SimTime::from_micros(4), ());
-        s.schedule(SimTime::from_micros(9), ());
+        s.arm_at(SimTime::from_micros(4), ());
+        s.arm_at(SimTime::from_micros(9), ());
         assert_eq!(s.now(), SimTime::ZERO);
         s.next();
         assert_eq!(s.now(), SimTime::from_micros(4));
@@ -147,30 +169,37 @@ mod tests {
     #[test]
     fn cancelled_events_are_skipped() {
         let mut s: Scheduler<u8> = Scheduler::new();
-        let a = s.schedule(SimTime::from_micros(1), 1);
-        s.schedule(SimTime::from_micros(2), 2);
-        let c = s.schedule(SimTime::from_micros(3), 3);
-        s.cancel(a);
-        s.cancel(c);
+        let a = s.arm_at(SimTime::from_micros(1), 1);
+        s.arm_at(SimTime::from_micros(2), 2);
+        let c = s.arm_at(SimTime::from_micros(3), 3);
+        assert!(a.cancel(&mut s));
+        assert!(c.cancel(&mut s));
         assert_eq!(s.next(), Some((SimTime::from_micros(2), 2)));
         assert_eq!(s.next(), None);
+        assert_eq!(s.pending(), 0);
     }
 
     #[test]
-    fn cancel_after_fire_is_noop() {
+    fn cancel_after_fire_is_noop_and_leaves_no_residue() {
         let mut s: Scheduler<u8> = Scheduler::new();
-        let a = s.schedule(SimTime::from_micros(1), 1);
+        let a = s.arm_at(SimTime::from_micros(1), 1);
         assert!(s.next().is_some());
-        s.cancel(a); // already fired
-        s.schedule(SimTime::from_micros(2), 2);
+        // Regression: the old HashSet-based scheduler kept `a` in its
+        // cancelled set forever when cancel arrived after the fire. Now
+        // the cancel reports a miss and pending() stays exact.
+        assert!(!a.cancel(&mut s));
+        let b = s.arm_at(SimTime::from_micros(2), 2);
+        assert!(!a.cancel(&mut s), "stale handle must not hit reused slot");
+        assert_eq!(s.pending(), 1);
         assert_eq!(s.next(), Some((SimTime::from_micros(2), 2)));
+        let _ = b;
     }
 
     #[test]
     fn next_until_respects_horizon() {
         let mut s: Scheduler<u8> = Scheduler::new();
-        s.schedule(SimTime::from_micros(5), 1);
-        s.schedule(SimTime::from_micros(15), 2);
+        s.arm_at(SimTime::from_micros(5), 1);
+        s.arm_at(SimTime::from_micros(15), 2);
         assert_eq!(
             s.next_until(SimTime::from_micros(10)),
             Some((SimTime::from_micros(5), 1))
@@ -184,11 +213,36 @@ mod tests {
     }
 
     #[test]
-    fn schedule_in_is_relative_to_now() {
+    fn arm_is_relative_to_now() {
         let mut s: Scheduler<u8> = Scheduler::new();
-        s.schedule(SimTime::from_micros(10), 0);
+        s.arm_at(SimTime::from_micros(10), 0);
         s.next();
-        s.schedule_in(SimDuration::from_micros(5), 1);
+        s.arm(SimDuration::from_micros(5), 1);
         assert_eq!(s.next(), Some((SimTime::from_micros(15), 1)));
+    }
+
+    #[test]
+    fn rearm_replaces_the_pending_event() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let h = s.arm(SimDuration::from_micros(10), 1);
+        let h = h.rearm(&mut s, SimDuration::from_micros(3), 2);
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.next(), Some((SimTime::from_micros(3), 2)));
+        // Re-arming after the fire arms fresh without touching anything.
+        let h = h.rearm(&mut s, SimDuration::from_micros(4), 3);
+        assert_eq!(s.next(), Some((SimTime::from_micros(7), 3)));
+        assert!(!h.cancel(&mut s));
+    }
+
+    #[test]
+    fn same_time_events_fire_in_arm_order() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        let t = SimTime::from_micros(7);
+        for v in 0..10 {
+            s.arm_at(t, v);
+        }
+        for v in 0..10 {
+            assert_eq!(s.next(), Some((t, v)));
+        }
     }
 }

@@ -1,0 +1,433 @@
+//! Hierarchical timing wheel: the event store behind [`crate::Scheduler`].
+//!
+//! Events live in a generation-stamped slab; the wheel itself only holds
+//! `(slot index, generation)` pairs, bucketed by expiry tick (1 tick =
+//! 1024 ns) across [`LEVELS`] wheels of [`SLOTS`] buckets each. Level `k`
+//! buckets span `64^k` ticks, so scheduling and cancelling are O(1): a
+//! schedule appends to one bucket, a cancel bumps the slab slot's
+//! generation and frees it — stale `(index, generation)` pairs left in
+//! buckets are discarded when their bucket drains.
+//!
+//! Events beyond the wheel's horizon (`64^LEVELS` ticks ≈ 18 virtual
+//! minutes from the cursor) wait in a small overflow heap and migrate
+//! into the wheel as the cursor approaches them.
+//!
+//! Dispatch order is exactly the order a stable `(time, seq)` priority
+//! queue would produce: buckets are drained earliest-first into a sorted
+//! `ready` staging buffer, and every drain re-sorts by `(time, seq)`, so
+//! same-timestamp events pop in insertion (sequence) order. This is what
+//! keeps simulation output byte-identical with the old binary-heap queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Bits per wheel level (64 slots).
+const SLOT_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of hierarchical levels.
+const LEVELS: usize = 5;
+/// One tick is 2^10 ns = 1.024 µs.
+const TICK_SHIFT: u32 = 10;
+/// Ticks covered by the whole wheel; farther events overflow to the heap.
+const SPAN_TICKS: u64 = 1 << (SLOT_BITS * LEVELS as u32);
+
+/// Generation-stamped reference to a scheduled event's slab slot.
+///
+/// Obtained from [`crate::Scheduler::arm`]; used to cancel or re-arm the
+/// event. A handle whose event already fired (or was cancelled) is
+/// *stale*: the slot's generation has moved on, so every operation
+/// through the handle is a detectable no-op — nothing is leaked and no
+/// unrelated event can be hit, even after the slot is reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle {
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
+}
+
+#[derive(Debug)]
+struct SlabEntry<E> {
+    gen: u32,
+    time: SimTime,
+    seq: u64,
+    event: Option<E>,
+}
+
+/// An entry staged for dispatch, mirrored from the slab for sorting.
+#[derive(Debug, Clone, Copy)]
+struct Ready {
+    time: SimTime,
+    seq: u64,
+    idx: u32,
+    gen: u32,
+}
+
+/// The wheel structure. `pop` yields events in `(time, seq)` order.
+#[derive(Debug)]
+pub(crate) struct Wheel<E> {
+    slab: Vec<SlabEntry<E>>,
+    free: Vec<u32>,
+    /// `buckets[level][slot]` holds `(slab index, generation)` pairs.
+    buckets: Vec<Vec<(u32, u32)>>,
+    occupied: [u64; LEVELS],
+    /// Tick of the last drained bucket start; never decreases.
+    cursor: u64,
+    /// Due entries sorted descending by `(time, seq)` — pop from the end.
+    ready: Vec<Ready>,
+    /// Far-future events: `(tick, slab index, generation)`.
+    overflow: BinaryHeap<Reverse<(u64, u32, u32)>>,
+    /// Scratch buffer reused across bucket drains.
+    scratch: Vec<(u32, u32)>,
+    live: usize,
+}
+
+fn tick_of(time: SimTime) -> u64 {
+    time.as_nanos() >> TICK_SHIFT
+}
+
+impl<E> Wheel<E> {
+    pub(crate) fn new() -> Self {
+        Wheel {
+            slab: Vec::new(),
+            free: Vec::new(),
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            cursor: 0,
+            ready: Vec::new(),
+            overflow: BinaryHeap::new(),
+            scratch: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of live (schedulable, not yet fired or cancelled) events.
+    pub(crate) fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Slab slots ever allocated — bounded by the peak number of
+    /// *concurrently* live events, which is what proves cancel/fire
+    /// reclaims slots instead of leaking them.
+    #[cfg(test)]
+    pub(crate) fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+
+    pub(crate) fn insert(&mut self, time: SimTime, seq: u64, event: E) -> TimerHandle {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.slab.push(SlabEntry {
+                    gen: 0,
+                    time,
+                    seq,
+                    event: None,
+                });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let entry = &mut self.slab[idx as usize];
+        entry.time = time;
+        entry.seq = seq;
+        entry.event = Some(event);
+        let gen = entry.gen;
+        self.live += 1;
+        let tick = tick_of(time);
+        if tick <= self.cursor {
+            // Due within the bucket the cursor already drained: stage it
+            // directly, keeping the descending (time, seq) sort.
+            let key = (time, seq);
+            let pos = self.ready.partition_point(|r| (r.time, r.seq) > key);
+            self.ready.insert(
+                pos,
+                Ready {
+                    time,
+                    seq,
+                    idx,
+                    gen,
+                },
+            );
+        } else {
+            self.place(idx, gen, tick);
+        }
+        TimerHandle { idx, gen }
+    }
+
+    /// Cancels the handle's event. Returns it, or `None` if the handle is
+    /// stale (already fired, cancelled, or re-armed).
+    pub(crate) fn cancel(&mut self, h: TimerHandle) -> Option<E> {
+        let entry = self.slab.get_mut(h.idx as usize)?;
+        if entry.gen != h.gen {
+            return None;
+        }
+        let ev = entry.event.take()?;
+        self.release(h.idx);
+        Some(ev)
+    }
+
+    /// Frees a slab slot whose event was just taken, invalidating every
+    /// outstanding handle/bucket reference to it.
+    fn release(&mut self, idx: u32) {
+        let entry = &mut self.slab[idx as usize];
+        debug_assert!(entry.event.is_none());
+        entry.gen = entry.gen.wrapping_add(1);
+        self.free.push(idx);
+        self.live -= 1;
+    }
+
+    /// Buckets `(idx, gen)` by its expiry tick, which must be > cursor.
+    fn place(&mut self, idx: u32, gen: u32, tick: u64) {
+        debug_assert!(tick > self.cursor);
+        let diff = tick ^ self.cursor;
+        if diff >> (SLOT_BITS * LEVELS as u32) != 0 {
+            self.overflow.push(Reverse((tick, idx, gen)));
+            return;
+        }
+        let level = ((63 - diff.leading_zeros()) / SLOT_BITS) as usize;
+        let slot = ((tick >> (SLOT_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        self.buckets[level * SLOTS + slot].push((idx, gen));
+        self.occupied[level] |= 1 << slot;
+    }
+
+    fn is_stale(&self, idx: u32, gen: u32) -> bool {
+        let e = &self.slab[idx as usize];
+        e.gen != gen || e.event.is_none()
+    }
+
+    /// Earliest occupied bucket as `(level, slot, start tick)`.
+    fn earliest_bucket(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        for level in 0..LEVELS {
+            if self.occupied[level] == 0 {
+                continue;
+            }
+            // Within a level every occupied slot shares the cursor's
+            // higher-level digits, so the lowest slot is the earliest.
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            let width = SLOT_BITS * (level as u32 + 1);
+            let base = (self.cursor >> width) << width;
+            let start = base + ((slot as u64) << (SLOT_BITS * level as u32));
+            debug_assert!(start >= self.cursor, "bucket behind cursor");
+            if best.is_none_or(|(_, _, b)| start < b) {
+                best = Some((level, slot, start));
+            }
+        }
+        best
+    }
+
+    /// Drains buckets until the earliest pending event sits at the back
+    /// of `ready` (or the wheel is empty).
+    fn ensure_ready(&mut self) {
+        loop {
+            // Prune stale staged entries so they never block the scan.
+            while let Some(r) = self.ready.last() {
+                if self.is_stale(r.idx, r.gen) {
+                    self.ready.pop();
+                } else {
+                    break;
+                }
+            }
+            // Pull overflow events that now fit in the wheel. The test
+            // is XOR, not distance: a bucket exists for `tick` only when
+            // it shares the cursor's 64^LEVELS-aligned block, and ticks
+            // merely *near* the cursor but across the block boundary
+            // must keep waiting — re-placing them would bounce them
+            // straight back here, looping forever. Min-heap order makes
+            // breaking on the first unplaceable tick sound: every later
+            // tick is larger, hence also beyond the cursor's block.
+            while let Some(&Reverse((tick, idx, gen))) = self.overflow.peek() {
+                if tick > self.cursor && (tick ^ self.cursor) >= SPAN_TICKS {
+                    break;
+                }
+                self.overflow.pop();
+                if self.is_stale(idx, gen) {
+                    continue;
+                }
+                let (time, seq) = {
+                    let e = &self.slab[idx as usize];
+                    (e.time, e.seq)
+                };
+                if tick <= self.cursor {
+                    let key = (time, seq);
+                    let pos = self.ready.partition_point(|r| (r.time, r.seq) > key);
+                    self.ready.insert(
+                        pos,
+                        Ready {
+                            time,
+                            seq,
+                            idx,
+                            gen,
+                        },
+                    );
+                } else {
+                    self.place(idx, gen, tick);
+                }
+            }
+            let Some((level, slot, start)) = self.earliest_bucket() else {
+                // Wheel empty. If only far-overflow events remain, jump
+                // the cursor to them so migration can make progress.
+                if self.ready.is_empty() {
+                    if let Some(&Reverse((tick, _, _))) = self.overflow.peek() {
+                        self.cursor = self.cursor.max(tick);
+                        continue;
+                    }
+                }
+                return;
+            };
+            if let Some(r) = self.ready.last() {
+                if start > tick_of(r.time) {
+                    // Every wheel event is in a strictly later bucket
+                    // than the staged front: the front is the earliest.
+                    return;
+                }
+            }
+            // Drain the bucket through the reusable scratch buffer so the
+            // bucket's capacity survives for its next occupants.
+            std::mem::swap(&mut self.buckets[level * SLOTS + slot], &mut self.scratch);
+            self.occupied[level] &= !(1 << slot);
+            self.cursor = start;
+            let mut staged = false;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            for (idx, gen) in scratch.drain(..) {
+                if self.is_stale(idx, gen) {
+                    continue;
+                }
+                let (time, seq) = {
+                    let e = &self.slab[idx as usize];
+                    (e.time, e.seq)
+                };
+                let tick = tick_of(time);
+                if tick <= self.cursor {
+                    self.ready.push(Ready {
+                        time,
+                        seq,
+                        idx,
+                        gen,
+                    });
+                    staged = true;
+                } else {
+                    // Upper-level bucket: cascade closer to the cursor.
+                    self.place(idx, gen, tick);
+                }
+            }
+            self.scratch = scratch;
+            if staged {
+                self.ready
+                    .sort_unstable_by_key(|r| std::cmp::Reverse((r.time, r.seq)));
+            }
+        }
+    }
+
+    /// Timestamp of the earliest live event, without dispatching it.
+    pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            self.ensure_ready();
+            match self.ready.last() {
+                None => return None,
+                Some(r) if self.is_stale(r.idx, r.gen) => {
+                    self.ready.pop();
+                }
+                Some(r) => return Some(r.time),
+            }
+        }
+    }
+
+    /// Removes and returns the earliest live event.
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            self.ensure_ready();
+            let r = self.ready.pop()?;
+            if self.is_stale(r.idx, r.gen) {
+                continue;
+            }
+            let ev = self.slab[r.idx as usize]
+                .event
+                .take()
+                .expect("live entry has an event");
+            self.release(r.idx);
+            return Some((r.time, ev));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut Wheel<u32>) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| w.pop().map(|(t, e)| (t.as_nanos(), e))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = Wheel::new();
+        w.insert(SimTime::from_nanos(5_000), 0, 1);
+        w.insert(SimTime::from_nanos(100), 1, 2);
+        w.insert(SimTime::from_nanos(5_000), 2, 3);
+        w.insert(SimTime::from_nanos(70_000_000), 3, 4); // level > 0
+        assert_eq!(
+            drain(&mut w),
+            vec![(100, 2), (5_000, 1), (5_000, 3), (70_000_000, 4)]
+        );
+    }
+
+    #[test]
+    fn far_future_goes_through_overflow() {
+        let mut w = Wheel::new();
+        // ~20 virtual hours: far beyond the wheel span.
+        let far = SimTime::from_nanos(72_000_000_000_000);
+        w.insert(far, 0, 9);
+        w.insert(SimTime::from_nanos(10), 1, 1);
+        assert!(!w.overflow.is_empty());
+        assert_eq!(drain(&mut w), vec![(10, 1), (72_000_000_000_000, 9)]);
+    }
+
+    #[test]
+    fn cancel_is_exact_and_reclaims_slots() {
+        let mut w = Wheel::new();
+        let a = w.insert(SimTime::from_nanos(1_000), 0, 1);
+        let b = w.insert(SimTime::from_nanos(2_000), 1, 2);
+        assert_eq!(w.cancel(a), Some(1));
+        assert_eq!(w.cancel(a), None, "double cancel is a no-op");
+        assert_eq!(w.len(), 1);
+        // The freed slot is reused; the old handle stays dead.
+        let c = w.insert(SimTime::from_nanos(3_000), 2, 3);
+        assert_eq!(c.idx, a.idx);
+        assert_ne!(c.gen, a.gen);
+        assert_eq!(w.cancel(a), None);
+        assert_eq!(drain(&mut w), vec![(2_000, 2), (3_000, 3)]);
+        let _ = b;
+        assert_eq!(w.slab_len(), 2);
+    }
+
+    #[test]
+    fn overflow_across_block_boundary_terminates() {
+        // Two events in different 64^LEVELS-aligned blocks, closer
+        // together than the wheel span. After the first dispatches, the
+        // second is near the cursor by *distance* but has no bucket in
+        // the cursor's block — it must wait in overflow (not bounce
+        // between overflow and placement forever) and still fire.
+        let span_ns = SPAN_TICKS << TICK_SHIFT;
+        let a = span_ns * 2 - 1_000; // end of block 1
+        let b = span_ns * 2 + 1_000; // start of block 2
+        assert!((tick_of(SimTime::from_nanos(a)) ^ tick_of(SimTime::from_nanos(b))) >= SPAN_TICKS);
+        let mut w = Wheel::new();
+        w.insert(SimTime::from_nanos(a), 0, 1);
+        w.insert(SimTime::from_nanos(b), 1, 2);
+        w.insert(SimTime::from_nanos(50), 2, 3);
+        assert_eq!(drain(&mut w), vec![(50, 3), (a, 1), (b, 2)]);
+    }
+
+    #[test]
+    fn insert_behind_cursor_stays_ordered() {
+        let mut w = Wheel::new();
+        w.insert(SimTime::from_nanos(50_000), 0, 1);
+        assert_eq!(w.pop().map(|(_, e)| e), Some(1));
+        // Same bucket as the cursor, later seq.
+        w.insert(SimTime::from_nanos(50_100), 1, 2);
+        w.insert(SimTime::from_nanos(50_050), 2, 3);
+        assert_eq!(drain(&mut w), vec![(50_050, 3), (50_100, 2)]);
+    }
+}

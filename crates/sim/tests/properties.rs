@@ -3,6 +3,55 @@
 use gr_sim::{EventQueue, Scheduler, SimDuration, SimRng, SimTime};
 use proptest::prelude::*;
 
+/// Maps raw fuzz input onto delay magnitudes that exercise every wheel
+/// path: sub-tick ties, level-0 buckets, upper levels, and (≈1 in 8)
+/// delays past the wheel horizon that must detour through the overflow
+/// heap.
+fn shaped_nanos(raw: u64, shape: u8) -> u64 {
+    match shape % 8 {
+        0 | 1 => raw % 2_048,                             // within 1-2 ticks
+        2 | 3 => raw % 5_000_000,                         // a few ms: levels 0-1
+        4 | 5 => raw % 500_000_000,                       // sub-second: mid levels
+        6 => raw % 60_000_000_000,                        // a minute: top level
+        _ => 1_200_000_000_000 + raw % 1_200_000_000_000, // past wheel span
+    }
+}
+
+/// The pre-timing-wheel scheduler semantics, verbatim: a stable binary
+/// heap plus a lazy cancelled-id set. Property tests replay every
+/// operation against this reference model.
+struct HeapReference {
+    queue: EventQueue<usize>,
+    cancelled: std::collections::HashSet<gr_sim::EventId>,
+}
+
+impl HeapReference {
+    fn new() -> Self {
+        HeapReference {
+            queue: EventQueue::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    fn push(&mut self, at: SimTime, payload: usize) -> gr_sim::EventId {
+        self.queue.push(at, payload)
+    }
+
+    fn cancel(&mut self, id: gr_sim::EventId) {
+        self.cancelled.insert(id);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, usize)> {
+        while let Some((t, id, e)) = self.queue.pop() {
+            if self.cancelled.remove(&id) {
+                continue;
+            }
+            return Some((t, e));
+        }
+        None
+    }
+}
+
 proptest! {
     /// Events always pop in non-decreasing time order, and equal
     /// timestamps pop in insertion order (stability).
@@ -46,19 +95,20 @@ proptest! {
         cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
     ) {
         let mut s: Scheduler<usize> = Scheduler::new();
-        let ids: Vec<_> = times
+        let handles: Vec<_> = times
             .iter()
             .enumerate()
-            .map(|(i, &t)| s.schedule(SimTime::from_micros(t), i))
+            .map(|(i, &t)| s.arm_at(SimTime::from_micros(t), i))
             .collect();
         let mut expected: Vec<usize> = Vec::new();
-        for (i, id) in ids.iter().enumerate() {
+        for (i, h) in handles.iter().enumerate() {
             if *cancel_mask.get(i).unwrap_or(&false) {
-                s.cancel(*id);
+                prop_assert!(h.cancel(&mut s), "pending event must cancel");
             } else {
                 expected.push(i);
             }
         }
+        prop_assert_eq!(s.pending(), expected.len());
         let mut fired: Vec<usize> = std::iter::from_fn(|| s.next().map(|(_, e)| e)).collect();
         fired.sort_unstable();
         expected.sort_unstable();
@@ -70,13 +120,113 @@ proptest! {
     fn scheduler_clock_monotone(times in proptest::collection::vec(0u64..10_000, 1..100)) {
         let mut s: Scheduler<()> = Scheduler::new();
         for &t in &times {
-            s.schedule(SimTime::from_micros(t), ());
+            s.arm_at(SimTime::from_micros(t), ());
         }
         let mut last = SimTime::ZERO;
         while let Some((t, ())) = s.next() {
             prop_assert!(t >= last);
             last = t;
         }
+    }
+
+    /// The timing-wheel scheduler dispatches random schedules — spanning
+    /// level-0 ticks, upper wheel levels, and the overflow horizon — in
+    /// exactly the order of the old stable binary-heap [`EventQueue`],
+    /// including insertion-order ties at equal timestamps.
+    #[test]
+    fn wheel_matches_heap_on_random_schedules(
+        raw in proptest::collection::vec((any::<u64>(), any::<u8>()), 1..200),
+    ) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        let mut q = EventQueue::new();
+        for (i, &(r, shape)) in raw.iter().enumerate() {
+            let at = SimTime::from_nanos(shaped_nanos(r, shape));
+            s.arm_at(at, i);
+            q.push(at, i);
+        }
+        let fired: Vec<_> = std::iter::from_fn(|| s.next()).collect();
+        let expected: Vec<_> =
+            std::iter::from_fn(|| q.pop().map(|(t, _, e)| (t, e))).collect();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// Same equivalence under interleaved arm / cancel / rearm / dispatch:
+    /// the wheel agrees with the heap-plus-lazy-cancellation reference at
+    /// every intermediate pop, not just on the final drain.
+    #[test]
+    fn wheel_matches_heap_under_cancel_rearm_interleaving(
+        ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u8>()), 1..300),
+    ) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        let mut reference = HeapReference::new();
+        // Live (wheel handle, reference id) pairs, index-aligned.
+        let mut live: Vec<(gr_sim::TimerHandle, gr_sim::EventId)> = Vec::new();
+        let mut next_payload = 0usize;
+        for &(op, r, shape) in &ops {
+            match op % 4 {
+                // Arm a fresh event (relative to the shared clock).
+                0 | 1 => {
+                    let d = SimDuration::from_nanos(shaped_nanos(r, shape));
+                    let at = s.now() + d;
+                    let h = s.arm(d, next_payload);
+                    let id = reference.push(at, next_payload);
+                    live.push((h, id));
+                    next_payload += 1;
+                }
+                // Cancel or rearm a random live event.
+                2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (h, id) = live.swap_remove(r as usize % live.len());
+                    if shape % 2 == 0 {
+                        h.cancel(&mut s);
+                        reference.cancel(id);
+                    } else {
+                        let d = SimDuration::from_nanos(shaped_nanos(r, shape) / 2);
+                        let at = s.now() + d;
+                        let h2 = h.rearm(&mut s, d, next_payload);
+                        reference.cancel(id);
+                        let id2 = reference.push(at, next_payload);
+                        live.push((h2, id2));
+                        next_payload += 1;
+                    }
+                }
+                // Dispatch one event from both and compare.
+                _ => {
+                    prop_assert_eq!(s.next(), reference.pop());
+                }
+            }
+        }
+        // Drain whatever is left; the tails must match exactly too.
+        loop {
+            let got = s.next();
+            prop_assert_eq!(got, reference.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Heavy timestamp collisions: events armed at only a handful of
+    /// distinct times must still fire grouped by time in arm order.
+    #[test]
+    fn wheel_preserves_fifo_under_heavy_ties(
+        picks in proptest::collection::vec(any::<u8>(), 1..200),
+        base in 0u64..1_000_000,
+    ) {
+        let times = [base, base + 1, base + 512, base + 100_000];
+        let mut s: Scheduler<usize> = Scheduler::new();
+        let mut q = EventQueue::new();
+        for (i, &p) in picks.iter().enumerate() {
+            let at = SimTime::from_nanos(times[p as usize % times.len()]);
+            s.arm_at(at, i);
+            q.push(at, i);
+        }
+        let fired: Vec<_> = std::iter::from_fn(|| s.next()).collect();
+        let expected: Vec<_> =
+            std::iter::from_fn(|| q.pop().map(|(t, _, e)| (t, e))).collect();
+        prop_assert_eq!(fired, expected);
     }
 
     /// Backoff-style draws stay within their inclusive bound.

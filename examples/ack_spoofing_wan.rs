@@ -11,7 +11,7 @@
 //! cargo run --release --example ack_spoofing_wan
 //! ```
 
-use greedy80211_repro::{GreedyConfig, Scenario};
+use greedy80211_repro::{GreedyConfig, Run, Scenario};
 use sim::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -30,12 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             duration: SimDuration::from_secs(20),
             ..Scenario::default()
         };
-        let base = s.run()?;
+        let base = Run::plan(&s).execute()?;
         let victim = base.receivers[0];
         s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![victim], 1.0))];
-        let attacked = s.run()?;
+        let attacked = Run::plan(&s).execute()?;
         s.grc = Some(true);
-        let guarded = s.run()?;
+        let guarded = Run::plan(&s).execute()?;
         println!(
             "   {wire_ms:>4} ms      {:>7.3}        {:>7.3}        {:>7.3}       {:>7.3}       {:>7.3}",
             base.goodput_mbps(0),

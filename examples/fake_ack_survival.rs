@@ -11,7 +11,7 @@
 //! cargo run --release --example fake_ack_survival
 //! ```
 
-use greedy80211_repro::{FakeAckDetector, GreedyConfig, Scenario, TransportKind};
+use greedy80211_repro::{FakeAckDetector, GreedyConfig, Run, Scenario, TransportKind};
 use net::NetworkBuilder;
 use phy::{ChannelModel, PhyParams, Position};
 use sim::SimDuration;
@@ -27,9 +27,9 @@ fn inherent_loss() -> Result<(), Box<dyn std::error::Error>> {
         duration: SimDuration::from_secs(10),
         ..Scenario::default()
     };
-    let base = s.run()?;
+    let base = Run::plan(&s).execute()?;
     s.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
-    let out = s.run()?;
+    let out = Run::plan(&s).execute()?;
     println!(
         "   honest/honest: {:.3} / {:.3} Mb/s",
         base.goodput_mbps(0),

@@ -10,7 +10,7 @@
 //! cargo run --release --example hotspot_cafe
 //! ```
 
-use greedy80211_repro::{GreedyConfig, NavInflationConfig, Scenario};
+use greedy80211_repro::{GreedyConfig, NavInflationConfig, Run, Scenario};
 use sim::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 GreedyConfig::nav_inflation(NavInflationConfig::cts_only(inflate_ms * 1_000, 1.0)),
             )];
         }
-        let out = s.run()?;
+        let out = Run::plan(&s).execute()?;
         let greedy = out.goodput_mbps(GREEDY);
         let honest: Vec<f64> = (0..PAIRS)
             .filter(|&i| i != GREEDY)

@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use greedy80211_repro::{GreedyConfig, NavInflationConfig, Scenario};
+use greedy80211_repro::{GreedyConfig, NavInflationConfig, Run, Scenario};
 use sim::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -19,14 +19,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut honest = Scenario::two_pair_udp(GreedyConfig::default());
     honest.greedy.clear();
     honest.duration = SimDuration::from_secs(10);
-    let base = honest.run()?;
+    let base = Run::plan(&honest).execute()?;
 
     // Attack: receiver 1 greedy.
     let mut attack = Scenario::two_pair_udp(GreedyConfig::nav_inflation(
         NavInflationConfig::cts_only(10_000, 1.0),
     ));
     attack.duration = SimDuration::from_secs(10);
-    let out = attack.run()?;
+    let out = Run::plan(&attack).execute()?;
 
     println!("                 normal receiver   greedy receiver");
     println!(
@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Turn on the GRC countermeasures and watch fairness return.
     attack.grc = Some(true);
-    let guarded = attack.run()?;
+    let guarded = Run::plan(&attack).execute()?;
     println!(
         "\nwith GRC enabled   {:>8.3} Mb/s     {:>8.3} Mb/s   ({} NAV detections)",
         guarded.goodput_mbps(0),

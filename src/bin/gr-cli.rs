@@ -15,7 +15,7 @@
 use std::process::ExitCode;
 
 use greedy80211_repro::{
-    GreedyConfig, InflatedFrames, NavInflationConfig, Scenario, TransportKind,
+    GreedyConfig, InflatedFrames, NavInflationConfig, Run, Scenario, TransportKind,
 };
 use mac::NodeId;
 use phy::PhyStandard;
@@ -183,7 +183,7 @@ fn run() -> Result<(), String> {
         s.greedy.push((idx, cfg));
     }
 
-    let out = s.run().map_err(|e| e.to_string())?;
+    let out = Run::plan(&s).execute().map_err(|e| e.to_string())?;
     println!(
         "# {} pairs, {:?}, {}s, seed {}",
         s.pairs,

@@ -3,7 +3,8 @@
 //! traffic, and mitigation restores fairness.
 
 use greedy80211_repro::{
-    CrossLayerDetector, FakeAckDetector, GreedyConfig, NavInflationConfig, Scenario, TransportKind,
+    CrossLayerDetector, FakeAckDetector, GreedyConfig, NavInflationConfig, Run, Scenario,
+    TransportKind,
 };
 use sim::SimDuration;
 
@@ -18,10 +19,10 @@ fn grc_restores_fairness_under_nav_inflation() {
     let mut s = quick(Scenario::two_pair_udp(GreedyConfig::nav_inflation(
         NavInflationConfig::cts_only(31_000, 1.0),
     )));
-    let attacked = s.run().unwrap();
+    let attacked = Run::plan(&s).execute().unwrap();
     assert!(attacked.goodput_mbps(0) < 0.05, "attack must work first");
     s.grc = Some(true);
-    let guarded = s.run().unwrap();
+    let guarded = Run::plan(&s).execute().unwrap();
     assert!(
         guarded.goodput_mbps(0) > 1.0,
         "victim must recover with GRC: {}",
@@ -44,12 +45,12 @@ fn grc_detects_inflated_ack_and_data_frames_too() {
         },
     )));
     s.grc = Some(true);
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     assert!(out.nav_detections() > 50);
     // The greedy node is the one fingered.
     let greedy_id = out.receivers[1].0;
-    for (_, handles) in &out.grc_reports {
-        for (&src, _) in handles.nav.borrow().detections.iter() {
+    for (_, snap) in &out.grc {
+        for (&src, _) in snap.nav.detections.iter() {
             assert_eq!(src, greedy_id, "only the greedy node may be flagged");
         }
     }
@@ -59,7 +60,7 @@ fn grc_detects_inflated_ack_and_data_frames_too() {
 fn nav_guard_is_silent_on_honest_traffic() {
     let mut s = quick(Scenario::default());
     s.grc = Some(true);
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     assert_eq!(
         out.nav_detections(),
         0,
@@ -73,7 +74,7 @@ fn detection_only_mode_observes_without_recovering() {
         NavInflationConfig::cts_only(31_000, 1.0),
     )));
     s.grc = Some(false); // detect, do not mitigate
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     assert!(out.nav_detections() > 0, "must still detect");
     assert!(
         out.goodput_mbps(0) < 0.05,
@@ -86,11 +87,11 @@ fn grc_restores_fairness_under_ack_spoofing() {
     // Paper Fig. 24 at moderate BER.
     let mut s = quick(Scenario::default());
     s.byte_error_rate = 2e-4;
-    let base = s.run().unwrap();
+    let base = Run::plan(&s).execute().unwrap();
     s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
-    let attacked = s.run().unwrap();
+    let attacked = Run::plan(&s).execute().unwrap();
     s.grc = Some(true);
-    let guarded = s.run().unwrap();
+    let guarded = Run::plan(&s).execute().unwrap();
     assert!(
         attacked.goodput_mbps(0) < base.goodput_mbps(0) * 0.3,
         "attack must bite first"
@@ -109,15 +110,11 @@ fn spoof_guard_is_quiet_on_honest_lossy_traffic() {
     let mut s = quick(Scenario::default());
     s.byte_error_rate = 2e-4;
     s.grc = Some(true);
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     let flags = out.spoof_flags();
     // Jitter occasionally exceeds 1 dB; the false-flag rate must stay
     // tiny relative to the thousands of vetted ACKs.
-    let accepted: u64 = out
-        .grc_reports
-        .iter()
-        .map(|(_, h)| h.spoof.borrow().accepted)
-        .sum();
+    let accepted: u64 = out.grc.iter().map(|(_, s)| s.spoof.accepted).sum();
     assert!(accepted > 1_000, "plenty of ACKs vetted: {accepted}");
     assert!(
         (flags as f64) < accepted as f64 * 0.08,
@@ -136,7 +133,7 @@ fn fake_ack_detector_separates_faker_from_honest() {
         ..Scenario::default()
     });
     // Honest run: MAC loss is visible, app loss near MAC prediction.
-    let honest = s.run().unwrap();
+    let honest = Run::plan(&s).execute().unwrap();
     let det = FakeAckDetector::default();
     let honest_mac = FakeAckDetector::mac_loss_from_counters(
         &honest.metrics.node(honest.senders[1]).unwrap().counters,
@@ -153,7 +150,7 @@ fn fake_ack_detector_separates_faker_from_honest() {
     );
     // Faking run: MAC loss hidden, app loss revealed by probes.
     s.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
-    let faked = s.run().unwrap();
+    let faked = Run::plan(&s).execute().unwrap();
     let faked_mac = FakeAckDetector::mac_loss_from_counters(
         &faked.metrics.node(faked.senders[1]).unwrap().counters,
     );
@@ -175,7 +172,7 @@ fn cross_layer_detector_flags_spoofed_flow() {
     let det = CrossLayerDetector::default();
     let mut s = quick(Scenario::default());
     s.byte_error_rate = 2e-4;
-    let base = s.run().unwrap();
+    let base = Run::plan(&s).execute().unwrap();
     // Honest: TCP retransmissions exist (MAC drops) but rarely concern
     // MAC-acked segments.
     let fm = base.metrics.flow(base.flows[0]).unwrap();
@@ -187,7 +184,7 @@ fn cross_layer_detector_flags_spoofed_flow() {
     );
     // Attacked: the victim's retransmissions concern MAC-acked segments.
     s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
-    let attacked = s.run().unwrap();
+    let attacked = Run::plan(&s).execute().unwrap();
     let fm = attacked.metrics.flow(attacked.flows[0]).unwrap();
     assert!(
         det.is_spoofed(fm.retx_of_mac_acked, fm.retransmissions),
@@ -204,10 +201,10 @@ fn grc_under_tcp_nav_inflation_recovers_cwnd() {
     let mut s = quick(Scenario::two_pair_tcp(GreedyConfig::nav_inflation(
         NavInflationConfig::cts_only(31_000, 1.0),
     )));
-    let attacked = s.run().unwrap();
+    let attacked = Run::plan(&s).execute().unwrap();
     s.grc = Some(true);
-    let guarded = s.run().unwrap();
-    let cwnd = |out: &greedy80211_repro::ScenarioOutcome| {
+    let guarded = Run::plan(&s).execute().unwrap();
+    let cwnd = |out: &greedy80211_repro::RunOutcome| {
         out.metrics.flow(out.flows[0]).unwrap().avg_cwnd.unwrap()
     };
     assert!(cwnd(&attacked) < 5.0, "attack collapses victim cwnd");

@@ -3,7 +3,7 @@
 //! (PHY + MAC + transport + runtime).
 
 use greedy80211_repro::{
-    GreedyConfig, InflatedFrames, NavInflationConfig, Scenario, TransportKind,
+    GreedyConfig, InflatedFrames, NavInflationConfig, Run, Scenario, TransportKind,
 };
 use sim::SimDuration;
 
@@ -18,7 +18,7 @@ fn nav_inflation_starves_udp_competitor() {
     let s = quick(Scenario::two_pair_udp(GreedyConfig::nav_inflation(
         NavInflationConfig::cts_only(1_000, 1.0),
     )));
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     assert!(
         out.goodput_mbps(1) > 3.0,
         "greedy should own the channel, got {}",
@@ -38,7 +38,7 @@ fn nav_inflation_gain_grows_with_amount_tcp() {
         let s = quick(Scenario::two_pair_tcp(GreedyConfig::nav_inflation(
             NavInflationConfig::cts_only(ms * 1_000, 1.0),
         )));
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         out.goodput_mbps(1) - out.goodput_mbps(0)
     };
     let g5 = gap(5);
@@ -58,7 +58,7 @@ fn nav_inflation_on_all_frames_beats_cts_only() {
                 frames,
             },
         )));
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         out.goodput_mbps(0) // victim goodput: lower = stronger attack
     };
     let cts_only = run(InflatedFrames::CTS);
@@ -76,7 +76,7 @@ fn greedy_percentage_scales_the_gain() {
         let s = quick(Scenario::two_pair_tcp(GreedyConfig::nav_inflation(
             NavInflationConfig::cts_only(10_000, gp),
         )));
-        s.run().unwrap().goodput_mbps(0)
+        Run::plan(&s).execute().unwrap().goodput_mbps(0)
     };
     let v0 = victim(0.0);
     let v50 = victim(0.5);
@@ -92,7 +92,7 @@ fn two_nav_greedy_receivers_one_survives() {
     let mut s = quick(Scenario::default());
     let cfg = || GreedyConfig::nav_inflation(NavInflationConfig::cts_only(31_000, 1.0));
     s.greedy = vec![(0, cfg()), (1, cfg())];
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     let (a, b) = (out.goodput_mbps(0), out.goodput_mbps(1));
     let (hi, lo) = (a.max(b), a.min(b));
     assert!(hi > 1.0, "one flow must dominate, got {hi}");
@@ -115,7 +115,7 @@ fn shared_sender_blunts_nav_inflation_udp() {
         1,
         GreedyConfig::nav_inflation(NavInflationConfig::cts_only(10_000, 1.0)),
     )];
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     let (nr, gr) = (out.goodput_mbps(0), out.goodput_mbps(1));
     assert!(
         gr < nr * 1.5,
@@ -128,9 +128,9 @@ fn ack_spoofing_punishes_victim_under_loss() {
     // Paper Fig. 11 at moderate BER.
     let mut s = quick(Scenario::default());
     s.byte_error_rate = 2e-4;
-    let base = s.run().unwrap();
+    let base = Run::plan(&s).execute().unwrap();
     s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     assert!(
         out.goodput_mbps(0) < base.goodput_mbps(0) * 0.3,
         "victim must collapse: {} vs baseline {}",
@@ -149,9 +149,9 @@ fn ack_spoofing_punishes_victim_under_loss() {
 fn ack_spoofing_harmless_on_lossless_links() {
     // Nothing to disable if no frame is ever lost.
     let mut s = quick(Scenario::default());
-    let base = s.run().unwrap();
+    let base = Run::plan(&s).execute().unwrap();
     s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     assert!(
         out.goodput_mbps(0) > base.goodput_mbps(0) * 0.6,
         "victim barely affected without loss: {} vs {}",
@@ -165,13 +165,13 @@ fn mutual_spoofing_shrinks_total_goodput() {
     // Paper Fig. 13: both receivers spoofing each other lose together.
     let mut s = quick(Scenario::default());
     s.byte_error_rate = 2e-4;
-    let base = s.run().unwrap();
+    let base = Run::plan(&s).execute().unwrap();
     let (r0, r1) = (base.receivers[0], base.receivers[1]);
     s.greedy = vec![
         (0, GreedyConfig::ack_spoofing(vec![r1], 1.0)),
         (1, GreedyConfig::ack_spoofing(vec![r0], 1.0)),
     ];
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     let total_base = base.goodput_mbps(0) + base.goodput_mbps(1);
     let total_out = out.goodput_mbps(0) + out.goodput_mbps(1);
     assert!(
@@ -191,9 +191,9 @@ fn remote_senders_amplify_spoofing_damage() {
             duration: SimDuration::from_secs(15),
             ..Scenario::default()
         };
-        let base = s.run().unwrap();
+        let base = Run::plan(&s).execute().unwrap();
         s.greedy = vec![(1, GreedyConfig::ack_spoofing(vec![base.receivers[0]], 1.0))];
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         out.goodput_mbps(0) / base.goodput_mbps(0).max(1e-9)
     };
     let near = victim_ratio(2);
@@ -216,7 +216,7 @@ fn fake_acks_survive_inherent_loss() {
         ..Scenario::default()
     });
     s.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
-    let out = s.run().unwrap();
+    let out = Run::plan(&s).execute().unwrap();
     assert!(
         out.goodput_mbps(1) > out.goodput_mbps(0) * 1.5,
         "faker must win under inherent loss: {} vs {}",
@@ -238,15 +238,14 @@ fn fake_acker_mimics_a_lossless_receiver() {
         ..Scenario::default()
     });
     a.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
-    let a = a.run().unwrap();
+    let a = Run::plan(&a).execute().unwrap();
     // Case B: flow 1 clean and honest (flow 0 unchanged: clean).
     let b = quick(Scenario {
         transport: TransportKind::SATURATING_UDP,
         rts: false,
         ..Scenario::default()
-    })
-    .run()
-    .unwrap();
+    });
+    let b = Run::plan(&b).execute().unwrap();
     // The faker's *channel share* (attempt rate at its sender) should be
     // comparable to the clean receiver's, even though corrupted frames
     // cost it goodput. Compare sender transmission counts.

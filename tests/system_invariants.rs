@@ -1,7 +1,7 @@
 //! System-level invariants checked across the full stack, including
 //! property-based sweeps over random scenario configurations.
 
-use greedy80211_repro::{GreedyConfig, NavInflationConfig, Scenario, TransportKind};
+use greedy80211_repro::{GreedyConfig, NavInflationConfig, Run, Scenario, TransportKind};
 use proptest::prelude::*;
 use sim::SimDuration;
 
@@ -17,7 +17,7 @@ fn whole_system_determinism() {
         s.grc = Some(true);
         s.duration = SimDuration::from_secs(4);
         s.seed = 99;
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         (
             out.metrics.flow(out.flows[0]).unwrap().distinct_packets,
             out.metrics.flow(out.flows[1]).unwrap().distinct_packets,
@@ -36,7 +36,7 @@ fn different_seeds_differ() {
             seed,
             ..Scenario::default()
         };
-        s.run().unwrap().metrics.events_processed
+        Run::plan(&s).execute().unwrap().metrics.events_processed
     };
     assert_ne!(run(1), run(2));
 }
@@ -55,7 +55,7 @@ fn goodput_bounded_by_channel_capacity() {
             duration: SimDuration::from_secs(3),
             ..Scenario::default()
         };
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         let total: f64 = (0..3).map(|i| out.goodput_mbps(i)).sum();
         assert!(
             total < cap_mbps,
@@ -87,7 +87,7 @@ proptest! {
         };
         s.duration = SimDuration::from_secs(2);
         s.seed = seed;
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         for i in 0..2 {
             let fm = out.metrics.flow(out.flows[i]).unwrap();
             let sender = out.metrics.node(out.senders[i]).unwrap();
@@ -111,13 +111,13 @@ proptest! {
             seed,
             ..Scenario::default()
         };
-        let base = honest.run().unwrap();
+        let base = Run::plan(&honest).execute().unwrap();
         let mut s = Scenario::two_pair_udp(GreedyConfig::nav_inflation(
             NavInflationConfig::cts_only(inflate_ms * 1_000, 1.0),
         ));
         s.duration = SimDuration::from_secs(2);
         s.seed = seed;
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         prop_assert!(
             out.goodput_mbps(1) >= base.goodput_mbps(1) * 0.8,
             "greedy lost by inflating: {} vs honest {}",
@@ -144,7 +144,7 @@ proptest! {
             seed,
             ..Scenario::default()
         };
-        let out = s.run().unwrap();
+        let out = Run::plan(&s).execute().unwrap();
         for i in 0..pairs {
             let snd = &out.metrics.node(out.senders[i]).unwrap().counters;
             let rcv = &out.metrics.node(out.receivers[i]).unwrap().counters;
@@ -172,7 +172,7 @@ fn simulator_matches_analytic_saturation_capacity() {
                 duration: SimDuration::from_secs(5),
                 ..Scenario::default()
             };
-            let out = s.run().unwrap();
+            let out = Run::plan(&s).execute().unwrap();
             let measured = out.goodput_mbps(0);
             let model = CapacityModel::new(phy::PhyParams::for_standard(phy_std), rts)
                 .saturation_goodput_mbps(1024, 28);

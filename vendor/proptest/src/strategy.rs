@@ -76,6 +76,12 @@ impl Arbitrary for u16 {
     }
 }
 
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
 impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
 
