@@ -23,6 +23,23 @@ cargo test --offline -q -p gr-bench --test obs_determinism
 echo "==> scheduler wheel vs heap property tests"
 cargo test --offline -q -p gr-sim --test properties
 
+echo "==> checkpoint round-trip (resume must emit byte-identical CSVs)"
+CK=$(mktemp -d)
+trap 'rm -rf "$CK"' EXIT
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --quick --checkpoint-every 500 --audit-every 500 --out "$CK/rec" fig2 >/dev/null
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --quick --jobs 8 --resume "$CK/rec" --out "$CK/res" fig2 >/dev/null
+cmp "$CK/rec/fig2.csv" "$CK/res/fig2.csv"
+
+echo "==> audit ladders (re-recorded seeds must show zero divergence)"
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --quick --audit-every 500 --out "$CK/rec2" fig2 >/dev/null
+for a in "$CK"/rec/audit/*.audit; do
+  cargo run --release --offline -p gr-bench --bin repro -- \
+    --audit-compare "$a" "$CK/rec2/audit/$(basename "$a")" >/dev/null
+done
+
 echo "==> perf gate (pinned subset vs committed baseline, ±25%)"
 cargo run --release --offline -p gr-bench --bin repro -- --bench-gate --check
 

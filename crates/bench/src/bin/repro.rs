@@ -27,6 +27,26 @@
 //! themselves are byte-identical at any `--jobs` width.
 //! `--record-filter phy,mac,3` narrows recording to the given layers
 //! and/or node ids.
+//!
+//! Checkpoint & audit (see DESIGN.md §12):
+//!
+//! ```sh
+//! repro --quick --checkpoint-every 100 fig6   # checkpoint every 100 ms vt
+//! repro --quick --audit-every 100 fig6        # record audit ladders too
+//! repro --quick --resume results fig6         # resume a recorded campaign
+//! repro --resume results/checkpoints/RUN.snap # resume one checkpoint file
+//! repro --audit-compare A.audit B.audit       # diff two audit ladders
+//! ```
+//!
+//! `--checkpoint-every N` freezes every run at each multiple of N ms of
+//! virtual time into `DIR/checkpoints/<run>.snap`; `--audit-every N`
+//! additionally records each run's per-layer state-hash ladder into
+//! `DIR/audit/<run>.audit`. `--resume DIR` re-runs the selected
+//! experiments, restoring each run from its recorded checkpoint and
+//! simulating only the tail — the CSVs come out byte-identical to the
+//! uninterrupted campaign's, at any `--jobs` width. `--audit-compare`
+//! exits non-zero when the ladders diverge and names the first diverging
+//! layer and virtual-time bracket.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -131,6 +151,10 @@ fn main() -> ExitCode {
     let mut jobs = runner::available_jobs();
     let mut record = false;
     let mut filter = obs::Filter::all();
+    let mut checkpoint_every: Option<u64> = None;
+    let mut audit_every: Option<u64> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut audit_compare: Option<(PathBuf, PathBuf)> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -157,9 +181,47 @@ fn main() -> ExitCode {
                 }
             },
             "--experiment" | "-e" => match args.next() {
-                Some(id) => ids.push(id),
+                // Accepts a comma-separated list (`-e fig02,fig06,tab5`);
+                // each entry goes through the same zero-padded-id
+                // normalization as positional ids.
+                Some(list) => ids.extend(
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(String::from),
+                ),
                 None => {
                     eprintln!("--experiment requires an id (see --list)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-every" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(ms)) => checkpoint_every = Some(ms),
+                _ => {
+                    eprintln!("--checkpoint-every requires an interval in ms of virtual time");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--audit-every" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(ms)) => audit_every = Some(ms),
+                _ => {
+                    eprintln!("--audit-every requires an interval in ms of virtual time");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => match args.next() {
+                Some(p) => resume = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--resume requires a checkpoint file or a campaign directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--audit-compare" => match (args.next(), args.next()) {
+                (Some(a), Some(b)) => {
+                    audit_compare = Some((PathBuf::from(a), PathBuf::from(b)));
+                }
+                _ => {
+                    eprintln!("--audit-compare requires two audit-ladder files");
                     return ExitCode::FAILURE;
                 }
             },
@@ -180,13 +242,24 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--jobs N] [--out DIR] [--record] \
-                     [--record-filter SPEC] (all | <id>...)\n       \
+                     [--record-filter SPEC]\n             \
+                     [--checkpoint-every MS] [--audit-every MS] [--resume PATH] \
+                     (all | <id>...)\n       \
+                     repro --audit-compare A.audit B.audit\n       \
                      repro --bench-gate [--check]\n       \
                      repro --list\n\n  \
-                     --experiment ID       select an artifact (same as a positional id)\n  \
+                     --experiment IDS      select artifacts: one id or a comma-separated list\n                        \
+                     (same as positional ids; zero-padded forms accepted)\n  \
                      --record              flight-record every run into DIR/obs/\n  \
                      --record-filter SPEC  comma-separated layers (phy|mac|transport|net)\n                        \
                      and/or node ids; implies --record\n  \
+                     --checkpoint-every MS freeze every run at each MS of virtual time\n                        \
+                     into DIR/checkpoints/\n  \
+                     --audit-every MS      record per-layer state-hash ladders into DIR/audit/\n  \
+                     --resume PATH         a campaign directory: resume every selected run from\n                        \
+                     its checkpoint (CSVs byte-identical to an uninterrupted\n                        \
+                     campaign); a .snap file: resume that one run and print it\n  \
+                     --audit-compare A B   diff two audit ladders; non-zero exit on divergence\n  \
                      --bench-gate          time the pinned perf-gate subset, write BENCH_<date>.json\n  \
                      --check               with --bench-gate: fail on regression vs BENCH_BASELINE.json"
                 );
@@ -194,6 +267,47 @@ fn main() -> ExitCode {
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    if let Some((a, b)) = &audit_compare {
+        return match greedy80211::audit::compare_files(a, b) {
+            Ok(divergence) => {
+                println!("{}", greedy80211::audit::describe(&divergence));
+                if divergence.is_none() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("--audit-compare: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // A .snap file resumes one run directly; a directory switches the
+    // whole campaign into resume mode (handled below via RunCtx).
+    if let Some(path) = resume.as_ref().filter(|p| p.is_file()) {
+        return match greedy80211::Run::resume(path) {
+            Ok(out) => {
+                println!(
+                    "resumed {} (point {}, seed {}) to {} ms of virtual time",
+                    out.key.experiment,
+                    out.key.point,
+                    out.key.seed,
+                    out.duration.as_nanos() / 1_000_000
+                );
+                for i in 0..out.flows.len() {
+                    println!("  flow {}: {:.3} Mb/s", i, out.goodput_mbps(i));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("--resume: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if bench_gate {
@@ -303,12 +417,29 @@ fn main() -> ExitCode {
     if let Some(camp) = &campaign {
         ctx = ctx.with_record(camp.clone());
     }
+    let checkpointing = checkpoint_every.is_some() || audit_every.is_some();
+    if let Some(dir) = &resume {
+        ctx = ctx.with_checkpoints(greedy80211::CampaignSpec::resume_from(dir));
+    } else if checkpointing {
+        ctx = ctx.with_checkpoints(greedy80211::CampaignSpec::record(
+            &out_dir,
+            checkpoint_every.map(sim::SimDuration::from_millis),
+            audit_every.map(sim::SimDuration::from_millis),
+        ));
+    }
     println!(
-        "# greedy80211 reproduction — {} experiment(s), {} fidelity, {} job(s){}\n",
+        "# greedy80211 reproduction — {} experiment(s), {} fidelity, {} job(s){}{}\n",
         selected.len(),
         if quick { "quick" } else { "full" },
         jobs,
         if record { ", recording" } else { "" },
+        if resume.is_some() {
+            ", resuming from checkpoints"
+        } else if checkpointing {
+            ", checkpointing"
+        } else {
+            ""
+        },
     );
     let t_all = Instant::now();
     let mut timings = Vec::new();

@@ -68,6 +68,10 @@ pub struct GateReport {
     pub stats: Vec<GateStat>,
     /// Peak resident set size in KiB (`VmHWM`; 0 if unavailable).
     pub peak_rss_kib: u64,
+    /// Root digest of the audit ladder of a pinned reference run (see
+    /// [`audit_root`]) — a determinism canary: any change means the
+    /// simulation itself changed, not just its speed.
+    pub audit_root: u64,
 }
 
 impl GateReport {
@@ -110,6 +114,10 @@ impl GateReport {
             self.ns_per_event()
         ));
         s.push_str(&format!("  \"peak_rss_kib\": {},\n", self.peak_rss_kib));
+        s.push_str(&format!(
+            "  \"audit_root\": \"{:#018x}\",\n",
+            self.audit_root
+        ));
         s.push_str("  \"experiments\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
             s.push_str(&format!(
@@ -163,6 +171,32 @@ pub fn utc_date() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// Root digest of the audit ladder of a pinned reference run: a 2-pair
+/// UDP NAV-inflation scenario with GRC attached, audited every 100 ms of
+/// virtual time. Pinned *here* (seed, duration, audit grid and all) so
+/// the digest is a pure function of the simulator's behavior: a changed
+/// value in `BENCH_<date>.json` means some layer's state evolution
+/// changed, independent of how fast it ran.
+///
+/// # Panics
+///
+/// Panics if the pinned scenario fails to build — a bug in this crate.
+pub fn audit_root() -> u64 {
+    use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
+    let mut s = Scenario::two_pair_udp(GreedyConfig::nav_inflation(NavInflationConfig::cts_only(
+        10_000, 0.5,
+    )));
+    s.duration = sim::SimDuration::from_secs(1);
+    s.byte_error_rate = 2e-4;
+    s.grc = Some(true);
+    let out = Run::plan(&s)
+        .seeded(7)
+        .audit_every(sim::SimDuration::from_millis(100))
+        .execute()
+        .expect("pinned audit scenario is valid");
+    out.audit.root_digest()
+}
+
 /// Runs the pinned gate subset sequentially and times it.
 ///
 /// # Panics
@@ -193,6 +227,7 @@ pub fn run_gate() -> GateReport {
         date: utc_date(),
         stats: stats_out,
         peak_rss_kib: peak_rss_kib(),
+        audit_root: audit_root(),
     }
 }
 
@@ -253,10 +288,19 @@ mod tests {
                 events: 1_000_000,
             }],
             peak_rss_kib: 12_345,
+            audit_root: 0xdead_beef,
         };
         let json = r.to_json();
         let eps = baseline_events_per_sec(&json).expect("parsable");
         assert!((eps - 500_000.0).abs() < 1.0, "{eps}");
+        assert!(json.contains("\"audit_root\": \"0x00000000deadbeef\""));
+    }
+
+    #[test]
+    fn audit_root_is_deterministic_and_nonzero() {
+        let a = audit_root();
+        assert_eq!(a, audit_root(), "audit root must be reproducible");
+        assert_ne!(a, 0);
     }
 
     #[test]
@@ -273,6 +317,7 @@ mod tests {
                 events,
             }],
             peak_rss_kib: 0,
+            audit_root: 0,
         };
         assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
         assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());

@@ -85,6 +85,9 @@ pub struct RunCtx {
     pub runner: runner::Runner,
     /// Flight-recorder campaign; `None` (the default) records nothing.
     pub record: Option<ObsCampaign>,
+    /// Checkpoint/audit campaign spec; `None` (the default) records no
+    /// checkpoints and resumes nothing.
+    pub checkpoint: Option<greedy80211::checkpoint::CampaignSpec>,
 }
 
 impl RunCtx {
@@ -94,6 +97,7 @@ impl RunCtx {
             quality,
             runner: runner::Runner::sequential(),
             record: None,
+            checkpoint: None,
         }
     }
 
@@ -103,12 +107,20 @@ impl RunCtx {
             quality,
             runner: runner::Runner::new(jobs),
             record: None,
+            checkpoint: None,
         }
     }
 
     /// Same context with flight recording enabled under `campaign`.
     pub fn with_record(mut self, campaign: ObsCampaign) -> Self {
         self.record = Some(campaign);
+        self
+    }
+
+    /// Same context with checkpoint/audit recording (or resuming) under
+    /// `spec`; see [`greedy80211::checkpoint::CampaignSpec`].
+    pub fn with_checkpoints(mut self, spec: greedy80211::checkpoint::CampaignSpec) -> Self {
+        self.checkpoint = Some(spec);
         self
     }
 }

@@ -38,6 +38,7 @@ where
     assert!(n_seeds > 0, "at least one seed");
     let measure = &measure;
     let record = ctx.record.as_ref();
+    let checkpoint = ctx.checkpoint.as_ref();
     let jobs: Vec<_> = points
         .iter()
         .enumerate()
@@ -46,30 +47,41 @@ where
                 let key = RunKey::new(label, pi as u64, si as u64);
                 let seed = key.stream_seed();
                 let record = record.cloned();
-                move || match record {
-                    Some(camp) => {
-                        // One fresh recorder per job, installed as the
-                        // worker thread's ambient recorder so every
-                        // `Scenario::build` inside `measure` picks it up
-                        // without signature changes. The report lands in
-                        // the campaign sink keyed by the job's RunKey —
-                        // content depends only on the key, never on
-                        // which worker ran it.
-                        let rec = camp.spec.recorder();
-                        let out = {
-                            let _guard = obs::ambient::install(rec.clone());
-                            measure(point, seed)
-                        };
-                        let report = rec.borrow_mut().drain_report();
-                        let empty = report.events.is_empty()
-                            && report.hists.is_empty()
-                            && report.series.is_empty();
-                        if !empty {
-                            camp.deposit(key, report);
+                let checkpoint = checkpoint.cloned();
+                move || {
+                    // The checkpoint spec rides the same thread-ambient
+                    // channel as the flight recorder: installed around
+                    // the job so `Run::execute` inside `measure` records
+                    // (or resumes) this run's checkpoint/audit files,
+                    // named by the job's RunKey.
+                    let _ck_guard = checkpoint.map(|spec| {
+                        greedy80211::checkpoint::ambient::install(spec.job(key.clone()))
+                    });
+                    match record {
+                        Some(camp) => {
+                            // One fresh recorder per job, installed as the
+                            // worker thread's ambient recorder so every
+                            // `Scenario::build` inside `measure` picks it up
+                            // without signature changes. The report lands in
+                            // the campaign sink keyed by the job's RunKey —
+                            // content depends only on the key, never on
+                            // which worker ran it.
+                            let rec = camp.spec.recorder();
+                            let out = {
+                                let _guard = obs::ambient::install(rec.clone());
+                                measure(point, seed)
+                            };
+                            let report = rec.borrow_mut().drain_report();
+                            let empty = report.events.is_empty()
+                                && report.hists.is_empty()
+                                && report.series.is_empty();
+                            if !empty {
+                                camp.deposit(key, report);
+                            }
+                            out
                         }
-                        out
+                        None => measure(point, seed),
                     }
-                    None => measure(point, seed),
                 }
             })
         })
@@ -122,6 +134,7 @@ mod tests {
             },
             runner: Runner::new(jobs),
             record: None,
+            checkpoint: None,
         }
     }
 

@@ -1,0 +1,59 @@
+//! Checkpoint → resume round-trip over real experiments (the issue's
+//! acceptance bar): a campaign recorded with mid-run checkpoints, then
+//! resumed — each run restoring its snapshot and simulating only the
+//! tail — must emit byte-identical CSVs, at any `--jobs` width.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gr_bench::{registry, Quality, RunCtx};
+use greedy80211::CampaignSpec;
+use sim::SimDuration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gr-ckpt-resume").join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn csv_for(id: &str, ctx: &RunCtx, out: &Path) -> Vec<u8> {
+    let (_, gen) = registry()
+        .into_iter()
+        .find(|(rid, _)| *rid == id)
+        .expect("id in registry");
+    let experiment = gen(ctx);
+    experiment.write_csv(out).unwrap();
+    fs::read(out.join(format!("{id}.csv"))).unwrap()
+}
+
+#[test]
+fn recorded_campaigns_resume_to_byte_identical_csvs() {
+    for id in ["fig2", "fig6", "tab5"] {
+        let dir = tmp(id);
+        let camp = dir.join("campaign");
+        // Record pass: sequential, checkpoint + audit every 500 ms of
+        // virtual time (quick runs last 2 s, so snapshots land mid-run).
+        let record = RunCtx::with_jobs(Quality::quick(), 1).with_checkpoints(CampaignSpec::record(
+            &camp,
+            Some(SimDuration::from_millis(500)),
+            Some(SimDuration::from_millis(500)),
+        ));
+        let gold = csv_for(id, &record, &dir.join("rec"));
+        let n_ckpts = fs::read_dir(camp.join("checkpoints")).unwrap().count();
+        assert!(n_ckpts > 0, "{id}: no checkpoints recorded");
+        assert!(
+            fs::read_dir(camp.join("audit")).unwrap().count() > 0,
+            "{id}: no audit ladders recorded"
+        );
+        // Resume passes: every run restores its checkpoint and simulates
+        // only the tail, sequentially and across 8 workers.
+        for jobs in [1usize, 8] {
+            let resume = RunCtx::with_jobs(Quality::quick(), jobs)
+                .with_checkpoints(CampaignSpec::resume_from(&camp));
+            let out = csv_for(id, &resume, &dir.join(format!("jobs{jobs}")));
+            assert_eq!(out, gold, "{id}: resumed CSV differs at jobs={jobs}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -80,6 +80,16 @@ impl<M: Msdu> MacObserver<M> for GrcObserver {
     fn accept_ack(&mut self, ack: &Frame<M>, meta: &FrameMeta, expected_from: NodeId) -> bool {
         self.spoof.accept_ack(ack, meta, expected_from)
     }
+
+    fn snap_save(&self, w: &mut snap::Enc) {
+        self.nav.save_state(w);
+        self.spoof.save_state(w);
+    }
+
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        self.nav.load_state(r)?;
+        self.spoof.load_state(r)
+    }
 }
 
 #[cfg(test)]

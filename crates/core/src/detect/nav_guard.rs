@@ -98,6 +98,75 @@ impl NavGuard {
     }
 }
 
+impl NavGuard {
+    /// Serializes the runtime-mutable detector state: the pending-CTS
+    /// expectations (sorted for a canonical encoding) and the shared
+    /// report. Configuration (PHY calculator, tolerance, MTU, mitigation
+    /// flag) is rebuilt by the owner.
+    pub fn save_state(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
+        let mut pending: Vec<_> = self
+            .pending_cts
+            .iter()
+            .map(|(&(a, b), &(exp, until))| (a, b, exp, until))
+            .collect();
+        pending.sort_unstable_by_key(|&(a, b, _, _)| (a, b));
+        w.usize(pending.len());
+        for (a, b, exp, until) in pending {
+            w.u16(a);
+            w.u16(b);
+            w.u32(exp);
+            until.save(w);
+        }
+        let report = self.report.borrow();
+        w.usize(report.detections.len());
+        for (&src, &n) in &report.detections {
+            w.u16(src);
+            w.u64(n);
+        }
+        w.u64(report.corrections);
+    }
+
+    /// Restores state written by [`NavGuard::save_state`], writing the
+    /// report through the shared handle so external readers see it.
+    ///
+    /// # Errors
+    ///
+    /// [`snap::SnapError::Corrupt`] on truncated or oversized input.
+    pub fn load_state(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "NAV guard pending-CTS count {n} exceeds input"
+            )));
+        }
+        self.pending_cts.clear();
+        for _ in 0..n {
+            let a = r.u16()?;
+            let b = r.u16()?;
+            let exp = r.u32()?;
+            let until = SimTime::load(r)?;
+            self.pending_cts.insert((a, b), (exp, until));
+        }
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "NAV guard detection count {n} exceeds input"
+            )));
+        }
+        let mut report = self.report.borrow_mut();
+        report.detections.clear();
+        for _ in 0..n {
+            let src = r.u16()?;
+            let count = r.u64()?;
+            report.detections.insert(src, count);
+        }
+        report.corrections = r.u64()?;
+        Ok(())
+    }
+}
+
 impl<M: Msdu> MacObserver<M> for NavGuard {
     fn on_frame(&mut self, frame: &Frame<M>, meta: &FrameMeta, _addressed_to_me: bool) -> u32 {
         let now = meta.now;
@@ -135,6 +204,14 @@ impl<M: Msdu> MacObserver<M> for NavGuard {
                 self.resolve(frame.duration_us, self.calc.ack_duration_us(), frame.src.0)
             }
         }
+    }
+
+    fn snap_save(&self, w: &mut snap::Enc) {
+        self.save_state(w);
+    }
+
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        self.load_state(r)
     }
 }
 

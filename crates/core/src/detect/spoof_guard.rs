@@ -103,6 +103,65 @@ impl SpoofGuard {
     }
 }
 
+impl SpoofGuard {
+    /// Serializes the runtime-mutable detector state: the per-peer RSSI
+    /// windows (sorted by peer for a canonical encoding) and the shared
+    /// report. Configuration is rebuilt by the owner.
+    pub fn save_state(&self, w: &mut snap::Enc) {
+        let mut peers: Vec<_> = self.history.iter().collect();
+        peers.sort_unstable_by_key(|(&peer, _)| peer);
+        w.usize(peers.len());
+        for (&peer, window) in peers {
+            w.u16(peer);
+            w.usize(window.len());
+            for &rssi in window {
+                w.f64(rssi);
+            }
+        }
+        let report = self.report.borrow();
+        w.u64(report.flagged);
+        w.u64(report.rejected);
+        w.u64(report.accepted);
+        w.u64(report.unvetted);
+    }
+
+    /// Restores state written by [`SpoofGuard::save_state`], writing the
+    /// report through the shared handle so external readers see it.
+    ///
+    /// # Errors
+    ///
+    /// [`snap::SnapError::Corrupt`] on truncated or oversized input.
+    pub fn load_state(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "spoof guard peer count {n} exceeds input"
+            )));
+        }
+        self.history.clear();
+        for _ in 0..n {
+            let peer = r.u16()?;
+            let len = r.usize()?;
+            if len > r.remaining() {
+                return Err(snap::SnapError::Corrupt(format!(
+                    "spoof guard window length {len} exceeds input"
+                )));
+            }
+            let mut window = VecDeque::with_capacity(len);
+            for _ in 0..len {
+                window.push_back(r.f64()?);
+            }
+            self.history.insert(peer, window);
+        }
+        let mut report = self.report.borrow_mut();
+        report.flagged = r.u64()?;
+        report.rejected = r.u64()?;
+        report.accepted = r.u64()?;
+        report.unvetted = r.u64()?;
+        Ok(())
+    }
+}
+
 impl<M: Msdu> MacObserver<M> for SpoofGuard {
     fn on_frame(&mut self, frame: &Frame<M>, meta: &FrameMeta, _addressed_to_me: bool) -> u32 {
         // Learn the peer's RSSI fingerprint from frames whose origin the
@@ -131,6 +190,14 @@ impl<M: Msdu> MacObserver<M> for SpoofGuard {
             self.report.borrow_mut().accepted += 1;
             true
         }
+    }
+
+    fn snap_save(&self, w: &mut snap::Enc) {
+        self.save_state(w);
+    }
+
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        self.load_state(r)
     }
 }
 

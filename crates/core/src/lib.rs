@@ -41,7 +41,9 @@
 //! ```
 
 #![warn(missing_docs)]
+pub mod audit;
 pub mod capacity;
+pub mod checkpoint;
 pub mod corruption;
 pub mod detect;
 pub mod misbehavior;
@@ -51,7 +53,9 @@ pub mod run;
 pub mod runplan;
 pub mod scenario;
 
+pub use audit::Pinpoint;
 pub use capacity::CapacityModel;
+pub use checkpoint::{CampaignSpec, Checkpoint};
 pub use corruption::{CorruptionCounts, CorruptionStudy};
 pub use detect::{
     CrossLayerDetector, DominoDetector, DominoReport, FakeAckDetector, GrcObserver,
@@ -65,7 +69,5 @@ pub use misbehavior::{
 pub use model::{nav_inflation_model, SendProbabilities};
 pub use rssi_study::{RssiStudy, RssiStudyConfig};
 pub use run::Run;
-#[allow(deprecated)]
-pub use runplan::execute;
 pub use runplan::{RunOutcome, RunPlan};
 pub use scenario::{BuiltScenario, Scenario, ScenarioOutcome, TransportKind};

@@ -57,6 +57,43 @@ pub struct FakeConfig {
     pub gp: f64,
 }
 
+impl snap::SnapValue for SpoofConfig {
+    fn save(&self, w: &mut snap::Enc) {
+        self.victims.save(w);
+        w.f64(self.gp);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(SpoofConfig {
+            victims: Vec::load(r)?,
+            gp: r.f64()?,
+        })
+    }
+}
+
+impl snap::SnapValue for FakeConfig {
+    fn save(&self, w: &mut snap::Enc) {
+        w.f64(self.gp);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(FakeConfig { gp: r.f64()? })
+    }
+}
+
+impl snap::SnapValue for GreedyConfig {
+    fn save(&self, w: &mut snap::Enc) {
+        self.nav.save(w);
+        self.spoof.save(w);
+        self.fake.save(w);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(GreedyConfig {
+            nav: Option::load(r)?,
+            spoof: Option::load(r)?,
+            fake: Option::load(r)?,
+        })
+    }
+}
+
 impl GreedyConfig {
     /// A receiver that inflates NAV only.
     pub fn nav_inflation(cfg: NavInflationConfig) -> Self {

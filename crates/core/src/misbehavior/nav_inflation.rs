@@ -95,6 +95,38 @@ impl NavInflationConfig {
     }
 }
 
+impl snap::SnapValue for InflatedFrames {
+    fn save(&self, w: &mut snap::Enc) {
+        w.bool(self.cts);
+        w.bool(self.ack);
+        w.bool(self.rts);
+        w.bool(self.data);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(InflatedFrames {
+            cts: r.bool()?,
+            ack: r.bool()?,
+            rts: r.bool()?,
+            data: r.bool()?,
+        })
+    }
+}
+
+impl snap::SnapValue for NavInflationConfig {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u32(self.inflate_us);
+        w.f64(self.gp);
+        self.frames.save(w);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(NavInflationConfig {
+            inflate_us: r.u32()?,
+            gp: r.f64()?,
+            frames: InflatedFrames::load(r)?,
+        })
+    }
+}
+
 /// The station policy implementing NAV inflation.
 #[derive(Debug, Clone)]
 pub struct NavInflationPolicy {

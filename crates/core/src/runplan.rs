@@ -14,7 +14,7 @@
 
 use mac::NodeId;
 use net::RunMetrics;
-use sim::{RunKey, SimDuration, SimError};
+use sim::{RunKey, SimDuration, SimTime};
 use transport::FlowId;
 
 use crate::detect::GrcSnapshot;
@@ -58,6 +58,13 @@ pub struct RunOutcome {
     pub grc: Vec<(NodeId, GrcSnapshot)>,
     /// Drained flight-recorder report, if the run recorded.
     pub obs: Option<::obs::ObsReport>,
+    /// State-hash audit ladder (empty unless the run armed audit
+    /// barriers; see [`Run::audit_every`](crate::Run::audit_every)).
+    pub audit: snap::audit::Ladder,
+    /// Encoded [`Checkpoint`](crate::checkpoint::Checkpoint) containers
+    /// captured at each checkpoint barrier, in virtual-time order
+    /// (empty unless armed).
+    pub checkpoints: Vec<(SimTime, Vec<u8>)>,
     /// Run length (for goodput conversions).
     pub duration: SimDuration,
 }
@@ -84,19 +91,4 @@ impl RunOutcome {
     pub fn spoof_flags(&self) -> u64 {
         self.grc.iter().map(|(_, s)| s.spoof.flagged).sum()
     }
-}
-
-/// Executes one planned run: seed from the key, build, simulate, snapshot.
-///
-/// # Errors
-///
-/// Returns [`SimError::InvalidConfig`] if the scenario is malformed (zero
-/// pairs, out-of-range indices, invalid error rates).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Run::plan(&scenario).keyed(key).execute()` instead"
-)]
-pub fn execute(plan: RunPlan) -> Result<RunOutcome, SimError> {
-    let RunPlan { key, scenario } = plan;
-    crate::run::Run::plan(&scenario).keyed(key).execute()
 }

@@ -21,9 +21,10 @@
 //! paper evaluates (§IV-B).
 
 use mac::NodeId;
-use net::{NetworkBuilder, RunMetrics};
+use net::{NetworkBuilder, RunArtifacts, RunHooks, RunMetrics};
 use phy::{CaptureModel, ErrorModel, ErrorUnit, PhyParams, PhyStandard, Position};
-use sim::{SimDuration, SimError};
+use sim::{SimDuration, SimError, SimTime};
+use snap::SnapState as _;
 use transport::{FlowId, TcpConfig};
 
 use crate::detect::{GrcObserver, GrcReportHandles};
@@ -46,6 +47,27 @@ impl TransportKind {
     pub const SATURATING_UDP: TransportKind = TransportKind::Udp {
         rate_bps: 10_000_000,
     };
+}
+
+impl snap::SnapValue for TransportKind {
+    fn save(&self, w: &mut snap::Enc) {
+        match self {
+            TransportKind::Udp { rate_bps } => {
+                w.u8(0);
+                w.u64(*rate_bps);
+            }
+            TransportKind::Tcp => w.u8(1),
+        }
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        match r.u8()? {
+            0 => Ok(TransportKind::Udp { rate_bps: r.u64()? }),
+            1 => Ok(TransportKind::Tcp),
+            t => Err(snap::SnapError::Corrupt(format!(
+                "unknown transport kind tag {t}"
+            ))),
+        }
+    }
 }
 
 /// Declarative description of a standard experiment run.
@@ -118,6 +140,104 @@ impl Default for Scenario {
             duration: SimDuration::from_secs(10),
             seed: 1,
         }
+    }
+}
+
+/// The encoding covers every field that shapes simulated behavior, so a
+/// checkpoint can embed the scenario it was taken under and a resuming
+/// process can rebuild an identically configured network. `record` is
+/// deliberately excluded: observability never feeds back into the
+/// simulation, so recording is the resuming process's own choice —
+/// [`load`](snap::SnapValue::load) leaves it `None`.
+impl snap::SnapValue for Scenario {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u8(match self.phy {
+            PhyStandard::Dot11b => 0,
+            PhyStandard::Dot11a => 1,
+        });
+        self.transport.save(w);
+        w.usize(self.pairs);
+        w.bool(self.shared_sender);
+        w.bool(self.rts);
+        w.usize(self.payload);
+        w.usize(self.greedy.len());
+        for (idx, cfg) in &self.greedy {
+            w.usize(*idx);
+            cfg.save(w);
+        }
+        self.grc.save(w);
+        w.f64(self.byte_error_rate);
+        w.usize(self.flow_error_overrides.len());
+        for (idx, rate) in &self.flow_error_overrides {
+            w.usize(*idx);
+            w.f64(*rate);
+        }
+        self.wire_delay.save(w);
+        w.bool(self.probes);
+        self.probe_interval.save(w);
+        self.capture_threshold_db.save(w);
+        self.duration.save(w);
+        w.u64(self.seed);
+    }
+
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        let phy = match r.u8()? {
+            0 => PhyStandard::Dot11b,
+            1 => PhyStandard::Dot11a,
+            t => {
+                return Err(snap::SnapError::Corrupt(format!(
+                    "unknown PHY standard tag {t}"
+                )))
+            }
+        };
+        let transport = TransportKind::load(r)?;
+        let pairs = r.usize()?;
+        let shared_sender = r.bool()?;
+        let rts = r.bool()?;
+        let payload = r.usize()?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "greedy receiver count {n} exceeds input"
+            )));
+        }
+        let mut greedy = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.usize()?;
+            greedy.push((idx, crate::misbehavior::GreedyConfig::load(r)?));
+        }
+        let grc = Option::load(r)?;
+        let byte_error_rate = r.f64()?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "flow error override count {n} exceeds input"
+            )));
+        }
+        let mut flow_error_overrides = Vec::with_capacity(n);
+        for _ in 0..n {
+            let idx = r.usize()?;
+            flow_error_overrides.push((idx, r.f64()?));
+        }
+        Ok(Scenario {
+            phy,
+            transport,
+            pairs,
+            shared_sender,
+            rts,
+            payload,
+            greedy,
+            grc,
+            byte_error_rate,
+            flow_error_overrides,
+            wire_delay: Option::load(r)?,
+            probes: r.bool()?,
+            probe_interval: SimDuration::load(r)?,
+            capture_threshold_db: Option::load(r)?,
+            record: None,
+            duration: SimDuration::load(r)?,
+            seed: r.u64()?,
+        })
     }
 }
 
@@ -203,6 +323,39 @@ impl BuiltScenario {
     /// Executes the simulation and packages the outcome.
     pub fn run(mut self) -> ScenarioOutcome {
         let metrics = self.net.run(self.duration);
+        self.package(metrics)
+    }
+
+    /// Executes the simulation with audit/checkpoint hooks armed and
+    /// returns the raw [`RunArtifacts`] (audit rungs, network-state
+    /// checkpoint blobs) alongside the outcome.
+    pub fn run_hooked(mut self, hooks: RunHooks) -> (ScenarioOutcome, RunArtifacts) {
+        let (metrics, artifacts) = self.net.run_hooked(self.duration, hooks);
+        (self.package(metrics), artifacts)
+    }
+
+    /// Restores a mid-run network snapshot taken at virtual time `at`
+    /// into this freshly built (identically configured) network and
+    /// resumes to the scenario horizon. Audit/checkpoint grids continue
+    /// from the first barrier strictly after `at`, so the resumed
+    /// artifact stream is the exact tail of the uninterrupted run's.
+    ///
+    /// # Errors
+    ///
+    /// [`snap::SnapError`] when `state` is corrupt or does not match
+    /// this scenario's topology.
+    pub fn resume_hooked(
+        mut self,
+        state: &[u8],
+        at: SimTime,
+        hooks: RunHooks,
+    ) -> Result<(ScenarioOutcome, RunArtifacts), snap::SnapError> {
+        self.net.snap_restore(&mut snap::Dec::new(state))?;
+        let (metrics, artifacts) = self.net.resume_hooked(self.duration, hooks, at);
+        Ok((self.package(metrics), artifacts))
+    }
+
+    fn package(self, metrics: RunMetrics) -> ScenarioOutcome {
         ScenarioOutcome {
             metrics,
             flows: self.flows,
@@ -241,22 +394,6 @@ impl Scenario {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
-    }
-
-    /// Runs the scenario: [`build`](Self::build) followed by
-    /// [`BuiltScenario::run`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError::InvalidConfig`] for zero pairs, out-of-range
-    /// greedy indices, or invalid error rates.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Run::plan(&scenario).execute()` instead; it returns a \
-                plain-data `RunOutcome` with detached report snapshots"
-    )]
-    pub fn run(&self) -> Result<ScenarioOutcome, SimError> {
-        Ok(self.build()?.run())
     }
 
     /// Materializes the scenario into a runnable network without running

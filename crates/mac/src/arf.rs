@@ -137,6 +137,35 @@ impl Arf {
     }
 }
 
+/// Snapshot = adaptation state only. The rate ladder and thresholds come
+/// from configuration, which the owner rebuilds before restoring.
+impl snap::SnapState for Arf {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        w.usize(self.index);
+        w.u32(self.consecutive_ok);
+        w.u32(self.consecutive_fail);
+        w.bool(self.probing);
+        w.u64(self.step_ups);
+        w.u64(self.step_downs);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        let index = r.usize()?;
+        if index >= self.cfg.rates.len() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "ARF rate index {index} outside ladder of {}",
+                self.cfg.rates.len()
+            )));
+        }
+        self.index = index;
+        self.consecutive_ok = r.u32()?;
+        self.consecutive_fail = r.u32()?;
+        self.probing = r.bool()?;
+        self.step_ups = r.u64()?;
+        self.step_downs = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,23 @@ impl Backoff {
     }
 }
 
+impl snap::SnapValue for Backoff {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u32(self.cw);
+        w.u32(self.cw_min);
+        w.u32(self.cw_max);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        let (cw, cw_min, cw_max) = (r.u32()?, r.u32()?, r.u32()?);
+        if cw_max < cw_min || cw < cw_min || cw > cw_max {
+            return Err(snap::SnapError::Corrupt(format!(
+                "backoff window {cw} outside [{cw_min}, {cw_max}]"
+            )));
+        }
+        Ok(Backoff { cw, cw_min, cw_max })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

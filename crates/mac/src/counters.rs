@@ -102,6 +102,61 @@ impl MacCounters {
     }
 }
 
+impl snap::SnapValue for MacCounters {
+    fn save(&self, w: &mut snap::Enc) {
+        self.rts_sent.save(w);
+        self.cts_sent.save(w);
+        self.data_sent.save(w);
+        self.data_first_tx.save(w);
+        self.acks_sent.save(w);
+        self.fake_acks_sent.save(w);
+        self.spoofed_acks_sent.save(w);
+        self.short_retries.save(w);
+        self.long_retries.save(w);
+        self.retry_drops.save(w);
+        self.queue_drops.save(w);
+        self.delivered_msdus.save(w);
+        self.delivered_bytes.save(w);
+        self.duplicates.save(w);
+        self.corrupted_rx.save(w);
+        self.collision_rx.save(w);
+        self.timeouts.save(w);
+        self.tx_successes.save(w);
+        self.inflated_navs_sent.save(w);
+        // BTreeMap iterates sorted by key, so the encoding is canonical.
+        let draws: Vec<(u32, u64)> = self.cw_draw_counts.iter().map(|(&k, &v)| (k, v)).collect();
+        draws.save(w);
+        self.cw_timeline.save(w);
+        self.cw_samples.save(w);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(MacCounters {
+            rts_sent: Counter::load(r)?,
+            cts_sent: Counter::load(r)?,
+            data_sent: Counter::load(r)?,
+            data_first_tx: Counter::load(r)?,
+            acks_sent: Counter::load(r)?,
+            fake_acks_sent: Counter::load(r)?,
+            spoofed_acks_sent: Counter::load(r)?,
+            short_retries: Counter::load(r)?,
+            long_retries: Counter::load(r)?,
+            retry_drops: Counter::load(r)?,
+            queue_drops: Counter::load(r)?,
+            delivered_msdus: Counter::load(r)?,
+            delivered_bytes: Counter::load(r)?,
+            duplicates: Counter::load(r)?,
+            corrupted_rx: Counter::load(r)?,
+            collision_rx: Counter::load(r)?,
+            timeouts: Counter::load(r)?,
+            tx_successes: Counter::load(r)?,
+            inflated_navs_sent: Counter::load(r)?,
+            cw_draw_counts: Vec::<(u32, u64)>::load(r)?.into_iter().collect(),
+            cw_timeline: TimeWeightedMean::load(r)?,
+            cw_samples: Mean::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

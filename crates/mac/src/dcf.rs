@@ -67,6 +67,21 @@ impl TimerKind {
     }
 }
 
+impl snap::SnapValue for TimerKind {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u8(self.index() as u8);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => TimerKind::Access,
+            1 => TimerKind::NavEnd,
+            2 => TimerKind::Response,
+            3 => TimerKind::Sifs,
+            t => return Err(snap::SnapError::Corrupt(format!("timer kind tag {t}"))),
+        })
+    }
+}
+
 /// What a reception concluded to, as reported by the medium.
 #[derive(Debug, Clone)]
 pub enum RxEvent<M> {
@@ -221,10 +236,47 @@ struct TxOp<M> {
     enqueued_at: SimTime,
 }
 
+impl<M: Msdu> snap::SnapValue for TxOp<M> {
+    fn save(&self, w: &mut snap::Enc) {
+        self.dst.save(w);
+        self.body.save(w);
+        w.u64(self.seq);
+        w.u32(self.short_retries);
+        w.u32(self.long_retries);
+        w.u64(self.enqueued_at.as_nanos());
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(TxOp {
+            dst: NodeId::load(r)?,
+            body: M::load(r)?,
+            seq: r.u64()?,
+            short_retries: r.u32()?,
+            long_retries: r.u32()?,
+            enqueued_at: SimTime::from_nanos(r.u64()?),
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Awaiting {
     Cts,
     Ack,
+}
+
+impl snap::SnapValue for Awaiting {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u8(match self {
+            Awaiting::Cts => 0,
+            Awaiting::Ack => 1,
+        });
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => Awaiting::Cts,
+            1 => Awaiting::Ack,
+            t => return Err(snap::SnapError::Corrupt(format!("awaiting tag {t}"))),
+        })
+    }
 }
 
 /// One station's DCF instance.
@@ -354,6 +406,16 @@ impl<M: Msdu> Dcf<M> {
     /// This station's identifier.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// FNV-1a digest over the policy/observer hook state alone — the
+    /// misbehavior-detection layer of the audit ladder. Stateless hooks
+    /// encode to nothing, so honest stations all share one digest.
+    pub fn hooks_digest(&self) -> u64 {
+        let mut w = snap::Enc::new();
+        self.policy.snap_save(&mut w);
+        self.observer.snap_save(&mut w);
+        snap::fnv1a(w.bytes())
     }
 
     /// The configuration in effect.
@@ -970,6 +1032,90 @@ impl<M: Msdu> Dcf<M> {
     }
 }
 
+/// Snapshot = every field the protocol mutates at runtime, in declaration
+/// order; configuration (`id`, [`DcfConfig`], the NAV calculator), the
+/// boxed hooks themselves and the recorder/pool plumbing are rebuilt by
+/// the owner before restoring. Policy and observer *state* rides along
+/// through [`StationPolicy::snap_save`] / [`MacObserver::snap_save`].
+impl<M: Msdu> snap::SnapState for Dcf<M> {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
+        self.nav.save(w);
+        self.backoff.save(w);
+        self.rng.snap_save(w);
+        self.counters.save(w);
+        w.usize(self.queue.len());
+        for item in &self.queue {
+            item.save(w);
+        }
+        self.current.save(w);
+        self.awaiting.save(w);
+        self.pending_response.save(w);
+        self.backoff_slots.save(w);
+        self.decr_start.save(w);
+        w.bool(self.access_armed);
+        w.bool(self.phys_busy);
+        w.bool(self.txing);
+        self.tx_frame.save(w);
+        w.u64(self.phys_idle_since.as_nanos());
+        w.u64(self.own_tx_idle_since.as_nanos());
+        w.bool(self.use_eifs);
+        w.u64(self.next_seq);
+        self.dedup.save(w);
+        w.bool(self.arf.is_some());
+        if let Some(arf) = &self.arf {
+            arf.snap_save(w);
+        }
+        self.last_ack_at.save(w);
+        self.policy.snap_save(w);
+        self.observer.snap_save(w);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
+        self.nav = Nav::load(r)?;
+        self.backoff = Backoff::load(r)?;
+        self.rng.snap_restore(r)?;
+        self.counters = MacCounters::load(r)?;
+        let queue_len = r.usize()?;
+        if queue_len > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "MAC queue length {queue_len} exceeds input"
+            )));
+        }
+        self.queue.clear();
+        for _ in 0..queue_len {
+            self.queue.push_back(<(NodeId, M, SimTime)>::load(r)?);
+        }
+        self.current = Option::<TxOp<M>>::load(r)?;
+        self.awaiting = Option::<Awaiting>::load(r)?;
+        self.pending_response = Option::<Frame<M>>::load(r)?;
+        self.backoff_slots = Option::<u32>::load(r)?;
+        self.decr_start = Option::<SimTime>::load(r)?;
+        self.access_armed = r.bool()?;
+        self.phys_busy = r.bool()?;
+        self.txing = r.bool()?;
+        self.tx_frame = Option::<Frame<M>>::load(r)?;
+        self.phys_idle_since = SimTime::from_nanos(r.u64()?);
+        self.own_tx_idle_since = SimTime::from_nanos(r.u64()?);
+        self.use_eifs = r.bool()?;
+        self.next_seq = r.u64()?;
+        self.dedup = DedupCache::load(r)?;
+        let has_arf = r.bool()?;
+        if has_arf != self.arf.is_some() {
+            return Err(snap::SnapError::Corrupt(
+                "ARF presence differs between snapshot and configuration".into(),
+            ));
+        }
+        if let Some(arf) = &mut self.arf {
+            arf.snap_restore(r)?;
+        }
+        self.last_ack_at = Option::<SimTime>::load(r)?;
+        self.policy.snap_restore(r)?;
+        self.observer.snap_restore(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1534,6 +1680,47 @@ mod tests {
             d.on_timer(t, TimerKind::Access); // retransmit
         }
         assert_eq!(d.current_data_rate_bps(), 5_500_000);
+    }
+
+    #[test]
+    fn snapshot_mid_exchange_round_trips() {
+        use snap::{Dec, Enc, SnapState};
+        let mut a = mk(0);
+        let mut t = SimTime::from_millis(1);
+        a.on_enqueue(t, NodeId(1), 1024); // immediate RTS
+        t += SimDuration::from_micros(352);
+        a.on_tx_end(t); // now awaiting CTS
+        a.on_enqueue(t, NodeId(2), 256); // second MSDU queued behind
+        t += SimDuration::from_millis(1);
+        a.on_timer(t, TimerKind::Response); // CTS timeout: retry + CW doubled
+        let mut w = Enc::new();
+        a.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        // Restore into a freshly built station (same config, virgin RNG).
+        let mut b = mk(0);
+        b.snap_restore(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(a.snap_digest(), b.snap_digest());
+        assert_eq!(a.cw(), b.cw());
+        assert_eq!(a.queue_len(), b.queue_len());
+        assert_eq!(a.counters.timeouts.get(), b.counters.timeouts.get());
+        // Both continue identically: the retry RTS and every subsequent
+        // action batch (including RNG-driven backoff draws) match.
+        t += SimDuration::from_millis(2);
+        let (xa, xb) = (
+            a.on_timer(t, TimerKind::Access),
+            b.on_timer(t, TimerKind::Access),
+        );
+        assert_eq!(format!("{:?}", &*xa), format!("{:?}", &*xb));
+        t += SimDuration::from_micros(352);
+        let (xa, xb) = (a.on_tx_end(t), b.on_tx_end(t));
+        assert_eq!(format!("{:?}", &*xa), format!("{:?}", &*xb));
+        t += SimDuration::from_millis(1);
+        let (xa, xb) = (
+            a.on_timer(t, TimerKind::Response),
+            b.on_timer(t, TimerKind::Response),
+        );
+        assert_eq!(format!("{:?}", &*xa), format!("{:?}", &*xb));
+        assert_eq!(a.cw(), b.cw());
     }
 
     #[test]

@@ -54,6 +54,23 @@ impl DedupCache {
     }
 }
 
+/// Entries are serialized sorted by source id so the encoding (and the
+/// digest derived from it) is independent of `HashMap` iteration order.
+impl snap::SnapValue for DedupCache {
+    fn save(&self, w: &mut snap::Enc) {
+        let mut entries: Vec<(NodeId, u64)> =
+            self.last_delivered.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        entries.save(w);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        let entries = Vec::<(NodeId, u64)>::load(r)?;
+        Ok(DedupCache {
+            last_delivered: entries.into_iter().collect(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

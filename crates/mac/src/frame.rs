@@ -48,6 +48,15 @@ impl fmt::Display for NodeId {
     }
 }
 
+impl snap::SnapValue for NodeId {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u16(self.0);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(NodeId(r.u16()?))
+    }
+}
+
 /// The kind of an 802.11 frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FrameKind {
@@ -73,6 +82,26 @@ impl fmt::Display for FrameKind {
     }
 }
 
+impl snap::SnapValue for FrameKind {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u8(match self {
+            FrameKind::Rts => 0,
+            FrameKind::Cts => 1,
+            FrameKind::Data => 2,
+            FrameKind::Ack => 3,
+        });
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => FrameKind::Rts,
+            1 => FrameKind::Cts,
+            2 => FrameKind::Data,
+            3 => FrameKind::Ack,
+            t => return Err(snap::SnapError::Corrupt(format!("frame kind tag {t}"))),
+        })
+    }
+}
+
 /// An upper-layer payload the MAC can carry in a data frame.
 ///
 /// The MAC is generic over the payload so the transport layer can plug in
@@ -81,7 +110,7 @@ impl fmt::Display for FrameKind {
 /// transport-layer acknowledgement — the paper's NAV-inflation misbehavior
 /// inflates RTS/DATA frames *only when they carry TCP ACKs*, because those
 /// are the only data frames a receiver legitimately transmits.
-pub trait Msdu: Clone + fmt::Debug {
+pub trait Msdu: Clone + fmt::Debug + snap::SnapValue {
     /// Bytes this payload occupies inside the MAC body (transport + IP
     /// headers included).
     fn wire_bytes(&self) -> usize;
@@ -228,6 +257,33 @@ impl<M: Msdu> Frame<M> {
     /// True if this data frame carries a transport-layer ACK.
     pub fn carries_transport_ack(&self) -> bool {
         self.body.as_ref().is_some_and(Msdu::is_transport_ack)
+    }
+}
+
+impl<M: Msdu> snap::SnapValue for Frame<M> {
+    fn save(&self, w: &mut snap::Enc) {
+        self.kind.save(w);
+        self.src.save(w);
+        self.dst.save(w);
+        self.actual_tx.save(w);
+        w.u32(self.duration_us);
+        w.u64(self.seq);
+        w.bool(self.retry);
+        self.rate_bps.save(w);
+        self.body.save(w);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(Frame {
+            kind: FrameKind::load(r)?,
+            src: NodeId::load(r)?,
+            dst: NodeId::load(r)?,
+            actual_tx: NodeId::load(r)?,
+            duration_us: r.u32()?,
+            seq: r.u64()?,
+            retry: r.bool()?,
+            rate_bps: Option::<u64>::load(r)?,
+            body: Option::<M>::load(r)?,
+        })
     }
 }
 
@@ -388,6 +444,12 @@ mod tests {
     fn transport_ack_flag_passthrough() {
         #[derive(Debug, Clone)]
         struct AckSeg;
+        impl snap::SnapValue for AckSeg {
+            fn save(&self, _w: &mut snap::Enc) {}
+            fn load(_r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+                Ok(AckSeg)
+            }
+        }
         impl Msdu for AckSeg {
             fn wire_bytes(&self) -> usize {
                 60

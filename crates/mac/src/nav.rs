@@ -75,6 +75,17 @@ impl Nav {
     }
 }
 
+impl snap::SnapValue for Nav {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u64(self.until.as_nanos());
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(Nav {
+            until: SimTime::from_nanos(r.u64()?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,6 +73,19 @@ pub trait StationPolicy<M: Msdu>: std::fmt::Debug {
         let _ = (cw, rng);
         None
     }
+
+    /// Serializes mutable policy state into a station snapshot. Stateless
+    /// policies (the common case) write nothing.
+    fn snap_save(&self, w: &mut snap::Enc) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`StationPolicy::snap_save`]. Must
+    /// consume exactly the bytes that `snap_save` produced.
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// The honest station: never inflates, never fakes, never spoofs.
@@ -112,6 +125,20 @@ pub trait MacObserver<M: Msdu>: std::fmt::Debug {
     /// Called when this station receives a corrupted frame.
     fn on_corrupted(&mut self, meta: &FrameMeta) {
         let _ = meta;
+    }
+
+    /// Serializes mutable observer state (detector histories, per-node
+    /// records) into a station snapshot. Stateless observers write
+    /// nothing.
+    fn snap_save(&self, w: &mut snap::Enc) {
+        let _ = w;
+    }
+
+    /// Restores state written by [`MacObserver::snap_save`]. Must consume
+    /// exactly the bytes that `snap_save` produced.
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        let _ = r;
+        Ok(())
     }
 }
 

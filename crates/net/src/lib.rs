@@ -14,6 +14,8 @@ pub mod trace;
 
 pub use builder::NetworkBuilder;
 pub use metrics::{FlowMetrics, NodeMetrics, RunMetrics};
-pub use network::{Network, GAUGE_CW, GAUGE_CWND, GAUGE_NAV_REMAINING_US, GAUGE_QUEUE_LEN};
+pub use network::{
+    Network, RunArtifacts, RunHooks, GAUGE_CW, GAUGE_CWND, GAUGE_NAV_REMAINING_US, GAUGE_QUEUE_LEN,
+};
 pub use stats::SimStats;
 pub use trace::{Trace, TraceKind, TraceRecord};

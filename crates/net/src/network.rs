@@ -24,6 +24,7 @@ use mac::{
 use phy::error_model::PLCP_EQUIVALENT_BYTES;
 use phy::{channel::Reach, CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
 use sim::{Arena, ArenaHandle, Scheduler, SimDuration, SimRng, SimTime, TimerHandle};
+use snap::{SnapState as _, SnapValue as _};
 use transport::{
     CbrSource, FlowId, ProbeStats, Segment, TcpOutput, TcpReceiver, TcpSender, UdpSink,
 };
@@ -85,6 +86,41 @@ pub(crate) enum Event {
         to_remote: bool,
         seg: Segment,
     },
+}
+
+/// Virtual-time hooks threaded through [`Network::run_hooked`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunHooks {
+    /// Record one audit-ladder rung (a digest per layer) every this much
+    /// virtual time.
+    pub audit_every: Option<SimDuration>,
+    /// Snapshot the full network state every this much virtual time.
+    pub checkpoint_every: Option<SimDuration>,
+    /// Inject one extra draw on the shared RNG stream just before the
+    /// first event at or after this instant — fault injection for the
+    /// audit-ladder regression tests.
+    pub perturb_rng_at: Option<SimTime>,
+}
+
+/// By-products of a hooked run.
+#[derive(Debug, Clone, Default)]
+pub struct RunArtifacts {
+    /// Audit-ladder rungs as `(virtual time ns, layer, digest)`, in
+    /// barrier order; each barrier contributes one entry per layer.
+    pub audit: Vec<(u64, &'static str, u64)>,
+    /// Checkpoints as `(barrier instant, encoded network state)`.
+    pub checkpoints: Vec<(SimTime, Vec<u8>)>,
+}
+
+/// Hook kinds, ordered by firing priority at equal instants.
+const HOOK_GAUGE: u8 = 0;
+const HOOK_AUDIT: u8 = 1;
+const HOOK_CKPT: u8 = 2;
+
+/// First multiple of `iv` (counted from virtual zero) strictly after `t`.
+fn grid_after(t: SimTime, iv: SimDuration) -> SimTime {
+    let k = t.as_nanos() / iv.as_nanos() + 1;
+    SimTime::from_nanos(k * iv.as_nanos())
 }
 
 pub(crate) struct NodeState {
@@ -300,8 +336,51 @@ impl Network {
     /// Runs the simulation for `duration` of virtual time and returns the
     /// collected metrics. Can be called once per network.
     pub fn run(&mut self, duration: SimDuration) -> RunMetrics {
-        let _span = ::obs::span!("net/run");
+        self.run_hooked(duration, RunHooks::default()).0
+    }
+
+    /// Runs the simulation with virtual-time hooks: audit-ladder rungs,
+    /// periodic checkpoints and the fault-injection knob. Equivalent to
+    /// [`run`](Network::run) when `hooks` is all-default — the hooks ride
+    /// the event loop on fixed virtual-time grids without scheduling
+    /// events or touching the RNG streams, so simulation outcomes are
+    /// byte-identical with them on or off.
+    pub fn run_hooked(
+        &mut self,
+        duration: SimDuration,
+        hooks: RunHooks,
+    ) -> (RunMetrics, RunArtifacts) {
         self.start_flows();
+        self.event_loop(duration, hooks, None)
+    }
+
+    /// Continues a network whose state was restored from a checkpoint
+    /// taken at barrier instant `resumed_at`. Flows are *not* restarted —
+    /// the restored scheduler already holds every armed event — and each
+    /// hook grid resumes at its first point strictly after `resumed_at`,
+    /// so the hook sequence concatenates seamlessly with the portion
+    /// emitted before the snapshot.
+    pub fn resume_hooked(
+        &mut self,
+        duration: SimDuration,
+        hooks: RunHooks,
+        resumed_at: SimTime,
+    ) -> (RunMetrics, RunArtifacts) {
+        self.event_loop(duration, hooks, Some(resumed_at))
+    }
+
+    /// The event loop. Before each event is dispatched, every hook
+    /// barrier due at or before that event's timestamp fires in
+    /// virtual-time order (gauge → audit → checkpoint at equal
+    /// instants), so a checkpoint observes exactly the barriers that
+    /// precede it and a resumed run re-derives the rest from the grid.
+    fn event_loop(
+        &mut self,
+        duration: SimDuration,
+        hooks: RunHooks,
+        resumed_at: Option<SimTime>,
+    ) -> (RunMetrics, RunArtifacts) {
+        let _span = ::obs::span!("net/run");
         let horizon = SimTime::ZERO + duration;
         // Gauge sampling rides the event loop on a fixed virtual-time
         // grid instead of scheduling its own events, so the event count
@@ -310,25 +389,71 @@ impl Network {
             .recorder
             .as_ref()
             .and_then(|r| r.borrow().probe_interval());
-        let mut next_probe = SimTime::ZERO;
-        while let Some((now, ev)) = self.sched.next_until(horizon) {
-            if let Some(iv) = probe_iv {
-                while next_probe <= now {
-                    self.sample_gauges(next_probe);
-                    next_probe += iv;
+        let first = |start: SimTime, iv: SimDuration| match resumed_at {
+            None => start,
+            Some(c) => grid_after(c, iv),
+        };
+        let mut next_probe = probe_iv.map(|iv| first(SimTime::ZERO, iv));
+        let mut next_audit = hooks.audit_every.map(|iv| first(SimTime::ZERO + iv, iv));
+        let mut next_ckpt = hooks
+            .checkpoint_every
+            .map(|iv| first(SimTime::ZERO + iv, iv));
+        // A perturbation strictly before the restored clock already fired
+        // before the checkpoint (the event that triggered it advanced the
+        // clock past it), so a resumed run must not re-apply it.
+        let mut perturb = hooks.perturb_rng_at.filter(|&t| self.sched.now() < t);
+        let mut artifacts = RunArtifacts::default();
+        loop {
+            let next_event = self.sched.peek_time().filter(|&t| t <= horizon);
+            let upto = next_event.unwrap_or(horizon);
+            loop {
+                let due = [
+                    (next_probe, HOOK_GAUGE),
+                    (next_audit, HOOK_AUDIT),
+                    (next_ckpt, HOOK_CKPT),
+                ]
+                .into_iter()
+                .filter_map(|(t, kind)| t.filter(|&t| t <= upto).map(|t| (t, kind)))
+                .min();
+                let Some((at, kind)) = due else { break };
+                match kind {
+                    HOOK_GAUGE => {
+                        self.sample_gauges(at);
+                        next_probe = Some(at + probe_iv.expect("gauge hook without interval"));
+                    }
+                    HOOK_AUDIT => {
+                        for (layer, digest) in self.layer_digests() {
+                            artifacts.audit.push((at.as_nanos(), layer, digest));
+                        }
+                        next_audit =
+                            Some(at + hooks.audit_every.expect("audit hook without interval"));
+                    }
+                    _ => {
+                        let mut w = snap::Enc::new();
+                        self.snap_save(&mut w);
+                        artifacts.checkpoints.push((at, w.into_bytes()));
+                        next_ckpt =
+                            Some(at + hooks.checkpoint_every.expect("ckpt hook without interval"));
+                    }
                 }
             }
-            self.dispatch(now, ev);
-        }
-        if let Some(iv) = probe_iv {
-            while next_probe <= horizon {
-                self.sample_gauges(next_probe);
-                next_probe += iv;
+            let Some(t) = next_event else { break };
+            if let Some(p) = perturb {
+                if t >= p {
+                    // Fault injection for the audit-ladder tests: one
+                    // extra draw knocks the shared RNG stream out of
+                    // alignment from this event onward.
+                    let _ = self.rng.next_u64();
+                    perturb = None;
+                }
             }
+            let (now, ev) = self.sched.next().expect("peeked event vanished");
+            debug_assert_eq!(now, t, "pop disagrees with peek");
+            self.dispatch(now, ev);
         }
         let metrics = self.collect_metrics(duration);
         crate::stats::record_run(metrics.events_processed);
-        metrics
+        (metrics, artifacts)
     }
 
     /// Samples every probe gauge at virtual instant `at`. Values reflect
@@ -892,5 +1017,336 @@ impl std::fmt::Debug for Network {
             .field("flows", &self.flows.len())
             .field("now", &self.sched.now())
             .finish_non_exhaustive()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Snapshots
+//
+// A snapshot carries only what the event loop mutates; topology, channel
+// and protocol configuration are rebuilt by re-running the builder (or
+// `core`'s scenario) before `snap_restore` overwrites the state on top.
+// ----------------------------------------------------------------------
+
+impl snap::SnapValue for Event {
+    fn save(&self, w: &mut snap::Enc) {
+        match self {
+            Event::MacTimer { node, kind } => {
+                w.u8(0);
+                node.save(w);
+                kind.save(w);
+            }
+            Event::TxEnd { tx } => {
+                w.u8(1);
+                tx.save(w);
+            }
+            Event::BusyOnset { node } => {
+                w.u8(2);
+                node.save(w);
+            }
+            Event::BusyEnd { node } => {
+                w.u8(3);
+                node.save(w);
+            }
+            Event::RxConclude { node, tx } => {
+                w.u8(4);
+                node.save(w);
+                tx.save(w);
+            }
+            Event::CbrTick { flow } => {
+                w.u8(5);
+                flow.save(w);
+            }
+            Event::TcpTimer { flow } => {
+                w.u8(6);
+                flow.save(w);
+            }
+            Event::ProbeTick { flow } => {
+                w.u8(7);
+                flow.save(w);
+            }
+            Event::WireDeliver {
+                flow,
+                to_remote,
+                seg,
+            } => {
+                w.u8(8);
+                flow.save(w);
+                w.bool(*to_remote);
+                seg.save(w);
+            }
+        }
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => Event::MacTimer {
+                node: NodeId::load(r)?,
+                kind: TimerKind::load(r)?,
+            },
+            1 => Event::TxEnd {
+                tx: ArenaHandle::load(r)?,
+            },
+            2 => Event::BusyOnset {
+                node: NodeId::load(r)?,
+            },
+            3 => Event::BusyEnd {
+                node: NodeId::load(r)?,
+            },
+            4 => Event::RxConclude {
+                node: NodeId::load(r)?,
+                tx: ArenaHandle::load(r)?,
+            },
+            5 => Event::CbrTick {
+                flow: FlowId::load(r)?,
+            },
+            6 => Event::TcpTimer {
+                flow: FlowId::load(r)?,
+            },
+            7 => Event::ProbeTick {
+                flow: FlowId::load(r)?,
+            },
+            8 => Event::WireDeliver {
+                flow: FlowId::load(r)?,
+                to_remote: r.bool()?,
+                seg: Segment::load(r)?,
+            },
+            t => return Err(snap::SnapError::Corrupt(format!("event tag {t}"))),
+        })
+    }
+}
+
+impl snap::SnapValue for ActiveTx {
+    fn save(&self, w: &mut snap::Enc) {
+        self.frame.save(w);
+        self.start.save(w);
+        self.end.save(w);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(ActiveTx {
+            frame: Frame::load(r)?,
+            start: SimTime::load(r)?,
+            end: SimTime::load(r)?,
+        })
+    }
+}
+
+impl NodeState {
+    /// Position is placement configuration and is not serialized.
+    fn snap_save(&self, w: &mut snap::Enc) {
+        self.dcf.snap_save(w);
+        for t in &self.timers {
+            t.save(w);
+        }
+        w.u32(self.busy_count);
+        w.usize(self.tx_history.len());
+        for span in &self.tx_history {
+            span.save(w);
+        }
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        self.dcf.snap_restore(r)?;
+        for slot in &mut self.timers {
+            *slot = Option::<TimerHandle>::load(r)?;
+        }
+        self.busy_count = r.u32()?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "tx history length {n} exceeds input"
+            )));
+        }
+        self.tx_history.clear();
+        for _ in 0..n {
+            self.tx_history.push_back(<(SimTime, SimTime)>::load(r)?);
+        }
+        Ok(())
+    }
+}
+
+impl CrossLayerStats {
+    /// MAC-acked sequence numbers are serialized sorted so the encoding
+    /// is `HashSet`-order independent.
+    fn snap_save(&self, w: &mut snap::Enc) {
+        let mut acked: Vec<u64> = self.mac_acked.iter().copied().collect();
+        acked.sort_unstable();
+        acked.save(w);
+        w.u64(self.retx_total);
+        w.u64(self.retx_of_acked);
+        self.max_seq_sent.save(w);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        self.mac_acked = Vec::<u64>::load(r)?.into_iter().collect();
+        self.retx_total = r.u64()?;
+        self.retx_of_acked = r.u64()?;
+        self.max_seq_sent = Option::<u64>::load(r)?;
+        Ok(())
+    }
+}
+
+impl FlowState {
+    /// Endpoints, routing and payload size come from the flow spec; only
+    /// the endpoint state machines and the detector bookkeeping move.
+    fn snap_save(&self, w: &mut snap::Enc) {
+        match &self.kind {
+            FlowKindState::Udp { source, sink } => {
+                w.u8(0);
+                source.snap_save(w);
+                sink.snap_save(w);
+            }
+            FlowKindState::Tcp { sender, receiver } => {
+                w.u8(1);
+                sender.snap_save(w);
+                receiver.snap_save(w);
+            }
+            FlowKindState::Probe {
+                next_seq, stats, ..
+            } => {
+                w.u8(2);
+                w.u64(*next_seq);
+                stats.save(w);
+            }
+        }
+        self.cross.snap_save(w);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        let tag = r.u8()?;
+        match (&mut self.kind, tag) {
+            (FlowKindState::Udp { source, sink }, 0) => {
+                source.snap_restore(r)?;
+                sink.snap_restore(r)?;
+            }
+            (FlowKindState::Tcp { sender, receiver }, 1) => {
+                sender.snap_restore(r)?;
+                receiver.snap_restore(r)?;
+            }
+            (
+                FlowKindState::Probe {
+                    next_seq, stats, ..
+                },
+                2,
+            ) => {
+                *next_seq = r.u64()?;
+                *stats = ProbeStats::load(r)?;
+            }
+            _ => {
+                return Err(snap::SnapError::Corrupt(format!(
+                    "flow {} kind tag {tag} does not match configuration",
+                    self.id.0
+                )))
+            }
+        }
+        self.cross.snap_restore(r)
+    }
+}
+
+/// Snapshot = shared RNG stream, scheduler (clock + pending events),
+/// transmission arena, per-node MAC state and per-flow transport state.
+/// PHY parameters, channel/capture models and error tables are
+/// configuration and are excluded; the owner rebuilds an identically
+/// configured network before restoring.
+impl snap::SnapState for Network {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        self.rng.snap_save(w);
+        self.sched.snap_save(w);
+        self.txs.save(w);
+        w.usize(self.nodes.len());
+        for st in &self.nodes {
+            st.snap_save(w);
+        }
+        w.usize(self.flows.len());
+        for f in &self.flows {
+            f.snap_save(w);
+        }
+        self.flow_timers.save(w);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        self.rng.snap_restore(r)?;
+        self.sched.snap_restore(r)?;
+        self.txs = Arena::load(r)?;
+        let n = r.usize()?;
+        if n != self.nodes.len() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "snapshot has {n} nodes, network has {}",
+                self.nodes.len()
+            )));
+        }
+        for st in &mut self.nodes {
+            st.snap_restore(r)?;
+        }
+        let nf = r.usize()?;
+        if nf != self.flows.len() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "snapshot has {nf} flows, network has {}",
+                self.flows.len()
+            )));
+        }
+        for f in &mut self.flows {
+            f.snap_restore(r)?;
+        }
+        let timers = Vec::<Option<TimerHandle>>::load(r)?;
+        if timers.len() != self.flow_timers.len() {
+            return Err(snap::SnapError::Corrupt("flow timer count mismatch".into()));
+        }
+        self.flow_timers = timers;
+        Ok(())
+    }
+}
+
+impl Network {
+    /// One audit-ladder rung: a digest of each layer's canonical state,
+    /// in a fixed order. The PHY has no runtime state of its own (its
+    /// random draws come from the shared stream), so its digest covers
+    /// the configured error tables and stays constant unless the
+    /// configuration itself diverges.
+    pub fn layer_digests(&self) -> [(&'static str, u64); 6] {
+        let phy = {
+            let mut w = snap::Enc::new();
+            self.default_error.save(&mut w);
+            let mut links: Vec<(u16, u16)> = self.link_error.keys().copied().collect();
+            links.sort_unstable();
+            for k in links {
+                k.save(&mut w);
+                self.link_error[&k].save(&mut w);
+            }
+            let mut rate_links: Vec<(u16, u16, u64)> =
+                self.rate_link_error.keys().copied().collect();
+            rate_links.sort_unstable();
+            for k in rate_links {
+                k.save(&mut w);
+                self.rate_link_error[&k].save(&mut w);
+            }
+            snap::fnv1a(w.bytes())
+        };
+        let mac = {
+            let mut w = snap::Enc::new();
+            for st in &self.nodes {
+                st.snap_save(&mut w);
+            }
+            self.txs.save(&mut w);
+            snap::fnv1a(w.bytes())
+        };
+        let transport = {
+            let mut w = snap::Enc::new();
+            for f in &self.flows {
+                f.snap_save(&mut w);
+            }
+            self.flow_timers.save(&mut w);
+            snap::fnv1a(w.bytes())
+        };
+        let detect = {
+            let mut w = snap::Enc::new();
+            for st in &self.nodes {
+                w.u64(st.dcf.hooks_digest());
+            }
+            snap::fnv1a(w.bytes())
+        };
+        [
+            ("rng", self.rng.snap_digest()),
+            ("sched", self.sched.snap_digest()),
+            ("phy", phy),
+            ("mac", mac),
+            ("transport", transport),
+            ("detect", detect),
+        ]
     }
 }

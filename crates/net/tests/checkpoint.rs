@@ -1,0 +1,132 @@
+//! Checkpoint/resume and audit-ladder guarantees at the runtime level:
+//! restoring a mid-run snapshot into a freshly built identical network
+//! and resuming must reproduce the uninterrupted run exactly.
+
+use gr_net::{NetworkBuilder, RunHooks};
+use phy::{ErrorModel, ErrorUnit, PhyParams, Position};
+use sim::{SimDuration, SimTime};
+use snap::{Dec, SnapState};
+use transport::TcpConfig;
+
+/// A mixed UDP + TCP + probe topology with link errors, exercising every
+/// flow-state variant and the shared RNG (jitter + corruption draws).
+fn build() -> (gr_net::Network, Vec<transport::FlowId>) {
+    let mut b = NetworkBuilder::new(PhyParams::dot11b())
+        .seed(42)
+        .default_error(ErrorModel::new(ErrorUnit::Byte, 2e-4).unwrap());
+    let s1 = b.add_node(Position::new(0.0, 0.0));
+    let r1 = b.add_node(Position::new(5.0, 0.0));
+    let s2 = b.add_node(Position::new(0.0, 5.0));
+    let r2 = b.add_node(Position::new(5.0, 5.0));
+    let f1 = b.udp_flow(s1, r1, 1024, 6_000_000);
+    let f2 = b.tcp_flow(s2, r2, TcpConfig::default());
+    let f3 = b.probe_flow(s1, r1, 64, SimDuration::from_millis(50));
+    (b.build(), vec![f1, f2, f3])
+}
+
+fn fingerprint(m: &gr_net::RunMetrics, flows: &[transport::FlowId]) -> Vec<(u64, u64, u64)> {
+    let mut out = vec![(m.events_processed, 0, 0)];
+    for f in flows {
+        let fm = m.flow(*f).unwrap();
+        out.push((fm.distinct_packets, fm.duplicates, fm.retransmissions));
+    }
+    out
+}
+
+#[test]
+fn checkpoint_resume_matches_uninterrupted_run() {
+    let duration = SimDuration::from_secs(2);
+    let hooks = RunHooks {
+        checkpoint_every: Some(SimDuration::from_millis(500)),
+        audit_every: Some(SimDuration::from_millis(250)),
+        ..RunHooks::default()
+    };
+
+    let (mut baseline, flows) = build();
+    let (base_metrics, base_art) = baseline.run_hooked(duration, hooks);
+    assert_eq!(base_art.checkpoints.len(), 4);
+    assert_eq!(base_art.audit.len(), 8 * 6, "8 barriers x 6 layers");
+
+    // Resume from the mid-run checkpoint into a freshly built twin.
+    let (at, bytes) = base_art.checkpoints[1].clone();
+    assert_eq!(at, SimTime::from_millis(1000));
+    let (mut resumed, _) = build();
+    resumed.snap_restore(&mut Dec::new(&bytes)).unwrap();
+    let (res_metrics, res_art) = resumed.resume_hooked(duration, hooks, at);
+
+    assert_eq!(
+        fingerprint(&base_metrics, &flows),
+        fingerprint(&res_metrics, &flows),
+        "resumed run must reproduce the uninterrupted metrics"
+    );
+    // The resumed audit tail must equal the baseline rungs after `at`.
+    let tail: Vec<_> = base_art
+        .audit
+        .iter()
+        .filter(|(vt, _, _)| *vt > at.as_nanos())
+        .copied()
+        .collect();
+    assert_eq!(res_art.audit, tail, "audit ladder tails must agree");
+    // And the later checkpoints must be byte-identical.
+    let base_later: Vec<_> = base_art.checkpoints[2..].to_vec();
+    assert_eq!(res_art.checkpoints, base_later);
+    // Final states digest-equal, layer by layer.
+    assert_eq!(baseline.layer_digests(), resumed.layer_digests());
+}
+
+#[test]
+fn rng_perturbation_diverges_and_shows_in_the_ladder() {
+    let duration = SimDuration::from_secs(1);
+    let audit = RunHooks {
+        audit_every: Some(SimDuration::from_millis(100)),
+        ..RunHooks::default()
+    };
+    let (mut clean, _) = build();
+    let (_, clean_art) = clean.run_hooked(duration, audit);
+
+    let perturbed_hooks = RunHooks {
+        perturb_rng_at: Some(SimTime::from_millis(420)),
+        ..audit
+    };
+    let (mut dirty, _) = build();
+    let (_, dirty_art) = dirty.run_hooked(duration, perturbed_hooks);
+
+    assert_eq!(clean_art.audit.len(), dirty_art.audit.len());
+    // Before the perturbation instant every layer agrees; after it the
+    // RNG layer must differ (one extra draw shifts the stream).
+    for ((vt, layer, a), (_, _, b)) in clean_art.audit.iter().zip(dirty_art.audit.iter()) {
+        if *vt <= 400_000_000 {
+            assert_eq!(a, b, "premature divergence at {vt} ns in {layer}");
+        }
+    }
+    let rng_diverged = clean_art
+        .audit
+        .iter()
+        .zip(dirty_art.audit.iter())
+        .any(|((vt, layer, a), (_, _, b))| *layer == "rng" && *vt > 400_000_000 && a != b);
+    assert!(
+        rng_diverged,
+        "rng digest must diverge after the perturbation"
+    );
+}
+
+#[test]
+fn hooks_do_not_change_the_simulation() {
+    let duration = SimDuration::from_secs(1);
+    let (mut plain, flows) = build();
+    let plain_metrics = plain.run(duration);
+    let (mut hooked, _) = build();
+    let hooks = RunHooks {
+        checkpoint_every: Some(SimDuration::from_millis(100)),
+        audit_every: Some(SimDuration::from_millis(70)),
+        ..RunHooks::default()
+    };
+    let (hooked_metrics, art) = hooked.run_hooked(duration, hooks);
+    assert_eq!(
+        fingerprint(&plain_metrics, &flows),
+        fingerprint(&hooked_metrics, &flows),
+        "audit and checkpoint hooks must not perturb outcomes"
+    );
+    assert_eq!(art.checkpoints.len(), 10);
+    assert_eq!(plain.layer_digests(), hooked.layer_digests());
+}

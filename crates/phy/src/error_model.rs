@@ -118,6 +118,37 @@ impl Default for ErrorModel {
     }
 }
 
+impl snap::SnapValue for ErrorUnit {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u8(match self {
+            ErrorUnit::Bit => 0,
+            ErrorUnit::Byte => 1,
+            ErrorUnit::Packet => 2,
+        });
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(match r.u8()? {
+            0 => ErrorUnit::Bit,
+            1 => ErrorUnit::Byte,
+            2 => ErrorUnit::Packet,
+            t => return Err(snap::SnapError::Corrupt(format!("error unit tag {t}"))),
+        })
+    }
+}
+
+impl snap::SnapValue for ErrorModel {
+    fn save(&self, w: &mut snap::Enc) {
+        self.unit.save(w);
+        w.f64(self.rate);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        let unit = ErrorUnit::load(r)?;
+        let rate = r.f64()?;
+        ErrorModel::new(unit, rate)
+            .map_err(|e| snap::SnapError::Corrupt(format!("error model: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

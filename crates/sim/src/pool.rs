@@ -150,6 +150,57 @@ impl<T> Arena<T> {
     }
 }
 
+impl snap::SnapValue for ArenaHandle {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u32(self.idx);
+        w.u32(self.gen);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(ArenaHandle {
+            idx: r.u32()?,
+            gen: r.u32()?,
+        })
+    }
+}
+
+/// Slots and free list are serialized verbatim (in index order) so that
+/// outstanding [`ArenaHandle`]s stay valid across a restore and future
+/// inserts reuse slots in exactly the pre-snapshot order.
+impl<T: snap::SnapValue> snap::SnapValue for Arena<T> {
+    fn save(&self, w: &mut snap::Enc) {
+        w.usize(self.slots.len());
+        for s in &self.slots {
+            w.u32(s.gen);
+            s.value.save(w);
+        }
+        self.free.save(w);
+        w.usize(self.live);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "arena slot count {n} exceeds input"
+            )));
+        }
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let gen = r.u32()?;
+            let value = Option::<T>::load(r)?;
+            slots.push(ArenaSlot { gen, value });
+        }
+        let free = Vec::<u32>::load(r)?;
+        let live = r.usize()?;
+        let occupied = slots.iter().filter(|s| s.value.is_some()).count();
+        if occupied != live {
+            return Err(snap::SnapError::Corrupt(format!(
+                "arena live count {live} != occupied slots {occupied}"
+            )));
+        }
+        Ok(Arena { slots, free, live })
+    }
+}
+
 /// Reset-on-recycle behaviour for [`Pool`] values.
 ///
 /// Called when a [`PooledBox`] drops, before the value returns to the

@@ -116,6 +116,37 @@ impl RunKey {
     }
 }
 
+impl snap::SnapValue for RunKey {
+    fn save(&self, w: &mut snap::Enc) {
+        w.str(&self.experiment);
+        w.u64(self.point);
+        w.u64(self.seed);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(RunKey {
+            experiment: r.str()?,
+            point: r.u64()?,
+            seed: r.u64()?,
+        })
+    }
+}
+
+/// The RNG's whole state is its four `xoshiro256**` words; restoring them
+/// resumes the stream at exactly the interrupted draw.
+impl snap::SnapState for SimRng {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        for &s in &self.state {
+            w.u64(s);
+        }
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        for s in &mut self.state {
+            *s = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {

@@ -41,6 +41,15 @@ impl Counter {
     }
 }
 
+impl snap::SnapValue for Counter {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(Counter(r.u64()?))
+    }
+}
+
 impl fmt::Display for Counter {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0)
@@ -87,6 +96,21 @@ impl Mean {
     /// Population standard deviation.
     pub fn std_dev(&self) -> Option<f64> {
         self.variance().map(f64::sqrt)
+    }
+}
+
+impl snap::SnapValue for Mean {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(Mean {
+            n: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+        })
     }
 }
 
@@ -146,6 +170,25 @@ impl TimeWeightedMean {
         }
         let secs = self.total.as_secs_f64();
         (secs > 0.0).then(|| self.weighted_sum / secs)
+    }
+}
+
+impl snap::SnapValue for TimeWeightedMean {
+    fn save(&self, w: &mut snap::Enc) {
+        self.last_time.save(w);
+        w.f64(self.last_value);
+        w.f64(self.weighted_sum);
+        self.total.save(w);
+        w.bool(self.started);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(TimeWeightedMean {
+            last_time: snap::SnapValue::load(r)?,
+            last_value: r.f64()?,
+            weighted_sum: r.f64()?,
+            total: snap::SnapValue::load(r)?,
+            started: r.bool()?,
+        })
     }
 }
 

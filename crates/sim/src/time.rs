@@ -174,6 +174,24 @@ impl SimDuration {
     }
 }
 
+impl snap::SnapValue for SimTime {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(SimTime(r.u64()?))
+    }
+}
+
+impl snap::SnapValue for SimDuration {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u64(self.0);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(SimDuration(r.u64()?))
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {

@@ -21,6 +21,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use snap::SnapValue as _;
+
 use crate::time::SimTime;
 
 /// Bits per wheel level (64 slots).
@@ -45,6 +47,19 @@ const SPAN_TICKS: u64 = 1 << (SLOT_BITS * LEVELS as u32);
 pub struct TimerHandle {
     pub(crate) idx: u32,
     pub(crate) gen: u32,
+}
+
+impl snap::SnapValue for TimerHandle {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u32(self.idx);
+        w.u32(self.gen);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(TimerHandle {
+            idx: r.u32()?,
+            gen: r.u32()?,
+        })
+    }
 }
 
 #[derive(Debug)]
@@ -332,6 +347,113 @@ impl<E> Wheel<E> {
                 Some(r) => return Some(r.time),
             }
         }
+    }
+
+    /// Serializes the wheel's canonical state: cursor, slab verbatim in
+    /// index order (generation + live payload), free list verbatim, live
+    /// count. Buckets, the staged `ready` buffer and the overflow heap
+    /// are *derived placement*, not state — which bucket a timer sits in
+    /// depends on cursor history, so including it would make the digest
+    /// (and hence the audit ladder) differ between two runs that will
+    /// dispatch identically. [`Wheel::from_snapshot`] re-derives
+    /// placement from the serialized cursor instead.
+    pub(crate) fn snap_save(&self, w: &mut snap::Enc)
+    where
+        E: snap::SnapValue,
+    {
+        w.u64(self.cursor);
+        w.usize(self.slab.len());
+        for e in &self.slab {
+            w.u32(e.gen);
+            match &e.event {
+                Some(ev) => {
+                    w.bool(true);
+                    w.u64(e.time.as_nanos());
+                    w.u64(e.seq);
+                    ev.save(w);
+                }
+                None => w.bool(false),
+            }
+        }
+        self.free.save(w);
+        w.usize(self.live);
+    }
+
+    /// Rebuilds a wheel from [`Wheel::snap_save`]'s encoding.
+    ///
+    /// Live timers whose tick is at or behind the restored cursor go
+    /// straight to the `ready` staging buffer (the invariant the running
+    /// wheel maintains); the rest are re-bucketed against the restored
+    /// cursor. Free-list order is preserved verbatim so post-restore
+    /// inserts assign the same `(idx, gen)` pairs the uninterrupted run
+    /// would have.
+    pub(crate) fn from_snapshot(r: &mut snap::Dec) -> Result<Self, snap::SnapError>
+    where
+        E: snap::SnapValue,
+    {
+        let cursor = r.u64()?;
+        let n = r.usize()?;
+        if n > r.remaining() {
+            return Err(snap::SnapError::Corrupt(format!(
+                "wheel slab count {n} exceeds input"
+            )));
+        }
+        let mut w = Wheel::new();
+        w.cursor = cursor;
+        for _ in 0..n {
+            let gen = r.u32()?;
+            let entry = if r.bool()? {
+                let time = SimTime::from_nanos(r.u64()?);
+                let seq = r.u64()?;
+                let event = E::load(r)?;
+                SlabEntry {
+                    gen,
+                    time,
+                    seq,
+                    event: Some(event),
+                }
+            } else {
+                SlabEntry {
+                    gen,
+                    time: SimTime::ZERO,
+                    seq: 0,
+                    event: None,
+                }
+            };
+            w.slab.push(entry);
+        }
+        w.free = Vec::<u32>::load(r)?;
+        let live = r.usize()?;
+        for idx in 0..w.slab.len() {
+            let (time, seq, gen) = {
+                let e = &w.slab[idx];
+                if e.event.is_none() {
+                    continue;
+                }
+                (e.time, e.seq, e.gen)
+            };
+            w.live += 1;
+            let tick = tick_of(time);
+            if tick <= w.cursor {
+                w.ready.push(Ready {
+                    time,
+                    seq,
+                    idx: idx as u32,
+                    gen,
+                });
+            } else {
+                w.place(idx as u32, gen, tick);
+            }
+        }
+        w.ready
+            .sort_unstable_by_key(|r| std::cmp::Reverse((r.time, r.seq)));
+        if w.live != live {
+            return Err(snap::SnapError::Corrupt(format!(
+                "wheel live count {live} != occupied slots {}",
+                w.live
+            )));
+        }
+        Ok(w)
     }
 
     /// Removes and returns the earliest live event.

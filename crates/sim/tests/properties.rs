@@ -229,6 +229,49 @@ proptest! {
         prop_assert_eq!(fired, expected);
     }
 
+    /// Cursor-jump-on-idle across an overflow migration boundary: when
+    /// the wheel drains while far-future events wait in the overflow
+    /// heap, the cursor must jump straight to them — and when the jump
+    /// target's 64^5-tick block excludes part of the cluster, the
+    /// excluded events must keep waiting in the heap (not bounce between
+    /// heap and wheel) and still fire in exact heap order. The far
+    /// cluster straddles a block boundary several wheel spans past the
+    /// near events to force both sides of the XOR placement test after
+    /// the jump.
+    #[test]
+    fn wheel_cursor_jump_on_idle_across_overflow_boundary(
+        near in proptest::collection::vec(0u64..1_000_000, 0..20),
+        offsets in proptest::collection::vec(0u64..4_000_000_000, 1..40),
+        peek in any::<bool>(),
+    ) {
+        // One wheel block: 64^5 ticks of 2^10 ns = 2^40 ns (~18 min).
+        const BLOCK_NS: u64 = 1u64 << 40;
+        let mut s: Scheduler<usize> = Scheduler::new();
+        let mut q = EventQueue::new();
+        let mut payload = 0usize;
+        for &t in &near {
+            let at = SimTime::from_nanos(t);
+            s.arm_at(at, payload);
+            q.push(at, payload);
+            payload += 1;
+        }
+        for &off in &offsets {
+            let at = SimTime::from_nanos(3 * BLOCK_NS - 2_000_000_000 + off);
+            s.arm_at(at, payload);
+            q.push(at, payload);
+            payload += 1;
+        }
+        if peek {
+            // Peeking while the wheel is otherwise idle performs the
+            // cursor jump without dispatching anything.
+            prop_assert!(s.peek_time().is_some());
+        }
+        let fired: Vec<_> = std::iter::from_fn(|| s.next()).collect();
+        let expected: Vec<_> =
+            std::iter::from_fn(|| q.pop().map(|(t, _, e)| (t, e))).collect();
+        prop_assert_eq!(fired, expected);
+    }
+
     /// Backoff-style draws stay within their inclusive bound.
     #[test]
     fn rng_uniform_inclusive_in_bounds(seed in any::<u64>(), bound in 0u32..100_000) {

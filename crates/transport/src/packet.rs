@@ -121,6 +121,65 @@ impl Segment {
     }
 }
 
+impl snap::SnapValue for FlowId {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u32(self.0);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(FlowId(r.u32()?))
+    }
+}
+
+impl snap::SnapValue for Segment {
+    fn save(&self, w: &mut snap::Enc) {
+        let (tag, flow, num, bytes) = match *self {
+            Segment::UdpData { flow, seq, bytes } => (0u8, flow, seq, bytes),
+            Segment::TcpData { flow, seq, bytes } => (1, flow, seq, bytes),
+            Segment::TcpAck { flow, ack, bytes } => (2, flow, ack, bytes),
+            Segment::ProbeReq { flow, seq, bytes } => (3, flow, seq, bytes),
+            Segment::ProbeResp { flow, seq, bytes } => (4, flow, seq, bytes),
+        };
+        w.u8(tag);
+        flow.save(w);
+        w.u64(num);
+        w.usize(bytes);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        let tag = r.u8()?;
+        let flow = FlowId::load(r)?;
+        let num = r.u64()?;
+        let bytes = r.usize()?;
+        Ok(match tag {
+            0 => Segment::UdpData {
+                flow,
+                seq: num,
+                bytes,
+            },
+            1 => Segment::TcpData {
+                flow,
+                seq: num,
+                bytes,
+            },
+            2 => Segment::TcpAck {
+                flow,
+                ack: num,
+                bytes,
+            },
+            3 => Segment::ProbeReq {
+                flow,
+                seq: num,
+                bytes,
+            },
+            4 => Segment::ProbeResp {
+                flow,
+                seq: num,
+                bytes,
+            },
+            t => return Err(snap::SnapError::Corrupt(format!("segment tag {t}"))),
+        })
+    }
+}
+
 impl Msdu for Segment {
     fn wire_bytes(&self) -> usize {
         match *self {

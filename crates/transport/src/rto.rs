@@ -81,6 +81,25 @@ impl RtoEstimator {
     }
 }
 
+impl snap::SnapValue for RtoEstimator {
+    fn save(&self, w: &mut snap::Enc) {
+        self.srtt.save(w);
+        w.f64(self.rttvar);
+        self.min_rto.save(w);
+        self.max_rto.save(w);
+        w.u32(self.backoff_exp);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(RtoEstimator {
+            srtt: Option::<f64>::load(r)?,
+            rttvar: r.f64()?,
+            min_rto: SimDuration::load(r)?,
+            max_rto: SimDuration::load(r)?,
+            backoff_exp: r.u32()?,
+        })
+    }
+}
+
 impl Default for RtoEstimator {
     /// 200 ms floor, 60 s ceiling — the values used throughout the
     /// experiments.

@@ -347,6 +347,49 @@ impl TcpSender {
     }
 }
 
+/// Snapshot = congestion/retransmission state in declaration order. The
+/// flow id and [`TcpConfig`] are configuration the owner rebuilds; the
+/// recorder re-attaches separately. Send times are serialized sorted by
+/// sequence number so the encoding is `HashMap`-order independent.
+impl snap::SnapState for TcpSender {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
+        w.u64(self.next_seq);
+        w.u64(self.snd_una);
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+        w.u32(self.dupacks);
+        w.bool(self.in_recovery);
+        w.u64(self.recover);
+        self.rto.save(w);
+        let mut times: Vec<(u64, SimTime)> =
+            self.send_times.iter().map(|(&k, &v)| (k, v)).collect();
+        times.sort_unstable_by_key(|&(seq, _)| seq);
+        times.save(w);
+        w.bool(self.timer_armed);
+        w.u64(self.retransmissions);
+        w.u64(self.timeouts);
+        self.cwnd_timeline.save(w);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
+        self.next_seq = r.u64()?;
+        self.snd_una = r.u64()?;
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        self.dupacks = r.u32()?;
+        self.in_recovery = r.bool()?;
+        self.recover = r.u64()?;
+        self.rto = RtoEstimator::load(r)?;
+        self.send_times = Vec::<(u64, SimTime)>::load(r)?.into_iter().collect();
+        self.timer_armed = r.bool()?;
+        self.retransmissions = r.u64()?;
+        self.timeouts = r.u64()?;
+        self.cwnd_timeline = TimeWeightedMean::load(r)?;
+        Ok(())
+    }
+}
+
 /// TCP receiver: in-order delivery with out-of-order buffering and an
 /// immediate cumulative ACK per data segment.
 #[derive(Debug)]
@@ -404,6 +447,30 @@ impl TcpReceiver {
             self.duplicates += 1;
         }
         Segment::tcp_ack(self.flow, self.expected)
+    }
+}
+
+/// Snapshot = reassembly state and goodput counters; the flow id is
+/// configuration. `BTreeSet` iterates sorted, so the encoding is
+/// canonical as-is.
+impl snap::SnapState for TcpReceiver {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
+        w.u64(self.expected);
+        let buffered: Vec<u64> = self.buffer.iter().copied().collect();
+        buffered.save(w);
+        w.u64(self.distinct_segments);
+        w.u64(self.distinct_bytes);
+        w.u64(self.duplicates);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
+        self.expected = r.u64()?;
+        self.buffer = Vec::<u64>::load(r)?.into_iter().collect();
+        self.distinct_segments = r.u64()?;
+        self.distinct_bytes = r.u64()?;
+        self.duplicates = r.u64()?;
+        Ok(())
     }
 }
 
@@ -596,6 +663,40 @@ mod tests {
         s.on_ack(SimTime::from_secs(1), 1); // cwnd 1 for 1 s, then 2
         let avg = s.avg_cwnd(SimTime::from_secs(2)).unwrap();
         assert!((avg - 1.5).abs() < 1e-9, "avg={avg}");
+    }
+
+    #[test]
+    fn sender_snapshot_round_trips_mid_recovery() {
+        use snap::{Dec, Enc, SnapState};
+        let mut a = TcpSender::new(FlowId(3), TcpConfig::default());
+        a.start(SimTime::ZERO);
+        for i in 1..=6 {
+            a.on_ack(SimTime::from_millis(i * 10), i);
+        }
+        // Three dup ACKs put the sender in fast recovery mid-snapshot.
+        a.on_ack(SimTime::from_millis(100), 6);
+        a.on_ack(SimTime::from_millis(101), 6);
+        a.on_ack(SimTime::from_millis(102), 6);
+        assert!(a.in_recovery);
+        let mut w = Enc::new();
+        a.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = TcpSender::new(FlowId(3), TcpConfig::default());
+        b.snap_restore(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(a.snap_digest(), b.snap_digest());
+        // Both react identically to a partial ACK and a later timeout.
+        let (xa, xb) = (
+            a.on_ack(SimTime::from_millis(110), 8),
+            b.on_ack(SimTime::from_millis(110), 8),
+        );
+        assert_eq!(xa, xb);
+        let (xa, xb) = (
+            a.on_timeout(SimTime::from_secs(2)),
+            b.on_timeout(SimTime::from_secs(2)),
+        );
+        assert_eq!(xa, xb);
+        assert_eq!(a.cwnd(), b.cwnd());
+        assert_eq!(a.retransmissions, b.retransmissions);
     }
 
     #[test]

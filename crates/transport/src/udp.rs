@@ -80,6 +80,18 @@ impl CbrSource {
     }
 }
 
+/// Snapshot = the sequence counter only; flow, payload size and interval
+/// are configuration the owner rebuilds.
+impl snap::SnapState for CbrSource {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        w.u64(self.next_seq);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        self.next_seq = r.u64()?;
+        Ok(())
+    }
+}
+
 /// UDP sink: counts distinct datagrams (the paper's goodput numerator).
 #[derive(Debug, Clone, Default)]
 pub struct UdpSink {
@@ -118,6 +130,32 @@ impl UdpSink {
     }
 }
 
+/// Seen-set entries are serialized sorted so the encoding is
+/// `HashSet`-order independent.
+impl snap::SnapState for UdpSink {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
+        let mut seen: Vec<u64> = self.seen.iter().copied().collect();
+        seen.sort_unstable();
+        seen.save(w);
+        w.u64(self.distinct_datagrams);
+        w.u64(self.distinct_bytes);
+        w.u64(self.duplicates);
+        self.first_rx.save(w);
+        self.last_rx.save(w);
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
+        self.seen = Vec::<u64>::load(r)?.into_iter().collect();
+        self.distinct_datagrams = r.u64()?;
+        self.distinct_bytes = r.u64()?;
+        self.duplicates = r.u64()?;
+        self.first_rx = Option::<SimTime>::load(r)?;
+        self.last_rx = Option::<SimTime>::load(r)?;
+        Ok(())
+    }
+}
+
 /// Probe responder + sender-side loss bookkeeping for the fake-ACK
 /// detector (§VII-C): probes that arrive *uncorrupted* are echoed; the
 /// sender's application loss rate is `1 − responses/requests`.
@@ -142,6 +180,19 @@ impl ProbeStats {
         } else {
             1.0 - self.echoed as f64 / self.sent as f64
         }
+    }
+}
+
+impl snap::SnapValue for ProbeStats {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u64(self.sent);
+        w.u64(self.echoed);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(ProbeStats {
+            sent: r.u64()?,
+            echoed: r.u64()?,
+        })
     }
 }
 
