@@ -40,7 +40,34 @@ for a in "$CK"/rec/audit/*.audit; do
     --audit-compare "$a" "$CK/rec2/audit/$(basename "$a")" >/dev/null
 done
 
-echo "==> perf gate (pinned subset vs committed baseline, ±25%)"
+echo "==> golden-trace corpus (structural fixtures)"
+cargo test --offline -q -p gr-net --test golden
+
+echo "==> conformance: invariant-on replays of fig2/fig6/tab5"
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --quick --conform --out "$CK/conf" fig2 fig6 tab5 >/dev/null
+
+echo "==> conformance: whitelist-removal drill must fail on fig2"
+if cargo run --release --offline -p gr-bench --bin repro -- \
+  --quick --conform-no-whitelist --out "$CK/wl" fig2 >/dev/null 2>&1; then
+  echo "whitelist-removed greedy run passed — checker is not armed" >&2
+  exit 1
+fi
+
+echo "==> fuzz smoke (25 cases, fixed seed, deterministic artifacts)"
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --fuzz 25 --fuzz-seed 7 --out "$CK/fz1" > "$CK/fuzz1.log"
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --fuzz 25 --fuzz-seed 7 --out "$CK/fz2" > "$CK/fuzz2.log"
+cmp "$CK/fuzz1.log" "$CK/fuzz2.log"
+if [ -d "$CK/fz1/conform" ] || [ -d "$CK/fz2/conform" ]; then
+  diff -r "$CK/fz1/conform" "$CK/fz2/conform"
+fi
+
+echo "==> planted NAV bug is caught and shrunk (fault injection)"
+cargo test --offline -q -p gr-bench --test conform --features inject-nav-bug
+
+echo "==> perf gate (pinned subset vs committed baseline, ±25%; conform overhead ≤15%)"
 cargo run --release --offline -p gr-bench --bin repro -- --bench-gate --check
 
 echo "==> cargo doc"

@@ -52,7 +52,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gr_bench::{gate, registry, ObsCampaign, Quality, RunCtx};
+use gr_bench::{fuzz, gate, registry, ConformCampaign, ObsCampaign, Quality, RunCtx};
 use net::stats;
 
 /// Per-experiment timing record for `bench_summary.json`.
@@ -155,6 +155,10 @@ fn main() -> ExitCode {
     let mut audit_every: Option<u64> = None;
     let mut resume: Option<PathBuf> = None;
     let mut audit_compare: Option<(PathBuf, PathBuf)> = None;
+    let mut conform = false;
+    let mut conform_no_whitelist = false;
+    let mut fuzz_n: Option<u64> = None;
+    let mut fuzz_seed: u64 = 1;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -164,6 +168,25 @@ fn main() -> ExitCode {
             "--bench-gate" => bench_gate = true,
             "--check" => gate_check = true,
             "--record" => record = true,
+            "--conform" => conform = true,
+            "--conform-no-whitelist" => {
+                conform = true;
+                conform_no_whitelist = true;
+            }
+            "--fuzz" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => fuzz_n = Some(n),
+                _ => {
+                    eprintln!("--fuzz requires a case count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fuzz-seed" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(k)) => fuzz_seed = k,
+                _ => {
+                    eprintln!("--fuzz-seed requires a 64-bit seed");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--record-filter" => match args.next() {
                 Some(spec) => match obs::Filter::parse(&spec) {
                     Ok(f) => {
@@ -260,6 +283,14 @@ fn main() -> ExitCode {
                      its checkpoint (CSVs byte-identical to an uninterrupted\n                        \
                      campaign); a .snap file: resume that one run and print it\n  \
                      --audit-compare A B   diff two audit ladders; non-zero exit on divergence\n  \
+                     --conform             live 802.11 invariant checking on every run; non-zero\n                        \
+                     exit on any violation (also applies to --resume FILE)\n  \
+                     --conform-no-whitelist  same, but declared greedy quirks no longer exempt\n                        \
+                     their rules (greedy scenarios are expected to fail)\n  \
+                     --fuzz N              run N randomized scenarios under the checker; shrink\n                        \
+                     violations to a 10 ms bracket in DIR/conform/\n  \
+                     --fuzz-seed K         fuzz campaign seed (default 1); same N and K give\n                        \
+                     identical verdicts and byte-identical artifacts\n  \
                      --bench-gate          time the pinned perf-gate subset, write BENCH_<date>.json\n  \
                      --check               with --bench-gate: fail on regression vs BENCH_BASELINE.json"
                 );
@@ -286,10 +317,96 @@ fn main() -> ExitCode {
         };
     }
 
+    // Fuzz mode: generate + run + shrink, independent of the experiment
+    // registry.
+    if let Some(n) = fuzz_n {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!(
+                "failed to create output directory {}: {e}",
+                out_dir.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("# conformance fuzz — {n} case(s), campaign seed {fuzz_seed}\n");
+        let mut dirty = 0u64;
+        for i in 0..n {
+            let case = fuzz::generate_case(fuzz_seed, i);
+            let desc = case.desc.clone();
+            match fuzz::run_case(case, &out_dir) {
+                Ok(v) if v.is_clean() => {
+                    println!(
+                        "  case {i:>3} ok    {desc}  ({} events, {} whitelisted)",
+                        v.events_checked, v.whitelisted
+                    );
+                }
+                Ok(v) => {
+                    dirty += 1;
+                    println!("  case {i:>3} FAIL  {desc}");
+                    println!(
+                        "        {} violation(s); first: {}",
+                        v.violations.len(),
+                        v.violations[0]
+                    );
+                    if let Some((lo, hi)) = v.bracket_ms {
+                        println!(
+                            "        shrunk to [{lo}, {hi}) ms of virtual time, layer `{}`",
+                            v.layer.unwrap_or("?")
+                        );
+                    }
+                    match &v.artifact {
+                        Some(p) => {
+                            println!("        repro: repro --conform --resume {}", p.display())
+                        }
+                        None => println!(
+                            "        repro: repro --fuzz {} --fuzz-seed {fuzz_seed}  \
+                             (case {i}; violation inside the first bracket)",
+                            i + 1
+                        ),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("  case {i}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        println!("\n{} of {n} case(s) violated an invariant", dirty);
+        return if dirty == 0 {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     // A .snap file resumes one run directly; a directory switches the
-    // whole campaign into resume mode (handled below via RunCtx).
+    // whole campaign into resume mode (handled below via RunCtx). With
+    // --conform the checker rides along mid-stream (stream-dependent
+    // rules disarmed, protocol-timing rules live) — how a fuzz
+    // violation artifact is replayed.
     if let Some(path) = resume.as_ref().filter(|p| p.is_file()) {
-        return match greedy80211::Run::resume(path) {
+        let job = conform.then(|| {
+            let j = ::conform::ConformJob::new(None);
+            if conform_no_whitelist {
+                j.without_whitelist()
+            } else {
+                j
+            }
+        });
+        let result = {
+            let _obs_guard = job.as_ref().map(|_| {
+                obs::ambient::install(
+                    obs::ObsSpec {
+                        capacity: 0,
+                        probe_interval: None,
+                        filter: obs::Filter::all(),
+                    }
+                    .recorder(),
+                )
+            });
+            let _cf_guard = job.as_ref().map(|j| ::conform::ambient::install(j.clone()));
+            greedy80211::Run::resume(path)
+        };
+        return match result {
             Ok(out) => {
                 println!(
                     "resumed {} (point {}, seed {}) to {} ms of virtual time",
@@ -301,7 +418,27 @@ fn main() -> ExitCode {
                 for i in 0..out.flows.len() {
                     println!("  flow {}: {:.3} Mb/s", i, out.goodput_mbps(i));
                 }
-                ExitCode::SUCCESS
+                let mut failed = false;
+                if let Some(job) = job {
+                    for (_, report) in job.drain() {
+                        if report.is_clean() {
+                            println!(
+                                "  conform: clean ({} events, {} whitelisted)",
+                                report.events_checked, report.whitelisted
+                            );
+                        } else {
+                            failed = true;
+                            for v in &report.violations {
+                                println!("  conform: {v}");
+                            }
+                        }
+                    }
+                }
+                if failed {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
             }
             Err(e) => {
                 eprintln!("--resume: {e}");
@@ -341,6 +478,13 @@ fn main() -> ExitCode {
             report.ns_per_event(),
             report.peak_rss_kib
         );
+        println!(
+            "  conform pass: {:.3}s ({:+.1} % overhead), {} run(s), {} violation(s)",
+            report.conform_wall_s,
+            report.conform_overhead_pct(),
+            report.conform_runs,
+            report.conform_violations
+        );
         let path = out_dir.join(format!("BENCH_{}.json", report.date));
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("failed to write {}: {e}", path.display());
@@ -350,6 +494,13 @@ fn main() -> ExitCode {
         if gate_check {
             let baseline = out_dir.join("BENCH_BASELINE.json");
             match gate::check_against_baseline(&report, &baseline, gate::GATE_TOLERANCE) {
+                Ok(msg) => println!("  {msg}"),
+                Err(msg) => {
+                    eprintln!("  {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            match report.conform_check(gate::CONFORM_OVERHEAD_LIMIT_PCT) {
                 Ok(msg) => println!("  {msg}"),
                 Err(msg) => {
                     eprintln!("  {msg}");
@@ -417,6 +568,17 @@ fn main() -> ExitCode {
     if let Some(camp) = &campaign {
         ctx = ctx.with_record(camp.clone());
     }
+    let conform_camp = conform.then(|| {
+        let c = ConformCampaign::new();
+        if conform_no_whitelist {
+            c.without_whitelist()
+        } else {
+            c
+        }
+    });
+    if let Some(c) = &conform_camp {
+        ctx = ctx.with_conform(c.clone());
+    }
     let checkpointing = checkpoint_every.is_some() || audit_every.is_some();
     if let Some(dir) = &resume {
         ctx = ctx.with_checkpoints(greedy80211::CampaignSpec::resume_from(dir));
@@ -428,11 +590,12 @@ fn main() -> ExitCode {
         ));
     }
     println!(
-        "# greedy80211 reproduction — {} experiment(s), {} fidelity, {} job(s){}{}\n",
+        "# greedy80211 reproduction — {} experiment(s), {} fidelity, {} job(s){}{}{}\n",
         selected.len(),
         if quick { "quick" } else { "full" },
         jobs,
         if record { ", recording" } else { "" },
+        if conform { ", conformance-checked" } else { "" },
         if resume.is_some() {
             ", resuming from checkpoints"
         } else if checkpointing {
@@ -443,6 +606,7 @@ fn main() -> ExitCode {
     );
     let t_all = Instant::now();
     let mut timings = Vec::new();
+    let mut conform_failed = false;
     for (id, gen) in selected {
         let t = Instant::now();
         let before = stats::snapshot();
@@ -472,6 +636,29 @@ fn main() -> ExitCode {
                 }
             }
         }
+        if let Some(camp) = &conform_camp {
+            let reports = camp.take_reports();
+            let runs = reports.len();
+            let violations: u64 = reports.iter().map(|(_, r)| r.violation_count()).sum();
+            let whitelisted: u64 = reports.iter().map(|(_, r)| r.whitelisted).sum();
+            if violations == 0 {
+                println!("  conform: {runs} run(s) clean ({whitelisted} whitelist exemption(s))\n");
+            } else {
+                conform_failed = true;
+                println!("  conform: {violations} violation(s) across {runs} run(s):");
+                for (key, report) in &reports {
+                    for v in &report.violations {
+                        match key {
+                            Some(k) => {
+                                println!("    [{} p{} s{}] {v}", k.experiment, k.point, k.seed)
+                            }
+                            None => println!("    {v}"),
+                        }
+                    }
+                }
+                println!();
+            }
+        }
         timings.push(Timing {
             id: id.to_string(),
             wall_s,
@@ -487,5 +674,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("  -> {}", out_dir.join("bench_summary.json").display());
+    if conform_failed {
+        eprintln!("invariant violations found; see the conform lines above");
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }

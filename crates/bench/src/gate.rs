@@ -26,6 +26,10 @@ pub const GATE_SUBSET: &[&str] = &["fig2", "fig6", "tab5"];
 /// the gate fails (0.25 = fail when >25 % slower than baseline).
 pub const GATE_TOLERANCE: f64 = 0.25;
 
+/// Largest wall-clock overhead (percent) the live conformance checker
+/// may add to the gate subset before `--bench-gate --check` fails.
+pub const CONFORM_OVERHEAD_LIMIT_PCT: f64 = 15.0;
+
 /// Fidelity the gate is pinned at. One seed and short runs: the gate
 /// measures throughput, not statistics, and must finish in CI time.
 fn gate_quality() -> Quality {
@@ -72,6 +76,13 @@ pub struct GateReport {
     /// [`audit_root`]) — a determinism canary: any change means the
     /// simulation itself changed, not just its speed.
     pub audit_root: u64,
+    /// Wall-clock seconds of the second pass over the subset with the
+    /// live conformance checker attached.
+    pub conform_wall_s: f64,
+    /// Runs conformance-checked during that pass.
+    pub conform_runs: u64,
+    /// Invariant violations found across those runs (must be 0).
+    pub conform_violations: u64,
 }
 
 impl GateReport {
@@ -93,6 +104,41 @@ impl GateReport {
     /// Aggregate nanoseconds per event over the whole subset.
     pub fn ns_per_event(&self) -> f64 {
         self.total_wall_s() * 1e9 / (self.total_events() as f64).max(1.0)
+    }
+
+    /// Wall-clock overhead of the conformance pass relative to the
+    /// unchecked pass, in percent.
+    pub fn conform_overhead_pct(&self) -> f64 {
+        (self.conform_wall_s / self.total_wall_s().max(1e-9) - 1.0) * 100.0
+    }
+
+    /// Checks the conformance pass: no violations, overhead within
+    /// `limit_pct`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the checked runs produced
+    /// violations or the checker's overhead exceeded the limit.
+    pub fn conform_check(&self, limit_pct: f64) -> Result<String, String> {
+        if self.conform_violations > 0 {
+            return Err(format!(
+                "{} invariant violation(s) across {} gate runs",
+                self.conform_violations, self.conform_runs
+            ));
+        }
+        let pct = self.conform_overhead_pct();
+        if pct > limit_pct {
+            return Err(format!(
+                "conformance overhead {pct:.1} % exceeds the {limit_pct:.0} % limit \
+                 ({:.3} s unchecked vs {:.3} s checked)",
+                self.total_wall_s(),
+                self.conform_wall_s
+            ));
+        }
+        Ok(format!(
+            "conform OK: {} runs clean, overhead {pct:+.1} %",
+            self.conform_runs
+        ))
     }
 
     /// Renders the report as JSON (the `BENCH_<date>.json` format).
@@ -117,6 +163,19 @@ impl GateReport {
         s.push_str(&format!(
             "  \"audit_root\": \"{:#018x}\",\n",
             self.audit_root
+        ));
+        s.push_str(&format!(
+            "  \"conform_wall_s\": {:.3},\n",
+            self.conform_wall_s
+        ));
+        s.push_str(&format!(
+            "  \"conform_overhead_pct\": {:.1},\n",
+            self.conform_overhead_pct()
+        ));
+        s.push_str(&format!("  \"conform_runs\": {},\n", self.conform_runs));
+        s.push_str(&format!(
+            "  \"conform_violations\": {},\n",
+            self.conform_violations
         ));
         s.push_str("  \"experiments\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
@@ -223,11 +282,32 @@ pub fn run_gate() -> GateReport {
             events: used.events_processed,
         });
     }
+    // Second pass, identical fidelity, with the live conformance checker
+    // attached to every run: the wall-clock delta *is* the checker's
+    // overhead, and the subset doubles as a protocol regression test —
+    // any violation fails `--check`.
+    let camp = crate::ConformCampaign::new();
+    let conform_ctx = RunCtx::sequential(gate_quality()).with_conform(camp.clone());
+    let t = Instant::now();
+    for id in GATE_SUBSET {
+        let (_, gen) = reg
+            .iter()
+            .find(|(rid, _)| rid == id)
+            .expect("gate subset id in registry");
+        let _ = gen(&conform_ctx);
+    }
+    let conform_wall_s = t.elapsed().as_secs_f64();
+    let reports = camp.take_reports();
+    let conform_runs = reports.len() as u64;
+    let conform_violations = reports.iter().map(|(_, r)| r.violation_count()).sum();
     GateReport {
         date: utc_date(),
         stats: stats_out,
         peak_rss_kib: peak_rss_kib(),
         audit_root: audit_root(),
+        conform_wall_s,
+        conform_runs,
+        conform_violations,
     }
 }
 
@@ -289,11 +369,36 @@ mod tests {
             }],
             peak_rss_kib: 12_345,
             audit_root: 0xdead_beef,
+            conform_wall_s: 2.1,
+            conform_runs: 30,
+            conform_violations: 0,
         };
         let json = r.to_json();
         let eps = baseline_events_per_sec(&json).expect("parsable");
         assert!((eps - 500_000.0).abs() < 1.0, "{eps}");
         assert!(json.contains("\"audit_root\": \"0x00000000deadbeef\""));
+        assert!(json.contains("\"conform_overhead_pct\": 5.0"));
+        assert!(json.contains("\"conform_violations\": 0"));
+    }
+
+    #[test]
+    fn conform_check_enforces_violations_and_overhead() {
+        let mk = |wall: f64, violations: u64| GateReport {
+            date: "2026-01-01".into(),
+            stats: vec![GateStat {
+                id: "fig2".into(),
+                wall_s: 1.0,
+                events: 1,
+            }],
+            peak_rss_kib: 0,
+            audit_root: 0,
+            conform_wall_s: wall,
+            conform_runs: 3,
+            conform_violations: violations,
+        };
+        assert!(mk(1.10, 0).conform_check(15.0).is_ok());
+        assert!(mk(1.30, 0).conform_check(15.0).is_err());
+        assert!(mk(1.00, 1).conform_check(15.0).is_err());
     }
 
     #[test]
@@ -318,6 +423,9 @@ mod tests {
             }],
             peak_rss_kib: 0,
             audit_root: 0,
+            conform_wall_s: 1.0,
+            conform_runs: 0,
+            conform_violations: 0,
         };
         assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
         assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());

@@ -19,12 +19,13 @@
 //! fast low-fidelity pass (one seed, shorter runs).
 
 pub mod experiments;
+pub mod fuzz;
 pub mod gate;
 pub mod quality;
 pub mod sweep;
 pub mod table;
 
-pub use gate::{run_gate, GateReport, GATE_SUBSET, GATE_TOLERANCE};
+pub use gate::{run_gate, GateReport, CONFORM_OVERHEAD_LIMIT_PCT, GATE_SUBSET, GATE_TOLERANCE};
 pub use quality::Quality;
 pub use sweep::{sweep, sweep_scalar};
 pub use table::Experiment;
@@ -75,6 +76,68 @@ impl ObsCampaign {
     }
 }
 
+/// Campaign-wide conformance checking: every sweep job installs a
+/// [`conform::ConformJob`] keyed by its [`RunKey`], the network attaches
+/// a live checker to that run's recorder, and the finished
+/// [`conform::ConformReport`]s accumulate in the shared sink here.
+///
+/// When the run context records nothing, conformance jobs still need a
+/// recorder for the checker to tap; [`sweep`] installs a zero-capacity
+/// one (the tap sees every event before ring eviction, so capacity does
+/// not affect checking).
+#[derive(Debug, Clone)]
+pub struct ConformCampaign {
+    honor_whitelist: bool,
+    sink: conform::ConformSink,
+}
+
+impl Default for ConformCampaign {
+    fn default() -> Self {
+        ConformCampaign::new()
+    }
+}
+
+impl ConformCampaign {
+    /// An empty campaign honoring per-scenario greedy whitelists.
+    pub fn new() -> Self {
+        ConformCampaign {
+            honor_whitelist: true,
+            sink: std::sync::Arc::new(std::sync::Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Same campaign with every rule re-armed even for declared greedy
+    /// quirks — for whitelist-removal tests, where greedy runs *must*
+    /// produce violations.
+    pub fn without_whitelist(mut self) -> Self {
+        self.honor_whitelist = false;
+        self
+    }
+
+    /// The per-run job a sweep worker installs around one run.
+    pub fn job(&self, key: RunKey) -> conform::ConformJob {
+        conform::ConformJob {
+            key: Some(key),
+            sink: self.sink.clone(),
+            honor_whitelist: self.honor_whitelist,
+        }
+    }
+
+    /// Takes every report deposited so far, sorted by run key so the
+    /// verdict order is independent of worker scheduling.
+    pub fn take_reports(&self) -> Vec<(Option<RunKey>, conform::ConformReport)> {
+        let mut v = std::mem::take(&mut *self.sink.lock().expect("conform sink poisoned"));
+        v.sort_by(|(a, _), (b, _)| {
+            let k = |key: &Option<RunKey>| {
+                key.as_ref()
+                    .map(|k| (k.experiment.clone(), k.point, k.seed))
+            };
+            k(a).cmp(&k(b))
+        });
+        v
+    }
+}
+
 /// Everything an experiment generator needs: fidelity settings plus the
 /// worker pool its sweeps execute on.
 #[derive(Debug, Clone)]
@@ -88,6 +151,8 @@ pub struct RunCtx {
     /// Checkpoint/audit campaign spec; `None` (the default) records no
     /// checkpoints and resumes nothing.
     pub checkpoint: Option<greedy80211::checkpoint::CampaignSpec>,
+    /// Conformance campaign; `None` (the default) checks nothing.
+    pub conform: Option<ConformCampaign>,
 }
 
 impl RunCtx {
@@ -98,6 +163,7 @@ impl RunCtx {
             runner: runner::Runner::sequential(),
             record: None,
             checkpoint: None,
+            conform: None,
         }
     }
 
@@ -108,6 +174,7 @@ impl RunCtx {
             runner: runner::Runner::new(jobs),
             record: None,
             checkpoint: None,
+            conform: None,
         }
     }
 
@@ -121,6 +188,12 @@ impl RunCtx {
     /// `spec`; see [`greedy80211::checkpoint::CampaignSpec`].
     pub fn with_checkpoints(mut self, spec: greedy80211::checkpoint::CampaignSpec) -> Self {
         self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Same context with live conformance checking under `campaign`.
+    pub fn with_conform(mut self, campaign: ConformCampaign) -> Self {
+        self.conform = Some(campaign);
         self
     }
 }

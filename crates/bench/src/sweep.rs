@@ -39,6 +39,7 @@ where
     let measure = &measure;
     let record = ctx.record.as_ref();
     let checkpoint = ctx.checkpoint.as_ref();
+    let conform_camp = ctx.conform.as_ref();
     let jobs: Vec<_> = points
         .iter()
         .enumerate()
@@ -48,6 +49,7 @@ where
                 let seed = key.stream_seed();
                 let record = record.cloned();
                 let checkpoint = checkpoint.cloned();
+                let conform_camp = conform_camp.cloned();
                 move || {
                     // The checkpoint spec rides the same thread-ambient
                     // channel as the flight recorder: installed around
@@ -57,6 +59,13 @@ where
                     let _ck_guard = checkpoint.map(|spec| {
                         greedy80211::checkpoint::ambient::install(spec.job(key.clone()))
                     });
+                    // Conformance rides the same channel again; the
+                    // network attaches the checker when it wires its
+                    // recorder, so a recorder must exist — hence the
+                    // zero-capacity fallback in the unrecorded arm.
+                    let _cf_guard = conform_camp
+                        .as_ref()
+                        .map(|camp| conform::ambient::install(camp.job(key.clone())));
                     match record {
                         Some(camp) => {
                             // One fresh recorder per job, installed as the
@@ -79,6 +88,20 @@ where
                                 camp.deposit(key, report);
                             }
                             out
+                        }
+                        None if conform_camp.is_some() => {
+                            // No telemetry wanted, but the checker needs
+                            // an event stream: a capacity-0 recorder
+                            // keeps nothing while its tap still sees
+                            // every emission.
+                            let rec = obs::ObsSpec {
+                                capacity: 0,
+                                probe_interval: None,
+                                filter: obs::Filter::all(),
+                            }
+                            .recorder();
+                            let _guard = obs::ambient::install(rec);
+                            measure(point, seed)
                         }
                         None => measure(point, seed),
                     }
@@ -135,6 +158,7 @@ mod tests {
             runner: Runner::new(jobs),
             record: None,
             checkpoint: None,
+            conform: None,
         }
     }
 

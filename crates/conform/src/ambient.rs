@@ -1,0 +1,123 @@
+//! Per-thread ambient conformance job.
+//!
+//! Mirrors [`obs::ambient`]: the campaign runner (or the CLI) installs a
+//! [`ConformJob`] into a thread-local slot around each run; the network
+//! layer picks it up when wiring a recorder, attaches a
+//! [`crate::CheckerTap`], and deposits the finished
+//! [`crate::ConformReport`] into the job's shared sink when the run
+//! completes. Jobs never share a thread concurrently, and the guard
+//! restores the previous slot value on drop, so nesting and
+//! worker-thread reuse are safe.
+
+use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+use sim::RunKey;
+
+use crate::rules::ConformReport;
+
+/// Where finished reports accumulate, shared across worker threads.
+pub type ConformSink = Arc<Mutex<Vec<(Option<RunKey>, ConformReport)>>>;
+
+/// A pending request to conformance-check the next run on this thread.
+#[derive(Debug, Clone)]
+pub struct ConformJob {
+    /// Campaign key of the run, if part of a sweep.
+    pub key: Option<RunKey>,
+    /// Destination for the finished report.
+    pub sink: ConformSink,
+    /// Whether declared quirks exempt their rules (the normal mode).
+    /// `false` re-arms every rule, for whitelist-removal tests.
+    pub honor_whitelist: bool,
+}
+
+impl ConformJob {
+    /// A job with a fresh sink, keyed if `key` is given.
+    pub fn new(key: Option<RunKey>) -> Self {
+        ConformJob {
+            key,
+            sink: Arc::new(Mutex::new(Vec::new())),
+            honor_whitelist: true,
+        }
+    }
+
+    /// Same job with the quirk whitelist disabled.
+    pub fn without_whitelist(mut self) -> Self {
+        self.honor_whitelist = false;
+        self
+    }
+
+    /// Deposits a finished report into the sink.
+    pub fn deposit(&self, report: ConformReport) {
+        self.sink
+            .lock()
+            .expect("conform sink poisoned")
+            .push((self.key.clone(), report));
+    }
+
+    /// Drains all reports deposited so far from the sink.
+    pub fn drain(&self) -> Vec<(Option<RunKey>, ConformReport)> {
+        std::mem::take(&mut *self.sink.lock().expect("conform sink poisoned"))
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ConformJob>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed job when dropped.
+#[derive(Debug)]
+pub struct AmbientGuard {
+    prev: Option<ConformJob>,
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|slot| *slot.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `job` as this thread's ambient conformance request until the
+/// returned guard drops.
+#[must_use = "the job is uninstalled when the guard drops"]
+pub fn install(job: ConformJob) -> AmbientGuard {
+    let prev = CURRENT.with(|slot| slot.borrow_mut().replace(job));
+    AmbientGuard { prev }
+}
+
+/// The currently installed ambient job, if any.
+pub fn current() -> Option<ConformJob> {
+    CURRENT.with(|slot| slot.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_scoped_and_nestable() {
+        assert!(current().is_none());
+        let outer = ConformJob::new(None);
+        {
+            let _g1 = install(outer.clone());
+            assert!(current().is_some());
+            {
+                let inner = ConformJob::new(Some(RunKey::new("x", 1, 2)));
+                let _g2 = install(inner.clone());
+                assert_eq!(current().unwrap().key, inner.key);
+            }
+            assert!(current().unwrap().key.is_none());
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn deposit_and_drain_round_trip() {
+        let job = ConformJob::new(Some(RunKey::new("exp", 3, 7)));
+        job.deposit(ConformReport::default());
+        let drained = job.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0.as_ref().unwrap().point, 3);
+        assert!(job.drain().is_empty());
+    }
+}

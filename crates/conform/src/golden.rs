@@ -1,0 +1,191 @@
+//! Golden-trace normalization and structural diffing.
+//!
+//! A golden trace pins the *structure* of a scenario's frame exchange —
+//! who transmitted what to whom, in what order, with which outcomes —
+//! while deliberately excluding everything timing- or entropy-shaped
+//! (timestamps, airtimes, backoff draws, NAV horizons). The fixtures
+//! stay readable and survive refactors that legitimately shift absolute
+//! times, yet any reordering, lost frame, spurious retry, or changed
+//! delivery fails the diff with a pointed first-divergence message.
+
+use obs::ObsEvent;
+use phy::obs::frame_name;
+
+/// Reduces a recorded event stream to its structural trace lines.
+///
+/// Kept: transmissions (`tx`), receptions at the addressed station
+/// (`rx`), retries with the post-update contention window (BEB
+/// evolution), drops, acknowledged MSDUs, and MAC-level deliveries or
+/// duplicate suppressions. Everything else — probes, NAV bookkeeping,
+/// backoff draws, transport events — is excluded.
+pub fn normalize(events: &[ObsEvent]) -> Vec<String> {
+    let mut lines = Vec::new();
+    for ev in events {
+        match ev.kind.name {
+            "tx_start" => lines.push(format!(
+                "tx {} {} -> {}",
+                ev.node,
+                frame_name(ev.vals[1] as u8),
+                ev.vals[0] as u16
+            )),
+            "rx_ok" | "rx_noise" | "rx_collision"
+                // Only the addressed station's perspective: overhearing
+                // varies with topology, delivery must not.
+                if ev.vals[1] as u16 == ev.node => {
+                    let outcome = match ev.kind.name {
+                        "rx_ok" => "ok",
+                        "rx_noise" => "noise",
+                        _ => "collision",
+                    };
+                    lines.push(format!(
+                        "rx {} {} from {} {}",
+                        ev.node,
+                        frame_name(ev.vals[2] as u8),
+                        ev.vals[0] as u16,
+                        outcome
+                    ));
+                }
+            "retry" => lines.push(format!(
+                "retry {} {} #{} cw={}",
+                ev.node,
+                if ev.vals[0] != 0.0 { "long" } else { "short" },
+                ev.vals[1] as u32,
+                ev.vals[2] as u32
+            )),
+            "drop" => lines.push(format!(
+                "drop {} {}",
+                ev.node,
+                if ev.vals[0] == mac::obs::DROP_RETRY_LIMIT {
+                    "retry-limit"
+                } else {
+                    "queue-full"
+                }
+            )),
+            "tx_success" => lines.push(format!("acked {} retries={}", ev.node, ev.vals[0] as u32)),
+            "data_rx" => lines.push(format!(
+                "{} {} from {} seq={}",
+                if ev.vals[3] != 0.0 { "dup" } else { "deliver" },
+                ev.node,
+                ev.vals[0] as u16,
+                ev.vals[1] as u64
+            )),
+            _ => {}
+        }
+    }
+    lines
+}
+
+/// Parses a fixture file: strips `#` comment lines and blank lines,
+/// trims whitespace.
+pub fn parse_fixture(text: &str) -> Vec<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Renders trace lines as fixture file content.
+pub fn to_fixture(header: &str, lines: &[String]) -> String {
+    let mut out = String::new();
+    for h in header.lines() {
+        out.push_str("# ");
+        out.push_str(h);
+        out.push('\n');
+    }
+    for l in lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares an actual trace against the expected one; `None` on match,
+/// otherwise a first-divergence message with surrounding context.
+pub fn diff(expected: &[String], actual: &[String]) -> Option<String> {
+    let n = expected.len().max(actual.len());
+    for i in 0..n {
+        let e = expected.get(i).map(String::as_str);
+        let a = actual.get(i).map(String::as_str);
+        if e != a {
+            let mut msg = format!(
+                "trace diverges at line {} (expected {} lines, got {}):\n",
+                i + 1,
+                expected.len(),
+                actual.len()
+            );
+            let lo = i.saturating_sub(3);
+            for j in lo..i {
+                msg.push_str(&format!(
+                    "    {}\n",
+                    expected.get(j).map(String::as_str).unwrap_or("")
+                ));
+            }
+            msg.push_str(&format!(
+                "  - expected: {}\n",
+                e.unwrap_or("<end of trace>")
+            ));
+            msg.push_str(&format!("  + actual:   {}", a.unwrap_or("<end of trace>")));
+            return Some(msg);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phy::obs::{FRAME_ACK, FRAME_DATA};
+    use sim::SimTime;
+
+    fn ev(node: u16, kind: &'static obs::EventKind, vals: &[f64]) -> ObsEvent {
+        ObsEvent::new(SimTime::from_micros(1), node, kind, vals)
+    }
+
+    #[test]
+    fn normalize_keeps_structure_and_drops_timing() {
+        let events = vec![
+            ev(0, &phy::obs::TX_START, &[1.0, FRAME_DATA as f64, 777.0]),
+            ev(1, &phy::obs::RX_OK, &[0.0, 1.0, FRAME_DATA as f64, 777.0]),
+            // Overheard copy at a third station: excluded.
+            ev(2, &phy::obs::RX_OK, &[0.0, 1.0, FRAME_DATA as f64, 777.0]),
+            ev(1, &mac::obs::DATA_RX, &[0.0, 0.0, 0.0, 0.0]),
+            ev(1, &phy::obs::TX_START, &[0.0, FRAME_ACK as f64, 304.0]),
+            ev(0, &mac::obs::TX_SUCCESS, &[0.0, 1234.0, 31.0]),
+            // Timing-shaped events: excluded.
+            ev(0, &mac::obs::BACKOFF, &[31.0, 7.0]),
+            ev(0, &mac::obs::NAV_SET, &[1.0, 5000.0]),
+        ];
+        let lines = normalize(&events);
+        assert_eq!(
+            lines,
+            vec![
+                "tx 0 DATA -> 1",
+                "rx 1 DATA from 0 ok",
+                "deliver 1 from 0 seq=0",
+                "tx 1 ACK -> 0",
+                "acked 0 retries=0",
+            ]
+        );
+    }
+
+    #[test]
+    fn fixture_round_trip_and_diff() {
+        let lines: Vec<String> = vec!["tx 0 DATA -> 1".into(), "rx 1 DATA from 0 ok".into()];
+        let text = to_fixture("two lines\nof header", &lines);
+        assert!(text.starts_with("# two lines\n# of header\n"));
+        assert_eq!(parse_fixture(&text), lines);
+        assert!(diff(&lines, &lines).is_none());
+
+        let mut changed = lines.clone();
+        changed[1] = "rx 1 DATA from 0 noise".into();
+        let msg = diff(&lines, &changed).unwrap();
+        assert!(msg.contains("line 2"));
+        assert!(msg.contains("expected: rx 1 DATA from 0 ok"));
+        assert!(msg.contains("actual:   rx 1 DATA from 0 noise"));
+
+        let truncated = &lines[..1];
+        let msg = diff(&lines, truncated).unwrap();
+        assert!(msg.contains("<end of trace>"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The conformance rule catalog, violations, and the per-run report.
+//!
+//! Each [`RuleId`] corresponds to a normative requirement of IEEE
+//! 802.11-2007 (clause references in [`RuleId::clause`]) or, for
+//! [`RuleId::FlowConservation`], to a conservation law of the simulator
+//! itself. The full catalog with the precise predicate each rule checks
+//! is documented in `DESIGN.md` §13.
+
+use sim::SimTime;
+
+/// One conformance rule the [`crate::Checker`] enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// MAC responses (ACK, CTS, CTS-gated DATA) start exactly SIFS after
+    /// the reception that elicited them.
+    SifsResponse,
+    /// An ACK answers a data frame addressed to the ACKing station
+    /// (violated by spoofed ACKs, quirk `ACK_SPOOF`).
+    AckAddressing,
+    /// An ACK answers a *correctly decoded* data frame (violated by fake
+    /// ACKs for corrupted frames, quirk `FAKE_ACK`).
+    AckValidity,
+    /// Contention-based access waits DIFS (EIFS after a corrupted
+    /// reception) from the last known medium activity.
+    DifsAccess,
+    /// The NAV horizon never moves backwards and never points into the
+    /// past.
+    NavMonotone,
+    /// No contention-based transmission while the station's own NAV is
+    /// set (virtual carrier sense).
+    NavNoTx,
+    /// A NAV advance implied by an overheard frame stays within the
+    /// worst-case legitimate Duration for that frame kind.
+    NavDurationBound,
+    /// Retries fire exactly at the CTS/ACK response timeout after the
+    /// corresponding RTS/DATA transmission ended.
+    AckTimeout,
+    /// The contention window stays within `[CWmin, CWmax]` and backoff
+    /// draws come from the current window.
+    CwLegality,
+    /// The contention window only doubles on failure or resets to CWmin
+    /// on success/drop (binary exponential backoff).
+    CwTransition,
+    /// Per-MSDU retry counters never exceed the short/long retry limit
+    /// by more than the final, dropping attempt.
+    RetryLimit,
+    /// An MSDU is dropped exactly when its retry limit is exhausted —
+    /// never earlier (except under `NO_RETX`), never kept longer.
+    RetryDrop,
+    /// Duplicate detection suppresses exactly the retransmissions whose
+    /// sequence number was already delivered, and only retry-marked
+    /// frames can be duplicates.
+    DupDelivery,
+    /// Transport flows deliver no segment that was never sent and no
+    /// more distinct bytes than were sent (simulator conservation law).
+    FlowConservation,
+}
+
+impl RuleId {
+    /// Every rule, in catalog order.
+    pub const ALL: [RuleId; 14] = [
+        RuleId::SifsResponse,
+        RuleId::AckAddressing,
+        RuleId::AckValidity,
+        RuleId::DifsAccess,
+        RuleId::NavMonotone,
+        RuleId::NavNoTx,
+        RuleId::NavDurationBound,
+        RuleId::AckTimeout,
+        RuleId::CwLegality,
+        RuleId::CwTransition,
+        RuleId::RetryLimit,
+        RuleId::RetryDrop,
+        RuleId::DupDelivery,
+        RuleId::FlowConservation,
+    ];
+
+    /// Stable machine-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::SifsResponse => "sifs-response",
+            RuleId::AckAddressing => "ack-addressing",
+            RuleId::AckValidity => "ack-validity",
+            RuleId::DifsAccess => "difs-access",
+            RuleId::NavMonotone => "nav-monotone",
+            RuleId::NavNoTx => "nav-no-tx",
+            RuleId::NavDurationBound => "nav-duration-bound",
+            RuleId::AckTimeout => "ack-timeout",
+            RuleId::CwLegality => "cw-legality",
+            RuleId::CwTransition => "cw-transition",
+            RuleId::RetryLimit => "retry-limit",
+            RuleId::RetryDrop => "retry-drop",
+            RuleId::DupDelivery => "dup-delivery",
+            RuleId::FlowConservation => "flow-conservation",
+        }
+    }
+
+    /// The normative source of the rule (IEEE 802.11-2007 clause, or the
+    /// simulator invariant it encodes).
+    pub fn clause(self) -> &'static str {
+        match self {
+            RuleId::SifsResponse => "IEEE 802.11-2007 \u{a7}9.2.3.1",
+            RuleId::AckAddressing => "IEEE 802.11-2007 \u{a7}9.2.8",
+            RuleId::AckValidity => "IEEE 802.11-2007 \u{a7}9.2.8",
+            RuleId::DifsAccess => "IEEE 802.11-2007 \u{a7}9.2.3.3\u{2013}9.2.3.4",
+            RuleId::NavMonotone => "IEEE 802.11-2007 \u{a7}9.2.5.4",
+            RuleId::NavNoTx => "IEEE 802.11-2007 \u{a7}9.2.5.4",
+            RuleId::NavDurationBound => "IEEE 802.11-2007 \u{a7}7.1.3.2",
+            RuleId::AckTimeout => "IEEE 802.11-2007 \u{a7}9.2.5.3",
+            RuleId::CwLegality => "IEEE 802.11-2007 \u{a7}9.2.4",
+            RuleId::CwTransition => "IEEE 802.11-2007 \u{a7}9.2.4",
+            RuleId::RetryLimit => "IEEE 802.11-2007 \u{a7}9.2.5.3",
+            RuleId::RetryDrop => "IEEE 802.11-2007 \u{a7}9.2.5.3",
+            RuleId::DupDelivery => "IEEE 802.11-2007 \u{a7}9.2.9",
+            RuleId::FlowConservation => "simulator invariant",
+        }
+    }
+
+    /// Which stack layer a violation of this rule implicates.
+    pub fn layer(self) -> &'static str {
+        match self {
+            RuleId::FlowConservation => "transport",
+            _ => "mac",
+        }
+    }
+}
+
+impl std::fmt::Display for RuleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One observed rule violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The rule that was broken.
+    pub rule: RuleId,
+    /// Virtual time of the offending event.
+    pub at: SimTime,
+    /// Station (or, for flow rules, the station-side endpoint) at fault.
+    pub node: u16,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] t={}\u{b5}s station {}: {} ({}, layer {})",
+            self.rule.name(),
+            self.at.as_micros(),
+            self.node,
+            self.detail,
+            self.rule.clause(),
+            self.rule.layer(),
+        )
+    }
+}
+
+/// Outcome of checking one run.
+#[derive(Debug, Clone, Default)]
+pub struct ConformReport {
+    /// Violations in event order (capped; see `suppressed`).
+    pub violations: Vec<Violation>,
+    /// Violations beyond the in-memory cap, counted but not stored.
+    pub suppressed: u64,
+    /// Would-be violations exempted by a declared greedy quirk — the
+    /// checker *observed* the declared misbehavior. Benign: whitelisted
+    /// greed does not dirty the run, but a greedy scenario whose
+    /// whitelist never fires deserves a second look.
+    pub whitelisted: u64,
+    /// Total events the checker inspected.
+    pub events_checked: u64,
+}
+
+impl ConformReport {
+    /// Whether the run obeyed every armed rule.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.suppressed == 0
+    }
+
+    /// Total violation count including suppressed ones.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64 + self.suppressed
+    }
+
+    /// The earliest violation, if any.
+    pub fn first(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            format!("clean ({} events checked)", self.events_checked)
+        } else {
+            format!(
+                "{} violation(s) over {} events; first: {}",
+                self.violation_count(),
+                self.events_checked,
+                self.violations
+                    .first()
+                    .map(|v| v.to_string())
+                    .unwrap_or_default()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rule_has_metadata() {
+        for rule in RuleId::ALL {
+            assert!(!rule.name().is_empty());
+            assert!(!rule.clause().is_empty());
+            assert!(matches!(rule.layer(), "mac" | "transport"));
+        }
+        // Names are unique (they key artifact files and docs).
+        let mut names: Vec<_> = RuleId::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), RuleId::ALL.len());
+    }
+
+    #[test]
+    fn report_summary_mentions_first_violation() {
+        let mut report = ConformReport {
+            events_checked: 10,
+            ..ConformReport::default()
+        };
+        assert!(report.is_clean());
+        report.violations.push(Violation {
+            rule: RuleId::NavNoTx,
+            at: SimTime::from_micros(42),
+            node: 3,
+            detail: "transmitted inside NAV".into(),
+        });
+        assert!(!report.is_clean());
+        assert!(report.summary().contains("nav-no-tx"));
+        assert!(report.summary().contains("42"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Protocol timing constants the rules check against, derived from the
+//! same PHY parameter tables and NAV arithmetic the DCF itself uses —
+//! the checker recomputes expectations from first principles rather than
+//! trusting any per-run configuration.
+
+use mac::frame::{NavCalculator, ACK_BYTES, CTS_BYTES, DATA_HEADER_BYTES};
+use phy::PhyParams;
+
+/// The 802.11 MSDU maximum (dot11MaxMSDULength): the payload ceiling
+/// behind the worst-case NAV bounds.
+pub const MSDU_MTU_BYTES: usize = 2304;
+
+/// Rule thresholds for one PHY, in integer nanoseconds (spacings) and
+/// microseconds (NAV bounds, matching the Duration field's unit).
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Slot time.
+    pub slot_ns: u64,
+    /// Short inter-frame space.
+    pub sifs_ns: u64,
+    /// DCF inter-frame space.
+    pub difs_ns: u64,
+    /// Extended inter-frame space (after a corrupted reception).
+    pub eifs_ns: u64,
+    /// Minimum contention window, in slots.
+    pub cw_min: u32,
+    /// Maximum contention window, in slots.
+    pub cw_max: u32,
+    /// CTS wait after an RTS transmission ends.
+    pub resp_timeout_short_ns: u64,
+    /// ACK wait after a DATA transmission ends.
+    pub resp_timeout_long_ns: u64,
+    /// Largest legitimate Duration on an ACK (\u{b5}s).
+    pub ack_nav_bound_us: u64,
+    /// Largest legitimate Duration on a CTS (\u{b5}s): echo of the
+    /// worst-case RTS at the lowest rate.
+    pub cts_nav_bound_us: u64,
+    /// Largest legitimate Duration on a DATA frame (\u{b5}s).
+    pub data_nav_bound_us: u64,
+    /// Largest legitimate Duration on an RTS (\u{b5}s): MTU-sized data
+    /// at the basic (lowest ARF) rate.
+    pub rts_nav_bound_us: u64,
+}
+
+impl Timing {
+    /// Derives all thresholds for `params`, assuming data payloads up to
+    /// `mtu_bytes` (the 802.11 MSDU maximum, 2304, in every scenario).
+    pub fn from_params(params: &PhyParams, mtu_bytes: usize) -> Self {
+        let nav = NavCalculator::new(*params);
+        // Worst-case legitimate RTS Duration: an MTU-sized MSDU sent at
+        // the basic rate (ARF never drops below it on either PHY).
+        let rts_bound =
+            nav.rts_duration_us_at(DATA_HEADER_BYTES + mtu_bytes, params.basic_rate_bps);
+        Timing {
+            slot_ns: params.slot.as_nanos(),
+            sifs_ns: params.sifs.as_nanos(),
+            difs_ns: params.difs.as_nanos(),
+            eifs_ns: params.eifs(ACK_BYTES).as_nanos(),
+            cw_min: params.cw_min,
+            cw_max: params.cw_max,
+            resp_timeout_short_ns: params.response_timeout(CTS_BYTES).as_nanos(),
+            resp_timeout_long_ns: params.response_timeout(ACK_BYTES).as_nanos(),
+            ack_nav_bound_us: nav.ack_duration_us() as u64,
+            cts_nav_bound_us: nav.cts_duration_us(rts_bound) as u64,
+            data_nav_bound_us: nav.data_duration_us() as u64,
+            rts_nav_bound_us: rts_bound as u64,
+        }
+    }
+
+    /// The NAV bound (\u{b5}s) for an overheard frame of `frame_code`
+    /// (see [`phy::obs::FRAME_RTS`] and friends), or `None` for unknown
+    /// codes.
+    pub fn nav_bound_us(&self, frame_code: u8) -> Option<u64> {
+        match frame_code {
+            phy::obs::FRAME_RTS => Some(self.rts_nav_bound_us),
+            phy::obs::FRAME_CTS => Some(self.cts_nav_bound_us),
+            phy::obs::FRAME_DATA => Some(self.data_nav_bound_us),
+            phy::obs::FRAME_ACK => Some(self.ack_nav_bound_us),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot11b_thresholds_match_the_standard() {
+        let t = Timing::from_params(&PhyParams::dot11b(), 2304);
+        assert_eq!(t.sifs_ns, 10_000);
+        assert_eq!(t.difs_ns, 50_000);
+        assert_eq!(t.slot_ns, 20_000);
+        assert_eq!(t.cw_min, 31);
+        assert_eq!(t.cw_max, 1023);
+        // EIFS = SIFS + DIFS + ACK airtime at 1 Mb/s (192 + 112 \u{b5}s).
+        assert_eq!(t.eifs_ns, 10_000 + 50_000 + 304_000);
+        // Honest DATA Duration covers SIFS + the returning ACK.
+        assert_eq!(t.data_nav_bound_us, 314);
+        assert_eq!(t.ack_nav_bound_us, 0);
+        // An MTU RTS at 1 Mb/s reserves on the order of 19 ms.
+        assert!(t.rts_nav_bound_us > 18_000 && t.rts_nav_bound_us < 32_767);
+        assert!(t.cts_nav_bound_us < t.rts_nav_bound_us);
+    }
+
+    #[test]
+    fn response_timeouts_cover_the_response_airtime() {
+        let t = Timing::from_params(&PhyParams::dot11a(), 2304);
+        // SIFS + slot + response airtime + slot of margin: strictly more
+        // than SIFS + response airtime.
+        assert!(t.resp_timeout_short_ns > t.sifs_ns);
+        assert!(t.resp_timeout_long_ns > t.sifs_ns);
+    }
+}

@@ -34,6 +34,10 @@ impl<M: Msdu> StationPolicy<M> for GreedySenderPolicy {
         let shrunk = (cw as f64 * self.fraction) as u32;
         Some(rng.uniform_u32_inclusive(shrunk))
     }
+
+    fn quirk_flags(&self) -> u32 {
+        mac::policy::quirk::BACKOFF_CHEAT
+    }
 }
 
 #[cfg(test)]

@@ -170,6 +170,20 @@ impl StationPolicy<Segment> for GreedyPolicy {
             .as_mut()
             .is_some_and(|p| p.spoof_ack_for(frame, rng))
     }
+
+    fn quirk_flags(&self) -> u32 {
+        let mut flags = 0;
+        if self.nav.is_some() {
+            flags |= mac::policy::quirk::NAV_INFLATE;
+        }
+        if self.spoof.is_some() {
+            flags |= mac::policy::quirk::ACK_SPOOF;
+        }
+        if self.fake.is_some() {
+            flags |= mac::policy::quirk::FAKE_ACK;
+        }
+        flags
+    }
 }
 
 #[cfg(test)]

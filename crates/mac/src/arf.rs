@@ -235,6 +235,47 @@ mod tests {
     }
 
     #[test]
+    fn failure_resets_success_streak() {
+        // Rate-up requires exactly `up_threshold` *consecutive*
+        // successes: 9 + failure + 9 must not probe, the 10th after the
+        // failure must.
+        let mut cfg = ArfConfig::dot11b();
+        cfg.initial_index = 0;
+        let mut a = Arf::new(cfg);
+        for _ in 0..9 {
+            a.on_success();
+        }
+        a.on_failure();
+        for _ in 0..9 {
+            a.on_success();
+            assert_eq!(a.rate_index(), 0, "streak restarted after the failure");
+        }
+        a.on_success();
+        assert_eq!(a.rate_index(), 1);
+        assert_eq!(a.step_ups, 1);
+    }
+
+    #[test]
+    fn survived_probe_needs_full_failure_streak_to_step_down() {
+        // One success at the probed rate ends the probation: after it, a
+        // single ACK timeout no longer falls straight back — the normal
+        // `down_threshold` applies again.
+        let mut cfg = ArfConfig::dot11b();
+        cfg.initial_index = 0;
+        let mut a = Arf::new(cfg);
+        for _ in 0..10 {
+            a.on_success();
+        }
+        assert_eq!(a.rate_index(), 1, "probing at the higher rate");
+        a.on_success();
+        a.on_failure();
+        assert_eq!(a.rate_index(), 1, "survived probe tolerates one timeout");
+        a.on_failure();
+        assert_eq!(a.rate_index(), 0, "second consecutive timeout steps down");
+        assert_eq!(a.step_downs, 1);
+    }
+
+    #[test]
     #[should_panic(expected = "at least one rate")]
     fn empty_ladder_panics() {
         let _ = Arf::new(ArfConfig {

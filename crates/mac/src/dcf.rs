@@ -423,6 +423,20 @@ impl<M: Msdu> Dcf<M> {
         &self.cfg
     }
 
+    /// Behavior deviations this station's policy and configuration
+    /// declare, as [`crate::policy::quirk`] flags — the conformance
+    /// checker's per-station whitelist.
+    pub fn quirk_flags(&self) -> u32 {
+        let mut flags = self.policy.quirk_flags();
+        if !self.cfg.no_retx_to.is_empty() {
+            flags |= crate::policy::quirk::NO_RETX;
+        }
+        if !self.cfg.cw_clamp_to.is_empty() {
+            flags |= crate::policy::quirk::CW_CLAMP;
+        }
+        flags
+    }
+
     /// Current contention window.
     pub fn cw(&self) -> u32 {
         self.backoff.cw()
@@ -653,7 +667,18 @@ impl<M: Msdu> Dcf<M> {
                 }
                 self.queue_response(Frame::ack(self.id, frame.src, dur), &mut actions);
                 self.counters.acks_sent.incr();
-                if self.dedup.is_new(frame.src, frame.seq) {
+                let is_new = self.dedup.is_new(frame.src, frame.seq);
+                self.obs_emit(
+                    now,
+                    &crate::obs::DATA_RX,
+                    &[
+                        frame.src.0 as f64,
+                        frame.seq as f64,
+                        frame.retry as u8 as f64,
+                        !is_new as u8 as f64,
+                    ],
+                );
+                if is_new {
                     let body = frame.body.clone().expect("data frame without body");
                     self.counters.delivered_msdus.incr();
                     self.counters.delivered_bytes.add(body.wire_bytes() as u64);
@@ -769,7 +794,10 @@ impl<M: Msdu> Dcf<M> {
     /// immediate access). Pops the queue into `current` if needed and puts
     /// the RTS or data frame on the air.
     fn begin_transmission(&mut self, now: SimTime, actions: &mut Vec<MacAction<M>>) {
-        debug_assert!(self.nav.is_idle(now), "transmitting against NAV");
+        debug_assert!(
+            cfg!(feature = "inject-nav-bug") || self.nav.is_idle(now),
+            "transmitting against NAV"
+        );
         if self.current.is_none() {
             let (dst, body, enqueued_at) = match self.queue.pop_front() {
                 Some(x) => x,
@@ -953,11 +981,15 @@ impl<M: Msdu> Dcf<M> {
         if self.phys_busy || self.txing {
             return None;
         }
-        Some(
-            self.phys_idle_since
-                .max(self.own_tx_idle_since)
-                .max(self.nav.until()),
-        )
+        let idle = self.phys_idle_since.max(self.own_tx_idle_since);
+        if cfg!(feature = "inject-nav-bug") {
+            // Fault injection for the conformance harness: deliberately
+            // ignore the virtual carrier so transmissions start inside
+            // other stations' NAV reservations.
+            Some(idle)
+        } else {
+            Some(idle.max(self.nav.until()))
+        }
     }
 
     fn freeze_countdown(&mut self, now: SimTime, actions: &mut Vec<MacAction<M>>) {
@@ -1286,6 +1318,28 @@ mod tests {
             .any(|a| matches!(a, MacAction::Deliver { .. })));
         assert_eq!(d.counters.duplicates.get(), 1);
         assert_eq!(d.counters.acks_sent.get(), 2);
+    }
+
+    #[test]
+    fn retry_marked_frame_with_unseen_seq_still_delivers() {
+        // The retry bit alone does not make a duplicate: when the first
+        // copy was lost on air, the retransmission is the receiver's
+        // first sight of that MSDU and must reach the upper layer.
+        let mut d = mk(1);
+        let mut data: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 314, 7, 1024);
+        data.retry = true;
+        let actions = d.on_rx_end(
+            SimTime::from_millis(1),
+            RxEvent::Ok {
+                frame: data,
+                rssi_dbm: -40.0,
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, MacAction::Deliver { body: 1024, .. })));
+        assert_eq!(d.counters.duplicates.get(), 0);
+        assert_eq!(d.counters.delivered_msdus.get(), 1);
     }
 
     #[test]

@@ -100,4 +100,33 @@ mod tests {
         assert!(d.is_new(NodeId(1), 10));
         assert!(!d.is_new(NodeId(1), 9));
     }
+
+    #[test]
+    fn sequence_space_is_64_bit_and_never_wraps() {
+        // Unlike the standard's 12-bit wrapping counter, our sequence
+        // numbers are 64-bit and monotone: the cache must stay correct
+        // at the very top of the space and must NOT treat a post-"wrap"
+        // small number as new (no sender can issue 2^64 MSDUs, so a
+        // wrapped value can only be corruption).
+        let mut d = DedupCache::new();
+        assert!(d.is_new(NodeId(1), u64::MAX - 1));
+        assert!(d.is_new(NodeId(1), u64::MAX));
+        assert!(!d.is_new(NodeId(1), u64::MAX));
+        assert!(!d.is_new(NodeId(1), 0), "wraparound must not look fresh");
+        // Only one entry is retained per source, however large the seq.
+        assert_eq!(d.sources(), 1);
+    }
+
+    #[test]
+    fn boundary_state_survives_a_snapshot() {
+        use snap::SnapValue;
+        let mut d = DedupCache::new();
+        assert!(d.is_new(NodeId(7), u64::MAX));
+        let mut enc = snap::Enc::new();
+        d.save(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut restored = DedupCache::load(&mut snap::Dec::new(&bytes)).unwrap();
+        assert!(!restored.is_new(NodeId(7), u64::MAX));
+        assert!(!restored.is_new(NodeId(7), 0));
+    }
 }

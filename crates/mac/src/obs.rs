@@ -47,6 +47,15 @@ pub static MAC_DROP: EventKind = EventKind {
     fields: &["reason", "dst"],
 };
 
+/// A data frame addressed to this station was received intact. Payload:
+/// source station, MAC sequence number, the frame's retry bit, and
+/// whether the duplicate cache suppressed delivery (`dup` = 1).
+pub static DATA_RX: EventKind = EventKind {
+    name: "data_rx",
+    layer: Layer::Mac,
+    fields: &["src", "seq", "retry", "dup"],
+};
+
 /// A data MSDU was transmitted and acknowledged. Payload: data retries
 /// used, enqueue→ACK latency, and the post-success contention window.
 pub static TX_SUCCESS: EventKind = EventKind {

@@ -12,6 +12,26 @@ use sim::{SimRng, SimTime};
 
 use crate::frame::{Frame, FrameKind, Msdu};
 
+/// Behavior-deviation flags a [`StationPolicy`] (or DCF configuration)
+/// declares about itself, consumed by the conformance checker to
+/// whitelist *modeled* misbehavior per rule. Honest stations declare 0.
+pub mod quirk {
+    /// Inflates outgoing Duration/NAV fields (paper misbehavior 1).
+    pub const NAV_INFLATE: u32 = 1 << 0;
+    /// Spoofs MAC ACKs on behalf of other stations (misbehavior 2).
+    pub const ACK_SPOOF: u32 = 1 << 1;
+    /// ACKs corrupted frames addressed to itself (misbehavior 3).
+    pub const FAKE_ACK: u32 = 1 << 2;
+    /// Drops MSDUs at the first ACK timeout instead of retrying
+    /// (testbed no-retransmission emulation, `DcfConfig::no_retx_to`).
+    pub const NO_RETX: u32 = 1 << 3;
+    /// Clamps CWmax to CWmin (testbed fake-ACK emulation,
+    /// `DcfConfig::cw_clamp_to`).
+    pub const CW_CLAMP: u32 = 1 << 4;
+    /// Draws backoff from a shrunken window (greedy sender).
+    pub const BACKOFF_CHEAT: u32 = 1 << 5;
+}
+
 /// Per-frame reception metadata passed to hooks.
 #[derive(Debug, Clone, Copy)]
 pub struct FrameMeta {
@@ -85,6 +105,13 @@ pub trait StationPolicy<M: Msdu>: std::fmt::Debug {
     fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
         let _ = r;
         Ok(())
+    }
+
+    /// Which protocol rules this policy knowingly deviates from, as a
+    /// bitmask of [`quirk`] flags. The conformance checker exempts the
+    /// matching rules for this station; everything else still applies.
+    fn quirk_flags(&self) -> u32 {
+        0
     }
 }
 

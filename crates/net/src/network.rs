@@ -211,6 +211,10 @@ pub struct Network {
     /// Live TCP retransmission timers, indexed by flow id.
     flow_timers: Vec<Option<TimerHandle>>,
     recorder: Option<::obs::RecorderHandle>,
+    /// Armed conformance checking: the ambient job that requested it and
+    /// the checker tapping the recorder stream. The report is deposited
+    /// when the event loop finishes.
+    conform: Option<(::conform::ConformJob, ::conform::SharedChecker)>,
 }
 
 // `Network` is deliberately NOT `Send`: report handles (GRC, recorder)
@@ -257,6 +261,7 @@ impl Network {
             sched: Scheduler::new(),
             txs: Arena::new(),
             recorder: None,
+            conform: None,
         }
     }
 
@@ -274,6 +279,35 @@ impl Network {
                 // Remote senders are attributed to the AP they sit behind.
                 sender.set_recorder(recorder.clone(), f.src.0);
             }
+        }
+        // Arm conformance checking when an ambient job requests it: the
+        // checker taps the recorder stream (every emission, before any
+        // filter), with each station's declared quirks and retry limits
+        // as its profile.
+        if let Some(job) = ::conform::ambient::current() {
+            let mut profiles = HashMap::new();
+            for (i, st) in self.nodes.iter().enumerate() {
+                let cfg = st.dcf.config();
+                profiles.insert(
+                    i as u16,
+                    ::conform::NodeProfile {
+                        quirks: st.dcf.quirk_flags(),
+                        short_retry_limit: cfg.short_retry_limit,
+                        long_retry_limit: cfg.long_retry_limit,
+                    },
+                );
+            }
+            let timing =
+                ::conform::Timing::from_params(&self.phy, ::conform::timing::MSDU_MTU_BYTES);
+            let mut checker = ::conform::Checker::new(timing, profiles);
+            if !job.honor_whitelist {
+                checker = checker.without_whitelist();
+            }
+            let shared = ::conform::SharedChecker::new(checker);
+            recorder
+                .borrow_mut()
+                .set_tap(Box::new(::conform::CheckerTap(shared.clone())));
+            self.conform = Some((job, shared));
         }
         self.recorder = Some(recorder);
     }
@@ -366,6 +400,11 @@ impl Network {
         hooks: RunHooks,
         resumed_at: SimTime,
     ) -> (RunMetrics, RunArtifacts) {
+        // A resumed checker sees a mid-run event stream: lazily
+        // initialized rules stay armed, whole-run ones are disarmed.
+        if let Some((_, checker)) = &self.conform {
+            checker.borrow_mut().set_midstream();
+        }
         self.event_loop(duration, hooks, Some(resumed_at))
     }
 
@@ -453,6 +492,12 @@ impl Network {
         }
         let metrics = self.collect_metrics(duration);
         crate::stats::record_run(metrics.events_processed);
+        if let Some((job, checker)) = self.conform.take() {
+            if let Some(rec) = &self.recorder {
+                let _ = rec.borrow_mut().take_tap();
+            }
+            job.deposit(checker.borrow_mut().finish_report());
+        }
         (metrics, artifacts)
     }
 
@@ -556,6 +601,9 @@ impl Network {
                 let jitter = 0.99 + 0.02 * self.rng.uniform_f64();
                 let next = SimDuration::from_nanos((interval.as_nanos() as f64 * jitter) as u64);
                 self.sched.arm(next, Event::CbrTick { flow });
+                if let Segment::UdpData { flow, seq, bytes } = seg {
+                    self.record_flow_event(now, src.0, &transport::obs::UDP_TX, flow, seq, bytes);
+                }
                 self.enqueue_at(now, src, dst, seg);
             }
             Event::TcpTimer { flow } => {
@@ -838,14 +886,43 @@ impl Network {
         self.process_actions(now, at, actions);
     }
 
+    /// Emits a transport flow event (for conformance flow accounting)
+    /// if a recorder is installed.
+    fn record_flow_event(
+        &self,
+        now: SimTime,
+        node: u16,
+        kind: &'static ::obs::EventKind,
+        flow: FlowId,
+        seq: u64,
+        bytes: usize,
+    ) {
+        if let Some(rec) = &self.recorder {
+            rec.borrow_mut()
+                .emit(now, node, kind, &[flow.0 as f64, seq as f64, bytes as f64]);
+        }
+    }
+
     fn deliver_segment(&mut self, now: SimTime, at: NodeId, seg: Segment, _from: NodeId) {
         match seg {
             Segment::UdpData { flow, seq, bytes } => {
                 let f = &mut self.flows[flow.0 as usize];
+                let mut delivered = false;
                 if at == f.dst {
                     if let FlowKindState::Udp { sink, .. } = &mut f.kind {
                         sink.on_data(now, seq, bytes);
+                        delivered = true;
                     }
+                }
+                if delivered {
+                    self.record_flow_event(
+                        now,
+                        at.0,
+                        &transport::obs::UDP_DELIVER,
+                        flow,
+                        seq,
+                        bytes,
+                    );
                 }
             }
             Segment::TcpData { flow, seq, bytes } => {
@@ -859,6 +936,7 @@ impl Network {
                     };
                     (receiver.on_data(seq, bytes), f.src)
                 };
+                self.record_flow_event(now, at.0, &transport::obs::TCP_DELIVER, flow, seq, bytes);
                 self.enqueue_at(now, at, src, ack);
             }
             Segment::TcpAck { flow, ack, .. } => {
@@ -924,6 +1002,17 @@ impl Network {
                             }
                         }
                         cross.max_seq_sent = Some(cross.max_seq_sent.map_or(seq, |m| m.max(seq)));
+                    }
+                    if let Segment::TcpData { seq, bytes, .. } = seg {
+                        let node = self.flows[flow.0 as usize].src.0;
+                        self.record_flow_event(
+                            now,
+                            node,
+                            &transport::obs::TCP_TX,
+                            flow,
+                            seq,
+                            bytes,
+                        );
                     }
                     let f = &self.flows[flow.0 as usize];
                     match f.wire {

@@ -58,5 +58,5 @@ pub mod shared;
 
 pub use event::{EventKind, Layer, ObsEvent, MAX_FIELDS};
 pub use export::{run_dir_name, write_artifacts, ObsReport};
-pub use recorder::{Filter, ObsSpec, Recorder, RecorderHandle};
+pub use recorder::{EventTap, Filter, ObsSpec, Recorder, RecorderHandle};
 pub use shared::Shared;

@@ -148,14 +148,35 @@ impl ObsSpec {
     }
 }
 
+/// A live subscriber to a recorder's event stream.
+///
+/// The tap sees **every** emitted event, before the filter and before
+/// ring eviction — a conformance checker attached here misses nothing
+/// even when the ring is tiny or a `--record-filter` is active.
+pub trait EventTap {
+    /// Called for each event at its emission site.
+    fn on_event(&mut self, ev: &ObsEvent);
+}
+
 /// A run's telemetry sink. See the module docs.
-#[derive(Debug)]
 pub struct Recorder {
     spec: ObsSpec,
     events: VecDeque<ObsEvent>,
     dropped: u64,
     hists: BTreeMap<&'static str, LogHistogram>,
     series: BTreeMap<(&'static str, u16), Vec<(SimTime, f64)>>,
+    tap: Option<Box<dyn EventTap>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("spec", &self.spec)
+            .field("events", &self.events.len())
+            .field("dropped", &self.dropped)
+            .field("tap", &self.tap.is_some())
+            .finish()
+    }
 }
 
 impl Recorder {
@@ -168,12 +189,27 @@ impl Recorder {
             dropped: 0,
             hists: BTreeMap::new(),
             series: BTreeMap::new(),
+            tap: None,
         }
     }
 
+    /// Attaches a live [`EventTap`], replacing any previous one.
+    pub fn set_tap(&mut self, tap: Box<dyn EventTap>) {
+        self.tap = Some(tap);
+    }
+
+    /// Detaches and returns the current tap, if any.
+    pub fn take_tap(&mut self) -> Option<Box<dyn EventTap>> {
+        self.tap.take()
+    }
+
     /// Records one event if the filter passes, evicting the oldest event
-    /// when the ring is full.
+    /// when the ring is full. An attached [`EventTap`] sees the event
+    /// first, regardless of filter or capacity.
     pub fn emit(&mut self, at: SimTime, node: u16, kind: &'static EventKind, vals: &[f64]) {
+        if let Some(tap) = self.tap.as_mut() {
+            tap.on_event(&ObsEvent::new(at, node, kind, vals));
+        }
         if !self.spec.filter.allows(kind.layer, node) {
             return;
         }
@@ -318,5 +354,29 @@ mod tests {
         assert!(!f.allows(Layer::Mac, 6));
         assert_eq!(Filter::parse("").unwrap(), Filter::all());
         assert!(Filter::parse("warp").is_err());
+    }
+
+    #[test]
+    fn tap_sees_filtered_and_evicted_events() {
+        struct Counting(std::rc::Rc<std::cell::Cell<usize>>);
+        impl EventTap for Counting {
+            fn on_event(&mut self, _ev: &ObsEvent) {
+                self.0.set(self.0.get() + 1);
+            }
+        }
+        let seen = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut s = spec(1);
+        s.filter = Filter::layers(&[Layer::Phy]);
+        let mut r = Recorder::new(s);
+        r.set_tap(Box::new(Counting(seen.clone())));
+        for i in 0..5u64 {
+            r.emit(SimTime::from_micros(i), 0, &K_MAC, &[0.0]); // filtered out
+            r.emit(SimTime::from_micros(i), 0, &K_PHY, &[]); // kept, ring of 1
+        }
+        assert_eq!(seen.get(), 10, "tap must see every emission");
+        assert_eq!(r.len(), 1);
+        assert!(r.take_tap().is_some());
+        r.emit(SimTime::ZERO, 0, &K_PHY, &[]);
+        assert_eq!(seen.get(), 10, "detached tap sees nothing");
     }
 }

@@ -22,6 +22,17 @@ pub const FRAME_DATA: u8 = 2;
 /// Frame code for ACK in event payloads.
 pub const FRAME_ACK: u8 = 3;
 
+/// Human-readable name for a frame code in event payloads.
+pub fn frame_name(code: u8) -> &'static str {
+    match code {
+        FRAME_RTS => "RTS",
+        FRAME_CTS => "CTS",
+        FRAME_DATA => "DATA",
+        FRAME_ACK => "ACK",
+        _ => "UNKNOWN",
+    }
+}
+
 /// A station began transmitting. Node = transmitter.
 pub static TX_START: EventKind = EventKind {
     name: "tx_start",

@@ -81,6 +81,16 @@ impl SimTime {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
+    /// Rounds down to a multiple of `interval` (e.g. the start of the
+    /// enclosing 10 ms bracket). An empty interval is the identity.
+    pub const fn floor_to(self, interval: SimDuration) -> SimTime {
+        if interval.as_nanos() == 0 {
+            self
+        } else {
+            SimTime(self.0 - self.0 % interval.as_nanos())
+        }
+    }
+
     /// The later of `self` and `other`.
     pub fn max(self, other: SimTime) -> SimTime {
         SimTime(self.0.max(other.0))
@@ -315,6 +325,26 @@ mod tests {
         let d = SimDuration::from_micros(30);
         assert_eq!((t + d) - t, d);
         assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn floor_to_snaps_to_the_bracket_start() {
+        let ms = SimDuration::from_millis(10);
+        assert_eq!(SimTime::from_micros(7_975).floor_to(ms), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_micros(10_000).floor_to(ms),
+            SimTime::from_millis(10),
+            "an exact barrier instant is its own floor"
+        );
+        assert_eq!(
+            SimTime::from_micros(19_999).floor_to(ms),
+            SimTime::from_millis(10)
+        );
+        // Zero interval is the identity (no bracketing requested).
+        assert_eq!(
+            SimTime::from_micros(123).floor_to(SimDuration::from_nanos(0)),
+            SimTime::from_micros(123)
+        );
     }
 
     #[test]

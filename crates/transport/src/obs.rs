@@ -48,5 +48,36 @@ pub static RETX_TIMEOUT: EventKind = EventKind {
     fields: &["flow", "seq"],
 };
 
+/// A TCP data segment entered the sender's station queue (first
+/// transmission or retransmission alike). Node = sending station.
+pub static TCP_TX: EventKind = EventKind {
+    name: "tcp_tx",
+    layer: Layer::Transport,
+    fields: &["flow", "seq", "bytes"],
+};
+
+/// A TCP data segment reached the flow's destination station and was
+/// handed to the receiver. Node = destination station.
+pub static TCP_DELIVER: EventKind = EventKind {
+    name: "tcp_deliver",
+    layer: Layer::Transport,
+    fields: &["flow", "seq", "bytes"],
+};
+
+/// A CBR/UDP datagram was generated at the source. Node = source station.
+pub static UDP_TX: EventKind = EventKind {
+    name: "udp_tx",
+    layer: Layer::Transport,
+    fields: &["flow", "seq", "bytes"],
+};
+
+/// A UDP datagram reached the flow's destination station. Node =
+/// destination station.
+pub static UDP_DELIVER: EventKind = EventKind {
+    name: "udp_deliver",
+    layer: Layer::Transport,
+    fields: &["flow", "seq", "bytes"],
+};
+
 /// Histogram of sender-measured RTT samples in µs (Karn-filtered).
 pub const HIST_RTT_US: &str = "tcp_rtt_us";

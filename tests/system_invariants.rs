@@ -65,6 +65,33 @@ fn goodput_bounded_by_channel_capacity() {
     }
 }
 
+/// Historical proptest shrink, promoted to an always-run named test:
+/// `delivery_conservation` once failed at `inflate_ms = 0, gp = 0.0,
+/// udp = false, seed = 1` (the degenerate "greedy receiver that never
+/// actually misbehaves" corner, where TCP's duplicate ACKs were briefly
+/// double-counted as distinct deliveries). The seed also lives in
+/// `system_invariants.proptest-regressions`, but the regression file is
+/// only consulted when proptest runs from the right directory — this
+/// test pins the case unconditionally.
+#[test]
+fn delivery_conservation_degenerate_greedy_regression() {
+    let nav = NavInflationConfig::cts_only(0, 0.0);
+    let mut s = Scenario::two_pair_tcp(GreedyConfig::nav_inflation(nav));
+    s.duration = SimDuration::from_secs(2);
+    s.seed = 1;
+    let out = Run::plan(&s).execute().unwrap();
+    for i in 0..2 {
+        let fm = out.metrics.flow(out.flows[i]).unwrap();
+        let sender = out.metrics.node(out.senders[i]).unwrap();
+        assert!(
+            fm.distinct_packets <= sender.counters.data_first_tx.get(),
+            "flow {i}: delivered {} > first transmissions {}",
+            fm.distinct_packets,
+            sender.counters.data_first_tx.get()
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
