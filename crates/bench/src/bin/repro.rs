@@ -157,6 +157,9 @@ fn main() -> ExitCode {
     let mut audit_compare: Option<(PathBuf, PathBuf)> = None;
     let mut conform = false;
     let mut conform_no_whitelist = false;
+    let mut world = false;
+    let mut cells: Option<(usize, usize)> = None;
+    let mut fig2_check = false;
     let mut fuzz_n: Option<u64> = None;
     let mut fuzz_seed: u64 = 1;
     let mut ids: Vec<String> = Vec::new();
@@ -173,6 +176,27 @@ fn main() -> ExitCode {
                 conform = true;
                 conform_no_whitelist = true;
             }
+            "--world" => world = true,
+            "--fig2-check" => fig2_check = true,
+            "--cells" => match args.next() {
+                Some(spec) => match spec
+                    .split_once('x')
+                    .map(|(r, c)| (r.trim().parse::<usize>(), c.trim().parse::<usize>()))
+                {
+                    Some((Ok(r), Ok(c))) if r > 0 && c > 0 => {
+                        cells = Some((r, c));
+                        world = true;
+                    }
+                    _ => {
+                        eprintln!("--cells requires a grid like 3x3");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--cells requires a grid like 3x3");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--fuzz" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => fuzz_n = Some(n),
                 _ => {
@@ -291,6 +315,11 @@ fn main() -> ExitCode {
                      violations to a 10 ms bracket in DIR/conform/\n  \
                      --fuzz-seed K         fuzz campaign seed (default 1); same N and K give\n                        \
                      identical verdicts and byte-identical artifacts\n  \
+                     --world               multi-cell world campaign: sweep greedy density ×\n                        \
+                     grid size, per-cell CSVs into DIR/world-RxC-gK.csv\n  \
+                     --cells RxC           restrict --world to one grid size (implies --world)\n  \
+                     --fig2-check          identity gate: fig2 via 1x1 worlds must match the\n                        \
+                     direct fig2 CSV byte-for-byte\n  \
                      --bench-gate          time the pinned perf-gate subset, write BENCH_<date>.json\n  \
                      --check               with --bench-gate: fail on regression vs BENCH_BASELINE.json"
                 );
@@ -447,6 +476,97 @@ fn main() -> ExitCode {
         };
     }
 
+    if fig2_check {
+        let quality = if quick {
+            Quality::quick()
+        } else {
+            Quality::full()
+        };
+        let ctx = RunCtx::with_jobs(quality, jobs);
+        println!(
+            "# fig2 identity check — direct vs 1×1-world, {} job(s)\n",
+            jobs
+        );
+        return match gr_bench::fig2_check(&ctx) {
+            Ok(msg) => {
+                println!("  {msg}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("  {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if world {
+        let quality = if quick {
+            Quality::quick()
+        } else {
+            Quality::full()
+        };
+        let mut campaign = gr_bench::WorldCampaign::new(quality, jobs);
+        if let Some((r, c)) = cells {
+            campaign = campaign.with_grid(r, c);
+        }
+        campaign.conform = conform;
+        campaign.honor_whitelist = !conform_no_whitelist;
+        println!(
+            "# multi-cell world campaign — {} grid(s) × {} greedy densities, {} job(s){}\n",
+            campaign.grids.len(),
+            campaign.greedy_fracs.len(),
+            jobs,
+            if conform { ", conformance-checked" } else { "" },
+        );
+        let t = Instant::now();
+        let report = match campaign.run(&out_dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--world: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report.summary.render());
+        if let Err(e) = report.summary.write_csv(&out_dir) {
+            eprintln!("failed to write world.csv: {e}");
+            return ExitCode::FAILURE;
+        }
+        for path in &report.cell_csvs {
+            println!("  -> {}", path.display());
+        }
+        println!(
+            "  -> {} ({:.1}s)",
+            out_dir.join("world.csv").display(),
+            t.elapsed().as_secs_f64()
+        );
+        if conform {
+            let runs = report.conform_reports.len();
+            let violations = report.conform_violations();
+            let whitelisted: u64 = report
+                .conform_reports
+                .iter()
+                .map(|(_, r)| r.whitelisted)
+                .sum();
+            if violations == 0 {
+                println!("  conform: {runs} cell(s) clean ({whitelisted} whitelist exemption(s))");
+            } else {
+                println!("  conform: {violations} violation(s) across {runs} cell(s):");
+                for (key, r) in &report.conform_reports {
+                    for v in &r.violations {
+                        match key {
+                            Some(k) => {
+                                println!("    [{} p{} s{}] {v}", k.experiment, k.point, k.seed)
+                            }
+                            None => println!("    {v}"),
+                        }
+                    }
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if bench_gate {
         if let Err(e) = std::fs::create_dir_all(&out_dir) {
             eprintln!(
@@ -484,6 +604,10 @@ fn main() -> ExitCode {
             report.conform_overhead_pct(),
             report.conform_runs,
             report.conform_violations
+        );
+        println!(
+            "  world smoke: {:.0} events/s at 1 cell, {:.0} events/s at 3x3 co-channel cells",
+            report.world.cells1_events_per_sec, report.world.cells9_events_per_sec
         );
         let path = out_dir.join(format!("BENCH_{}.json", report.date));
         if let Err(e) = std::fs::write(&path, report.to_json()) {

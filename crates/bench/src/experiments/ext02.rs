@@ -36,7 +36,7 @@ fn run_case(q: &Quality, seed: u64, attack: Attack) -> Vec<f64> {
     let mut handles = Vec::new();
     let mut grc_node = |b: &mut NetworkBuilder, pos: Position| {
         let (obs, h) = GrcObserver::new(params, true);
-        let id = b.add_node_with_observer(pos, Box::new(obs));
+        let id = b.add_node_with_observer(pos, obs);
         handles.push(h);
         id
     };
@@ -44,10 +44,7 @@ fn run_case(q: &Quality, seed: u64, attack: Attack) -> Vec<f64> {
     let s0 = grc_node(&mut b, Position::new(0.0, 0.0));
     let r0 = grc_node(&mut b, Position::new(20.0, 0.0));
     let s1 = if attack == Attack::GreedySender {
-        b.add_node_with_policy(
-            Position::new(0.0, 20.0),
-            Box::new(GreedySenderPolicy::new(0.1)),
-        )
+        b.add_node_with_policy(Position::new(0.0, 20.0), GreedySenderPolicy::new(0.1))
     } else {
         grc_node(&mut b, Position::new(0.0, 20.0))
     };

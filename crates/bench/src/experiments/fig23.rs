@@ -35,7 +35,7 @@ fn run_case(seed: u64, duration: SimDuration, d: f64, udp: bool, mode: Mode) -> 
     let add = |b: &mut NetworkBuilder, pos: Position, grc: bool| {
         if grc {
             let (obs, _handles) = GrcObserver::new(params, true);
-            b.add_node_with_observer(pos, Box::new(obs))
+            b.add_node_with_observer(pos, obs)
         } else {
             b.add_node(pos)
         }

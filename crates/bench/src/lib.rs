@@ -24,11 +24,15 @@ pub mod gate;
 pub mod quality;
 pub mod sweep;
 pub mod table;
+pub mod world;
 
-pub use gate::{run_gate, GateReport, CONFORM_OVERHEAD_LIMIT_PCT, GATE_SUBSET, GATE_TOLERANCE};
+pub use gate::{
+    run_gate, GateReport, WorldSmoke, CONFORM_OVERHEAD_LIMIT_PCT, GATE_SUBSET, GATE_TOLERANCE,
+};
 pub use quality::Quality;
 pub use sweep::{sweep, sweep_scalar};
 pub use table::Experiment;
+pub use world::{fig2_check, WorldCampaign, WorldCampaignReport};
 
 use sim::RunKey;
 

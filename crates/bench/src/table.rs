@@ -73,6 +73,17 @@ impl Experiment {
         out
     }
 
+    /// Renders the table as CSV (header plus rows), exactly the bytes
+    /// [`Experiment::write_csv`] writes.
+    pub fn csv(&self) -> String {
+        let mut csv = String::new();
+        let _ = writeln!(csv, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(csv, "{}", row.join(","));
+        }
+        csv
+    }
+
     /// Writes `<dir>/<id>.csv`.
     ///
     /// # Errors
@@ -80,12 +91,7 @@ impl Experiment {
     /// Propagates I/O errors from creating the directory or file.
     pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
-        let mut csv = String::new();
-        let _ = writeln!(csv, "{}", self.columns.join(","));
-        for row in &self.rows {
-            let _ = writeln!(csv, "{}", row.join(","));
-        }
-        fs::write(dir.join(format!("{}.csv", self.id)), csv)
+        fs::write(dir.join(format!("{}.csv", self.id)), self.csv())
     }
 }
 

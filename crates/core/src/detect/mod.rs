@@ -24,15 +24,14 @@
 mod cross_layer;
 mod domino;
 mod fake_guard;
-mod grc;
-mod nav_guard;
-mod shared;
-mod spoof_guard;
 
 pub use cross_layer::CrossLayerDetector;
 pub use domino::{DominoDetector, DominoReport};
 pub use fake_guard::FakeAckDetector;
-pub use grc::{GrcObserver, GrcReportHandles, GrcSnapshot};
-pub use nav_guard::{NavGuard, NavGuardHandle, NavGuardReport};
-pub use shared::Shared;
-pub use spoof_guard::{SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport};
+// The MAC-attached guards live in `mac::grc` (they are dispatched through
+// the MAC's ObserverSlot enum); re-exported here so experiment code keeps
+// its historical `greedy80211::detect` paths.
+pub use mac::grc::{
+    GrcObserver, GrcReportHandles, GrcSnapshot, NavGuard, NavGuardHandle, NavGuardReport, Shared,
+    SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport,
+};

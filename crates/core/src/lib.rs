@@ -52,6 +52,7 @@ pub mod rssi_study;
 pub mod run;
 pub mod runplan;
 pub mod scenario;
+pub mod world;
 
 pub use audit::Pinpoint;
 pub use capacity::CapacityModel;
@@ -71,3 +72,4 @@ pub use rssi_study::{RssiStudy, RssiStudyConfig};
 pub use run::Run;
 pub use runplan::{RunOutcome, RunPlan};
 pub use scenario::{BuiltScenario, Scenario, ScenarioOutcome, TransportKind};
+pub use world::{CellOutcome, WorldOutcome, WorldRun, WorldSpec};

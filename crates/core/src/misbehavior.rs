@@ -1,0 +1,11 @@
+//! The three greedy-receiver misbehaviors (paper §IV).
+//!
+//! The policy implementations live in [`mac::greedy`] — they are MAC-layer
+//! behaviors dispatched through the MAC's [`mac::PolicySlot`] enum — and
+//! are re-exported here so experiment code keeps its historical
+//! `greedy80211::misbehavior` paths.
+
+pub use mac::greedy::{
+    AckSpoofPolicy, FakeAckPolicy, FakeConfig, GreedyConfig, GreedyPolicy, GreedySenderPolicy,
+    InflatedFrames, NavInflationConfig, NavInflationPolicy, SpoofConfig,
+};

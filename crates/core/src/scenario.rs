@@ -396,6 +396,28 @@ impl Scenario {
         self
     }
 
+    /// The node positions [`build`](Scenario::build) will produce, in
+    /// builder insertion order (senders first, then receivers), without
+    /// materializing a network. The world coordinator uses this to
+    /// compute cross-cell coupling maps before any cell exists; the two
+    /// placements must stay in lockstep (asserted by test).
+    pub fn positions(&self) -> Vec<Position> {
+        let mut pos = Vec::new();
+        let sender_count = if self.shared_sender { 1 } else { self.pairs };
+        for i in 0..sender_count {
+            pos.push(Position::new(0.0, 20.0 * i as f64));
+        }
+        for i in 0..self.pairs {
+            let x = if self.greedy.iter().any(|(g, _)| *g == i) {
+                45.0
+            } else {
+                20.0
+            };
+            pos.push(Position::new(x, 20.0 * i as f64));
+        }
+        pos
+    }
+
     /// Materializes the scenario into a runnable network without running
     /// it.
     ///
@@ -434,7 +456,7 @@ impl Scenario {
             match self.grc {
                 Some(mitigate) => {
                     let (obs, handles) = GrcObserver::new(params, mitigate);
-                    let id = b.add_node_with_observer(pos, Box::new(obs));
+                    let id = b.add_node_with_observer(pos, obs);
                     grc_reports.push((id, handles));
                     id
                 }
@@ -544,7 +566,35 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::misbehavior::NavInflationConfig;
     use crate::run::Run;
+
+    #[test]
+    fn declared_positions_match_the_built_network() {
+        // The world layer derives cross-cell coupling from
+        // `Scenario::positions()` without building; it must mirror the
+        // placement `build()` actually wires, node-id for node-id.
+        let mut variants = vec![
+            Scenario::default(),
+            Scenario::two_pair_udp(GreedyConfig::nav_inflation(NavInflationConfig::cts_only(
+                10_000, 1.0,
+            ))),
+        ];
+        variants.push(Scenario {
+            pairs: 3,
+            ..Scenario::default()
+        });
+        variants.push(Scenario {
+            pairs: 4,
+            shared_sender: true,
+            ..Scenario::default()
+        });
+        for s in variants {
+            let declared = s.positions();
+            let built = s.build().expect("valid scenario").net.positions();
+            assert_eq!(declared, built, "placement drifted for {s:?}");
+        }
+    }
 
     #[test]
     fn rejects_invalid_configs() {

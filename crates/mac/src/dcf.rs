@@ -35,7 +35,7 @@ use crate::counters::MacCounters;
 use crate::dedup::DedupCache;
 use crate::frame::{Frame, FrameKind, Msdu, NavCalculator, NodeId, ACK_BYTES, CTS_BYTES};
 use crate::nav::Nav;
-use crate::policy::{FrameMeta, MacObserver, NoopObserver, NormalPolicy, StationPolicy};
+use crate::policy::{FrameMeta, MacObserver, ObserverSlot, PolicySlot, StationPolicy};
 
 /// Timer classes a station arms. The runtime keeps at most one live timer
 /// per kind per station; [`MacAction::SetTimer`] replaces any previous
@@ -289,8 +289,8 @@ pub struct Dcf<M: Msdu> {
     nav: Nav,
     backoff: Backoff,
     rng: SimRng,
-    policy: Box<dyn StationPolicy<M>>,
-    observer: Box<dyn MacObserver<M>>,
+    policy: PolicySlot,
+    observer: ObserverSlot,
     /// Statistics, publicly readable by experiments.
     pub counters: MacCounters,
     queue: VecDeque<(NodeId, M, SimTime)>,
@@ -337,7 +337,7 @@ impl<M: Msdu> std::fmt::Debug for Dcf<M> {
 impl<M: Msdu> Dcf<M> {
     /// Creates a station with the honest policy and no observer.
     pub fn new(id: NodeId, cfg: DcfConfig, rng: SimRng) -> Self {
-        Self::with_hooks(id, cfg, rng, Box::new(NormalPolicy), Box::new(NoopObserver))
+        Self::with_hooks(id, cfg, rng, PolicySlot::default(), ObserverSlot::default())
     }
 
     /// Creates a station with explicit policy and observer hooks.
@@ -345,8 +345,8 @@ impl<M: Msdu> Dcf<M> {
         id: NodeId,
         cfg: DcfConfig,
         rng: SimRng,
-        policy: Box<dyn StationPolicy<M>>,
-        observer: Box<dyn MacObserver<M>>,
+        policy: impl Into<PolicySlot>,
+        observer: impl Into<ObserverSlot>,
     ) -> Self {
         let backoff = Backoff::new(&cfg.params);
         let counters = MacCounters::new(backoff.cw());
@@ -359,8 +359,8 @@ impl<M: Msdu> Dcf<M> {
             nav: Nav::new(),
             backoff,
             rng,
-            policy,
-            observer,
+            policy: policy.into(),
+            observer: observer.into(),
             counters,
             queue: VecDeque::new(),
             current: None,
@@ -413,8 +413,8 @@ impl<M: Msdu> Dcf<M> {
     /// encode to nothing, so honest stations all share one digest.
     pub fn hooks_digest(&self) -> u64 {
         let mut w = snap::Enc::new();
-        self.policy.snap_save(&mut w);
-        self.observer.snap_save(&mut w);
+        StationPolicy::<M>::snap_save(&self.policy, &mut w);
+        MacObserver::<M>::snap_save(&self.observer, &mut w);
         snap::fnv1a(w.bytes())
     }
 
@@ -427,7 +427,7 @@ impl<M: Msdu> Dcf<M> {
     /// declare, as [`crate::policy::quirk`] flags — the conformance
     /// checker's per-station whitelist.
     pub fn quirk_flags(&self) -> u32 {
-        let mut flags = self.policy.quirk_flags();
+        let mut flags = StationPolicy::<M>::quirk_flags(&self.policy);
         if !self.cfg.no_retx_to.is_empty() {
             flags |= crate::policy::quirk::NO_RETX;
         }
@@ -458,8 +458,8 @@ impl<M: Msdu> Dcf<M> {
     }
 
     /// Mutable access to the observer hook (e.g. to read GRC detections).
-    pub fn observer_mut(&mut self) -> &mut dyn MacObserver<M> {
-        self.observer.as_mut()
+    pub fn observer_mut(&mut self) -> &mut ObserverSlot {
+        &mut self.observer
     }
 
     /// Current ARF state, if rate adaptation is enabled.
@@ -642,9 +642,13 @@ impl<M: Msdu> Dcf<M> {
                 && self.nav.is_idle(now) =>
             {
                 let normal = self.navcalc.cts_duration_us(frame.duration_us);
-                let dur =
-                    self.policy
-                        .outgoing_duration_us(FrameKind::Cts, normal, false, &mut self.rng);
+                let dur = StationPolicy::<M>::outgoing_duration_us(
+                    &mut self.policy,
+                    FrameKind::Cts,
+                    normal,
+                    false,
+                    &mut self.rng,
+                );
                 if dur > normal {
                     self.counters.inflated_navs_sent.incr();
                 }
@@ -659,9 +663,13 @@ impl<M: Msdu> Dcf<M> {
             }
             FrameKind::Data if to_me => {
                 let normal = self.navcalc.ack_duration_us();
-                let dur =
-                    self.policy
-                        .outgoing_duration_us(FrameKind::Ack, normal, false, &mut self.rng);
+                let dur = StationPolicy::<M>::outgoing_duration_us(
+                    &mut self.policy,
+                    FrameKind::Ack,
+                    normal,
+                    false,
+                    &mut self.rng,
+                );
                 if dur > normal {
                     self.counters.inflated_navs_sent.incr();
                 }
@@ -731,7 +739,7 @@ impl<M: Msdu> Dcf<M> {
             CorruptionCause::Collision => self.counters.collision_rx.incr(),
         }
         let meta = FrameMeta { rssi_dbm, now };
-        self.observer.on_corrupted(&meta);
+        MacObserver::<M>::on_corrupted(&mut self.observer, &meta);
         // Misbehavior 3: fake ACK for a corrupted frame addressed to us.
         if frame.dst == self.id
             && frame.kind == FrameKind::Data
@@ -757,7 +765,7 @@ impl<M: Msdu> Dcf<M> {
     fn draw_slots(&mut self, now: SimTime) -> u32 {
         let cw = self.backoff.cw();
         self.counters.record_draw(cw);
-        let slots = match self.policy.backoff_slots(cw, &mut self.rng) {
+        let slots = match StationPolicy::<M>::backoff_slots(&mut self.policy, cw, &mut self.rng) {
             Some(slots) => slots.min(cw),
             None => self.backoff.draw(&mut self.rng),
         };
@@ -772,9 +780,13 @@ impl<M: Msdu> Dcf<M> {
         let current = self.current.as_ref().expect("data frame without tx op");
         let is_tack = current.body.is_transport_ack();
         let normal = self.navcalc.data_duration_us();
-        let dur = self
-            .policy
-            .outgoing_duration_us(FrameKind::Data, normal, is_tack, &mut self.rng);
+        let dur = StationPolicy::<M>::outgoing_duration_us(
+            &mut self.policy,
+            FrameKind::Data,
+            normal,
+            is_tack,
+            &mut self.rng,
+        );
         if dur > normal {
             self.counters.inflated_navs_sent.incr();
         }
@@ -823,9 +835,13 @@ impl<M: Msdu> Dcf<M> {
         let frame = if use_rts {
             let data_rate = self.current_data_rate_bps();
             let normal = self.navcalc.rts_duration_us_at(mac_bytes, data_rate);
-            let dur =
-                self.policy
-                    .outgoing_duration_us(FrameKind::Rts, normal, is_tack, &mut self.rng);
+            let dur = StationPolicy::<M>::outgoing_duration_us(
+                &mut self.policy,
+                FrameKind::Rts,
+                normal,
+                is_tack,
+                &mut self.rng,
+            );
             if dur > normal {
                 self.counters.inflated_navs_sent.incr();
             }
@@ -1066,7 +1082,7 @@ impl<M: Msdu> Dcf<M> {
 
 /// Snapshot = every field the protocol mutates at runtime, in declaration
 /// order; configuration (`id`, [`DcfConfig`], the NAV calculator), the
-/// boxed hooks themselves and the recorder/pool plumbing are rebuilt by
+/// hook slots themselves and the recorder/pool plumbing are rebuilt by
 /// the owner before restoring. Policy and observer *state* rides along
 /// through [`StationPolicy::snap_save`] / [`MacObserver::snap_save`].
 impl<M: Msdu> snap::SnapState for Dcf<M> {
@@ -1099,8 +1115,8 @@ impl<M: Msdu> snap::SnapState for Dcf<M> {
             arf.snap_save(w);
         }
         self.last_ack_at.save(w);
-        self.policy.snap_save(w);
-        self.observer.snap_save(w);
+        StationPolicy::<M>::snap_save(&self.policy, w);
+        MacObserver::<M>::snap_save(&self.observer, w);
     }
     fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
         use snap::SnapValue as _;
@@ -1142,8 +1158,8 @@ impl<M: Msdu> snap::SnapState for Dcf<M> {
             arf.snap_restore(r)?;
         }
         self.last_ack_at = Option::<SimTime>::load(r)?;
-        self.policy.snap_restore(r)?;
-        self.observer.snap_restore(r)?;
+        StationPolicy::<M>::snap_restore(&mut self.policy, r)?;
+        MacObserver::<M>::snap_restore(&mut self.observer, r)?;
         Ok(())
     }
 }
@@ -1591,19 +1607,14 @@ mod tests {
 
     #[test]
     fn spoofing_policy_emits_forged_ack_after_sifs() {
-        #[derive(Debug)]
-        struct SpoofAll;
-        impl StationPolicy<usize> for SpoofAll {
-            fn spoof_ack_for(&mut self, f: &Frame<usize>, _rng: &mut SimRng) -> bool {
-                f.kind == FrameKind::Data
-            }
-        }
+        // Spoof every data frame aimed at node 1 (gp = 1.0).
+        let spoof = crate::greedy::AckSpoofPolicy::new(vec![NodeId(1)], 1.0);
         let mut d: Dcf<usize> = Dcf::with_hooks(
             NodeId(9),
             DcfConfig::new(PhyParams::dot11b()),
             SimRng::new(8),
-            Box::new(SpoofAll),
-            Box::new(NoopObserver),
+            spoof,
+            crate::policy::NoopObserver,
         );
         let t = SimTime::from_millis(1);
         // Sniff a data frame addressed to somebody else.
@@ -1640,19 +1651,12 @@ mod tests {
 
     #[test]
     fn fake_ack_policy_acks_corrupted_frames() {
-        #[derive(Debug)]
-        struct FakeAll;
-        impl StationPolicy<usize> for FakeAll {
-            fn ack_corrupted(&mut self, _f: &Frame<usize>, _rng: &mut SimRng) -> bool {
-                true
-            }
-        }
         let mut d: Dcf<usize> = Dcf::with_hooks(
             NodeId(1),
             DcfConfig::new(PhyParams::dot11b()),
             SimRng::new(8),
-            Box::new(FakeAll),
-            Box::new(NoopObserver),
+            crate::greedy::FakeAckPolicy::new(1.0),
+            crate::policy::NoopObserver,
         );
         let t = SimTime::from_millis(1);
         let garbled: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 314, 7, 1024);

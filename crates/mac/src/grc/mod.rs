@@ -2,11 +2,16 @@
 //! (paper Fig. 20 — every node can run the scheme; the more nodes run
 //! it, the higher the detection likelihood).
 
-use mac::{Frame, FrameMeta, MacObserver, Msdu, NodeId};
-use phy::PhyParams;
+mod nav_guard;
+mod shared;
+mod spoof_guard;
 
-use super::nav_guard::{NavGuard, NavGuardHandle, NavGuardReport};
-use super::spoof_guard::{SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport};
+pub use nav_guard::{NavGuard, NavGuardHandle, NavGuardReport};
+pub use shared::Shared;
+pub use spoof_guard::{SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport};
+
+use crate::{Frame, FrameMeta, MacObserver, Msdu, NodeId};
+use phy::PhyParams;
 
 /// Handles for reading a [`GrcObserver`]'s reports after a run.
 #[derive(Debug, Clone)]

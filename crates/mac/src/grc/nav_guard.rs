@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use mac::{Frame, FrameKind, FrameMeta, MacObserver, Msdu, NavCalculator};
+use crate::{Frame, FrameKind, FrameMeta, MacObserver, Msdu, NavCalculator};
 use phy::PhyParams;
 use sim::{SimDuration, SimTime};
 
@@ -181,7 +181,7 @@ impl<M: Msdu> MacObserver<M> for NavGuard {
                 // The RTS itself is bounded by an MTU-sized exchange.
                 let bound = self
                     .calc
-                    .rts_duration_us(mac::frame::DATA_HEADER_BYTES + self.mtu);
+                    .rts_duration_us(crate::frame::DATA_HEADER_BYTES + self.mtu);
                 self.resolve(frame.duration_us, bound, frame.src.0)
             }
             FrameKind::Cts => {
@@ -218,8 +218,8 @@ impl<M: Msdu> MacObserver<M> for NavGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac::frame::DATA_HEADER_BYTES;
-    use mac::NodeId;
+    use crate::frame::DATA_HEADER_BYTES;
+    use crate::NodeId;
 
     fn meta(now_us: u64) -> FrameMeta {
         FrameMeta {

@@ -16,7 +16,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use mac::{Frame, FrameKind, FrameMeta, MacObserver, Msdu, NodeId};
+use crate::{Frame, FrameKind, FrameMeta, MacObserver, Msdu, NodeId};
 
 use super::shared::Shared;
 

@@ -13,7 +13,7 @@
 //! one is heard (the paper's evaluation arranges capture so the overlap
 //! never jams — so does the scenario builder here).
 
-use mac::{Frame, FrameKind, NodeId, StationPolicy};
+use crate::{Frame, FrameKind, NodeId, StationPolicy};
 use sim::SimRng;
 
 /// Station policy that spoofs ACKs for a set of victim receivers.
@@ -36,7 +36,7 @@ impl AckSpoofPolicy {
     }
 }
 
-impl<M: mac::Msdu> StationPolicy<M> for AckSpoofPolicy {
+impl<M: crate::Msdu> StationPolicy<M> for AckSpoofPolicy {
     fn spoof_ack_for(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
         frame.kind == FrameKind::Data && self.victims.contains(&frame.dst) && rng.chance(self.gp)
     }

@@ -6,14 +6,14 @@
 //! the pair more transmission opportunities than honest stations whose
 //! senders keep backing off. The attack is feasible because corrupted
 //! frames overwhelmingly preserve their address fields (paper Table I —
-//! reproduced by [`crate::corruption`]).
+//! reproduced by the core crate's `corruption` module).
 //!
 //! Under *inherent* channel losses faking ACKs is effectively a survival
 //! technique (backoff would not have reduced the loss anyway); under
 //! *collision-induced* losses it is self-destructive when everyone does
 //! it (paper Fig. 18, Table V).
 
-use mac::{Frame, StationPolicy};
+use crate::{Frame, StationPolicy};
 use sim::SimRng;
 
 /// Station policy that acknowledges corrupted data frames addressed to
@@ -31,7 +31,7 @@ impl FakeAckPolicy {
     }
 }
 
-impl<M: mac::Msdu> StationPolicy<M> for FakeAckPolicy {
+impl<M: crate::Msdu> StationPolicy<M> for FakeAckPolicy {
     fn ack_corrupted(&mut self, _frame: &Frame<M>, rng: &mut SimRng) -> bool {
         rng.chance(self.gp)
     }
@@ -40,7 +40,7 @@ impl<M: mac::Msdu> StationPolicy<M> for FakeAckPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mac::NodeId;
+    use crate::NodeId;
 
     #[test]
     fn gp_one_always_acks() {

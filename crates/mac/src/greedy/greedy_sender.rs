@@ -4,12 +4,12 @@
 //! often than honest stations.
 //!
 //! It exists here to demonstrate the complementarity the paper argues
-//! for: DOMINO-style monitors (see [`crate::detect::DominoDetector`])
+//! for: DOMINO-style monitors (see the core crate's `DominoDetector`)
 //! catch this misbehavior from transmission *timing*, but are blind to
 //! greedy *receivers*, whose frames are perfectly timed — that blind
 //! spot is exactly what GRC fills.
 
-use mac::{Msdu, StationPolicy};
+use crate::{Msdu, StationPolicy};
 use sim::SimRng;
 
 /// A sender that draws backoff from `[0, cw·fraction]` instead of
@@ -36,7 +36,7 @@ impl<M: Msdu> StationPolicy<M> for GreedySenderPolicy {
     }
 
     fn quirk_flags(&self) -> u32 {
-        mac::policy::quirk::BACKOFF_CHEAT
+        crate::policy::quirk::BACKOFF_CHEAT
     }
 }
 

@@ -1,6 +1,6 @@
 //! The three greedy-receiver misbehaviors (paper §IV).
 //!
-//! Each misbehavior is a [`mac::StationPolicy`] that plugs into an
+//! Each misbehavior is a [`StationPolicy`] that plugs into an
 //! otherwise standard DCF station:
 //!
 //! 1. [`NavInflationPolicy`] — inflate the Duration/NAV field of outgoing
@@ -25,9 +25,8 @@ pub use fake_ack::FakeAckPolicy;
 pub use greedy_sender::GreedySenderPolicy;
 pub use nav_inflation::{InflatedFrames, NavInflationConfig, NavInflationPolicy};
 
-use mac::{Frame, FrameKind, NodeId, StationPolicy};
+use crate::{Frame, FrameKind, Msdu, NodeId, PolicySlot, StationPolicy};
 use sim::SimRng;
-use transport::Segment;
 
 /// Full greedy-receiver configuration: any combination of the three
 /// misbehaviors.
@@ -120,9 +119,9 @@ impl GreedyConfig {
         }
     }
 
-    /// Boxes this configuration into a MAC station policy.
-    pub fn into_policy(self) -> Box<dyn StationPolicy<Segment>> {
-        Box::new(GreedyPolicy::new(self))
+    /// Converts this configuration into a MAC station policy slot.
+    pub fn into_policy(self) -> PolicySlot {
+        PolicySlot::Greedy(GreedyPolicy::new(self))
     }
 }
 
@@ -145,7 +144,7 @@ impl GreedyPolicy {
     }
 }
 
-impl StationPolicy<Segment> for GreedyPolicy {
+impl<M: Msdu> StationPolicy<M> for GreedyPolicy {
     fn outgoing_duration_us(
         &mut self,
         kind: FrameKind,
@@ -159,28 +158,28 @@ impl StationPolicy<Segment> for GreedyPolicy {
         }
     }
 
-    fn ack_corrupted(&mut self, frame: &Frame<Segment>, rng: &mut SimRng) -> bool {
+    fn ack_corrupted(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
         self.fake
             .as_mut()
-            .is_some_and(|p| p.ack_corrupted(frame, rng))
+            .is_some_and(|p| StationPolicy::<M>::ack_corrupted(p, frame, rng))
     }
 
-    fn spoof_ack_for(&mut self, frame: &Frame<Segment>, rng: &mut SimRng) -> bool {
+    fn spoof_ack_for(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
         self.spoof
             .as_mut()
-            .is_some_and(|p| p.spoof_ack_for(frame, rng))
+            .is_some_and(|p| StationPolicy::<M>::spoof_ack_for(p, frame, rng))
     }
 
     fn quirk_flags(&self) -> u32 {
         let mut flags = 0;
         if self.nav.is_some() {
-            flags |= mac::policy::quirk::NAV_INFLATE;
+            flags |= crate::policy::quirk::NAV_INFLATE;
         }
         if self.spoof.is_some() {
-            flags |= mac::policy::quirk::ACK_SPOOF;
+            flags |= crate::policy::quirk::ACK_SPOOF;
         }
         if self.fake.is_some() {
-            flags |= mac::policy::quirk::FAKE_ACK;
+            flags |= crate::policy::quirk::FAKE_ACK;
         }
         flags
     }
@@ -189,7 +188,6 @@ impl StationPolicy<Segment> for GreedyPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use transport::FlowId;
 
     #[test]
     fn composite_combines_all_three() {
@@ -204,24 +202,18 @@ mod tests {
         let mut p = GreedyPolicy::new(cfg);
         let mut rng = SimRng::new(1);
         assert_eq!(
-            p.outgoing_duration_us(FrameKind::Cts, 314, false, &mut rng),
+            StationPolicy::<usize>::outgoing_duration_us(
+                &mut p,
+                FrameKind::Cts,
+                314,
+                false,
+                &mut rng
+            ),
             5_314
         );
-        let victim_frame = Frame::data(
-            NodeId(0),
-            NodeId(1),
-            314,
-            1,
-            Segment::udp(FlowId(0), 1, 1024),
-        );
+        let victim_frame: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 314, 1, 1024);
         assert!(p.spoof_ack_for(&victim_frame, &mut rng));
-        let own_frame = Frame::data(
-            NodeId(0),
-            NodeId(2),
-            314,
-            1,
-            Segment::udp(FlowId(0), 1, 1024),
-        );
+        let own_frame: Frame<usize> = Frame::data(NodeId(0), NodeId(2), 314, 1, 1024);
         assert!(p.ack_corrupted(&own_frame, &mut rng));
     }
 
@@ -230,16 +222,16 @@ mod tests {
         let mut p = GreedyPolicy::new(GreedyConfig::default());
         let mut rng = SimRng::new(1);
         assert_eq!(
-            p.outgoing_duration_us(FrameKind::Cts, 314, false, &mut rng),
+            StationPolicy::<usize>::outgoing_duration_us(
+                &mut p,
+                FrameKind::Cts,
+                314,
+                false,
+                &mut rng
+            ),
             314
         );
-        let f = Frame::data(
-            NodeId(0),
-            NodeId(1),
-            314,
-            1,
-            Segment::udp(FlowId(0), 1, 1024),
-        );
+        let f: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 314, 1, 1024);
         assert!(!p.spoof_ack_for(&f, &mut rng));
         assert!(!p.ack_corrupted(&f, &mut rng));
     }

@@ -11,7 +11,7 @@
 //! so the sender keeps transmitting while every other station defers —
 //! the asymmetry the whole attack rests on.
 
-use mac::{FrameKind, StationPolicy, MAX_NAV_US};
+use crate::{FrameKind, StationPolicy, MAX_NAV_US};
 use sim::SimRng;
 
 /// Which outgoing frame kinds carry inflated Durations.
@@ -166,7 +166,7 @@ impl NavInflationPolicy {
     }
 }
 
-impl<M: mac::Msdu> StationPolicy<M> for NavInflationPolicy {
+impl<M: crate::Msdu> StationPolicy<M> for NavInflationPolicy {
     fn outgoing_duration_us(
         &mut self,
         kind: FrameKind,

@@ -3,14 +3,19 @@
 //! This crate implements the full distributed coordination function the
 //! paper's misbehaviors live in: carrier sensing (physical and virtual),
 //! slotted binary-exponential backoff, the RTS/CTS/DATA/ACK exchange,
-//! retry limits and duplicate filtering. Two extension points make it the
-//! substrate for the `greedy80211` crate:
+//! retry limits and duplicate filtering. Two extension points carry the
+//! paper's misbehaviors and countermeasures:
 //!
 //! * [`policy::StationPolicy`] — what a station *sends*: Duration fields
 //!   (NAV inflation), ACKs for corrupted frames (fake ACKs), ACKs for
-//!   other stations' frames (spoofed ACKs);
+//!   other stations' frames (spoofed ACKs) — implemented in [`greedy`];
 //! * [`policy::MacObserver`] — what a station *believes*: NAV sanitization
-//!   and ACK vetting, where the GRC countermeasures hook in.
+//!   and ACK vetting, where the GRC countermeasures hook in — implemented
+//!   in [`grc`].
+//!
+//! Both hook sets are closed, so stations dispatch through the
+//! [`policy::PolicySlot`]/[`policy::ObserverSlot`] enums rather than boxed
+//! trait objects.
 //!
 //! The state machine ([`dcf::Dcf`]) is passive and event-driven; the
 //! `gr-net` crate supplies the medium and event loop.
@@ -22,6 +27,8 @@ pub mod counters;
 pub mod dcf;
 pub mod dedup;
 pub mod frame;
+pub mod grc;
+pub mod greedy;
 pub mod nav;
 pub mod obs;
 pub mod policy;
@@ -32,5 +39,9 @@ pub use dcf::{
     CorruptionCause, Dcf, DcfConfig, DropReason, MacAction, MacActions, RxEvent, TimerKind,
 };
 pub use frame::{Frame, FrameKind, Msdu, NavCalculator, NodeId, MAX_NAV_US};
+pub use grc::{GrcObserver, GrcReportHandles, GrcSnapshot};
+pub use greedy::{GreedyConfig, GreedyPolicy, GreedySenderPolicy};
 pub use nav::Nav;
-pub use policy::{FrameMeta, MacObserver, NoopObserver, NormalPolicy, StationPolicy};
+pub use policy::{
+    FrameMeta, MacObserver, NoopObserver, NormalPolicy, ObserverSlot, PolicySlot, StationPolicy,
+};

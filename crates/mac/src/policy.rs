@@ -4,13 +4,18 @@
 //! greedy receiver can manipulate the protocol (outgoing Duration fields,
 //! ACKing corrupted frames, spoofing ACKs for sniffed frames), and a
 //! [`MacObserver`] at the points the paper's GRC countermeasures hook in
-//! (sanitizing overheard NAVs, vetting received ACKs). The `greedy80211`
-//! crate provides the misbehaving policies and the GRC observers; this
-//! module defines the honest defaults.
+//! (sanitizing overheard NAVs, vetting received ACKs). The [`crate::greedy`]
+//! module provides the misbehaving policies, [`crate::grc`] the observers;
+//! this module defines the honest defaults and the closed-set
+//! [`PolicySlot`]/[`ObserverSlot`] enums the DCF dispatches through.
 
 use sim::{SimRng, SimTime};
 
 use crate::frame::{Frame, FrameKind, Msdu};
+use crate::grc::{GrcObserver, NavGuard, SpoofGuard};
+use crate::greedy::{
+    AckSpoofPolicy, FakeAckPolicy, GreedyPolicy, GreedySenderPolicy, NavInflationPolicy,
+};
 
 /// Behavior-deviation flags a [`StationPolicy`] (or DCF configuration)
 /// declares about itself, consumed by the conformance checker to
@@ -174,6 +179,209 @@ pub trait MacObserver<M: Msdu>: std::fmt::Debug {
 pub struct NoopObserver;
 
 impl<M: Msdu> MacObserver<M> for NoopObserver {}
+
+/// Enum-dispatched station policy: the closed set of behaviors a station
+/// can run. The DCF consults its policy on the hot path (every backoff
+/// draw and outgoing frame); dispatching through this enum instead of a
+/// `Box<dyn StationPolicy>` removes the indirect call and lets the
+/// honest `Normal` arm inline to nothing.
+///
+/// Snapshot encoding is *tagless* — each variant writes exactly what the
+/// boxed policy wrote — so station digests are unchanged by the
+/// devirtualization.
+#[derive(Debug)]
+pub enum PolicySlot {
+    /// The honest station (the overwhelmingly common case).
+    Normal(NormalPolicy),
+    /// A composite greedy receiver (any subset of the three misbehaviors).
+    Greedy(GreedyPolicy),
+    /// NAV inflation alone (misbehavior 1).
+    NavInflation(NavInflationPolicy),
+    /// ACK spoofing alone (misbehavior 2).
+    AckSpoof(AckSpoofPolicy),
+    /// Fake ACKs alone (misbehavior 3).
+    FakeAck(FakeAckPolicy),
+    /// The sender-side backoff cheat (DOMINO's target).
+    GreedySender(GreedySenderPolicy),
+}
+
+impl Default for PolicySlot {
+    fn default() -> Self {
+        PolicySlot::Normal(NormalPolicy)
+    }
+}
+
+macro_rules! each_policy {
+    ($slot:expr, $p:ident => $e:expr) => {
+        match $slot {
+            PolicySlot::Normal($p) => $e,
+            PolicySlot::Greedy($p) => $e,
+            PolicySlot::NavInflation($p) => $e,
+            PolicySlot::AckSpoof($p) => $e,
+            PolicySlot::FakeAck($p) => $e,
+            PolicySlot::GreedySender($p) => $e,
+        }
+    };
+}
+
+impl<M: Msdu> StationPolicy<M> for PolicySlot {
+    fn outgoing_duration_us(
+        &mut self,
+        kind: FrameKind,
+        normal_us: u32,
+        carries_transport_ack: bool,
+        rng: &mut SimRng,
+    ) -> u32 {
+        each_policy!(self, p => StationPolicy::<M>::outgoing_duration_us(
+            p, kind, normal_us, carries_transport_ack, rng
+        ))
+    }
+
+    fn ack_corrupted(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
+        each_policy!(self, p => StationPolicy::<M>::ack_corrupted(p, frame, rng))
+    }
+
+    fn spoof_ack_for(&mut self, frame: &Frame<M>, rng: &mut SimRng) -> bool {
+        each_policy!(self, p => StationPolicy::<M>::spoof_ack_for(p, frame, rng))
+    }
+
+    fn backoff_slots(&mut self, cw: u32, rng: &mut SimRng) -> Option<u32> {
+        each_policy!(self, p => StationPolicy::<M>::backoff_slots(p, cw, rng))
+    }
+
+    fn snap_save(&self, w: &mut snap::Enc) {
+        each_policy!(self, p => StationPolicy::<M>::snap_save(p, w))
+    }
+
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        each_policy!(self, p => StationPolicy::<M>::snap_restore(p, r))
+    }
+
+    fn quirk_flags(&self) -> u32 {
+        each_policy!(self, p => StationPolicy::<M>::quirk_flags(p))
+    }
+}
+
+impl From<NormalPolicy> for PolicySlot {
+    fn from(p: NormalPolicy) -> Self {
+        PolicySlot::Normal(p)
+    }
+}
+
+impl From<GreedyPolicy> for PolicySlot {
+    fn from(p: GreedyPolicy) -> Self {
+        PolicySlot::Greedy(p)
+    }
+}
+
+impl From<NavInflationPolicy> for PolicySlot {
+    fn from(p: NavInflationPolicy) -> Self {
+        PolicySlot::NavInflation(p)
+    }
+}
+
+impl From<AckSpoofPolicy> for PolicySlot {
+    fn from(p: AckSpoofPolicy) -> Self {
+        PolicySlot::AckSpoof(p)
+    }
+}
+
+impl From<FakeAckPolicy> for PolicySlot {
+    fn from(p: FakeAckPolicy) -> Self {
+        PolicySlot::FakeAck(p)
+    }
+}
+
+impl From<GreedySenderPolicy> for PolicySlot {
+    fn from(p: GreedySenderPolicy) -> Self {
+        PolicySlot::GreedySender(p)
+    }
+}
+
+/// Enum-dispatched MAC observer: the closed set of detection hooks.
+///
+/// Same rationale and tagless-snapshot contract as [`PolicySlot`] — the
+/// observer runs on every received frame, so the honest `Noop` arm must
+/// cost nothing.
+#[derive(Debug)]
+pub enum ObserverSlot {
+    /// No detection (the honest default).
+    Noop(NoopObserver),
+    /// The full GRC scheme: NAV sanitization + ACK vetting.
+    Grc(GrcObserver),
+    /// NAV sanitization alone (ablation runs).
+    NavGuard(NavGuard),
+    /// ACK vetting alone (ablation runs).
+    SpoofGuard(SpoofGuard),
+}
+
+impl Default for ObserverSlot {
+    fn default() -> Self {
+        ObserverSlot::Noop(NoopObserver)
+    }
+}
+
+macro_rules! each_observer {
+    ($slot:expr, $o:ident => $e:expr) => {
+        match $slot {
+            ObserverSlot::Noop($o) => $e,
+            ObserverSlot::Grc($o) => $e,
+            ObserverSlot::NavGuard($o) => $e,
+            ObserverSlot::SpoofGuard($o) => $e,
+        }
+    };
+}
+
+impl<M: Msdu> MacObserver<M> for ObserverSlot {
+    fn on_frame(&mut self, frame: &Frame<M>, meta: &FrameMeta, addressed_to_me: bool) -> u32 {
+        each_observer!(self, o => MacObserver::<M>::on_frame(o, frame, meta, addressed_to_me))
+    }
+
+    fn accept_ack(
+        &mut self,
+        ack: &Frame<M>,
+        meta: &FrameMeta,
+        expected_from: crate::frame::NodeId,
+    ) -> bool {
+        each_observer!(self, o => MacObserver::<M>::accept_ack(o, ack, meta, expected_from))
+    }
+
+    fn on_corrupted(&mut self, meta: &FrameMeta) {
+        each_observer!(self, o => MacObserver::<M>::on_corrupted(o, meta))
+    }
+
+    fn snap_save(&self, w: &mut snap::Enc) {
+        each_observer!(self, o => MacObserver::<M>::snap_save(o, w))
+    }
+
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        each_observer!(self, o => MacObserver::<M>::snap_restore(o, r))
+    }
+}
+
+impl From<NoopObserver> for ObserverSlot {
+    fn from(o: NoopObserver) -> Self {
+        ObserverSlot::Noop(o)
+    }
+}
+
+impl From<GrcObserver> for ObserverSlot {
+    fn from(o: GrcObserver) -> Self {
+        ObserverSlot::Grc(o)
+    }
+}
+
+impl From<NavGuard> for ObserverSlot {
+    fn from(o: NavGuard) -> Self {
+        ObserverSlot::NavGuard(o)
+    }
+}
+
+impl From<SpoofGuard> for ObserverSlot {
+    fn from(o: SpoofGuard) -> Self {
+        ObserverSlot::SpoofGuard(o)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -23,7 +23,7 @@
 
 use std::collections::HashMap;
 
-use mac::{Dcf, DcfConfig, MacObserver, NodeId, StationPolicy};
+use mac::{Dcf, DcfConfig, NodeId, ObserverSlot, PolicySlot};
 use phy::{CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
 use sim::{SimDuration, SimRng};
 use transport::{
@@ -32,13 +32,10 @@ use transport::{
 
 use crate::network::{FlowKindState, FlowState, Network};
 
-type PolicyBox = Box<dyn StationPolicy<Segment>>;
-type ObserverBox = Box<dyn MacObserver<Segment>>;
-
 struct NodeSpec {
     pos: Position,
-    policy: Option<PolicyBox>,
-    observer: Option<ObserverBox>,
+    policy: Option<PolicySlot>,
+    observer: Option<ObserverSlot>,
     no_retx_to: Vec<NodeId>,
     cw_clamp_to: Vec<NodeId>,
     auto_rate: Option<mac::ArfConfig>,
@@ -135,30 +132,34 @@ impl NetworkBuilder {
     }
 
     /// Adds a node with a custom station policy (greedy receivers).
-    pub fn add_node_with_policy(&mut self, pos: Position, policy: PolicyBox) -> NodeId {
-        self.add_node_spec(pos, Some(policy), None)
+    pub fn add_node_with_policy(&mut self, pos: Position, policy: impl Into<PolicySlot>) -> NodeId {
+        self.add_node_spec(pos, Some(policy.into()), None)
     }
 
     /// Adds a node with a custom observer (GRC detection/mitigation).
-    pub fn add_node_with_observer(&mut self, pos: Position, observer: ObserverBox) -> NodeId {
-        self.add_node_spec(pos, None, Some(observer))
+    pub fn add_node_with_observer(
+        &mut self,
+        pos: Position,
+        observer: impl Into<ObserverSlot>,
+    ) -> NodeId {
+        self.add_node_spec(pos, None, Some(observer.into()))
     }
 
     /// Adds a node with both hooks.
     pub fn add_node_with(
         &mut self,
         pos: Position,
-        policy: PolicyBox,
-        observer: ObserverBox,
+        policy: impl Into<PolicySlot>,
+        observer: impl Into<ObserverSlot>,
     ) -> NodeId {
-        self.add_node_spec(pos, Some(policy), Some(observer))
+        self.add_node_spec(pos, Some(policy.into()), Some(observer.into()))
     }
 
     fn add_node_spec(
         &mut self,
         pos: Position,
-        policy: Option<PolicyBox>,
-        observer: Option<ObserverBox>,
+        policy: Option<PolicySlot>,
+        observer: Option<ObserverSlot>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len() as u16);
         self.nodes.push(NodeSpec {
@@ -308,8 +309,8 @@ impl NetworkBuilder {
                         NodeId(i as u16),
                         cfg,
                         rng,
-                        p.unwrap_or_else(|| Box::new(mac::NormalPolicy)),
-                        o.unwrap_or_else(|| Box::new(mac::NoopObserver)),
+                        p.unwrap_or_default(),
+                        o.unwrap_or_default(),
                     ),
                 };
                 (spec.pos, dcf)

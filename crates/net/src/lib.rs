@@ -7,15 +7,18 @@
 
 #![warn(missing_docs)]
 pub mod builder;
+pub mod cell;
 pub mod metrics;
 pub mod network;
 pub mod stats;
 pub mod trace;
 
 pub use builder::NetworkBuilder;
+pub use cell::{Cell, TxInterval};
 pub use metrics::{FlowMetrics, NodeMetrics, RunMetrics};
 pub use network::{
-    Network, RunArtifacts, RunHooks, GAUGE_CW, GAUGE_CWND, GAUGE_NAV_REMAINING_US, GAUGE_QUEUE_LEN,
+    HookCursor, Network, RunArtifacts, RunHooks, GAUGE_CW, GAUGE_CWND, GAUGE_NAV_REMAINING_US,
+    GAUGE_QUEUE_LEN,
 };
 pub use stats::SimStats;
 pub use trace::{Trace, TraceKind, TraceRecord};

@@ -117,6 +117,30 @@ const HOOK_GAUGE: u8 = 0;
 const HOOK_AUDIT: u8 = 1;
 const HOOK_CKPT: u8 = 2;
 
+/// A persistent cursor over the virtual-time hook grids, carried across
+/// calls to [`Network::advance`] so a run can be executed in bounded
+/// epochs instead of one straight pass.
+///
+/// Epoch-partitioned advancement is *provably identical* to a single
+/// [`Network::run_hooked`] call when nothing is injected between epochs:
+/// hooks ride fixed grids (their next instants live here, not in the
+/// scheduler), events are popped in the same order either way, and a
+/// hook due at or before an epoch horizon fires after exactly the same
+/// set of dispatched events as it would mid-run — the events between the
+/// epoch horizon and the hook's straight-through firing point do not
+/// exist, or the hook would have fired inside the epoch. The multi-cell
+/// world relies on this: a 1×1 world reproduces the single-network run
+/// byte for byte.
+pub struct HookCursor {
+    hooks: RunHooks,
+    probe_iv: Option<SimDuration>,
+    next_probe: Option<SimTime>,
+    next_audit: Option<SimTime>,
+    next_ckpt: Option<SimTime>,
+    perturb: Option<SimTime>,
+    artifacts: RunArtifacts,
+}
+
 /// First multiple of `iv` (counted from virtual zero) strictly after `t`.
 fn grid_after(t: SimTime, iv: SimDuration) -> SimTime {
     let k = t.as_nanos() / iv.as_nanos() + 1;
@@ -215,6 +239,11 @@ pub struct Network {
     /// the checker tapping the recorder stream. The report is deposited
     /// when the event loop finishes.
     conform: Option<(::conform::ConformJob, ::conform::SharedChecker)>,
+    /// Opt-in transmission log for the world's epoch exchange: every
+    /// `(source, start, end)` since the last drain. `None` (the default)
+    /// costs nothing. Excluded from snapshots — it is boundary-exchange
+    /// scratch, not simulation state, and must not perturb audit digests.
+    epoch_tx_log: Option<Vec<(NodeId, SimTime, SimTime)>>,
 }
 
 // `Network` is deliberately NOT `Send`: report handles (GRC, recorder)
@@ -262,6 +291,7 @@ impl Network {
             txs: Arena::new(),
             recorder: None,
             conform: None,
+            epoch_tx_log: None,
         }
     }
 
@@ -367,6 +397,33 @@ impl Network {
         self.sched.now()
     }
 
+    /// Every node's position, indexed by node id. The world coordinator
+    /// reads these once to build the static cross-cell coupling maps.
+    pub fn positions(&self) -> Vec<Position> {
+        self.nodes.iter().map(|st| st.pos).collect()
+    }
+
+    /// The configured propagation model (comm/cs ranges, RSSI noise).
+    pub fn channel_model(&self) -> &ChannelModel {
+        &self.channel
+    }
+
+    /// Starts logging every transmission `(source, start, end)` for the
+    /// world's epoch exchange. Off by default; the log is not part of
+    /// snapshots.
+    pub fn enable_tx_log(&mut self) {
+        self.epoch_tx_log = Some(Vec::new());
+    }
+
+    /// Takes the transmissions logged since the last drain (empty when
+    /// logging is off).
+    pub fn drain_tx_log(&mut self) -> Vec<(NodeId, SimTime, SimTime)> {
+        self.epoch_tx_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
     /// Runs the simulation for `duration` of virtual time and returns the
     /// collected metrics. Can be called once per network.
     pub fn run(&mut self, duration: SimDuration) -> RunMetrics {
@@ -408,19 +465,28 @@ impl Network {
         self.event_loop(duration, hooks, Some(resumed_at))
     }
 
-    /// The event loop. Before each event is dispatched, every hook
-    /// barrier due at or before that event's timestamp fires in
-    /// virtual-time order (gauge → audit → checkpoint at equal
-    /// instants), so a checkpoint observes exactly the barriers that
-    /// precede it and a resumed run re-derives the rest from the grid.
+    /// The event loop: one straight advance to the run horizon. Before
+    /// each event is dispatched, every hook barrier due at or before that
+    /// event's timestamp fires in virtual-time order (gauge → audit →
+    /// checkpoint at equal instants), so a checkpoint observes exactly
+    /// the barriers that precede it and a resumed run re-derives the rest
+    /// from the grid.
     fn event_loop(
         &mut self,
         duration: SimDuration,
         hooks: RunHooks,
         resumed_at: Option<SimTime>,
     ) -> (RunMetrics, RunArtifacts) {
-        let _span = ::obs::span!("net/run");
-        let horizon = SimTime::ZERO + duration;
+        let mut cursor = self.begin_hooked(hooks, resumed_at);
+        self.advance(&mut cursor, SimTime::ZERO + duration);
+        self.finish_hooked(cursor, duration)
+    }
+
+    /// Initializes the hook grids for an epoch-driven run. Pass
+    /// `resumed_at` when the network state was restored from a checkpoint
+    /// taken at that barrier instant; each grid then resumes at its first
+    /// point strictly after it.
+    pub fn begin_hooked(&mut self, hooks: RunHooks, resumed_at: Option<SimTime>) -> HookCursor {
         // Gauge sampling rides the event loop on a fixed virtual-time
         // grid instead of scheduling its own events, so the event count
         // and every RNG stream are byte-identical with recording off.
@@ -432,24 +498,39 @@ impl Network {
             None => start,
             Some(c) => grid_after(c, iv),
         };
-        let mut next_probe = probe_iv.map(|iv| first(SimTime::ZERO, iv));
-        let mut next_audit = hooks.audit_every.map(|iv| first(SimTime::ZERO + iv, iv));
-        let mut next_ckpt = hooks
-            .checkpoint_every
-            .map(|iv| first(SimTime::ZERO + iv, iv));
-        // A perturbation strictly before the restored clock already fired
-        // before the checkpoint (the event that triggered it advanced the
-        // clock past it), so a resumed run must not re-apply it.
-        let mut perturb = hooks.perturb_rng_at.filter(|&t| self.sched.now() < t);
-        let mut artifacts = RunArtifacts::default();
+        HookCursor {
+            next_probe: probe_iv.map(|iv| first(SimTime::ZERO, iv)),
+            next_audit: hooks.audit_every.map(|iv| first(SimTime::ZERO + iv, iv)),
+            next_ckpt: hooks
+                .checkpoint_every
+                .map(|iv| first(SimTime::ZERO + iv, iv)),
+            // A perturbation strictly before the restored clock already
+            // fired before the checkpoint (the event that triggered it
+            // advanced the clock past it), so a resumed run must not
+            // re-apply it.
+            perturb: hooks.perturb_rng_at.filter(|&t| self.sched.now() < t),
+            probe_iv,
+            hooks,
+            artifacts: RunArtifacts::default(),
+        }
+    }
+
+    /// Dispatches every scheduled event with timestamp at or before
+    /// `horizon`, firing due hooks in virtual-time order before each.
+    /// Hooks due at or before the horizon but after the last event fire
+    /// before this returns, so a subsequent [`Network::inject_busy`] for
+    /// the next epoch cannot slip in front of them. Idempotent at a
+    /// fixed horizon; callable repeatedly with increasing horizons.
+    pub fn advance(&mut self, cursor: &mut HookCursor, horizon: SimTime) {
+        let _span = ::obs::span!("net/run");
         loop {
             let next_event = self.sched.peek_time().filter(|&t| t <= horizon);
             let upto = next_event.unwrap_or(horizon);
             loop {
                 let due = [
-                    (next_probe, HOOK_GAUGE),
-                    (next_audit, HOOK_AUDIT),
-                    (next_ckpt, HOOK_CKPT),
+                    (cursor.next_probe, HOOK_GAUGE),
+                    (cursor.next_audit, HOOK_AUDIT),
+                    (cursor.next_ckpt, HOOK_CKPT),
                 ]
                 .into_iter()
                 .filter_map(|(t, kind)| t.filter(|&t| t <= upto).map(|t| (t, kind)))
@@ -458,38 +539,57 @@ impl Network {
                 match kind {
                     HOOK_GAUGE => {
                         self.sample_gauges(at);
-                        next_probe = Some(at + probe_iv.expect("gauge hook without interval"));
+                        cursor.next_probe =
+                            Some(at + cursor.probe_iv.expect("gauge hook without interval"));
                     }
                     HOOK_AUDIT => {
                         for (layer, digest) in self.layer_digests() {
-                            artifacts.audit.push((at.as_nanos(), layer, digest));
+                            cursor.artifacts.audit.push((at.as_nanos(), layer, digest));
                         }
-                        next_audit =
-                            Some(at + hooks.audit_every.expect("audit hook without interval"));
+                        cursor.next_audit = Some(
+                            at + cursor
+                                .hooks
+                                .audit_every
+                                .expect("audit hook without interval"),
+                        );
                     }
                     _ => {
                         let mut w = snap::Enc::new();
                         self.snap_save(&mut w);
-                        artifacts.checkpoints.push((at, w.into_bytes()));
-                        next_ckpt =
-                            Some(at + hooks.checkpoint_every.expect("ckpt hook without interval"));
+                        cursor.artifacts.checkpoints.push((at, w.into_bytes()));
+                        cursor.next_ckpt = Some(
+                            at + cursor
+                                .hooks
+                                .checkpoint_every
+                                .expect("ckpt hook without interval"),
+                        );
                     }
                 }
             }
             let Some(t) = next_event else { break };
-            if let Some(p) = perturb {
+            if let Some(p) = cursor.perturb {
                 if t >= p {
                     // Fault injection for the audit-ladder tests: one
                     // extra draw knocks the shared RNG stream out of
                     // alignment from this event onward.
                     let _ = self.rng.next_u64();
-                    perturb = None;
+                    cursor.perturb = None;
                 }
             }
             let (now, ev) = self.sched.next().expect("peeked event vanished");
             debug_assert_eq!(now, t, "pop disagrees with peek");
             self.dispatch(now, ev);
         }
+    }
+
+    /// Ends an epoch-driven run: collects metrics over `duration` of
+    /// virtual time, records run statistics and deposits the conformance
+    /// report if checking was armed.
+    pub fn finish_hooked(
+        &mut self,
+        cursor: HookCursor,
+        duration: SimDuration,
+    ) -> (RunMetrics, RunArtifacts) {
         let metrics = self.collect_metrics(duration);
         crate::stats::record_run(metrics.events_processed);
         if let Some((job, checker)) = self.conform.take() {
@@ -498,7 +598,28 @@ impl Network {
             }
             job.deposit(checker.borrow_mut().finish_report());
         }
-        (metrics, artifacts)
+        (metrics, cursor.artifacts)
+    }
+
+    /// Marks the medium busy at `node` over `[start, end)` without any
+    /// frame behind it — cross-cell interference injected by the world's
+    /// epoch exchange. A `start` at or before the current clock (the
+    /// exchange clips intervals to epoch boundaries, so a neighbor's
+    /// transmission can abut the boundary exactly) is nudged one
+    /// nanosecond past `now` so the scheduler never sees a stale event;
+    /// intervals the nudge empties are dropped.
+    pub fn inject_busy(&mut self, node: NodeId, start: SimTime, end: SimTime) {
+        let now = self.sched.now();
+        let onset = if start <= now {
+            now + SimDuration::from_nanos(1)
+        } else {
+            start
+        };
+        if end <= onset {
+            return;
+        }
+        self.sched.arm_at(onset, Event::BusyOnset { node });
+        self.sched.arm_at(end, Event::BusyEnd { node });
     }
 
     /// Samples every probe gauge at virtual instant `at`. Values reflect
@@ -525,7 +646,7 @@ impl Network {
         }
     }
 
-    fn start_flows(&mut self) {
+    pub(crate) fn start_flows(&mut self) {
         for idx in 0..self.flows.len() {
             // Small deterministic stagger so synchronized sources do not
             // all fire in the same instant at t = 0.
@@ -742,6 +863,9 @@ impl Network {
                 frame_code(frame.kind),
                 airtime,
             );
+        }
+        if let Some(log) = &mut self.epoch_tx_log {
+            log.push((src, now, end));
         }
         let id = self.txs.insert(ActiveTx {
             frame,

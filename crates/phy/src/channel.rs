@@ -9,6 +9,20 @@
 use crate::position::Position;
 use crate::rssi::RssiModel;
 
+/// A logical 802.11 channel number.
+///
+/// The multi-cell world pins each cell to one channel; transmissions on
+/// different channels never couple (adjacent-channel leakage is not
+/// modeled — hotspot deployments assign the orthogonal channels 1/6/11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ChannelIndex(pub u8);
+
+impl std::fmt::Display for ChannelIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
 /// How one node's transmission reaches another node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Reach {
@@ -115,6 +129,14 @@ impl ChannelModel {
     pub fn rx_power_dbm(&self, d: f64) -> f64 {
         self.rssi.median_dbm(d)
     }
+
+    /// Whether a transmitter at `tx` raises carrier sense at `rx` — the
+    /// cross-cell coupling predicate. Cells are independent BSSes, so a
+    /// neighbor-cell frame is never decoded; within the carrier-sense
+    /// range it contributes busy time (energy) only.
+    pub fn couples(&self, tx: Position, rx: Position) -> bool {
+        self.reach_between(tx, rx) != Reach::None
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +177,13 @@ mod tests {
     #[should_panic(expected = "carrier-sense range")]
     fn cs_smaller_than_comm_panics() {
         let _ = ChannelModel::with_ranges(100.0, 50.0);
+    }
+
+    #[test]
+    fn coupling_follows_cs_range() {
+        let ch = ChannelModel::grc_evaluation();
+        let a = Position::new(0.0, 0.0);
+        assert!(ch.couples(a, Position::new(99.0, 0.0)));
+        assert!(!ch.couples(a, Position::new(99.5, 0.0)));
     }
 }

@@ -31,7 +31,7 @@ pub mod rssi;
 
 pub use airtime::tx_duration;
 pub use capture::CaptureModel;
-pub use channel::ChannelModel;
+pub use channel::{ChannelIndex, ChannelModel};
 pub use error_model::{ErrorModel, ErrorUnit};
 pub use params::{PhyParams, PhyStandard};
 pub use position::Position;

@@ -35,6 +35,12 @@ impl Position {
         let dy = self.y - other.y;
         (dx * dx + dy * dy).sqrt()
     }
+
+    /// This position translated by `delta` (vector addition) — maps a
+    /// cell-local placement into world coordinates given the cell origin.
+    pub fn offset_by(self, delta: Position) -> Position {
+        Position::new(self.x + delta.x, self.y + delta.y)
+    }
 }
 
 impl fmt::Display for Position {

@@ -17,6 +17,10 @@ use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+pub mod lockstep;
+
+pub use lockstep::Lockstep;
+
 /// Executes batches of independent jobs on a fixed thread pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Runner {

@@ -1,0 +1,356 @@
+//! Lockstep shard executor for the multi-cell world.
+//!
+//! Unlike [`Runner::execute_all`](crate::Runner::execute_all), whose jobs
+//! are independent, a world run couples its shards: every cell must reach
+//! a common virtual-time horizon before boundary interference for the
+//! next epoch can be computed. This module runs that protocol on a pool
+//! of *persistent* workers:
+//!
+//! * each worker owns a fixed subset of shards (shard `i` lives on worker
+//!   `i % workers`) for the entire run, so non-`Send` simulation state
+//!   (report handles, recorders, armed conformance checkers) never
+//!   crosses a thread boundary — only plain-data seeds, epoch reports,
+//!   injections and final outputs do;
+//! * every epoch is a barrier: workers step their shards to the horizon,
+//!   send one [`Lockstep::Report`] per shard, and block until the
+//!   coordinator (the calling thread) has collected *all* reports, run
+//!   the exchange, and sent each worker its shards' injections;
+//! * the exchange always sees the reports as a vector indexed by shard
+//!   id, and returns one injection per shard id, so its inputs and
+//!   outputs are identical at any worker count — which is the whole
+//!   determinism argument: `step`/`absorb` touch one shard each, shards
+//!   are independent between barriers, and the only cross-shard
+//!   computation happens on one thread in one fixed order.
+//!
+//! With one worker (or one shard) the protocol runs inline on the caller
+//! thread in ascending shard-id order; that inline schedule is the
+//! reference any pool width must reproduce.
+
+use std::sync::mpsc;
+
+use crate::Runner;
+
+/// A lockstep shard protocol: how to build, step, couple and finish one
+/// shard. The spec itself is shared by reference across workers.
+pub trait Lockstep: Sync {
+    /// Plain data a shard is built from (crosses to the owning worker).
+    type Seed: Send;
+    /// Worker-resident shard state; deliberately *not* required to be
+    /// `Send` — it is built, stepped and finished on one thread.
+    type Shard;
+    /// Per-shard, per-epoch boundary report for the exchange.
+    type Report: Send;
+    /// Per-shard, per-epoch injection computed by the exchange.
+    type Inject: Send;
+    /// Final per-shard result.
+    type Out: Send;
+
+    /// Builds shard `index` from its seed, on the owning worker.
+    fn build(&self, index: usize, seed: Self::Seed) -> Self::Shard;
+    /// Advances a shard through epoch `epoch` and reports its boundary
+    /// state.
+    fn step(&self, shard: &mut Self::Shard, epoch: usize) -> Self::Report;
+    /// Applies the exchange's injection for the epoch just completed.
+    fn absorb(&self, shard: &mut Self::Shard, inject: Self::Inject);
+    /// Consumes a shard after the final epoch.
+    fn finish(&self, shard: Self::Shard) -> Self::Out;
+}
+
+/// Everything a worker reports upward, multiplexed on one channel so the
+/// coordinator always has exactly one place to listen.
+enum Msg<R, O> {
+    Report(usize, R),
+    Out(usize, O),
+    /// Sent from a panicking worker's drop guard so the coordinator
+    /// fails fast instead of deadlocking at the barrier.
+    Died,
+}
+
+/// Notifies the coordinator if the worker unwinds mid-protocol.
+struct PanicGuard<'a, R, O> {
+    tx: &'a mpsc::Sender<Msg<R, O>>,
+    armed: bool,
+}
+
+impl<R, O> Drop for PanicGuard<'_, R, O> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            let _ = self.tx.send(Msg::Died);
+        }
+    }
+}
+
+impl Runner {
+    /// Runs `seeds.len()` shards through `epochs` lockstep epochs and
+    /// returns the final outputs in shard-id order.
+    ///
+    /// After every epoch — including the last — `exchange` receives the
+    /// epoch index and all shard reports (indexed by shard id) and must
+    /// return exactly one injection per shard. Injections returned for
+    /// the final epoch are absorbed but never stepped, so a caller whose
+    /// horizon ends flush with the last epoch can return empty ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exchange` returns the wrong number of injections, or
+    /// if any worker panics (the panic is propagated).
+    pub fn run_lockstep<L, X>(
+        &self,
+        spec: &L,
+        seeds: Vec<L::Seed>,
+        epochs: usize,
+        mut exchange: X,
+    ) -> Vec<L::Out>
+    where
+        L: Lockstep,
+        X: FnMut(usize, Vec<L::Report>) -> Vec<L::Inject>,
+    {
+        let n = seeds.len();
+        let workers = self.jobs().min(n);
+        if workers <= 1 {
+            // The reference schedule: everything on the caller thread in
+            // ascending shard-id order.
+            let mut shards: Vec<L::Shard> = seeds
+                .into_iter()
+                .enumerate()
+                .map(|(i, seed)| spec.build(i, seed))
+                .collect();
+            for epoch in 0..epochs {
+                let reports: Vec<L::Report> = shards
+                    .iter_mut()
+                    .map(|shard| spec.step(shard, epoch))
+                    .collect();
+                let injections = exchange(epoch, reports);
+                assert_eq!(injections.len(), n, "exchange must cover every shard");
+                for (shard, inject) in shards.iter_mut().zip(injections) {
+                    spec.absorb(shard, inject);
+                }
+            }
+            return shards.into_iter().map(|shard| spec.finish(shard)).collect();
+        }
+
+        let mut per_worker: Vec<Vec<(usize, L::Seed)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, seed) in seeds.into_iter().enumerate() {
+            per_worker[i % workers].push((i, seed));
+        }
+        let (tx, rx) = mpsc::channel::<Msg<L::Report, L::Out>>();
+        let mut outs: Vec<Option<L::Out>> = std::iter::repeat_with(|| None).take(n).collect();
+        std::thread::scope(|scope| {
+            let mut inject_txs = Vec::with_capacity(workers);
+            for mine in per_worker {
+                let (itx, irx) = mpsc::channel::<Vec<(usize, L::Inject)>>();
+                inject_txs.push(itx);
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let mut guard = PanicGuard {
+                        tx: &tx,
+                        armed: true,
+                    };
+                    let mut shards: Vec<(usize, L::Shard)> = mine
+                        .into_iter()
+                        .map(|(i, seed)| (i, spec.build(i, seed)))
+                        .collect();
+                    for epoch in 0..epochs {
+                        for (i, shard) in &mut shards {
+                            // A send/recv error means the coordinator hung
+                            // up, which only happens when the scope is
+                            // unwinding from a failure elsewhere; stop
+                            // quietly and let the join report it.
+                            if tx.send(Msg::Report(*i, spec.step(shard, epoch))).is_err() {
+                                return;
+                            }
+                        }
+                        let Ok(injections) = irx.recv() else { return };
+                        for (i, inject) in injections {
+                            let (_, shard) = shards
+                                .iter_mut()
+                                .find(|(j, _)| *j == i)
+                                .expect("injection for a shard this worker does not own");
+                            spec.absorb(shard, inject);
+                        }
+                    }
+                    for (i, shard) in shards {
+                        if tx.send(Msg::Out(i, spec.finish(shard))).is_err() {
+                            return;
+                        }
+                    }
+                    guard.armed = false;
+                });
+            }
+            drop(tx);
+            for epoch in 0..epochs {
+                let mut reports: Vec<Option<L::Report>> =
+                    std::iter::repeat_with(|| None).take(n).collect();
+                for _ in 0..n {
+                    match rx.recv().expect("every worker hung up") {
+                        Msg::Report(i, r) => {
+                            assert!(reports[i].replace(r).is_none(), "duplicate report");
+                        }
+                        Msg::Out(..) => unreachable!("output before the final epoch"),
+                        Msg::Died => panic!("lockstep worker panicked"),
+                    }
+                }
+                let reports: Vec<L::Report> = reports
+                    .into_iter()
+                    .map(|r| r.expect("barrier passed with a report missing"))
+                    .collect();
+                let injections = exchange(epoch, reports);
+                assert_eq!(injections.len(), n, "exchange must cover every shard");
+                let mut grouped: Vec<Vec<(usize, L::Inject)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, inject) in injections.into_iter().enumerate() {
+                    grouped[i % workers].push((i, inject));
+                }
+                for (w, batch) in grouped.into_iter().enumerate() {
+                    if inject_txs[w].send(batch).is_err() {
+                        panic!("lockstep worker {w} hung up at the barrier");
+                    }
+                }
+            }
+            for _ in 0..n {
+                match rx.recv().expect("every worker hung up") {
+                    Msg::Out(i, out) => {
+                        assert!(outs[i].replace(out).is_none(), "duplicate output");
+                    }
+                    Msg::Report(..) => unreachable!("report after the final epoch"),
+                    Msg::Died => panic!("lockstep worker panicked"),
+                }
+            }
+        });
+        outs.into_iter()
+            .map(|o| o.expect("every shard finishes exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+
+    /// A toy protocol exercising the coupling: every shard holds a
+    /// counter, each epoch it adds its id, and the exchange feeds each
+    /// shard the sum of all *other* shards' counters. The final value
+    /// depends on every report of every epoch, so any barrier or
+    /// ordering bug changes it.
+    struct SumSpec;
+
+    impl Lockstep for SumSpec {
+        type Seed = u64;
+        // Deliberately not Send-friendly state to prove the executor
+        // never needs it to be.
+        type Shard = StdCell<u64>;
+        type Report = u64;
+        type Inject = u64;
+        type Out = u64;
+
+        fn build(&self, index: usize, seed: u64) -> StdCell<u64> {
+            StdCell::new(seed * 100 + index as u64)
+        }
+        fn step(&self, shard: &mut StdCell<u64>, epoch: usize) -> u64 {
+            shard.set(shard.get() + epoch as u64 + 1);
+            shard.get()
+        }
+        fn absorb(&self, shard: &mut StdCell<u64>, inject: u64) {
+            shard.set(shard.get().wrapping_mul(3).wrapping_add(inject));
+        }
+        fn finish(&self, shard: StdCell<u64>) -> u64 {
+            shard.get()
+        }
+    }
+
+    fn coupled_exchange(_epoch: usize, reports: Vec<u64>) -> Vec<u64> {
+        let total: u64 = reports.iter().sum();
+        reports.into_iter().map(|r| total - r).collect()
+    }
+
+    #[test]
+    fn identical_results_at_every_pool_width() {
+        let seeds: Vec<u64> = (0..13).collect();
+        let baseline =
+            Runner::sequential().run_lockstep(&SumSpec, seeds.clone(), 5, coupled_exchange);
+        for jobs in [2, 3, 4, 8, 16] {
+            let out = Runner::new(jobs).run_lockstep(&SumSpec, seeds.clone(), 5, coupled_exchange);
+            assert_eq!(out, baseline, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn exchange_sees_ordered_reports_each_epoch() {
+        let mut seen = Vec::new();
+        Runner::new(4).run_lockstep(&SumSpec, vec![1, 2, 3, 4, 5], 3, |epoch, reports| {
+            seen.push((epoch, reports.clone()));
+            vec![0; reports.len()]
+        });
+        assert_eq!(seen.len(), 3);
+        assert_eq!(
+            seen.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Reports are per-shard-id vectors; with zero injections the
+        // counters evolve independently of the pool, so epoch 0 reports
+        // are exactly seed*100 + id + 1.
+        assert_eq!(seen[0].1, vec![101, 202, 303, 404, 505]);
+    }
+
+    #[test]
+    fn shards_stay_on_their_worker() {
+        struct PinSpec;
+        impl Lockstep for PinSpec {
+            type Seed = ();
+            type Shard = (usize, std::thread::ThreadId);
+            type Report = std::thread::ThreadId;
+            type Inject = ();
+            type Out = bool;
+            fn build(&self, index: usize, _seed: ()) -> Self::Shard {
+                (index, std::thread::current().id())
+            }
+            fn step(&self, shard: &mut Self::Shard, _epoch: usize) -> std::thread::ThreadId {
+                shard.1
+            }
+            fn absorb(&self, _shard: &mut Self::Shard, _inject: ()) {}
+            fn finish(&self, shard: Self::Shard) -> bool {
+                // Built and finished on the same thread.
+                shard.1 == std::thread::current().id()
+            }
+        }
+        let pinned = Runner::new(3).run_lockstep(&PinSpec, vec![(); 8], 4, |_, reports| {
+            // Every epoch must report the thread the shard was built on.
+            vec![(); reports.len()]
+        });
+        assert!(pinned.into_iter().all(|p| p));
+    }
+
+    #[test]
+    fn zero_epochs_builds_and_finishes() {
+        let out = Runner::new(4)
+            .run_lockstep(&SumSpec, vec![7, 8], 0, |_, reports| vec![0; reports.len()]);
+        assert_eq!(out, vec![700, 801]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        struct BoomSpec;
+        impl Lockstep for BoomSpec {
+            type Seed = usize;
+            type Shard = usize;
+            type Report = ();
+            type Inject = ();
+            type Out = ();
+            fn build(&self, _index: usize, seed: usize) -> usize {
+                seed
+            }
+            fn step(&self, shard: &mut usize, epoch: usize) {
+                if *shard == 3 && epoch == 1 {
+                    panic!("shard 3 exploded");
+                }
+            }
+            fn absorb(&self, _shard: &mut usize, _inject: ()) {}
+            fn finish(&self, _shard: usize) {}
+        }
+        Runner::new(4).run_lockstep(&BoomSpec, (0..6).collect(), 4, |_, reports| {
+            vec![(); reports.len()]
+        });
+    }
+}

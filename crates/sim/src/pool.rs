@@ -354,4 +354,41 @@ mod tests {
         drop(b);
         assert_eq!(pool.idle(), 2);
     }
+
+    #[test]
+    fn pool_recycles_under_nesting() {
+        // A re-entrant MAC handler checks a second buffer out while the
+        // first is still live. Recycling mid-nesting must hand the inner
+        // drop's buffer back out cleared, with capacity intact, without
+        // disturbing the still-outstanding outer checkout.
+        let pool: Pool<Vec<u32>> = Pool::new();
+        let mut outer = pool.take();
+        outer.extend([10, 20, 30]);
+        let cap = {
+            let mut inner = pool.take();
+            inner.extend(0..64);
+            let cap = inner.capacity();
+            drop(inner);
+            cap
+        };
+        assert_eq!(pool.idle(), 1, "only the inner buffer returned");
+        let reused = pool.take();
+        assert!(reused.is_empty(), "nested recycle must clear the buffer");
+        assert_eq!(reused.capacity(), cap, "nested recycle keeps capacity");
+        assert_eq!(
+            &*outer,
+            &[10, 20, 30],
+            "outer checkout unaffected by inner recycle"
+        );
+        drop(reused);
+        drop(outer);
+        assert_eq!(pool.idle(), 2);
+        // Clones share one free-list: a buffer recycled through a clone
+        // is visible to (and reusable from) the original.
+        let alias = pool.clone();
+        let c = alias.take();
+        assert_eq!(pool.idle(), 1);
+        drop(c);
+        assert_eq!(pool.idle(), 2);
+    }
 }

@@ -306,6 +306,65 @@ proptest! {
         prop_assert_eq!((base + dur) - base, dur);
     }
 
+    /// [`gr_sim::Arena`] against a `HashMap` reference model under random
+    /// insert/remove/lookup interleavings: live handles always resolve to
+    /// their value, removed handles stay stale forever — even after their
+    /// slot is reused by a later insert — and the live count matches.
+    #[test]
+    fn arena_matches_map_under_slot_reuse(
+        ops in proptest::collection::vec((any::<u8>(), any::<u16>()), 1..300),
+    ) {
+        let mut arena: gr_sim::Arena<u64> = gr_sim::Arena::new();
+        let mut model: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut live: Vec<(gr_sim::ArenaHandle, u64)> = Vec::new();
+        let mut dead: Vec<(gr_sim::ArenaHandle, u64)> = Vec::new();
+        let mut next_key = 0u64;
+        for &(op, r) in &ops {
+            match op % 4 {
+                // Insert — biased 2:1 over removal so slots churn.
+                0 | 1 => {
+                    let h = arena.insert(next_key);
+                    model.insert(next_key, next_key);
+                    live.push((h, next_key));
+                    next_key += 1;
+                }
+                // Remove a random live entry; its handle joins the dead set.
+                2 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (h, k) = live.swap_remove(r as usize % live.len());
+                    prop_assert_eq!(arena.remove(h), model.remove(&k));
+                    dead.push((h, k));
+                }
+                // Audit: every live handle resolves, every dead one is
+                // stale (regardless of how often its slot was reused),
+                // and double-removes change nothing.
+                _ => {
+                    for &(h, k) in &live {
+                        prop_assert_eq!(arena.get(h), model.get(&k));
+                    }
+                    if !dead.is_empty() {
+                        let (h, _) = dead[r as usize % dead.len()];
+                        prop_assert_eq!(arena.get(h), None);
+                        let before = arena.len();
+                        prop_assert_eq!(arena.remove(h), None);
+                        prop_assert_eq!(arena.len(), before);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(arena.len(), model.len());
+        let mut got: Vec<u64> = arena.iter().copied().collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = model.into_values().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        for (h, _) in dead {
+            prop_assert_eq!(arena.get(h), None);
+        }
+    }
+
     /// Median is order-insensitive and lies within [min, max].
     #[test]
     fn median_properties(mut values in proptest::collection::vec(-1e6f64..1e6, 1..50)) {

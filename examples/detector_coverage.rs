@@ -34,17 +34,14 @@ fn run(attack: Attack) -> (f64, f64, usize, u64, u64) {
     let mut handles = Vec::new();
     let mut honest = |b: &mut NetworkBuilder, pos| {
         let (obs, h) = GrcObserver::new(params, true);
-        let id = b.add_node_with_observer(pos, Box::new(obs));
+        let id = b.add_node_with_observer(pos, obs);
         handles.push(h);
         id
     };
     let s0 = honest(&mut b, Position::new(0.0, 0.0));
     let r0 = honest(&mut b, Position::new(20.0, 0.0));
     let s1 = if attack == Attack::GreedySender {
-        b.add_node_with_policy(
-            Position::new(0.0, 20.0),
-            Box::new(GreedySenderPolicy::new(0.1)),
-        )
+        b.add_node_with_policy(Position::new(0.0, 20.0), GreedySenderPolicy::new(0.1))
     } else {
         honest(&mut b, Position::new(0.0, 20.0))
     };
