@@ -80,6 +80,15 @@ if [ -d "$CK/fz1/conform" ] || [ -d "$CK/fz2/conform" ]; then
   diff -r "$CK/fz1/conform" "$CK/fz2/conform"
 fi
 
+echo "==> cc zoo smoke (4 controllers x 4 attacks, 2 seeds, jobs 1 vs 8 byte-identical)"
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --cc --quick --seeds 2 --jobs 1 --out "$CK/cc1" >/dev/null
+cargo run --release --offline -p gr-bench --bin repro -- \
+  --cc --quick --seeds 2 --jobs 8 --out "$CK/cc8" >/dev/null
+for f in "$CK"/cc1/*.csv; do
+  cmp "$f" "$CK/cc8/$(basename "$f")"
+done
+
 echo "==> planted NAV bug is caught and shrunk (fault injection)"
 cargo test --offline -q -p gr-bench --test conform --features inject-nav-bug
 

@@ -142,6 +142,20 @@ fn export_obs(out_dir: &Path, campaign: &ObsCampaign) -> std::io::Result<usize> 
     Ok(n)
 }
 
+/// Fidelity selected by `--quick`, with the seed list overridden by
+/// `--seeds N` (seeds 1..=N) when given.
+fn quality_for(quick: bool, seeds_override: Option<u64>) -> Quality {
+    let mut q = if quick {
+        Quality::quick()
+    } else {
+        Quality::full()
+    };
+    if let Some(n) = seeds_override {
+        q.seeds = (1..=n).collect();
+    }
+    q
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut list = false;
@@ -158,6 +172,8 @@ fn main() -> ExitCode {
     let mut conform = false;
     let mut conform_no_whitelist = false;
     let mut world = false;
+    let mut cc_zoo = false;
+    let mut seeds_override: Option<u64> = None;
     let mut cells: Option<(usize, usize)> = None;
     let mut fig2_check = false;
     let mut fuzz_n: Option<u64> = None;
@@ -177,6 +193,7 @@ fn main() -> ExitCode {
                 conform_no_whitelist = true;
             }
             "--world" => world = true,
+            "--cc" => cc_zoo = true,
             "--fig2-check" => fig2_check = true,
             "--cells" => match args.next() {
                 Some(spec) => match spec
@@ -279,6 +296,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--seeds" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n > 0 => seeds_override = Some(n),
+                _ => {
+                    eprintln!("--seeds requires a positive seed count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--jobs" | "-j" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(n)) => jobs = n,
                 _ => {
@@ -318,6 +342,11 @@ fn main() -> ExitCode {
                      --world               multi-cell world campaign: sweep greedy density ×\n                        \
                      grid size, per-cell CSVs into DIR/world-RxC-gK.csv\n  \
                      --cells RxC           restrict --world to one grid size (implies --world)\n  \
+                     --seeds N             override the seed list with 1..=N (default: 1 seed\n                        \
+                     with --quick, 5 at full fidelity)\n  \
+                     --cc                  congestion-control zoo: sweep {{newreno,cubic,bbr,\n                        \
+                     newreno+hystart}} x {{honest,nav,spoof,fake}} into\n                        \
+                     DIR/cc_matrix.csv and DIR/cc-<controller>.csv\n  \
                      --fig2-check          identity gate: fig2 via 1x1 worlds must match the\n                        \
                      direct fig2 CSV byte-for-byte\n  \
                      --bench-gate          time the pinned perf-gate subset, write BENCH_<date>.json\n  \
@@ -477,11 +506,7 @@ fn main() -> ExitCode {
     }
 
     if fig2_check {
-        let quality = if quick {
-            Quality::quick()
-        } else {
-            Quality::full()
-        };
+        let quality = quality_for(quick, seeds_override);
         let ctx = RunCtx::with_jobs(quality, jobs);
         println!(
             "# fig2 identity check — direct vs 1×1-world, {} job(s)\n",
@@ -499,12 +524,37 @@ fn main() -> ExitCode {
         };
     }
 
-    if world {
-        let quality = if quick {
-            Quality::quick()
-        } else {
-            Quality::full()
+    if cc_zoo {
+        let quality = quality_for(quick, seeds_override);
+        let campaign = gr_bench::CcCampaign::new(quality, jobs);
+        println!(
+            "# congestion-control zoo — {} controller(s) × {} attack(s), {} job(s)\n",
+            campaign.ccs.len(),
+            gr_bench::cc::ATTACKS.len(),
+            jobs,
+        );
+        let t = Instant::now();
+        let report = match campaign.run(&out_dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--cc: {e}");
+                return ExitCode::FAILURE;
+            }
         };
+        print!("{}", report.matrix.render());
+        for path in &report.controller_csvs {
+            println!("  -> {}", path.display());
+        }
+        println!(
+            "  -> {} ({:.1}s)",
+            out_dir.join("cc_matrix.csv").display(),
+            t.elapsed().as_secs_f64()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if world {
+        let quality = quality_for(quick, seeds_override);
         let mut campaign = gr_bench::WorldCampaign::new(quality, jobs);
         if let Some((r, c)) = cells {
             campaign = campaign.with_grid(r, c);
@@ -609,6 +659,10 @@ fn main() -> ExitCode {
             "  world smoke: {:.0} events/s at 1 cell, {:.0} events/s at 3x3 co-channel cells",
             report.world.cells1_events_per_sec, report.world.cells9_events_per_sec
         );
+        println!(
+            "  cc smoke: {:.0} events/s under cubic, {:.0} events/s under bbr",
+            report.cc.cubic_events_per_sec, report.cc.bbr_events_per_sec
+        );
         let path = out_dir.join(format!("BENCH_{}.json", report.date));
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("failed to write {}: {e}", path.display());
@@ -675,11 +729,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let quality = if quick {
-        Quality::quick()
-    } else {
-        Quality::full()
-    };
+    let quality = quality_for(quick, seeds_override);
     let campaign = record.then(|| {
         obs::profile::reset();
         obs::profile::set_enabled(true);

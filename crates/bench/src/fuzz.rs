@@ -18,7 +18,9 @@
 use std::path::{Path, PathBuf};
 
 use greedy80211::checkpoint::run_file_stem;
-use greedy80211::{Checkpoint, GreedyConfig, NavInflationConfig, Run, Scenario, TransportKind};
+use greedy80211::{
+    CcConfig, Checkpoint, GreedyConfig, NavInflationConfig, Run, Scenario, TransportKind,
+};
 use sim::{RunKey, SimDuration, SimError};
 
 /// Width of the virtual-time bracket a violation is shrunk to.
@@ -61,8 +63,17 @@ pub fn generate_case(fuzz_seed: u64, index: u64) -> FuzzCase {
     let byte_error_rate = [0.0, 1e-5, 5e-5][rng.uniform_usize(3)];
     let grc = [None, Some(false), Some(true)][rng.uniform_usize(3)];
     let probes = rng.chance(0.3);
+    // Congestion controller: drawn for every case so the key stream stays
+    // stable, applied only when the transport is TCP.
+    let cc = [
+        CcConfig::newreno(),
+        CcConfig::cubic(),
+        CcConfig::bbr(),
+        CcConfig::newreno().with_hystart(),
+    ][rng.uniform_usize(4)];
     let mut s = Scenario {
         transport,
+        cc,
         pairs,
         shared_sender,
         rts,
@@ -107,8 +118,8 @@ pub fn generate_case(fuzz_seed: u64, index: u64) -> FuzzCase {
         "{pairs}p{} {} {} pay={payload} ber={byte_error_rate:.0e} grc={} dur={}ms greedy=[{}]",
         if shared_sender { "(ap)" } else { "" },
         match transport {
-            TransportKind::Udp { .. } => "udp",
-            TransportKind::Tcp => "tcp",
+            TransportKind::Udp { .. } => "udp".to_string(),
+            TransportKind::Tcp => format!("tcp/cc={}", cc.name()),
         },
         if rts { "rts" } else { "basic" },
         match grc {
@@ -272,6 +283,10 @@ mod tests {
         let descs: Vec<String> = (0..40).map(|i| generate_case(3, i).desc).collect();
         let any = |pat: &str| descs.iter().any(|d| d.contains(pat));
         assert!(any("udp") && any("tcp"), "both transports");
+        assert!(
+            any("cc=newreno") && any("cc=cubic") && any("cc=bbr"),
+            "controller draw must reach the zoo"
+        );
         assert!(any("rts") && any("basic"), "both access modes");
         assert!(
             any(":nav(") && any(":spoof(") && any(":fake("),

@@ -91,6 +91,21 @@ pub struct GateReport {
     /// Throughput of the pinned multi-cell world smoke (see
     /// [`world_smoke`]).
     pub world: WorldSmoke,
+    /// Throughput of the pinned congestion-controller smoke (see
+    /// [`cc_smoke`]).
+    pub cc: CcSmoke,
+}
+
+/// Event throughput of the non-default congestion controllers on the
+/// gate's TCP template. The NewReno path is what `fig6` already times;
+/// these two catch a hot-path regression inside the CUBIC window curve
+/// or the BBR filter bank, which the NewReno-only subset would miss.
+#[derive(Debug)]
+pub struct CcSmoke {
+    /// Events/s of the pinned TCP scenario under CUBIC.
+    pub cubic_events_per_sec: f64,
+    /// Events/s of the pinned TCP scenario under BBR.
+    pub bbr_events_per_sec: f64,
 }
 
 /// Event throughput of a pinned world smoke at two grid sizes: the
@@ -205,6 +220,14 @@ impl GateReport {
         s.push_str(&format!(
             "  \"world_cells9_events_per_sec\": {:.0},\n",
             self.world.cells9_events_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"cc_cubic_events_per_sec\": {:.0},\n",
+            self.cc.cubic_events_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"cc_bbr_events_per_sec\": {:.0},\n",
+            self.cc.bbr_events_per_sec
         ));
         s.push_str("  \"experiments\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
@@ -375,6 +398,31 @@ pub fn run_gate() -> GateReport {
         conform_runs,
         conform_violations,
         world: world_smoke(),
+        cc: cc_smoke(),
+    }
+}
+
+/// Times the pinned CC smoke: the default 2-pair TCP scenario at gate
+/// fidelity, once per non-default controller, sequentially.
+pub fn cc_smoke() -> CcSmoke {
+    use greedy80211::{CcConfig, Run, Scenario};
+    let run = |cc: CcConfig| {
+        let s = Scenario {
+            cc,
+            duration: sim::SimDuration::from_secs(2),
+            seed: 7,
+            ..Scenario::default()
+        };
+        let before = stats::snapshot();
+        let t = Instant::now();
+        Run::plan(&s).execute().expect("pinned cc smoke is valid");
+        let wall = t.elapsed().as_secs_f64();
+        let used = stats::snapshot().since(before);
+        used.events_processed as f64 / wall.max(1e-9)
+    };
+    CcSmoke {
+        cubic_events_per_sec: run(CcConfig::cubic()),
+        bbr_events_per_sec: run(CcConfig::bbr()),
     }
 }
 
@@ -417,17 +465,22 @@ pub fn world_smoke() -> WorldSmoke {
     }
 }
 
-/// Extracts `"total_events_per_sec": <number>` from a baseline JSON
-/// file. A hand-rolled scan — the offline build has no JSON parser, and
-/// the format is our own.
-pub fn baseline_events_per_sec(json: &str) -> Option<f64> {
-    let key = "\"total_events_per_sec\":";
-    let start = json.find(key)? + key.len();
+/// Extracts `"<key>": <number>` from a baseline JSON file. A hand-rolled
+/// scan — the offline build has no JSON parser, and the format is our
+/// own.
+pub fn baseline_value(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
     let rest = json[start..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts `"total_events_per_sec": <number>` from a baseline JSON file.
+pub fn baseline_events_per_sec(json: &str) -> Option<f64> {
+    baseline_value(json, "total_events_per_sec")
 }
 
 /// Compares a gate run against the committed baseline.
@@ -453,6 +506,25 @@ pub fn check_against_baseline(
              (floor {floor:.0}, tolerance {:.0} %)",
             tolerance * 100.0
         ));
+    }
+    // The CC smoke rides the same band when the baseline carries its
+    // keys (older baselines predate the controller zoo and gate only
+    // the aggregate).
+    for (key, cur_cc) in [
+        ("cc_cubic_events_per_sec", report.cc.cubic_events_per_sec),
+        ("cc_bbr_events_per_sec", report.cc.bbr_events_per_sec),
+    ] {
+        let Some(base_cc) = baseline_value(&text, key) else {
+            continue;
+        };
+        let floor_cc = base_cc * (1.0 - tolerance);
+        if cur_cc < floor_cc {
+            return Err(format!(
+                "{key} regression: {cur_cc:.0} events/s vs baseline {base_cc:.0} \
+                 (floor {floor_cc:.0}, tolerance {:.0} %)",
+                tolerance * 100.0
+            ));
+        }
     }
     Ok(format!(
         "gate OK: {cur:.0} events/s vs baseline {base:.0} ({:+.1} %)",
@@ -482,6 +554,10 @@ mod tests {
                 cells1_events_per_sec: 1_000_000.0,
                 cells9_events_per_sec: 800_000.0,
             },
+            cc: CcSmoke {
+                cubic_events_per_sec: 900_000.0,
+                bbr_events_per_sec: 850_000.0,
+            },
         };
         let json = r.to_json();
         let eps = baseline_events_per_sec(&json).expect("parsable");
@@ -491,6 +567,12 @@ mod tests {
         assert!(json.contains("\"conform_violations\": 0"));
         assert!(json.contains("\"world_cells1_events_per_sec\": 1000000"));
         assert!(json.contains("\"world_cells9_events_per_sec\": 800000"));
+        assert!(json.contains("\"cc_cubic_events_per_sec\": 900000"));
+        assert!(json.contains("\"cc_bbr_events_per_sec\": 850000"));
+        assert_eq!(
+            baseline_value(&json, "cc_cubic_events_per_sec"),
+            Some(900_000.0)
+        );
     }
 
     #[test]
@@ -510,6 +592,10 @@ mod tests {
             world: WorldSmoke {
                 cells1_events_per_sec: 0.0,
                 cells9_events_per_sec: 0.0,
+            },
+            cc: CcSmoke {
+                cubic_events_per_sec: 0.0,
+                bbr_events_per_sec: 0.0,
             },
         };
         assert!(mk(1.10, 0).conform_check(15.0).is_ok());
@@ -546,6 +632,10 @@ mod tests {
                 cells1_events_per_sec: 0.0,
                 cells9_events_per_sec: 0.0,
             },
+            cc: CcSmoke {
+                cubic_events_per_sec: 0.0,
+                bbr_events_per_sec: 0.0,
+            },
         };
         assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
         assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());
@@ -553,6 +643,16 @@ mod tests {
         assert!(
             check_against_baseline(&mk(1_000), dir.join("missing.json").as_path(), 0.25).is_err()
         );
+        // A baseline carrying CC-smoke keys gates them in the same band;
+        // the mk reports say 0 events/s, a >25 % regression.
+        let cc_path = dir.join("BENCH_BASELINE_CC.json");
+        std::fs::write(
+            &cc_path,
+            "{\n  \"total_events_per_sec\": 1000000,\n  \"cc_cubic_events_per_sec\": 900000,\n}\n",
+        )
+        .unwrap();
+        let err = check_against_baseline(&mk(1_000_000), &cc_path, 0.25).unwrap_err();
+        assert!(err.contains("cc_cubic_events_per_sec"), "{err}");
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! or a single artifact (`fig1`, `tab2`, …), with `--quick` for a
 //! fast low-fidelity pass (one seed, shorter runs).
 
+pub mod cc;
 pub mod experiments;
 pub mod fuzz;
 pub mod gate;
@@ -26,8 +27,10 @@ pub mod sweep;
 pub mod table;
 pub mod world;
 
+pub use cc::{CcCampaign, CcCampaignReport};
 pub use gate::{
-    run_gate, GateReport, WorldSmoke, CONFORM_OVERHEAD_LIMIT_PCT, GATE_SUBSET, GATE_TOLERANCE,
+    run_gate, CcSmoke, GateReport, WorldSmoke, CONFORM_OVERHEAD_LIMIT_PCT, GATE_SUBSET,
+    GATE_TOLERANCE,
 };
 pub use quality::Quality;
 pub use sweep::{sweep, sweep_scalar};

@@ -72,4 +72,5 @@ pub use rssi_study::{RssiStudy, RssiStudyConfig};
 pub use run::Run;
 pub use runplan::{RunOutcome, RunPlan};
 pub use scenario::{BuiltScenario, Scenario, ScenarioOutcome, TransportKind};
+pub use transport::{CcAlgorithm, CcConfig};
 pub use world::{CellOutcome, WorldOutcome, WorldRun, WorldSpec};

@@ -25,7 +25,7 @@ use net::{NetworkBuilder, RunArtifacts, RunHooks, RunMetrics};
 use phy::{CaptureModel, ErrorModel, ErrorUnit, PhyParams, PhyStandard, Position};
 use sim::{SimDuration, SimError, SimTime};
 use snap::SnapState as _;
-use transport::{FlowId, TcpConfig};
+use transport::{CcConfig, FlowId, TcpConfig};
 
 use crate::detect::{GrcObserver, GrcReportHandles};
 use crate::misbehavior::GreedyConfig;
@@ -77,6 +77,10 @@ pub struct Scenario {
     pub phy: PhyStandard,
     /// Transport used by all flows.
     pub transport: TransportKind,
+    /// Congestion controller for TCP flows (ignored for UDP). The
+    /// default, NewReno without HyStart, reproduces the paper's Reno
+    /// sender bit-for-bit.
+    pub cc: CcConfig,
     /// Number of receivers (and of senders, unless `shared_sender`).
     pub pairs: usize,
     /// One AP serving every receiver instead of per-pair senders.
@@ -124,6 +128,7 @@ impl Default for Scenario {
         Scenario {
             phy: PhyStandard::Dot11b,
             transport: TransportKind::Tcp,
+            cc: CcConfig::default(),
             pairs: 2,
             shared_sender: false,
             rts: true,
@@ -156,6 +161,7 @@ impl snap::SnapValue for Scenario {
             PhyStandard::Dot11a => 1,
         });
         self.transport.save(w);
+        self.cc.save(w);
         w.usize(self.pairs);
         w.bool(self.shared_sender);
         w.bool(self.rts);
@@ -191,6 +197,7 @@ impl snap::SnapValue for Scenario {
             }
         };
         let transport = TransportKind::load(r)?;
+        let cc = CcConfig::load(r)?;
         let pairs = r.usize()?;
         let shared_sender = r.bool()?;
         let rts = r.bool()?;
@@ -222,6 +229,7 @@ impl snap::SnapValue for Scenario {
         Ok(Scenario {
             phy,
             transport,
+            cc,
             pairs,
             shared_sender,
             rts,
@@ -502,6 +510,7 @@ impl Scenario {
                     dst,
                     TcpConfig {
                         mss: self.payload,
+                        cc: self.cc,
                         ..TcpConfig::default()
                     },
                 ),
@@ -510,6 +519,7 @@ impl Scenario {
                     dst,
                     TcpConfig {
                         mss: self.payload,
+                        cc: self.cc,
                         ..TcpConfig::default()
                     },
                     delay,

@@ -10,8 +10,9 @@
 use sim::SimTime;
 
 /// Maximum payload values per event. Kinds with fewer fields leave the
-/// tail unused.
-pub const MAX_FIELDS: usize = 4;
+/// tail unused. Sized for the widest kind (`cc_state`: flow, state,
+/// pacing gain, bandwidth estimate, min RTT).
+pub const MAX_FIELDS: usize = 5;
 
 /// Which stack layer emitted an event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

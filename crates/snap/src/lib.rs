@@ -46,7 +46,9 @@ pub const MAGIC: &[u8; 6] = b"GRSNAP";
 
 /// Current snapshot format version. Bump on any incompatible layout
 /// change; readers reject mismatched versions instead of misparsing.
-pub const FORMAT_VERSION: u16 = 1;
+/// Version 2: pluggable congestion control (tagged controller state and
+/// an RTT estimator inside the TCP sender, `cc` field in `Scenario`).
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Errors arising while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,330 @@
+//! CUBIC congestion control (RFC 8312).
+//!
+//! Congestion avoidance follows the cubic curve
+//! `W_cubic(t) = C·(t − K)³ + W_max` anchored at the window where the
+//! last congestion event occurred, with `K = ∛(W_max·(1 − β)/C)` — the
+//! time the curve takes to climb back to `W_max`. Two RFC 8312 features
+//! ride along:
+//!
+//! * the **TCP-friendly region** (§4.2): an ACK-driven Reno-rate
+//!   estimate `W_est` grows by `3·(1−β)/(1+β) · acked/cwnd` per ACK, and
+//!   cwnd never falls below it, so CUBIC is never slower than Reno in
+//!   short-RTT regimes like this WLAN;
+//! * **fast convergence** (§4.6): a flow whose loss arrives below the
+//!   previous `W_max` releases bandwidth early by anchoring the next
+//!   curve at `cwnd·(2 − β)/2`.
+//!
+//! Slow start and the fast-recovery plumbing (dup-ACK inflation,
+//! partial-ACK deflation, exit at `ssthresh`) stay Reno-style — the
+//! sender's loss detection is shared across controllers — while the
+//! multiplicative decrease uses CUBIC's β = 0.7 and the cubic curve
+//! governs growth outside recovery.
+
+use sim::SimTime;
+
+use super::{AckSample, CcObs, CongestionController, HyStart};
+
+/// RFC 8312 §5.1 scaling constant.
+const C: f64 = 0.4;
+/// RFC 8312 §4.5 multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+/// CUBIC controller state.
+#[derive(Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    max_window: f64,
+    /// Window at the last congestion event (the curve's plateau).
+    w_max: f64,
+    /// Time (seconds) for the curve to return to `w_max`.
+    k: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Reno-rate estimate for the TCP-friendly region.
+    w_est: f64,
+    hystart: Option<HyStart>,
+    obs: Vec<CcObs>,
+}
+
+impl Cubic {
+    /// Creates a CUBIC controller with the given initial threshold and
+    /// receiver window cap.
+    pub fn new(initial_ssthresh: f64, max_window: f64, hystart: bool) -> Self {
+        Cubic {
+            cwnd: 1.0,
+            ssthresh: initial_ssthresh,
+            max_window,
+            w_max: 0.0,
+            k: 0.0,
+            epoch_start: None,
+            w_est: 0.0,
+            hystart: hystart.then(HyStart::new),
+            obs: Vec::new(),
+        }
+    }
+
+    /// The current curve anchor `W_max` (test hook).
+    pub fn w_max(&self) -> f64 {
+        self.w_max
+    }
+
+    /// Anchors a new cubic epoch at `now` from the current window.
+    fn begin_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        if self.w_max < self.cwnd {
+            // Exiting slow start above the old plateau: plateau is here.
+            self.w_max = self.cwnd;
+            self.k = 0.0;
+        } else {
+            self.k = ((self.w_max - self.cwnd) / C).cbrt();
+        }
+        self.w_est = self.cwnd;
+    }
+
+    /// Multiplicative decrease shared by fast retransmit and RTO.
+    fn congestion_event(&mut self) {
+        self.epoch_start = None;
+        if self.cwnd < self.w_max {
+            // Fast convergence (§4.6): losing below the old plateau
+            // means capacity shrank — anchor the next curve lower.
+            self.w_max = self.cwnd * (2.0 - BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.ssthresh = (self.cwnd * BETA).max(2.0);
+    }
+}
+
+impl CongestionController for Cubic {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, sample: &AckSample<'_>) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0; // Reno slow start
+            self.epoch_start = None;
+            if let Some(h) = &mut self.hystart {
+                if h.on_ack(sample) {
+                    self.ssthresh = self.cwnd;
+                    self.obs.push(CcObs::SsExit { cwnd: self.cwnd });
+                }
+            }
+        } else {
+            if self.epoch_start.is_none() {
+                self.begin_epoch(sample.now);
+            }
+            let epoch = self.epoch_start.expect("epoch begun above");
+            // Project one RTT ahead (§4.1 computes the target at t+RTT).
+            let rtt = sample.rtt.srtt().map_or(0.0, |d| d.as_secs_f64());
+            let t = sample.now.saturating_since(epoch).as_secs_f64() + rtt;
+            let w_cubic = C * (t - self.k).powi(3) + self.w_max;
+            self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * (sample.newly_acked / self.cwnd);
+            if w_cubic < self.w_est {
+                // TCP-friendly region (§4.2).
+                self.cwnd = self.w_est;
+            } else if w_cubic > self.cwnd {
+                // Concave/convex region (§4.3/§4.4): close 1/cwnd of the
+                // gap to the curve per ACK.
+                self.cwnd += (w_cubic - self.cwnd) / self.cwnd;
+            }
+        }
+        // The curve is unbounded; the receiver cap is a hard ceiling, so
+        // clamping here keeps `t − K` from running away while the
+        // effective window saturates.
+        self.cwnd = self.cwnd.min(self.max_window).max(1.0);
+    }
+
+    fn on_dup_ack(&mut self, _now: SimTime) {
+        self.cwnd += 1.0; // Reno-style inflation while in recovery
+    }
+
+    fn on_partial_ack(&mut self, _now: SimTime, newly_acked: f64) {
+        self.cwnd = (self.cwnd - newly_acked + 1.0).max(1.0);
+    }
+
+    fn on_recovery_exit(&mut self, _now: SimTime) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_loss(&mut self, _now: SimTime, _flight: u64) {
+        self.congestion_event();
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_rto(&mut self, _now: SimTime, _flight: u64) {
+        self.congestion_event();
+        self.cwnd = 1.0;
+        if let Some(h) = &mut self.hystart {
+            h.reset();
+        }
+    }
+
+    fn take_obs(&mut self, out: &mut Vec<CcObs>) {
+        out.append(&mut self.obs);
+    }
+}
+
+/// Snapshot = window state, curve anchor, epoch, and the Reno estimate;
+/// HyStart state rides along when configured. `max_window` is
+/// configuration.
+impl snap::SnapState for Cubic {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+        w.f64(self.w_max);
+        w.f64(self.k);
+        self.epoch_start.save(w);
+        w.f64(self.w_est);
+        if let Some(h) = &self.hystart {
+            h.save(w);
+        }
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        self.w_max = r.f64()?;
+        self.k = r.f64()?;
+        self.epoch_start = Option::<SimTime>::load(r)?;
+        self.w_est = r.f64()?;
+        if self.hystart.is_some() {
+            self.hystart = Some(HyStart::load(r)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::RttEstimator;
+    use super::*;
+    use sim::SimDuration;
+
+    fn ack<'a>(rtt: &'a RttEstimator, now: SimTime, newly: f64) -> AckSample<'a> {
+        AckSample {
+            now,
+            newly_acked: newly,
+            flight: 8,
+            delivered: 100,
+            delivered_at_send: None,
+            sent_at: None,
+            rtt,
+        }
+    }
+
+    #[test]
+    fn multiplicative_decrease_uses_beta_0_7() {
+        let mut c = Cubic::new(50.0, 50.0, false);
+        c.cwnd = 20.0;
+        c.ssthresh = 10.0;
+        c.on_loss(SimTime::from_secs(1), 20);
+        assert!((c.ssthresh() - 14.0).abs() < 1e-9, "20 × 0.7");
+        assert_eq!(c.cwnd(), c.ssthresh());
+        assert_eq!(c.w_max(), 20.0);
+    }
+
+    #[test]
+    fn fast_convergence_lowers_the_anchor() {
+        let mut c = Cubic::new(50.0, 50.0, false);
+        c.cwnd = 20.0;
+        c.w_max = 30.0; // loss arrives below the previous plateau
+        c.on_loss(SimTime::from_secs(1), 20);
+        assert!((c.w_max() - 20.0 * (2.0 - BETA) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tcp_friendly_region_tracks_reno_at_short_rtt() {
+        // §4.2: right after a loss the cubic curve is nearly flat; the
+        // Reno estimate must carry growth instead.
+        let mut rtt = RttEstimator::new();
+        rtt.sample(SimTime::ZERO, SimDuration::from_millis(5));
+        let mut c = Cubic::new(1.0, 50.0, false); // CA from the start
+        c.cwnd = 10.0;
+        c.ssthresh = 1.0;
+        c.w_max = 10.0; // curve plateau at the current window: flat
+        let mut now = SimTime::from_millis(10);
+        let before = c.cwnd();
+        for _ in 0..30 {
+            now += SimDuration::from_millis(5);
+            c.on_ack(&ack(&rtt, now, 1.0));
+        }
+        // Reno would add ~30/cwnd ≈ 2.4; the flat curve alone adds ~0.
+        // The TCP-friendly region must have carried the difference.
+        assert!(
+            c.cwnd() > before + 1.0,
+            "w_est must lift cwnd, got {}",
+            c.cwnd()
+        );
+    }
+
+    #[test]
+    fn cubic_region_outgrows_reno_after_long_idle_growth() {
+        // Far from the plateau the convex region accelerates: K for
+        // w_max=40, cwnd=10 is ∛(75)≈4.2 s, and past t=K growth is
+        // cubic. 8 s into the epoch the curve is ~40+0.4·(3.8)³ ≈ 62,
+        // so a single ACK adds (62−10)/10 ≈ 5 segments where Reno's
+        // congestion avoidance adds 1/cwnd = 0.1.
+        let mut rtt = RttEstimator::new();
+        rtt.sample(SimTime::ZERO, SimDuration::from_millis(5));
+        let mut c = Cubic::new(1.0, 200.0, false);
+        c.cwnd = 10.0;
+        c.ssthresh = 1.0;
+        c.w_max = 40.0;
+        let mut now = SimTime::from_secs(1);
+        c.on_ack(&ack(&rtt, now, 1.0)); // anchors the epoch
+        now += SimDuration::from_secs(8);
+        c.on_ack(&ack(&rtt, now, 1.0));
+        assert!(
+            c.cwnd() > 14.0,
+            "convex region must close the gap fast, got {}",
+            c.cwnd()
+        );
+    }
+
+    #[test]
+    fn cwnd_never_exceeds_the_receiver_cap() {
+        let mut rtt = RttEstimator::new();
+        rtt.sample(SimTime::ZERO, SimDuration::from_millis(5));
+        let mut c = Cubic::new(1.0, 50.0, false);
+        c.cwnd = 49.0;
+        c.ssthresh = 1.0;
+        c.w_max = 49.0;
+        let mut now = SimTime::from_secs(1);
+        for _ in 0..5000 {
+            now += SimDuration::from_millis(1);
+            c.on_ack(&ack(&rtt, now, 1.0));
+        }
+        assert!(c.cwnd() <= 50.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_epoch() {
+        use snap::SnapState as _;
+        let mut rtt = RttEstimator::new();
+        rtt.sample(SimTime::ZERO, SimDuration::from_millis(5));
+        let mut a = Cubic::new(2.0, 50.0, true);
+        let mut now = SimTime::from_millis(1);
+        for _ in 0..20 {
+            now += SimDuration::from_millis(5);
+            a.on_ack(&ack(&rtt, now, 1.0));
+        }
+        let mut w = snap::Enc::new();
+        a.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = Cubic::new(2.0, 50.0, true);
+        b.snap_restore(&mut snap::Dec::new(&bytes)).unwrap();
+        assert_eq!(a.snap_digest(), b.snap_digest());
+        // Identical future behavior.
+        now += SimDuration::from_millis(5);
+        a.on_ack(&ack(&rtt, now, 1.0));
+        b.on_ack(&ack(&rtt, now, 1.0));
+        assert_eq!(a.cwnd().to_bits(), b.cwnd().to_bits());
+    }
+}

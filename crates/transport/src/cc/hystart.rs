@@ -1,0 +1,289 @@
+//! Hybrid slow start (HyStart): heuristic early exit from slow start.
+//!
+//! Classic slow start exits only on loss, overshooting the path's BDP by
+//! up to 2×. HyStart (Ha & Rhee, and the scheme adopted by Linux CUBIC
+//! and s2n-quic) watches two signals and ends slow start — by raising
+//! `ssthresh` to the current cwnd — as soon as either fires:
+//!
+//! 1. **ACK train length**: closely-spaced ACKs (≤ 2 ms apart) form a
+//!    train; once the train spans at least `min_rtt / 2`, the in-flight
+//!    data already occupies half the pipe.
+//! 2. **Delay increase**: the minimum RTT of the first eight samples in
+//!    a round exceeding last round's minimum by `η = clamp(last_min/8,
+//!    4 ms, 16 ms)` means the bottleneck queue has started to build.
+//!
+//! Rounds are delimited by the delivered count reaching the value of
+//! `next_seq` at round start. The modifier composes with NewReno and
+//! CUBIC; BBR has no classic slow start to modify.
+
+use sim::{SimDuration, SimTime};
+
+use super::AckSample;
+
+/// Maximum ACK spacing for two ACKs to belong to the same train.
+const TRAIN_SPACING: SimDuration = SimDuration::from_millis(2);
+/// RTT samples per round inspected by the delay-increase trigger.
+const DELAY_SAMPLES: u32 = 8;
+/// Clamp bounds of the delay-increase threshold η.
+const ETA_MIN: SimDuration = SimDuration::from_millis(4);
+/// Upper clamp bound of η.
+const ETA_MAX: SimDuration = SimDuration::from_millis(16);
+
+/// Slow-start exit heuristic state (one per sender, embedded in a
+/// loss-based controller).
+#[derive(Debug, Clone)]
+pub struct HyStart {
+    active: bool,
+    end_seq: u64,
+    round_min: Option<SimDuration>,
+    last_round_min: Option<SimDuration>,
+    samples: u32,
+    last_ack_at: SimTime,
+    train_start_at: SimTime,
+}
+
+impl HyStart {
+    /// Creates an armed HyStart tracker.
+    pub fn new() -> Self {
+        HyStart {
+            active: true,
+            end_seq: 0,
+            round_min: None,
+            last_round_min: None,
+            samples: 0,
+            last_ack_at: SimTime::ZERO,
+            train_start_at: SimTime::ZERO,
+        }
+    }
+
+    /// Re-arms after an RTO returns the sender to slow start.
+    pub fn reset(&mut self) {
+        *self = HyStart::new();
+    }
+
+    /// True while the heuristics are still watching (no exit yet).
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Feeds one new-data ACK taken during slow start. Returns `true`
+    /// exactly once, when either trigger fires: the controller must then
+    /// set `ssthresh = cwnd`.
+    pub fn on_ack(&mut self, s: &AckSample<'_>) -> bool {
+        if !self.active {
+            return false;
+        }
+        if s.delivered >= self.end_seq {
+            // New round: everything outstanding at the last boundary is
+            // delivered. The next boundary is today's next_seq.
+            self.last_round_min = self.round_min;
+            self.round_min = None;
+            self.samples = 0;
+            self.end_seq = s.delivered + s.flight;
+            self.train_start_at = s.now;
+            self.last_ack_at = s.now;
+        }
+        let mut exit = false;
+        // ACK-train trigger.
+        if s.now.saturating_since(self.last_ack_at) <= TRAIN_SPACING {
+            if let Some(min_rtt) = s.rtt.min_rtt() {
+                let half_min = SimDuration::from_nanos(min_rtt.as_nanos() / 2);
+                if s.now.saturating_since(self.train_start_at) >= half_min {
+                    exit = true;
+                }
+            }
+        } else {
+            self.train_start_at = s.now;
+        }
+        self.last_ack_at = s.now;
+        // Delay-increase trigger, fed only fresh (Karn-valid) samples.
+        if s.sent_at.is_some() {
+            if let Some(latest) = s.rtt.latest() {
+                if self.samples < DELAY_SAMPLES {
+                    self.samples += 1;
+                    self.round_min = Some(match self.round_min {
+                        Some(m) => m.min(latest),
+                        None => latest,
+                    });
+                }
+                if self.samples >= DELAY_SAMPLES {
+                    if let (Some(cur), Some(last)) = (self.round_min, self.last_round_min) {
+                        let eta = SimDuration::from_nanos(last.as_nanos() / 8)
+                            .max(ETA_MIN)
+                            .min(ETA_MAX);
+                        if cur >= last + eta {
+                            exit = true;
+                        }
+                    }
+                }
+            }
+        }
+        if exit {
+            self.active = false;
+        }
+        exit
+    }
+}
+
+impl Default for HyStart {
+    fn default() -> Self {
+        HyStart::new()
+    }
+}
+
+impl snap::SnapValue for HyStart {
+    fn save(&self, w: &mut snap::Enc) {
+        w.bool(self.active);
+        w.u64(self.end_seq);
+        self.round_min.save(w);
+        self.last_round_min.save(w);
+        w.u32(self.samples);
+        self.last_ack_at.save(w);
+        self.train_start_at.save(w);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(HyStart {
+            active: r.bool()?,
+            end_seq: r.u64()?,
+            round_min: Option::<SimDuration>::load(r)?,
+            last_round_min: Option::<SimDuration>::load(r)?,
+            samples: r.u32()?,
+            last_ack_at: SimTime::load(r)?,
+            train_start_at: SimTime::load(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::RttEstimator;
+    use super::*;
+
+    fn sample<'a>(
+        now: SimTime,
+        delivered: u64,
+        flight: u64,
+        rtt: &'a RttEstimator,
+        fresh: bool,
+    ) -> AckSample<'a> {
+        AckSample {
+            now,
+            newly_acked: 1.0,
+            flight,
+            delivered,
+            delivered_at_send: fresh.then_some(delivered.saturating_sub(1)),
+            sent_at: fresh.then_some(now),
+            rtt,
+        }
+    }
+
+    #[test]
+    fn ack_train_spanning_half_min_rtt_exits() {
+        let mut h = HyStart::new();
+        let mut rtt = RttEstimator::new();
+        // min RTT 20 ms → train must span ≥ 10 ms of ≤2 ms-spaced ACKs.
+        rtt.sample(SimTime::ZERO, SimDuration::from_millis(20));
+        let mut now = SimTime::from_millis(100);
+        // Round starts here (delivered 0 ≥ end_seq 0).
+        assert!(!h.on_ack(&sample(now, 10, 10, &rtt, false)));
+        let mut fired = false;
+        for _ in 0..10 {
+            now += SimDuration::from_millis(2);
+            if h.on_ack(&sample(now, 11, 10, &rtt, false)) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "10 ms ACK train with 20 ms min RTT must exit");
+        assert!(!h.is_active());
+    }
+
+    #[test]
+    fn spaced_acks_reset_the_train() {
+        let mut h = HyStart::new();
+        let mut rtt = RttEstimator::new();
+        rtt.sample(SimTime::ZERO, SimDuration::from_millis(20));
+        let mut now = SimTime::from_millis(100);
+        h.on_ack(&sample(now, 10, 10, &rtt, false));
+        // ACKs 5 ms apart never form a train.
+        for _ in 0..20 {
+            now += SimDuration::from_millis(5);
+            assert!(!h.on_ack(&sample(now, 11, 10, &rtt, false)));
+        }
+        assert!(h.is_active());
+    }
+
+    #[test]
+    fn delay_increase_across_rounds_exits() {
+        let mut h = HyStart::new();
+        let mut rtt = RttEstimator::new();
+        // Round 1: eight 10 ms samples (delivered stays below end_seq
+        // after the boundary ack).
+        let mut now = SimTime::from_millis(0);
+        rtt.sample(now, SimDuration::from_millis(10));
+        assert!(!h.on_ack(&sample(now, 0, 8, &rtt, true))); // boundary: end_seq = 8
+        for i in 1..8 {
+            now += SimDuration::from_millis(10);
+            rtt.sample(now, SimDuration::from_millis(10));
+            assert!(!h.on_ack(&sample(now, i, 8 - i, &rtt, true)));
+        }
+        // Round 2 boundary (delivered reaches 8); queue has built: RTT
+        // jumped to 18 ms ≥ 10 ms + η (η = clamp(10/8, 4, 16) = 4 ms).
+        let mut fired = false;
+        for i in 0..8 {
+            now += SimDuration::from_millis(18);
+            rtt.sample(now, SimDuration::from_millis(18));
+            if h.on_ack(&sample(now, 8 + i, 8, &rtt, true)) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "18 ms round after a 10 ms round must exit");
+    }
+
+    #[test]
+    fn small_jitter_does_not_exit() {
+        let mut h = HyStart::new();
+        let mut rtt = RttEstimator::new();
+        let mut now = SimTime::from_millis(0);
+        let mut delivered = 0;
+        // Many rounds of 10 ms ± 2 ms jitter (below η = 4 ms): no exit.
+        for round in 0..6 {
+            for i in 0..9 {
+                now += SimDuration::from_millis(10);
+                let rtt_ms = if (round + i) % 2 == 0 { 10 } else { 12 };
+                rtt.sample(now, SimDuration::from_millis(rtt_ms));
+                assert!(!h.on_ack(&sample(now, delivered, 9 - i, &rtt, true)));
+                delivered += 1;
+            }
+        }
+        assert!(h.is_active());
+    }
+
+    #[test]
+    fn reset_rearms_after_exit() {
+        let mut h = HyStart::new();
+        h.active = false;
+        h.reset();
+        assert!(h.is_active());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        use snap::SnapValue as _;
+        let mut h = HyStart::new();
+        let rtt = {
+            let mut r = RttEstimator::new();
+            r.sample(SimTime::from_millis(1), SimDuration::from_millis(9));
+            r
+        };
+        h.on_ack(&sample(SimTime::from_millis(5), 3, 4, &rtt, true));
+        let mut w = snap::Enc::new();
+        h.save(&mut w);
+        let bytes = w.into_bytes();
+        let b = HyStart::load(&mut snap::Dec::new(&bytes)).unwrap();
+        assert_eq!(b.end_seq, h.end_seq);
+        assert_eq!(b.samples, h.samples);
+        assert_eq!(b.round_min, h.round_min);
+    }
+}

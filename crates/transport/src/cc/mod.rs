@@ -1,0 +1,422 @@
+//! Pluggable congestion control for the TCP sender.
+//!
+//! [`TcpSender`](crate::TcpSender) owns loss *detection* — duplicate-ACK
+//! counting, NewReno recovery bookkeeping (`recover`, partial-ACK hole
+//! retransmission), the RTO timer with Karn's rule — and delegates every
+//! congestion-window *decision* to a [`CongestionController`]. Four
+//! controller configurations are selectable via [`CcConfig`]:
+//!
+//! * **NewReno** ([`newreno`]) — the paper's loss-based baseline,
+//!   extracted verbatim from the previously-inlined arithmetic (the
+//!   default path is bit-identical to the pre-refactor sender);
+//! * **CUBIC** ([`cubic`]) — RFC 8312 window curve with the
+//!   TCP-friendly region and fast convergence;
+//! * **BBR** ([`bbr`]) — model-based: windowed max-bandwidth / min-RTT
+//!   estimator driving a startup/drain/probe-bw/probe-rtt state machine,
+//!   with the pacing-gain cycle adapted to this packet-granular sender;
+//! * **HyStart** ([`hystart`]) — a slow-start *modifier* (delay increase
+//!   and ACK-train length exit triggers) composable with NewReno and
+//!   CUBIC.
+//!
+//! Controllers receive a shared passive [`RttEstimator`] (smoothed RTT,
+//! variance, windowed min) fed the same Karn-filtered samples as the RTO
+//! estimator, and report observability through [`CcObs`] records the
+//! sender drains into the flight recorder.
+
+pub mod bbr;
+pub mod cubic;
+pub mod hystart;
+pub mod newreno;
+pub mod rtt;
+pub mod spec;
+
+pub use bbr::Bbr;
+pub use cubic::Cubic;
+pub use hystart::HyStart;
+pub use newreno::NewReno;
+pub use rtt::RttEstimator;
+
+use sim::SimTime;
+
+/// Everything a controller may inspect when new data is acknowledged.
+///
+/// `delivered_at_send`/`sent_at` describe the highest newly-acked
+/// segment *if* it yields a Karn-valid sample (never retransmitted):
+/// what `snd_una` was when it left and when it left. BBR turns the pair
+/// into a delivery-rate sample; they are `None` for ACKs whose newest
+/// segment was retransmitted.
+#[derive(Debug)]
+pub struct AckSample<'a> {
+    /// Virtual time of the ACK.
+    pub now: SimTime,
+    /// Segments newly acknowledged by this cumulative ACK.
+    pub newly_acked: f64,
+    /// Segments still in flight *after* applying the ACK.
+    pub flight: u64,
+    /// Cumulative segments delivered so far (the new `snd_una`).
+    pub delivered: u64,
+    /// `delivered` at the moment the newest acked segment was sent.
+    pub delivered_at_send: Option<u64>,
+    /// When the newest acked segment was sent.
+    pub sent_at: Option<SimTime>,
+    /// The shared passive RTT estimator (already fed this ACK's sample).
+    pub rtt: &'a RttEstimator,
+}
+
+/// An observability record a controller queues for the sender to drain
+/// into the flight recorder (see `cc_state`/`cc_pacing`/`cc_ss_exit`
+/// event kinds in [`crate::obs`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CcObs {
+    /// A state-machine transition (BBR). Values: numeric state id,
+    /// pacing gain, bottleneck bandwidth estimate (segments/s), min RTT
+    /// (µs).
+    State {
+        /// Numeric state id (BBR: 0 startup, 1 drain, 2 probe-bw,
+        /// 3 probe-rtt).
+        state: u8,
+        /// Pacing gain now applied to the window target.
+        pacing_gain: f64,
+        /// Bottleneck bandwidth estimate, segments per second (0 if
+        /// unknown).
+        btl_bw_sps: f64,
+        /// Minimum RTT estimate in microseconds (0 if unknown).
+        min_rtt_us: f64,
+    },
+    /// The pacing-derived window target changed (BBR probe-bw cycle
+    /// advance). Value: pacing rate in segments per second.
+    Pacing {
+        /// Pacing rate (gain × bottleneck bandwidth), segments/s.
+        pacing_sps: f64,
+    },
+    /// HyStart ended slow start early. Value: cwnd at exit.
+    SsExit {
+        /// Congestion window (segments) when slow start ended.
+        cwnd: f64,
+    },
+}
+
+/// The congestion-window policy behind [`crate::TcpSender`].
+///
+/// The sender calls exactly one hook per event, always followed by a
+/// `record_cwnd` that drains [`CongestionController::take_obs`]; hooks
+/// therefore may queue observability records without unbounded growth.
+/// Loss detection and retransmission scheduling stay in the sender —
+/// controllers only move the window.
+pub trait CongestionController {
+    /// Current congestion window in segments (raw, not clamped to the
+    /// receiver window).
+    fn cwnd(&self) -> f64;
+    /// Current slow-start threshold in segments (model-based controllers
+    /// without one report the receiver window cap).
+    fn ssthresh(&self) -> f64;
+    /// New data acknowledged outside recovery.
+    fn on_ack(&mut self, sample: &AckSample<'_>);
+    /// New data acknowledged while the sender is in fast recovery
+    /// (model update only; window moves via the recovery hooks).
+    fn on_ack_in_recovery(&mut self, _sample: &AckSample<'_>) {}
+    /// Duplicate ACK while in fast recovery (Reno window inflation).
+    fn on_dup_ack(&mut self, _now: SimTime) {}
+    /// NewReno partial ACK while in fast recovery: `newly_acked`
+    /// segments were acknowledged but a hole remains.
+    fn on_partial_ack(&mut self, _now: SimTime, _newly_acked: f64) {}
+    /// A full ACK ended fast recovery.
+    fn on_recovery_exit(&mut self, _now: SimTime) {}
+    /// Third duplicate ACK: fast retransmit fired, recovery begins.
+    /// `flight` is the flight size at detection.
+    fn on_loss(&mut self, now: SimTime, flight: u64);
+    /// The retransmission timer expired. `flight` is the flight size at
+    /// expiry.
+    fn on_rto(&mut self, now: SimTime, flight: u64);
+    /// A data segment was handed to the MAC queue.
+    fn on_send(&mut self, _now: SimTime, _seq: u64) {}
+    /// Drains queued observability records into `out`.
+    fn take_obs(&mut self, _out: &mut Vec<CcObs>) {}
+}
+
+/// Which congestion-control algorithm a sender runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcAlgorithm {
+    /// Loss-based NewReno (the paper's baseline; default).
+    #[default]
+    NewReno,
+    /// RFC 8312 CUBIC.
+    Cubic,
+    /// BBR (model-based).
+    Bbr,
+}
+
+impl CcAlgorithm {
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            CcAlgorithm::NewReno => 0,
+            CcAlgorithm::Cubic => 1,
+            CcAlgorithm::Bbr => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, snap::SnapError> {
+        match tag {
+            0 => Ok(CcAlgorithm::NewReno),
+            1 => Ok(CcAlgorithm::Cubic),
+            2 => Ok(CcAlgorithm::Bbr),
+            _ => Err(snap::SnapError::Corrupt(format!(
+                "unknown cc algorithm tag {tag}"
+            ))),
+        }
+    }
+}
+
+/// Selects the congestion controller (and the optional HyStart slow
+/// start modifier) for a TCP sender.
+///
+/// # Examples
+///
+/// ```
+/// use gr_transport::cc::CcConfig;
+///
+/// assert_eq!(CcConfig::default().name(), "newreno");
+/// assert_eq!(CcConfig::parse("cubic+hystart").unwrap().name(), "cubic+hystart");
+/// assert!(CcConfig::parse("bbr+hystart").is_none()); // BBR has no slow start to modify
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CcConfig {
+    /// The algorithm.
+    pub algo: CcAlgorithm,
+    /// Replace classic slow-start exit with HyStart's delay/ACK-train
+    /// triggers (NewReno and CUBIC only).
+    pub hystart: bool,
+}
+
+impl CcConfig {
+    /// NewReno (the default).
+    pub fn newreno() -> Self {
+        CcConfig::default()
+    }
+
+    /// CUBIC.
+    pub fn cubic() -> Self {
+        CcConfig {
+            algo: CcAlgorithm::Cubic,
+            hystart: false,
+        }
+    }
+
+    /// BBR.
+    pub fn bbr() -> Self {
+        CcConfig {
+            algo: CcAlgorithm::Bbr,
+            hystart: false,
+        }
+    }
+
+    /// Enables HyStart on a loss-based controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics for BBR, which has no classic slow start to modify.
+    pub fn with_hystart(mut self) -> Self {
+        assert!(
+            self.algo != CcAlgorithm::Bbr,
+            "HyStart does not compose with BBR"
+        );
+        self.hystart = true;
+        self
+    }
+
+    /// Canonical name, e.g. `"newreno"`, `"cubic+hystart"`, `"bbr"`.
+    pub fn name(&self) -> &'static str {
+        match (self.algo, self.hystart) {
+            (CcAlgorithm::NewReno, false) => "newreno",
+            (CcAlgorithm::NewReno, true) => "newreno+hystart",
+            (CcAlgorithm::Cubic, false) => "cubic",
+            (CcAlgorithm::Cubic, true) => "cubic+hystart",
+            (CcAlgorithm::Bbr, _) => "bbr",
+        }
+    }
+
+    /// Parses a canonical name back into a config (`None` for unknown
+    /// names or the unsupported `bbr+hystart`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "newreno" | "reno" => Some(CcConfig::newreno()),
+            "newreno+hystart" => Some(CcConfig::newreno().with_hystart()),
+            "cubic" => Some(CcConfig::cubic()),
+            "cubic+hystart" => Some(CcConfig::cubic().with_hystart()),
+            "bbr" => Some(CcConfig::bbr()),
+            _ => None,
+        }
+    }
+
+    /// Every selectable configuration, in sweep order.
+    pub fn all() -> [CcConfig; 5] {
+        [
+            CcConfig::newreno(),
+            CcConfig::cubic(),
+            CcConfig::bbr(),
+            CcConfig::newreno().with_hystart(),
+            CcConfig::cubic().with_hystart(),
+        ]
+    }
+}
+
+impl snap::SnapValue for CcConfig {
+    fn save(&self, w: &mut snap::Enc) {
+        w.u8(self.algo.tag());
+        w.bool(self.hystart);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(CcConfig {
+            algo: CcAlgorithm::from_tag(r.u8()?)?,
+            hystart: r.bool()?,
+        })
+    }
+}
+
+/// Enum-dispatched controller (same devirtualization pattern as
+/// `mac::dcf`): one `match` instead of a vtable on the per-ACK hot path.
+#[derive(Debug)]
+pub enum Cc {
+    /// NewReno (± HyStart).
+    NewReno(NewReno),
+    /// CUBIC (± HyStart).
+    Cubic(Cubic),
+    /// BBR.
+    Bbr(Bbr),
+}
+
+impl Cc {
+    /// Builds the controller selected by `cfg` with the sender's
+    /// initial slow-start threshold and receiver window cap.
+    pub fn new(cfg: CcConfig, initial_ssthresh: f64, max_window: f64) -> Self {
+        match cfg.algo {
+            CcAlgorithm::NewReno => Cc::NewReno(NewReno::new(initial_ssthresh, cfg.hystart)),
+            CcAlgorithm::Cubic => Cc::Cubic(Cubic::new(initial_ssthresh, max_window, cfg.hystart)),
+            CcAlgorithm::Bbr => Cc::Bbr(Bbr::new(max_window)),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            Cc::NewReno(_) => 0,
+            Cc::Cubic(_) => 1,
+            Cc::Bbr(_) => 2,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $c:ident => $e:expr) => {
+        match $self {
+            Cc::NewReno($c) => $e,
+            Cc::Cubic($c) => $e,
+            Cc::Bbr($c) => $e,
+        }
+    };
+}
+
+impl CongestionController for Cc {
+    fn cwnd(&self) -> f64 {
+        dispatch!(self, c => c.cwnd())
+    }
+    fn ssthresh(&self) -> f64 {
+        dispatch!(self, c => c.ssthresh())
+    }
+    fn on_ack(&mut self, sample: &AckSample<'_>) {
+        dispatch!(self, c => c.on_ack(sample))
+    }
+    fn on_ack_in_recovery(&mut self, sample: &AckSample<'_>) {
+        dispatch!(self, c => c.on_ack_in_recovery(sample))
+    }
+    fn on_dup_ack(&mut self, now: SimTime) {
+        dispatch!(self, c => c.on_dup_ack(now))
+    }
+    fn on_partial_ack(&mut self, now: SimTime, newly_acked: f64) {
+        dispatch!(self, c => c.on_partial_ack(now, newly_acked))
+    }
+    fn on_recovery_exit(&mut self, now: SimTime) {
+        dispatch!(self, c => c.on_recovery_exit(now))
+    }
+    fn on_loss(&mut self, now: SimTime, flight: u64) {
+        dispatch!(self, c => c.on_loss(now, flight))
+    }
+    fn on_rto(&mut self, now: SimTime, flight: u64) {
+        dispatch!(self, c => c.on_rto(now, flight))
+    }
+    fn on_send(&mut self, now: SimTime, seq: u64) {
+        dispatch!(self, c => c.on_send(now, seq))
+    }
+    fn take_obs(&mut self, out: &mut Vec<CcObs>) {
+        dispatch!(self, c => c.take_obs(out))
+    }
+}
+
+/// Snapshot = one algorithm tag byte plus the variant's state. The
+/// variant itself is configuration (the owner rebuilds it from
+/// [`CcConfig`]); restoring into a different variant is a corruption
+/// error, not a silent re-interpretation.
+impl snap::SnapState for Cc {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        w.u8(self.tag());
+        match self {
+            Cc::NewReno(c) => c.snap_save(w),
+            Cc::Cubic(c) => c.snap_save(w),
+            Cc::Bbr(c) => c.snap_save(w),
+        }
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        let tag = r.u8()?;
+        if tag != self.tag() {
+            return Err(snap::SnapError::Corrupt(
+                "snapshot was taken under a different cc algorithm".into(),
+            ));
+        }
+        match self {
+            Cc::NewReno(c) => c.snap_restore(r),
+            Cc::Cubic(c) => c.snap_restore(r),
+            Cc::Bbr(c) => c.snap_restore(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for cfg in CcConfig::all() {
+            assert_eq!(CcConfig::parse(cfg.name()), Some(cfg), "{}", cfg.name());
+        }
+        assert!(CcConfig::parse("bbr+hystart").is_none());
+        assert!(CcConfig::parse("vegas").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "HyStart does not compose with BBR")]
+    fn bbr_with_hystart_is_rejected() {
+        let _ = CcConfig::bbr().with_hystart();
+    }
+
+    #[test]
+    fn snapshot_tag_mismatch_is_corrupt() {
+        use snap::SnapState as _;
+        let a = Cc::new(CcConfig::cubic(), 50.0, 50.0);
+        let mut w = snap::Enc::new();
+        a.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = Cc::new(CcConfig::bbr(), 50.0, 50.0);
+        assert!(b.snap_restore(&mut snap::Dec::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn config_snapshot_round_trips() {
+        use snap::SnapValue as _;
+        for cfg in CcConfig::all() {
+            let mut w = snap::Enc::new();
+            cfg.save(&mut w);
+            let bytes = w.into_bytes();
+            assert_eq!(CcConfig::load(&mut snap::Dec::new(&bytes)).unwrap(), cfg);
+        }
+    }
+}

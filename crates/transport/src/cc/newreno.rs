@@ -1,0 +1,192 @@
+//! TCP NewReno congestion control (the paper's baseline).
+//!
+//! This is the window arithmetic that lived inline in
+//! [`crate::TcpSender`] before the controller trait existed, extracted
+//! verbatim: slow start (+1 per ACK), congestion avoidance (+1/cwnd per
+//! ACK), halving on fast retransmit with dup-ACK window inflation,
+//! NewReno partial-ACK deflation, and collapse to one segment on RTO.
+//! With HyStart disabled (the default) every floating-point operation
+//! happens in the same order on the same values as the pre-refactor
+//! sender, keeping all 37 experiment CSVs byte-identical.
+
+use sim::SimTime;
+
+use super::{AckSample, CcObs, CongestionController, HyStart};
+
+/// NewReno state: the classic `(cwnd, ssthresh)` pair, plus the optional
+/// HyStart slow-start modifier.
+#[derive(Debug)]
+pub struct NewReno {
+    cwnd: f64,
+    ssthresh: f64,
+    hystart: Option<HyStart>,
+    obs: Vec<CcObs>,
+}
+
+impl NewReno {
+    /// Creates a NewReno controller with the given initial threshold.
+    pub fn new(initial_ssthresh: f64, hystart: bool) -> Self {
+        NewReno {
+            cwnd: 1.0,
+            ssthresh: initial_ssthresh,
+            hystart: hystart.then(HyStart::new),
+            obs: Vec::new(),
+        }
+    }
+}
+
+impl CongestionController for NewReno {
+    fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> f64 {
+        self.ssthresh
+    }
+
+    fn on_ack(&mut self, sample: &AckSample<'_>) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += 1.0; // slow start
+            if let Some(h) = &mut self.hystart {
+                if h.on_ack(sample) {
+                    self.ssthresh = self.cwnd;
+                    self.obs.push(CcObs::SsExit { cwnd: self.cwnd });
+                }
+            }
+        } else {
+            self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+        }
+    }
+
+    fn on_dup_ack(&mut self, _now: SimTime) {
+        // Window inflation keeps the pipe full during fast recovery.
+        self.cwnd += 1.0;
+    }
+
+    fn on_partial_ack(&mut self, _now: SimTime, newly_acked: f64) {
+        // Deflate by the amount acknowledged, stay in recovery.
+        self.cwnd = (self.cwnd - newly_acked + 1.0).max(1.0);
+    }
+
+    fn on_recovery_exit(&mut self, _now: SimTime) {
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_loss(&mut self, _now: SimTime, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(2.0);
+        self.cwnd = self.ssthresh + 3.0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime, flight: u64) {
+        self.ssthresh = (flight as f64 / 2.0).max(2.0);
+        self.cwnd = 1.0;
+        if let Some(h) = &mut self.hystart {
+            h.reset(); // slow start restarts; re-arm the exit heuristics
+        }
+    }
+
+    fn take_obs(&mut self, out: &mut Vec<CcObs>) {
+        out.append(&mut self.obs);
+    }
+}
+
+/// Snapshot = `(cwnd, ssthresh)` plus HyStart state when configured
+/// (presence is configuration, not state).
+impl snap::SnapState for NewReno {
+    fn snap_save(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
+        w.f64(self.cwnd);
+        w.f64(self.ssthresh);
+        if let Some(h) = &self.hystart {
+            h.save(w);
+        }
+    }
+    fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
+        self.cwnd = r.f64()?;
+        self.ssthresh = r.f64()?;
+        if self.hystart.is_some() {
+            self.hystart = Some(HyStart::load(r)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::RttEstimator;
+    use super::*;
+    use sim::SimDuration;
+
+    fn ack<'a>(rtt: &'a RttEstimator, now: SimTime) -> AckSample<'a> {
+        AckSample {
+            now,
+            newly_acked: 1.0,
+            flight: 4,
+            delivered: 10,
+            delivered_at_send: None,
+            sent_at: None,
+            rtt,
+        }
+    }
+
+    #[test]
+    fn matches_the_classic_arithmetic() {
+        let rtt = RttEstimator::new();
+        let mut c = NewReno::new(2.0, false);
+        c.on_ack(&ack(&rtt, SimTime::ZERO)); // slow start: 1 → 2
+        assert_eq!(c.cwnd(), 2.0);
+        c.on_ack(&ack(&rtt, SimTime::ZERO)); // CA: 2 + 1/2
+        assert_eq!(c.cwnd(), 2.5);
+        c.on_loss(SimTime::ZERO, 10);
+        assert_eq!(c.ssthresh(), 5.0);
+        assert_eq!(c.cwnd(), 8.0); // ssthresh + 3
+        c.on_dup_ack(SimTime::ZERO);
+        assert_eq!(c.cwnd(), 9.0);
+        c.on_partial_ack(SimTime::ZERO, 4.0);
+        assert_eq!(c.cwnd(), 6.0);
+        c.on_recovery_exit(SimTime::ZERO);
+        assert_eq!(c.cwnd(), 5.0);
+        c.on_rto(SimTime::ZERO, 6);
+        assert_eq!(c.cwnd(), 1.0);
+        assert_eq!(c.ssthresh(), 3.0);
+    }
+
+    #[test]
+    fn hystart_exit_caps_slow_start() {
+        let mut rtt = RttEstimator::new();
+        rtt.sample(SimTime::ZERO, SimDuration::from_millis(20));
+        let mut c = NewReno::new(50.0, true);
+        // A dense ACK train (1 ms spacing) longer than min_rtt/2 fires
+        // the train trigger; ssthresh drops from 50 to the current cwnd.
+        let mut now = SimTime::from_millis(10);
+        for _ in 0..40 {
+            now += SimDuration::from_millis(1);
+            c.on_ack(&ack(&rtt, now));
+            if c.ssthresh() < 50.0 {
+                break;
+            }
+        }
+        assert!(c.ssthresh() < 50.0, "HyStart must have exited");
+        assert_eq!(c.ssthresh(), c.cwnd());
+        let mut drained = Vec::new();
+        c.take_obs(&mut drained);
+        assert!(drained.iter().any(|o| matches!(o, CcObs::SsExit { .. })));
+    }
+
+    #[test]
+    fn snapshot_round_trips_with_and_without_hystart() {
+        use snap::SnapState as _;
+        for hy in [false, true] {
+            let rtt = RttEstimator::new();
+            let mut a = NewReno::new(50.0, hy);
+            a.on_ack(&ack(&rtt, SimTime::from_millis(3)));
+            let mut w = snap::Enc::new();
+            a.snap_save(&mut w);
+            let bytes = w.into_bytes();
+            let mut b = NewReno::new(50.0, hy);
+            b.snap_restore(&mut snap::Dec::new(&bytes)).unwrap();
+            assert_eq!(a.snap_digest(), b.snap_digest());
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! Machine-readable spec ledger for the congestion controllers.
+//!
+//! `specs/cc.toml` (s2n-quic style: a `target` URL, the clause text, a
+//! `quote` the implementation is held to) binds RFC 9002 / RFC 8312 /
+//! BBR-draft clauses to the trait methods that implement them and the
+//! unit tests that enforce them. This module carries the same ledger as
+//! an in-code registry, a dependency-free parser for the TOML subset the
+//! ledger uses, and the generated coverage listing
+//! (`specs/cc_coverage.md`). A unit test cross-checks file against
+//! registry clause-by-clause, so neither can drift without the other.
+
+/// Compliance status of a clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Implemented and enforced by the named tests.
+    Checked,
+    /// Known gap, documented deliberately.
+    Unimplemented,
+}
+
+impl Status {
+    /// The string the ledger file stores.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Checked => "checked",
+            Status::Unimplemented => "unimplemented",
+        }
+    }
+
+    /// Inverse of [`Status::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "checked" => Some(Status::Checked),
+            "unimplemented" => Some(Status::Unimplemented),
+            _ => None,
+        }
+    }
+}
+
+/// One ledger entry: a spec quote bound to the code that honors it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Stable identifier (`rfc8312-4.5-mult-decrease`, …).
+    pub id: &'static str,
+    /// Section URL of the source document.
+    pub target: &'static str,
+    /// Requirement level (`MUST`/`SHOULD`/`MAY`).
+    pub level: &'static str,
+    /// The normative sentence(s) the implementation is held to.
+    pub quote: &'static str,
+    /// The method/type implementing the clause.
+    pub binds: &'static str,
+    /// Comma-separated unit tests enforcing it (empty if unimplemented).
+    pub tests: &'static str,
+    /// Whether the clause is enforced or a documented gap.
+    pub status: Status,
+}
+
+/// The in-code ledger. `specs/cc.toml` must list exactly these clauses.
+pub static REGISTRY: &[Clause] = &[
+    Clause {
+        id: "rfc6298-3-karn",
+        target: "https://www.rfc-editor.org/rfc/rfc6298#section-3",
+        level: "MUST",
+        quote: "RTT samples MUST NOT be made using segments that were \
+                retransmitted (and thus for which it is ambiguous whether \
+                the reply was for the first instance of the packet or a \
+                later instance).",
+        binds: "TcpSender::on_ack (send-stamp removal on retransmit)",
+        tests: "tcp::tests::karn_excludes_retransmitted_samples",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc6298-2-ewma",
+        target: "https://www.rfc-editor.org/rfc/rfc6298#section-2",
+        level: "MUST",
+        quote: "SRTT <- (1 - alpha) * SRTT + alpha * R'; RTTVAR <- (1 - \
+                beta) * RTTVAR + beta * |SRTT - R'| ... alpha=1/8 and \
+                beta=1/4.",
+        binds: "cc::RttEstimator::sample",
+        tests: "cc::rtt::tests::srtt_matches_rto_estimator_gains",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "bbr-4.1.2-min-rtt-window",
+        target: "https://datatracker.ietf.org/doc/html/draft-cardwell-iccrg-bbr-congestion-control-02#section-4.1.2.3",
+        level: "SHOULD",
+        quote: "BBR.min_rtt = windowed min of the RTT samples measured \
+                over the past MinRTTFilterLen = 10 seconds.",
+        binds: "cc::RttEstimator (MIN_RTT_WINDOW expiry)",
+        tests: "cc::rtt::tests::min_rtt_window_expiry_accepts_a_higher_floor",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc9002-7.3.1-slow-start",
+        target: "https://www.rfc-editor.org/rfc/rfc9002#section-7.3.1",
+        level: "MUST",
+        quote: "While a sender is in slow start, the congestion window \
+                increases by the number of bytes acknowledged ... Slow \
+                start exits when ... the congestion window gets larger \
+                than the slow start threshold.",
+        binds: "cc::NewReno::on_ack / cc::Cubic::on_ack (cwnd < ssthresh arm)",
+        tests: "tcp::tests::slow_start_doubles_per_rtt, \
+                cc::newreno::tests::matches_the_classic_arithmetic",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc5681-3.1-congestion-avoidance",
+        target: "https://www.rfc-editor.org/rfc/rfc5681#section-3.1",
+        level: "MUST",
+        quote: "During congestion avoidance, cwnd is incremented by \
+                roughly 1 full-sized segment per round-trip time (RTT).",
+        binds: "cc::NewReno::on_ack (cwnd += 1/cwnd arm)",
+        tests: "tcp::tests::congestion_avoidance_grows_slowly",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc8312-4.1-window-curve",
+        target: "https://www.rfc-editor.org/rfc/rfc8312#section-4.1",
+        level: "MUST",
+        quote: "W_cubic(t) = C*(t-K)^3 + W_max ... K = cubic_root(W_max*\
+                (1-beta_cubic)/C).",
+        binds: "cc::Cubic::on_ack / Cubic::begin_epoch",
+        tests: "cc::cubic::tests::cubic_region_outgrows_reno_after_long_idle_growth",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc8312-4.2-tcp-friendly",
+        target: "https://www.rfc-editor.org/rfc/rfc8312#section-4.2",
+        level: "MUST",
+        quote: "W_est(t) = W_max*beta_cubic + [3*(1-beta_cubic)/\
+                (1+beta_cubic)] * (t/RTT) ... If W_cubic(t) is less than \
+                W_est(t) ... cwnd SHOULD be set to W_est(t) at each \
+                reception of an ACK.",
+        binds: "cc::Cubic::on_ack (w_est arm)",
+        tests: "cc::cubic::tests::tcp_friendly_region_tracks_reno_at_short_rtt",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc8312-4.5-mult-decrease",
+        target: "https://www.rfc-editor.org/rfc/rfc8312#section-4.5",
+        level: "MUST",
+        quote: "When a packet loss is detected ... ssthresh = cwnd * \
+                beta_cubic; cwnd = cwnd * beta_cubic ... beta_cubic = 0.7.",
+        binds: "cc::Cubic::congestion_event",
+        tests: "cc::cubic::tests::multiplicative_decrease_uses_beta_0_7",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc8312-4.6-fast-convergence",
+        target: "https://www.rfc-editor.org/rfc/rfc8312#section-4.6",
+        level: "SHOULD",
+        quote: "With fast convergence, when a congestion event occurs, \
+                ... if cwnd < W_max, then W_max = cwnd * (2-beta_cubic)/2.",
+        binds: "cc::Cubic::congestion_event",
+        tests: "cc::cubic::tests::fast_convergence_lowers_the_anchor",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "bbr-4.3.2-startup",
+        target: "https://datatracker.ietf.org/doc/html/draft-cardwell-iccrg-bbr-congestion-control-02#section-4.3.2",
+        level: "SHOULD",
+        quote: "BBR uses a pacing_gain of 2/ln(2) ... in Startup ... If \
+                BBR.BtlBw has not grown by at least 25% over three \
+                non-app-limited round trips, BBR estimates the pipe is \
+                full and exits Startup.",
+        binds: "cc::Bbr::update (full-pipe detector, STARTUP_GAIN)",
+        tests: "cc::bbr::tests::startup_fills_then_drains_then_probes",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "bbr-4.3.4-probe-bw",
+        target: "https://datatracker.ietf.org/doc/html/draft-cardwell-iccrg-bbr-congestion-control-02#section-4.3.4.2",
+        level: "SHOULD",
+        quote: "In ProbeBW, BBR cycles through a sequence of gain values \
+                ... 1.25, 0.75, 1, 1, 1, 1, 1, 1 ... advancing to the \
+                next gain after each BBR.min_rtt interval.",
+        binds: "cc::Bbr::update (CYCLE advance; window-target adaptation)",
+        tests: "cc::bbr::tests::probe_bw_cycles_gains_deterministically",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "bbr-4.3.5-probe-rtt",
+        target: "https://datatracker.ietf.org/doc/html/draft-cardwell-iccrg-bbr-congestion-control-02#section-4.3.5",
+        level: "SHOULD",
+        quote: "If the BBR.min_rtt estimate has not been updated ... for \
+                more than 10 seconds, then BBR enters ProbeRTT and \
+                reduces the cwnd to ... BBRMinPipeCwnd (four packets) \
+                for at least ProbeRTTDuration (200 ms).",
+        binds: "cc::Bbr::update (min_rtt_stamp staleness)",
+        tests: "cc::bbr::tests::probe_rtt_floors_the_window_and_recovers",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "hystart-delay-increase",
+        target: "https://datatracker.ietf.org/doc/html/rfc9406#section-4.2",
+        level: "SHOULD",
+        quote: "If the RTT increase ... exceeds a threshold (RttThresh, \
+                clamped to [4 ms, 16 ms]) compared to the minimum RTT of \
+                the previous round, exit slow start (set ssthresh to \
+                cwnd).",
+        binds: "cc::HyStart::on_ack (delay trigger)",
+        tests: "cc::hystart::tests::delay_increase_across_rounds_exits, \
+                cc::hystart::tests::small_jitter_does_not_exit",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "hystart-ack-train",
+        target: "https://datatracker.ietf.org/doc/html/rfc9406#section-1",
+        level: "MAY",
+        quote: "Hybrid slow start ... exits slow start when the length \
+                of an ACK train (ACKs spaced no more than 2 ms apart) \
+                reaches half of the minimum forward-path one-way delay.",
+        binds: "cc::HyStart::on_ack (train trigger)",
+        tests: "cc::hystart::tests::ack_train_spanning_half_min_rtt_exits",
+        status: Status::Checked,
+    },
+    Clause {
+        id: "rfc9002-7.6-persistent-congestion",
+        target: "https://www.rfc-editor.org/rfc/rfc9002#section-7.6",
+        level: "SHOULD",
+        quote: "When persistent congestion is declared, the sender's \
+                congestion window MUST be reduced to the minimum \
+                congestion window.",
+        binds: "(none — the RTO path plays this role; no distinct \
+                persistent-congestion detection)",
+        tests: "",
+        status: Status::Unimplemented,
+    },
+    Clause {
+        id: "rfc3168-ecn",
+        target: "https://www.rfc-editor.org/rfc/rfc3168#section-6.1",
+        level: "MAY",
+        quote: "Upon the receipt by an ECN-Capable transport of a single \
+                CE packet, the congestion control algorithms followed at \
+                the end-systems MUST be essentially the same as the \
+                congestion control response to a single dropped packet.",
+        binds: "(none — the simulated 802.11 MAC carries no ECN marks)",
+        tests: "",
+        status: Status::Unimplemented,
+    },
+];
+
+/// A clause parsed back out of `specs/cc.toml`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedClause {
+    /// `id` key.
+    pub id: String,
+    /// `target` key.
+    pub target: String,
+    /// `level` key.
+    pub level: String,
+    /// `quote` key (triple-quoted, whitespace-normalized).
+    pub quote: String,
+    /// `binds` key.
+    pub binds: String,
+    /// `tests` key.
+    pub tests: String,
+    /// `status` key.
+    pub status: String,
+}
+
+/// Parses the TOML subset the ledger uses: `#` comments, `[[spec]]`
+/// array-of-table headers, `key = "value"` single-line strings, and
+/// `key = '''…'''` multi-line literal strings.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed line.
+pub fn parse_ledger(text: &str) -> Result<Vec<ParsedClause>, String> {
+    let mut clauses: Vec<ParsedClause> = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[spec]]" {
+            clauses.push(ParsedClause::default());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got `{line}`", n + 1))?;
+        let key = key.trim();
+        let value = value.trim();
+        let parsed = if let Some(rest) = value.strip_prefix("'''") {
+            // Multi-line literal string: runs to the closing '''.
+            let mut body = String::new();
+            if let Some(inline) = rest.strip_suffix("'''") {
+                // Opened and closed on one line.
+                body.push_str(inline);
+            } else {
+                body.push_str(rest);
+                let mut closed = false;
+                for (m, cont) in lines.by_ref() {
+                    if let Some(last) = cont.trim_end().strip_suffix("'''") {
+                        if !body.is_empty() && !last.is_empty() {
+                            body.push('\n');
+                        }
+                        body.push_str(last);
+                        closed = true;
+                        let _ = m;
+                        break;
+                    }
+                    if !body.is_empty() && !cont.is_empty() {
+                        body.push('\n');
+                    }
+                    body.push_str(cont);
+                }
+                if !closed {
+                    return Err(format!("line {}: unterminated ''' string", n + 1));
+                }
+            }
+            normalize_ws(&body)
+        } else if value.len() >= 2 && value.starts_with('"') && value.ends_with('"') {
+            value[1..value.len() - 1].to_string()
+        } else {
+            return Err(format!("line {}: unsupported value `{value}`", n + 1));
+        };
+        let clause = clauses
+            .last_mut()
+            .ok_or_else(|| format!("line {}: `{key}` appears before any [[spec]]", n + 1))?;
+        match key {
+            "id" => clause.id = parsed,
+            "target" => clause.target = parsed,
+            "level" => clause.level = parsed,
+            "quote" => clause.quote = parsed,
+            "binds" => clause.binds = parsed,
+            "tests" => clause.tests = parsed,
+            "status" => clause.status = parsed,
+            other => return Err(format!("line {}: unknown key `{other}`", n + 1)),
+        }
+    }
+    Ok(clauses)
+}
+
+/// Collapses all runs of whitespace to single spaces and trims — quotes
+/// in the registry and the TOML wrap differently but must compare equal.
+pub fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Renders the ledger in the `specs/cc.toml` format.
+pub fn render_ledger() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "# Congestion-control spec ledger (s2n-quic style).\n\
+         # Binds RFC 9002 / RFC 8312 / BBR-draft / RFC 9406 clause quotes\n\
+         # to the trait methods implementing them and the unit tests\n\
+         # enforcing them. Cross-checked 1:1 against\n\
+         # `gr_transport::cc::spec::REGISTRY` by\n\
+         # `cc::spec::tests::ledger_file_matches_registry`; regenerate\n\
+         # with GOLDEN_UPDATE=1.\n",
+    );
+    for c in REGISTRY {
+        out.push('\n');
+        out.push_str("[[spec]]\n");
+        out.push_str(&format!("id = \"{}\"\n", c.id));
+        out.push_str(&format!("target = \"{}\"\n", c.target));
+        out.push_str(&format!("level = \"{}\"\n", c.level));
+        out.push_str("quote = '''\n");
+        out.push_str(&wrap(&normalize_ws(c.quote), 68));
+        out.push_str("'''\n");
+        out.push_str(&format!("binds = \"{}\"\n", normalize_ws(c.binds)));
+        out.push_str(&format!("tests = \"{}\"\n", normalize_ws(c.tests)));
+        out.push_str(&format!("status = \"{}\"\n", c.status.as_str()));
+    }
+    out
+}
+
+/// Renders the generated coverage listing (`specs/cc_coverage.md`).
+pub fn coverage_report() -> String {
+    let checked = REGISTRY
+        .iter()
+        .filter(|c| c.status == Status::Checked)
+        .count();
+    let mut out = String::new();
+    out.push_str("# CC spec coverage\n\n");
+    out.push_str(
+        "Generated from `gr_transport::cc::spec::REGISTRY` (run the \
+         transport tests with `GOLDEN_UPDATE=1` to regenerate). \n\n",
+    );
+    out.push_str(&format!(
+        "**{checked}/{} clauses checked**, {} documented as unimplemented.\n\n",
+        REGISTRY.len(),
+        REGISTRY.len() - checked
+    ));
+    out.push_str("| clause | level | status | binds | tests |\n");
+    out.push_str("|--------|-------|--------|-------|-------|\n");
+    for c in REGISTRY {
+        out.push_str(&format!(
+            "| [{}]({}) | {} | {} | `{}` | {} |\n",
+            c.id,
+            c.target,
+            c.level,
+            c.status.as_str(),
+            normalize_ws(c.binds),
+            if c.tests.is_empty() {
+                "—".to_string()
+            } else {
+                normalize_ws(c.tests)
+                    .split(", ")
+                    .map(|t| format!("`{t}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            },
+        ));
+    }
+    out
+}
+
+fn wrap(text: &str, width: usize) -> String {
+    let mut out = String::new();
+    let mut line_len = 0;
+    for word in text.split_whitespace() {
+        if line_len > 0 && line_len + 1 + word.len() > width {
+            out.push('\n');
+            line_len = 0;
+        } else if line_len > 0 {
+            out.push(' ');
+            line_len += 1;
+        }
+        out.push_str(word);
+        line_len += word.len();
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    const LEDGER: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/cc.toml");
+    const COVERAGE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/cc_coverage.md");
+
+    fn update_goldens() -> bool {
+        std::env::var_os("GOLDEN_UPDATE").is_some()
+    }
+
+    #[test]
+    fn parser_handles_the_subset() {
+        let text = "# comment\n\n[[spec]]\nid = \"a\"\nquote = '''\nline one\nline two\n'''\nlevel = \"MUST\"\n";
+        let parsed = parse_ledger(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].id, "a");
+        assert_eq!(parsed[0].quote, "line one line two");
+        assert_eq!(parsed[0].level, "MUST");
+        assert!(parse_ledger("id = \"orphan\"\n").is_err());
+        assert!(parse_ledger("[[spec]]\nquote = '''\nnever closed\n").is_err());
+        assert!(parse_ledger("[[spec]]\nid = bare\n").is_err());
+    }
+
+    #[test]
+    fn ledger_file_matches_registry() {
+        if update_goldens() {
+            std::fs::write(LEDGER, render_ledger()).unwrap();
+            std::fs::write(COVERAGE, coverage_report()).unwrap();
+        }
+        let text = std::fs::read_to_string(LEDGER).unwrap_or_else(|e| {
+            panic!("specs/cc.toml unreadable ({e}); regenerate with GOLDEN_UPDATE=1")
+        });
+        let parsed = parse_ledger(&text).expect("specs/cc.toml must parse");
+        assert_eq!(
+            parsed.len(),
+            REGISTRY.len(),
+            "clause count drifted between specs/cc.toml and the registry"
+        );
+        for (p, r) in parsed.iter().zip(REGISTRY) {
+            assert_eq!(p.id, r.id, "clause order/id drifted");
+            assert_eq!(p.target, r.target, "{}: target drifted", r.id);
+            assert_eq!(p.level, r.level, "{}: level drifted", r.id);
+            assert_eq!(p.quote, normalize_ws(r.quote), "{}: quote drifted", r.id);
+            assert_eq!(p.binds, normalize_ws(r.binds), "{}: binds drifted", r.id);
+            assert_eq!(p.tests, normalize_ws(r.tests), "{}: tests drifted", r.id);
+            assert_eq!(
+                Status::parse(&p.status),
+                Some(r.status),
+                "{}: status drifted",
+                r.id
+            );
+        }
+        // The coverage listing is generated; it must match too.
+        let cov = std::fs::read_to_string(COVERAGE).unwrap_or_else(|e| {
+            panic!("specs/cc_coverage.md unreadable ({e}); regenerate with GOLDEN_UPDATE=1")
+        });
+        assert_eq!(
+            cov,
+            coverage_report(),
+            "specs/cc_coverage.md is stale; regenerate with GOLDEN_UPDATE=1"
+        );
+    }
+
+    #[test]
+    fn every_checked_clause_names_its_tests() {
+        for c in REGISTRY {
+            match c.status {
+                Status::Checked => assert!(
+                    !c.tests.is_empty(),
+                    "{}: checked clauses must name enforcing tests",
+                    c.id
+                ),
+                Status::Unimplemented => {
+                    assert!(c.tests.is_empty(), "{}: gaps cannot claim tests", c.id)
+                }
+            }
+        }
+        // Ids are unique.
+        let mut ids: Vec<_> = REGISTRY.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), REGISTRY.len(), "duplicate clause id");
+        let _ = Path::new(LEDGER); // keep the path const referenced
+    }
+}

@@ -10,14 +10,20 @@
 //! * [`packet`] — the [`Segment`] type that rides inside 802.11 data
 //!   frames, implementing [`mac::Msdu`].
 //! * [`rto`] — RFC 6298-style retransmission-timeout estimation.
+//! * [`cc`] — pluggable congestion controllers (NewReno, CUBIC, BBR,
+//!   optional HyStart slow-start exit) behind the
+//!   [`cc::CongestionController`] trait, plus the machine-readable spec
+//!   ledger binding RFC clauses to code and tests.
 
 #![warn(missing_docs)]
+pub mod cc;
 pub mod obs;
 pub mod packet;
 pub mod rto;
 pub mod tcp;
 pub mod udp;
 
+pub use cc::{CcAlgorithm, CcConfig, CongestionController, RttEstimator};
 pub use packet::{FlowId, Segment};
 pub use rto::RtoEstimator;
 pub use tcp::{TcpConfig, TcpOutput, TcpReceiver, TcpSender};

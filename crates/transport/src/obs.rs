@@ -79,5 +79,31 @@ pub static UDP_DELIVER: EventKind = EventKind {
     fields: &["flow", "seq", "bytes"],
 };
 
+/// A congestion-controller state-machine transition (BBR: startup=0,
+/// drain=1, probe-bw=2, probe-rtt=3). Payload: flow id, numeric state,
+/// the pacing gain now applied, bottleneck-bandwidth estimate
+/// (segments/s, 0 if unknown) and min-RTT estimate (µs, 0 if unknown).
+pub static CC_STATE: EventKind = EventKind {
+    name: "cc_state",
+    layer: Layer::Transport,
+    fields: &["flow", "state", "pacing_gain", "btl_bw_sps", "min_rtt_us"],
+};
+
+/// The controller's pacing-derived rate changed (BBR probe-bw gain-cycle
+/// advance). Payload: flow id and pacing rate in segments per second.
+pub static CC_PACING: EventKind = EventKind {
+    name: "cc_pacing",
+    layer: Layer::Transport,
+    fields: &["flow", "pacing_sps"],
+};
+
+/// HyStart ended slow start early (ssthresh pulled down to cwnd).
+/// Payload: flow id and the congestion window at exit.
+pub static CC_SS_EXIT: EventKind = EventKind {
+    name: "cc_ss_exit",
+    layer: Layer::Transport,
+    fields: &["flow", "cwnd"],
+};
+
 /// Histogram of sender-measured RTT samples in µs (Karn-filtered).
 pub const HIST_RTT_US: &str = "tcp_rtt_us";

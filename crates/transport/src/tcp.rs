@@ -1,13 +1,17 @@
-//! TCP NewReno sender and receiver (packet-granular, ns-2 style).
+//! TCP sender and receiver (packet-granular, ns-2 style) with pluggable
+//! congestion control.
 //!
-//! The sender implements slow start, congestion avoidance, fast
-//! retransmit on three duplicate ACKs, NewReno fast recovery (partial
-//! ACKs retransmit the next hole without leaving recovery, so a burst of
-//! drops costs one RTT per drop instead of a retransmission timeout) and
-//! RTO-based recovery with Karn's rule and exponential backoff. The
-//! receiver delivers in order, buffers out-of-order segments, and emits
-//! an immediate cumulative ACK for every data segment (no delayed ACKs,
-//! matching the paper's ns-2 setup).
+//! The sender owns loss *detection*: fast retransmit on three duplicate
+//! ACKs, NewReno fast recovery (partial ACKs retransmit the next hole
+//! without leaving recovery, so a burst of drops costs one RTT per drop
+//! instead of a retransmission timeout) and RTO-based recovery with
+//! Karn's rule and exponential backoff. Every congestion-window
+//! *decision* is delegated to the [`cc::CongestionController`] selected
+//! by [`TcpConfig::cc`] — NewReno (the paper's baseline, byte-identical
+//! to the formerly-inlined arithmetic), CUBIC, BBR, or NewReno/CUBIC
+//! with HyStart. The receiver delivers in order, buffers out-of-order
+//! segments, and emits an immediate cumulative ACK for every data
+//! segment (no delayed ACKs, matching the paper's ns-2 setup).
 //!
 //! Sequence numbers count *segments*, not bytes. The flow is assumed
 //! infinite (always more data to send), as in the paper's long-lived FTP
@@ -17,6 +21,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use sim::{SimDuration, SimTime, TimeWeightedMean};
 
+use crate::cc::{AckSample, Cc, CcConfig, CcObs, CongestionController, RttEstimator};
 use crate::packet::{FlowId, Segment};
 use crate::rto::RtoEstimator;
 
@@ -33,6 +38,8 @@ pub struct TcpConfig {
     pub min_rto: SimDuration,
     /// Ceiling of the retransmission timeout.
     pub max_rto: SimDuration,
+    /// Congestion-control algorithm (NewReno by default).
+    pub cc: CcConfig,
 }
 
 impl Default for TcpConfig {
@@ -46,8 +53,18 @@ impl Default for TcpConfig {
             initial_ssthresh: 50.0,
             min_rto: SimDuration::from_millis(200),
             max_rto: SimDuration::from_secs(60),
+            cc: CcConfig::default(),
         }
     }
+}
+
+/// Per-segment bookkeeping at send time: when it left and what the
+/// cumulative delivered count (`snd_una`) was — the pair BBR turns into
+/// a delivery-rate sample when the segment is acknowledged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SendStamp {
+    at: SimTime,
+    delivered: u64,
 }
 
 /// Outputs a TCP endpoint hands to the runtime.
@@ -81,15 +98,15 @@ pub struct TcpSender {
     cfg: TcpConfig,
     next_seq: u64,
     snd_una: u64,
-    cwnd: f64,
-    ssthresh: f64,
+    cc: Cc,
+    rtt: RttEstimator,
     dupacks: u32,
     in_recovery: bool,
     /// Highest sequence outstanding when fast recovery began; recovery
     /// ends only once everything up to here is acknowledged (NewReno).
     recover: u64,
     rto: RtoEstimator,
-    send_times: HashMap<u64, SimTime>,
+    send_times: HashMap<u64, SendStamp>,
     timer_armed: bool,
     /// Retransmissions performed (fast + timeout), for the cross-layer
     /// spoof detector and experiment reporting.
@@ -100,19 +117,23 @@ pub struct TcpSender {
     /// Flight recorder and the station id hosting this sender, if this
     /// run records (see [`TcpSender::set_recorder`]).
     recorder: Option<(::obs::RecorderHandle, u16)>,
+    /// Scratch buffer the controller's observability records drain into
+    /// (always drained, emitted only when a recorder is attached).
+    cc_obs: Vec<CcObs>,
 }
 
 impl TcpSender {
     /// Creates a sender for `flow`.
     pub fn new(flow: FlowId, cfg: TcpConfig) -> Self {
+        let cc = Cc::new(cfg.cc, cfg.initial_ssthresh, cfg.max_window);
         let mut cwnd_timeline = TimeWeightedMean::new();
-        cwnd_timeline.set(SimTime::ZERO, 1.0);
+        cwnd_timeline.set(SimTime::ZERO, cc.cwnd().min(cfg.max_window));
         TcpSender {
             flow,
             next_seq: 0,
             snd_una: 0,
-            cwnd: 1.0,
-            ssthresh: cfg.initial_ssthresh,
+            cc,
+            rtt: RttEstimator::new(),
             dupacks: 0,
             in_recovery: false,
             recover: 0,
@@ -123,6 +144,7 @@ impl TcpSender {
             timeouts: 0,
             cwnd_timeline,
             recorder: None,
+            cc_obs: Vec::new(),
             cfg,
         }
     }
@@ -147,12 +169,23 @@ impl TcpSender {
 
     /// Current congestion window in segments.
     pub fn cwnd(&self) -> f64 {
-        self.cwnd
+        self.cc.cwnd()
     }
 
-    /// Current slow-start threshold in segments.
+    /// Current slow-start threshold in segments (model-based controllers
+    /// report the receiver window cap).
     pub fn ssthresh(&self) -> f64 {
-        self.ssthresh
+        self.cc.ssthresh()
+    }
+
+    /// The congestion controller configured for this sender.
+    pub fn cc_config(&self) -> CcConfig {
+        self.cfg.cc
+    }
+
+    /// The shared passive RTT estimator (smoothed/min RTT).
+    pub fn rtt(&self) -> &RttEstimator {
+        &self.rtt
     }
 
     /// Segments in flight.
@@ -167,29 +200,71 @@ impl TcpSender {
     }
 
     fn effective_window(&self) -> u64 {
-        self.cwnd.min(self.cfg.max_window).floor().max(1.0) as u64
+        self.cc.cwnd().min(self.cfg.max_window).floor().max(1.0) as u64
     }
 
     fn record_cwnd(&mut self, now: SimTime) {
         self.cwnd_timeline
-            .set(now, self.cwnd.min(self.cfg.max_window));
+            .set(now, self.cc.cwnd().min(self.cfg.max_window));
         self.obs_emit(
             now,
             &crate::obs::CWND,
             &[
                 self.flow.0 as f64,
-                self.cwnd,
-                self.ssthresh,
+                self.cc.cwnd(),
+                self.cc.ssthresh(),
                 self.flight_size() as f64,
             ],
         );
+        self.drain_cc_obs(now);
+    }
+
+    /// Drains the controller's queued observability records. Always
+    /// drains (bounded memory whether or not this run records); emits
+    /// only when a recorder is attached. NewReno queues nothing, so the
+    /// default path performs no work here.
+    fn drain_cc_obs(&mut self, now: SimTime) {
+        let mut queue = std::mem::take(&mut self.cc_obs);
+        self.cc.take_obs(&mut queue);
+        if self.recorder.is_some() {
+            let flow = self.flow.0 as f64;
+            for rec in &queue {
+                match *rec {
+                    CcObs::State {
+                        state,
+                        pacing_gain,
+                        btl_bw_sps,
+                        min_rtt_us,
+                    } => self.obs_emit(
+                        now,
+                        &crate::obs::CC_STATE,
+                        &[flow, state as f64, pacing_gain, btl_bw_sps, min_rtt_us],
+                    ),
+                    CcObs::Pacing { pacing_sps } => {
+                        self.obs_emit(now, &crate::obs::CC_PACING, &[flow, pacing_sps])
+                    }
+                    CcObs::SsExit { cwnd } => {
+                        self.obs_emit(now, &crate::obs::CC_SS_EXIT, &[flow, cwnd])
+                    }
+                }
+            }
+        }
+        queue.clear();
+        self.cc_obs = queue;
     }
 
     fn fill_window(&mut self, now: SimTime, out: &mut Vec<TcpOutput>) {
         while self.next_seq < self.snd_una + self.effective_window() {
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.send_times.insert(seq, now);
+            self.send_times.insert(
+                seq,
+                SendStamp {
+                    at: now,
+                    delivered: self.snd_una,
+                },
+            );
+            self.cc.on_send(now, seq);
             out.push(TcpOutput::Send(Segment::tcp_data(
                 self.flow,
                 seq,
@@ -225,9 +300,14 @@ impl TcpSender {
         }
         if ack > self.snd_una {
             // New data acknowledged.
-            if let Some(sent_at) = self.send_times.remove(&(ack - 1)) {
-                let rtt = now.saturating_since(sent_at);
+            let mut stamp_info = None;
+            if let Some(stamp) = self.send_times.remove(&(ack - 1)) {
+                // Karn-valid sample: the newest acked segment was never
+                // retransmitted (retransmission removes its stamp).
+                let rtt = now.saturating_since(stamp.at);
                 self.rto.sample(rtt);
+                self.rtt.sample(now, rtt);
+                stamp_info = Some(stamp);
                 if let Some((rec, _)) = &self.recorder {
                     rec.borrow_mut()
                         .record_hist(crate::obs::HIST_RTT_US, rtt.as_micros() as f64);
@@ -239,18 +319,29 @@ impl TcpSender {
             let newly_acked = (ack - self.snd_una) as f64;
             self.snd_una = ack;
             self.dupacks = 0;
+            let sample = AckSample {
+                now,
+                newly_acked,
+                flight: self.next_seq - self.snd_una,
+                delivered: self.snd_una,
+                delivered_at_send: stamp_info.map(|s| s.delivered),
+                sent_at: stamp_info.map(|s| s.at),
+                rtt: &self.rtt,
+            };
             if self.in_recovery {
+                self.cc.on_ack_in_recovery(&sample);
                 if ack > self.recover {
                     // Full ACK: leave fast recovery.
                     self.in_recovery = false;
-                    self.cwnd = self.ssthresh;
+                    self.cc.on_recovery_exit(now);
                 } else {
                     // NewReno partial ACK: the next hole is lost too —
-                    // retransmit it immediately, deflate the window by
-                    // the amount acknowledged, stay in recovery.
+                    // retransmit it immediately, let the controller
+                    // deflate by the amount acknowledged, stay in
+                    // recovery.
                     self.retransmissions += 1;
                     self.send_times.remove(&ack); // Karn
-                    self.cwnd = (self.cwnd - newly_acked + 1.0).max(1.0);
+                    self.cc.on_partial_ack(now, newly_acked);
                     self.obs_emit(
                         now,
                         &crate::obs::RETX_PARTIAL,
@@ -262,10 +353,8 @@ impl TcpSender {
                         self.cfg.mss,
                     )));
                 }
-            } else if self.cwnd < self.ssthresh {
-                self.cwnd += 1.0; // slow start
             } else {
-                self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+                self.cc.on_ack(&sample);
             }
             self.record_cwnd(now);
             self.fill_window(now, &mut out);
@@ -274,14 +363,13 @@ impl TcpSender {
             // Duplicate ACK.
             self.dupacks += 1;
             if self.in_recovery {
-                // Window inflation keeps the pipe full.
-                self.cwnd += 1.0;
+                // Controller-side window inflation keeps the pipe full.
+                self.cc.on_dup_ack(now);
                 self.record_cwnd(now);
                 self.fill_window(now, &mut out);
             } else if self.dupacks == 3 {
                 // Fast retransmit + fast recovery.
-                self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
-                self.cwnd = self.ssthresh + 3.0;
+                self.cc.on_loss(now, self.flight_size());
                 self.in_recovery = true;
                 self.recover = self.next_seq.saturating_sub(1);
                 self.retransmissions += 1;
@@ -311,8 +399,7 @@ impl TcpSender {
             return out; // nothing outstanding; stale timer
         }
         self.timeouts += 1;
-        self.ssthresh = (self.flight_size() as f64 / 2.0).max(2.0);
-        self.cwnd = 1.0;
+        self.cc.on_rto(now, self.flight_size());
         self.dupacks = 0;
         self.in_recovery = false;
         self.recover = self.next_seq.saturating_sub(1);
@@ -356,15 +443,18 @@ impl snap::SnapState for TcpSender {
         use snap::SnapValue as _;
         w.u64(self.next_seq);
         w.u64(self.snd_una);
-        w.f64(self.cwnd);
-        w.f64(self.ssthresh);
+        self.cc.snap_save(w);
+        self.rtt.save(w);
         w.u32(self.dupacks);
         w.bool(self.in_recovery);
         w.u64(self.recover);
         self.rto.save(w);
-        let mut times: Vec<(u64, SimTime)> =
-            self.send_times.iter().map(|(&k, &v)| (k, v)).collect();
-        times.sort_unstable_by_key(|&(seq, _)| seq);
+        let mut times: Vec<(u64, SimTime, u64)> = self
+            .send_times
+            .iter()
+            .map(|(&k, &v)| (k, v.at, v.delivered))
+            .collect();
+        times.sort_unstable_by_key(|&(seq, _, _)| seq);
         times.save(w);
         w.bool(self.timer_armed);
         w.u64(self.retransmissions);
@@ -375,13 +465,16 @@ impl snap::SnapState for TcpSender {
         use snap::SnapValue as _;
         self.next_seq = r.u64()?;
         self.snd_una = r.u64()?;
-        self.cwnd = r.f64()?;
-        self.ssthresh = r.f64()?;
+        self.cc.snap_restore(r)?;
+        self.rtt = RttEstimator::load(r)?;
         self.dupacks = r.u32()?;
         self.in_recovery = r.bool()?;
         self.recover = r.u64()?;
         self.rto = RtoEstimator::load(r)?;
-        self.send_times = Vec::<(u64, SimTime)>::load(r)?.into_iter().collect();
+        self.send_times = Vec::<(u64, SimTime, u64)>::load(r)?
+            .into_iter()
+            .map(|(seq, at, delivered)| (seq, SendStamp { at, delivered }))
+            .collect();
         self.timer_armed = r.bool()?;
         self.retransmissions = r.u64()?;
         self.timeouts = r.u64()?;
@@ -705,5 +798,186 @@ mod tests {
         s.start(SimTime::ZERO);
         assert!(s.on_ack(SimTime::from_millis(1), 999).is_empty());
         assert_eq!(s.snd_una, 0);
+        assert_eq!(s.cwnd(), 1.0, "future ACK must not move the window");
+    }
+
+    #[test]
+    fn karn_excludes_retransmitted_samples() {
+        // RFC 6298 §3: no RTT sample from a retransmitted segment. The
+        // RTO that precedes the retransmission removes the send stamp,
+        // so the ACK that finally covers it yields no sample.
+        let mut s = TcpSender::new(FlowId(0), TcpConfig::default());
+        s.start(SimTime::ZERO);
+        s.on_ack(SimTime::from_millis(10), 1); // clean sample
+        let (srtt_before, latest_before) = (s.rtt().srtt(), s.rtt().latest());
+        s.on_timeout(SimTime::from_secs(2)); // retransmits seq 1
+                                             // The ACK for the retransmitted segment arrives much later; a
+                                             // naive sample would measure from the *original* send.
+        s.on_ack(SimTime::from_secs(3), 2);
+        assert_eq!(s.rtt().srtt(), srtt_before, "Karn: sample must be excluded");
+        assert_eq!(s.rtt().latest(), latest_before);
+        // The next never-retransmitted segment contributes again.
+        let next = s.snd_una + 1;
+        s.on_ack(SimTime::from_secs(3) + SimDuration::from_millis(40), next);
+        assert_ne!(s.rtt().latest(), latest_before);
+    }
+
+    /// Drives a sender through a deterministic pseudo-random mix of
+    /// cumulative ACKs, duplicate ACKs, and timeouts.
+    fn churn(cfg: CcConfig, steps: u32, mut check: impl FnMut(&TcpSender)) {
+        let tcp = TcpConfig {
+            cc: cfg,
+            max_window: 40.0,
+            ..TcpConfig::default()
+        };
+        let mut s = TcpSender::new(FlowId(0), tcp);
+        s.start(SimTime::ZERO);
+        let mut state = 0x9e37_79b9_u64 ^ u64::from(cfg.algo.tag()) << 32;
+        let mut now = SimTime::ZERO;
+        for step in 0..steps {
+            // xorshift64 keeps the schedule reproducible without rand.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            now += SimDuration::from_micros(500 + state % 20_000);
+            match state % 10 {
+                0 => {
+                    s.on_timeout(now);
+                }
+                1..=2 => {
+                    // Duplicate ACK burst.
+                    for _ in 0..=(state % 4) {
+                        s.on_ack(now, s.snd_una);
+                    }
+                }
+                _ => {
+                    let span = 1 + state % 5;
+                    let ack = (s.snd_una + span).min(s.next_seq);
+                    s.on_ack(now, ack);
+                }
+            }
+            check(&s);
+            let _ = step;
+        }
+    }
+
+    #[test]
+    fn cwnd_stays_within_bounds_for_every_controller() {
+        for cfg in CcConfig::all() {
+            churn(cfg, 400, |s| {
+                assert!(
+                    s.cwnd() >= 1.0,
+                    "{}: cwnd {} fell below one segment",
+                    cfg.name(),
+                    s.cwnd()
+                );
+                assert!(s.cwnd().is_finite(), "{}: cwnd not finite", cfg.name());
+                assert!(
+                    s.effective_window() <= 40,
+                    "{}: effective window {} exceeds the receiver cap",
+                    cfg.name(),
+                    s.effective_window()
+                );
+            });
+        }
+    }
+
+    #[test]
+    fn stale_and_empty_flight_acks_never_move_cwnd() {
+        for cfg in CcConfig::all() {
+            let tcp = TcpConfig {
+                cc: cfg,
+                ..TcpConfig::default()
+            };
+            let mut s = TcpSender::new(FlowId(0), tcp);
+            s.start(SimTime::ZERO);
+            s.on_ack(SimTime::from_millis(10), 1);
+            let next = s.next_seq;
+            s.on_ack(SimTime::from_millis(20), next);
+            let cwnd = s.cwnd();
+            // Old (stale) ACK below snd_una: nothing in flight changes.
+            s.on_ack(SimTime::from_millis(30), 0);
+            assert_eq!(s.cwnd(), cwnd, "{}: stale ACK moved cwnd", cfg.name());
+            // Future ACK beyond next_seq is ignored outright.
+            s.on_ack(SimTime::from_millis(31), s.next_seq + 50);
+            assert_eq!(s.cwnd(), cwnd, "{}: future ACK moved cwnd", cfg.name());
+        }
+    }
+
+    #[test]
+    fn every_controller_snapshot_round_trips_through_churn() {
+        use snap::{Dec, Enc, SnapState};
+        for cfg in CcConfig::all() {
+            let tcp = TcpConfig {
+                cc: cfg,
+                ..TcpConfig::default()
+            };
+            let mut a = TcpSender::new(FlowId(1), tcp.clone());
+            a.start(SimTime::ZERO);
+            for i in 1..=9 {
+                a.on_ack(SimTime::from_millis(i * 7), i);
+            }
+            a.on_ack(SimTime::from_millis(80), 9);
+            a.on_ack(SimTime::from_millis(81), 9);
+            a.on_ack(SimTime::from_millis(82), 9); // enter recovery
+            let mut w = Enc::new();
+            a.snap_save(&mut w);
+            let bytes = w.into_bytes();
+            let mut b = TcpSender::new(FlowId(1), tcp);
+            b.snap_restore(&mut Dec::new(&bytes)).unwrap();
+            assert_eq!(a.snap_digest(), b.snap_digest(), "{}", cfg.name());
+            let (xa, xb) = (
+                a.on_ack(SimTime::from_millis(95), 11),
+                b.on_ack(SimTime::from_millis(95), 11),
+            );
+            assert_eq!(xa, xb, "{}: divergence after restore", cfg.name());
+            assert_eq!(a.cwnd().to_bits(), b.cwnd().to_bits(), "{}", cfg.name());
+        }
+    }
+
+    #[test]
+    fn restoring_under_a_different_controller_is_corrupt() {
+        use snap::{Dec, Enc, SnapState};
+        let mut a = TcpSender::new(FlowId(0), TcpConfig::default());
+        a.start(SimTime::ZERO);
+        let mut w = Enc::new();
+        a.snap_save(&mut w);
+        let bytes = w.into_bytes();
+        let cfg = TcpConfig {
+            cc: CcConfig::bbr(),
+            ..TcpConfig::default()
+        };
+        let mut b = TcpSender::new(FlowId(0), cfg);
+        assert!(matches!(
+            b.snap_restore(&mut Dec::new(&bytes)),
+            Err(snap::SnapError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bbr_cc_state_events_fit_the_recorder_payload_width() {
+        // cc_state is the widest event kind (5 values); a
+        // recorder-attached BBR sender must emit it without tripping
+        // the obs::MAX_FIELDS bound.
+        let rec = ::obs::ObsSpec::default().recorder();
+        let cfg = TcpConfig {
+            cc: CcConfig::bbr(),
+            ..TcpConfig::default()
+        };
+        let mut s = TcpSender::new(FlowId(0), cfg);
+        s.set_recorder(rec.clone(), 1);
+        s.start(SimTime::ZERO);
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            now += SimDuration::from_millis(10);
+            let ack = (s.snd_una + 1).min(s.next_seq);
+            s.on_ack(now, ack);
+        }
+        let seen: Vec<&'static str> = rec.borrow().events().map(|e| e.kind.name).collect();
+        assert!(
+            seen.contains(&"cc_state"),
+            "no cc_state among {} events",
+            seen.len()
+        );
     }
 }
