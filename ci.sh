@@ -11,6 +11,10 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy hot-path crates (no redundant clones, no fat enums)"
+cargo clippy --offline -p gr-sim -p gr-phy -p gr-mac -p gr-net -- \
+  -D warnings -D clippy::redundant_clone -D clippy::large_enum_variant
+
 echo "==> cargo build --release"
 cargo build --release --workspace --offline
 
@@ -27,14 +31,14 @@ echo "==> checkpoint round-trip (resume must emit byte-identical CSVs)"
 CK=$(mktemp -d)
 trap 'rm -rf "$CK"' EXIT
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --quick --checkpoint-every 500 --audit-every 500 --out "$CK/rec" fig2 >/dev/null
+  run --quick --checkpoint-every 500 --audit-every 500 --out "$CK/rec" fig2 >/dev/null
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --quick --jobs 8 --resume "$CK/rec" --out "$CK/res" fig2 >/dev/null
+  run --quick --jobs 8 --resume "$CK/rec" --out "$CK/res" fig2 >/dev/null
 cmp "$CK/rec/fig2.csv" "$CK/res/fig2.csv"
 
 echo "==> audit ladders (re-recorded seeds must show zero divergence)"
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --quick --audit-every 500 --out "$CK/rec2" fig2 >/dev/null
+  run --quick --audit-every 500 --out "$CK/rec2" fig2 >/dev/null
 for a in "$CK"/rec/audit/*.audit; do
   cargo run --release --offline -p gr-bench --bin repro -- \
     --audit-compare "$a" "$CK/rec2/audit/$(basename "$a")" >/dev/null
@@ -45,9 +49,9 @@ cargo test --offline -q -p gr-net --test golden
 
 echo "==> world determinism (3x3 per-cell CSVs byte-identical across --jobs)"
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --world --cells 3x3 --quick --jobs 1 --out "$CK/wa" >/dev/null
+  world --cells 3x3 --quick --jobs 1 --out "$CK/wa" >/dev/null
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --world --cells 3x3 --quick --jobs 8 --out "$CK/wb" >/dev/null
+  world --cells 3x3 --quick --jobs 8 --out "$CK/wb" >/dev/null
 for f in "$CK"/wa/world*.csv; do
   cmp "$f" "$CK/wb/$(basename "$f")"
 done
@@ -57,24 +61,24 @@ cargo run --release --offline -p gr-bench --bin repro -- --fig2-check --quick >/
 
 echo "==> world conformance (honest 2x2 cells must check clean per-cell)"
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --world --cells 2x2 --quick --conform --out "$CK/wconf" >/dev/null
+  world --cells 2x2 --quick --conform --out "$CK/wconf" >/dev/null
 
 echo "==> conformance: invariant-on replays of fig2/fig6/tab5"
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --quick --conform --out "$CK/conf" fig2 fig6 tab5 >/dev/null
+  run --quick --conform --out "$CK/conf" fig2 fig6 tab5 >/dev/null
 
 echo "==> conformance: whitelist-removal drill must fail on fig2"
 if cargo run --release --offline -p gr-bench --bin repro -- \
-  --quick --conform-no-whitelist --out "$CK/wl" fig2 >/dev/null 2>&1; then
+  run --quick --conform-no-whitelist --out "$CK/wl" fig2 >/dev/null 2>&1; then
   echo "whitelist-removed greedy run passed — checker is not armed" >&2
   exit 1
 fi
 
 echo "==> fuzz smoke (25 cases, fixed seed, deterministic artifacts)"
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --fuzz 25 --fuzz-seed 7 --out "$CK/fz1" > "$CK/fuzz1.log"
+  fuzz 25 --seed 7 --out "$CK/fz1" > "$CK/fuzz1.log"
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --fuzz 25 --fuzz-seed 7 --out "$CK/fz2" > "$CK/fuzz2.log"
+  fuzz 25 --seed 7 --out "$CK/fz2" > "$CK/fuzz2.log"
 cmp "$CK/fuzz1.log" "$CK/fuzz2.log"
 if [ -d "$CK/fz1/conform" ] || [ -d "$CK/fz2/conform" ]; then
   diff -r "$CK/fz1/conform" "$CK/fz2/conform"
@@ -82,9 +86,9 @@ fi
 
 echo "==> cc zoo smoke (4 controllers x 4 attacks, 2 seeds, jobs 1 vs 8 byte-identical)"
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --cc --quick --seeds 2 --jobs 1 --out "$CK/cc1" >/dev/null
+  cc --quick --seeds 2 --jobs 1 --out "$CK/cc1" >/dev/null
 cargo run --release --offline -p gr-bench --bin repro -- \
-  --cc --quick --seeds 2 --jobs 8 --out "$CK/cc8" >/dev/null
+  cc --quick --seeds 2 --jobs 8 --out "$CK/cc8" >/dev/null
 for f in "$CK"/cc1/*.csv; do
   cmp "$f" "$CK/cc8/$(basename "$f")"
 done
@@ -93,9 +97,7 @@ echo "==> planted NAV bug is caught and shrunk (fault injection)"
 cargo test --offline -q -p gr-bench --test conform --features inject-nav-bug
 
 echo "==> perf gate (pinned subset vs committed baseline, ±25%; conform overhead ≤40%)"
-cargo run --release --offline -p gr-bench --bin repro -- --bench-gate --check
+cargo run --release --offline -p gr-bench --bin repro -- gate --check
 
 echo "==> cargo doc"
 cargo doc --workspace --no-deps --offline -q
-
-echo "CI OK"

@@ -1,15 +1,24 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```sh
-//! repro all                # every artifact at full fidelity
-//! repro fig1 tab2          # selected artifacts
-//! repro --experiment fig06 # selected artifact (zero-padded ids accepted)
-//! repro --quick all        # fast low-fidelity pass
-//! repro --jobs 8 all       # shard sweep points across 8 workers
-//! repro --list             # available ids
-//! repro --out results all  # CSV output directory (default: results)
-//! repro --record fig6      # flight-record every run into results/obs/
+//! repro run all                # every artifact at full fidelity
+//! repro run fig1 tab2          # selected artifacts
+//! repro run --quick all        # fast low-fidelity pass
+//! repro run --jobs 8 all       # shard sweep points across 8 workers
+//! repro run --out results all  # CSV output directory (default: results)
+//! repro run --record fig6      # flight-record every run into results/obs/
+//! repro gate [--check]         # perf gate; --check fails on regression
+//! repro fuzz 25 --seed 7       # randomized conformance fuzzing
+//! repro world [--cells 3x3]    # multi-cell world campaign
+//! repro cc                     # congestion-control zoo matrix
+//! repro --list                 # available experiment ids
 //! ```
+//!
+//! Each subcommand expands to the flag spelling it replaced
+//! (`repro gate` ≡ `repro --bench-gate`, and so on); the old flags keep
+//! working as hidden aliases so existing scripts and recorded repro
+//! lines don't break. Zero-padded ids (`fig06`) are accepted anywhere
+//! an id is.
 //!
 //! Outputs are independent of `--jobs`: every simulation run draws from
 //! an RNG stream keyed by `(experiment label, sweep point, seed index)`,
@@ -156,6 +165,62 @@ fn quality_for(quick: bool, seeds_override: Option<u64>) -> Quality {
     q
 }
 
+/// Expands a leading subcommand (`run`, `gate`, `fuzz`, `world`, `cc`,
+/// `roc`) into the legacy flag spelling the single flag parser below
+/// understands. Anything else — including the old flag spellings, which
+/// remain hidden aliases — passes through untouched. Returns `Err` with
+/// an exit code for subcommands that refuse to run (`roc` is reserved,
+/// `fuzz` without a case count).
+fn expand_subcommand(raw: Vec<String>) -> Result<Vec<String>, ExitCode> {
+    let prefixed = |flag: &str, rest: &[String]| {
+        let mut v = vec![flag.to_string()];
+        v.extend_from_slice(rest);
+        v
+    };
+    Ok(match raw.first().map(String::as_str) {
+        Some("run") => raw[1..].to_vec(),
+        Some("gate") => prefixed("--bench-gate", &raw[1..]),
+        Some("world") => prefixed("--world", &raw[1..]),
+        Some("cc") => prefixed("--cc", &raw[1..]),
+        Some("fuzz") => {
+            // `repro fuzz N [--seed K]`: the first bare integer is the
+            // case count; `--seed` maps to the legacy `--fuzz-seed`.
+            let mut v = Vec::new();
+            let mut count_seen = false;
+            let mut it = raw[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--seed" => {
+                        v.push("--fuzz-seed".to_string());
+                        if let Some(k) = it.next() {
+                            v.push(k.clone());
+                        }
+                    }
+                    s if !count_seen && s.parse::<u64>().is_ok() => {
+                        count_seen = true;
+                        v.push("--fuzz".to_string());
+                        v.push(s.to_string());
+                    }
+                    s => v.push(s.to_string()),
+                }
+            }
+            if !count_seen {
+                eprintln!("usage: repro fuzz N [--seed K]");
+                return Err(ExitCode::FAILURE);
+            }
+            v
+        }
+        Some("roc") => {
+            eprintln!(
+                "`repro roc` (detector ROC sweeps) is reserved for a future release \
+                 and not implemented yet; see `repro --help` for what exists today"
+            );
+            return Err(ExitCode::FAILURE);
+        }
+        _ => raw,
+    })
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut list = false;
@@ -179,7 +244,11 @@ fn main() -> ExitCode {
     let mut fuzz_n: Option<u64> = None;
     let mut fuzz_seed: u64 = 1;
     let mut ids: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let argv = match expand_subcommand(std::env::args().skip(1).collect()) {
+        Ok(v) => v,
+        Err(code) => return code,
+    };
+    let mut args = argv.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
@@ -312,13 +381,20 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--jobs N] [--out DIR] [--record] \
-                     [--record-filter SPEC]\n             \
+                    "usage: repro run [--quick] [--jobs N] [--out DIR] [--record] \
+                     [--record-filter SPEC]\n                 \
                      [--checkpoint-every MS] [--audit-every MS] [--resume PATH] \
                      (all | <id>...)\n       \
+                     repro gate [--check]\n       \
+                     repro fuzz N [--seed K]\n       \
+                     repro world [--cells RxC]\n       \
+                     repro cc\n       \
                      repro --audit-compare A.audit B.audit\n       \
-                     repro --bench-gate [--check]\n       \
                      repro --list\n\n  \
+                     Subcommands expand to the flag spellings they replaced \
+                     (gate = --bench-gate,\n  \
+                     fuzz N = --fuzz N, world = --world, cc = --cc); the old \
+                     flags remain accepted.\n\n  \
                      --experiment IDS      select artifacts: one id or a comma-separated list\n                        \
                      (same as positional ids; zero-padded forms accepted)\n  \
                      --record              flight-record every run into DIR/obs/\n  \
@@ -626,8 +702,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!(
-            "# perf gate — pinned subset {:?}, sequential, 1 seed\n",
-            gate::GATE_SUBSET
+            "# perf gate — pinned subset {:?}, sequential, 1 seed, best of {} passes\n",
+            gate::GATE_SUBSET,
+            gate::GATE_PASSES
         );
         let report = gate::run_gate();
         for st in &report.stats {
@@ -662,6 +739,10 @@ fn main() -> ExitCode {
         println!(
             "  cc smoke: {:.0} events/s under cubic, {:.0} events/s under bbr",
             report.cc.cubic_events_per_sec, report.cc.bbr_events_per_sec
+        );
+        println!(
+            "  sustained: {:.0} events/s (8-station saturating hotspot)",
+            report.sustained_events_per_sec
         );
         let path = out_dir.join(format!("BENCH_{}.json", report.date));
         if let Err(e) = std::fs::write(&path, report.to_json()) {

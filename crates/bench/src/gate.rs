@@ -28,12 +28,20 @@ pub const GATE_TOLERANCE: f64 = 0.25;
 
 /// Largest wall-clock overhead (percent) the live conformance checker
 /// may add to the gate subset before `--bench-gate --check` fails.
-/// The overhead is the ratio of two sub-second wall-clock measurements,
-/// so on a loaded 1-core CI container it swings by tens of percent
-/// between back-to-back runs (observed 10-30 % on the same binary);
-/// the budget leaves room for that scheduling noise — a checker cost
-/// regression shows up as a sustained jump past it.
+/// Both sides of the ratio are best-of-[`GATE_PASSES`] measurements
+/// (see [`run_gate`]), which strips most scheduling noise; the
+/// remaining budget covers the residual jitter of two sub-second
+/// timings on a loaded 1-core container — a checker cost regression
+/// shows up as a sustained jump past it.
 pub const CONFORM_OVERHEAD_LIMIT_PCT: f64 = 40.0;
+
+/// Timed passes per measurement. Sub-second wall-clock readings on a
+/// loaded container swing by tens of percent between back-to-back runs
+/// of the same binary; the *minimum* of three passes is a robust
+/// estimate of what the code actually costs (noise only ever adds
+/// time), so both the throughput figure and the conformance-overhead
+/// ratio are taken from the fastest pass of each kind.
+pub const GATE_PASSES: usize = 3;
 
 /// Fidelity the gate is pinned at. One seed and short runs: the gate
 /// measures throughput, not statistics, and must finish in CI time.
@@ -81,10 +89,10 @@ pub struct GateReport {
     /// [`audit_root`]) — a determinism canary: any change means the
     /// simulation itself changed, not just its speed.
     pub audit_root: u64,
-    /// Wall-clock seconds of the second pass over the subset with the
-    /// live conformance checker attached.
+    /// Best-of-[`GATE_PASSES`] wall-clock seconds of a pass over the
+    /// subset with the live conformance checker attached.
     pub conform_wall_s: f64,
-    /// Runs conformance-checked during that pass.
+    /// Runs conformance-checked across all checked passes.
     pub conform_runs: u64,
     /// Invariant violations found across those runs (must be 0).
     pub conform_violations: u64,
@@ -94,6 +102,12 @@ pub struct GateReport {
     /// Throughput of the pinned congestion-controller smoke (see
     /// [`cc_smoke`]).
     pub cc: CcSmoke,
+    /// Events/s of the pinned sustained-throughput workload (see
+    /// [`sustained_smoke`]): a saturating many-flow hotspot that keeps
+    /// the frame arena, the interferer fold and the FER path hot for the
+    /// whole run — the netbench-style figure the data-oriented hot path
+    /// is tuned against.
+    pub sustained_events_per_sec: f64,
 }
 
 /// Event throughput of the non-default congestion controllers on the
@@ -229,6 +243,10 @@ impl GateReport {
             "  \"cc_bbr_events_per_sec\": {:.0},\n",
             self.cc.bbr_events_per_sec
         ));
+        s.push_str(&format!(
+            "  \"sustained_events_per_sec\": {:.0},\n",
+            self.sustained_events_per_sec
+        ));
         s.push_str("  \"experiments\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
             s.push_str(&format!(
@@ -345,7 +363,9 @@ pub fn audit_root() -> u64 {
     out.audit.root_digest()
 }
 
-/// Runs the pinned gate subset sequentially and times it.
+/// Runs the pinned gate subset sequentially and times it: best of
+/// [`GATE_PASSES`] unchecked passes for the throughput figure, best of
+/// [`GATE_PASSES`] conformance-checked passes for the overhead ratio.
 ///
 /// # Panics
 ///
@@ -354,38 +374,52 @@ pub fn audit_root() -> u64 {
 pub fn run_gate() -> GateReport {
     let reg = registry();
     let ctx = RunCtx::sequential(gate_quality());
-    let mut stats_out = Vec::new();
-    for id in GATE_SUBSET {
-        let (_, gen) = reg
-            .iter()
-            .find(|(rid, _)| rid == id)
-            .expect("gate subset id in registry");
-        let before = stats::snapshot();
-        let t = Instant::now();
-        let _ = gen(&ctx);
-        let wall_s = t.elapsed().as_secs_f64();
-        let used = stats::snapshot().since(before);
-        stats_out.push(GateStat {
-            id: (*id).to_string(),
-            wall_s,
-            events: used.events_processed,
-        });
+    let mut stats_out: Option<Vec<GateStat>> = None;
+    for _ in 0..GATE_PASSES {
+        let mut pass = Vec::new();
+        for id in GATE_SUBSET {
+            let (_, gen) = reg
+                .iter()
+                .find(|(rid, _)| rid == id)
+                .expect("gate subset id in registry");
+            let before = stats::snapshot();
+            let t = Instant::now();
+            let _ = gen(&ctx);
+            let wall_s = t.elapsed().as_secs_f64();
+            let used = stats::snapshot().since(before);
+            pass.push(GateStat {
+                id: (*id).to_string(),
+                wall_s,
+                events: used.events_processed,
+            });
+        }
+        let total: f64 = pass.iter().map(|s| s.wall_s).sum();
+        let best = stats_out
+            .as_ref()
+            .map(|b| b.iter().map(|s| s.wall_s).sum::<f64>());
+        if best.is_none_or(|b| total < b) {
+            stats_out = Some(pass);
+        }
     }
-    // Second pass, identical fidelity, with the live conformance checker
-    // attached to every run: the wall-clock delta *is* the checker's
-    // overhead, and the subset doubles as a protocol regression test —
-    // any violation fails `--check`.
+    let stats_out = stats_out.expect("at least one gate pass ran");
+    // Same subset, identical fidelity, with the live conformance checker
+    // attached to every run: the wall-clock delta between the two best
+    // passes *is* the checker's overhead, and the subset doubles as a
+    // protocol regression test — any violation fails `--check`.
     let camp = crate::ConformCampaign::new();
     let conform_ctx = RunCtx::sequential(gate_quality()).with_conform(camp.clone());
-    let t = Instant::now();
-    for id in GATE_SUBSET {
-        let (_, gen) = reg
-            .iter()
-            .find(|(rid, _)| rid == id)
-            .expect("gate subset id in registry");
-        let _ = gen(&conform_ctx);
+    let mut conform_wall_s = f64::INFINITY;
+    for _ in 0..GATE_PASSES {
+        let t = Instant::now();
+        for id in GATE_SUBSET {
+            let (_, gen) = reg
+                .iter()
+                .find(|(rid, _)| rid == id)
+                .expect("gate subset id in registry");
+            let _ = gen(&conform_ctx);
+        }
+        conform_wall_s = conform_wall_s.min(t.elapsed().as_secs_f64());
     }
-    let conform_wall_s = t.elapsed().as_secs_f64();
     let reports = camp.take_reports();
     let conform_runs = reports.len() as u64;
     let conform_violations = reports.iter().map(|(_, r)| r.violation_count()).sum();
@@ -399,7 +433,43 @@ pub fn run_gate() -> GateReport {
         conform_violations,
         world: world_smoke(),
         cc: cc_smoke(),
+        sustained_events_per_sec: sustained_smoke(),
     }
+}
+
+/// Times the pinned sustained-throughput workload: one AP saturating
+/// eight stations with CBR/UDP over RTS/CTS and a lossy channel for the
+/// full run. Unlike the figure experiments — which sweep a parameter
+/// and spend much of their wall clock in set-up — this keeps the medium
+/// contended and the frame arena, interferer fold and FER path hot for
+/// every dispatched event, so it is the most direct events/s probe of
+/// the data-oriented hot path. Best of [`GATE_PASSES`] passes — this
+/// number is gated against the baseline, so like the subset it must be
+/// robust to a transiently loaded machine (noise only adds time).
+pub fn sustained_smoke() -> f64 {
+    use greedy80211::{Run, Scenario, TransportKind};
+    let s = Scenario {
+        transport: TransportKind::SATURATING_UDP,
+        pairs: 8,
+        shared_sender: true,
+        payload: 1024,
+        byte_error_rate: 2e-4,
+        duration: sim::SimDuration::from_secs(2),
+        seed: 7,
+        ..Scenario::default()
+    };
+    let mut best = 0.0f64;
+    for _ in 0..GATE_PASSES {
+        let before = stats::snapshot();
+        let t = Instant::now();
+        Run::plan(&s)
+            .execute()
+            .expect("pinned sustained smoke is valid");
+        let wall = t.elapsed().as_secs_f64();
+        let used = stats::snapshot().since(before);
+        best = best.max(used.events_processed as f64 / wall.max(1e-9));
+    }
+    best
 }
 
 /// Times the pinned CC smoke: the default 2-pair TCP scenario at gate
@@ -507,12 +577,13 @@ pub fn check_against_baseline(
             tolerance * 100.0
         ));
     }
-    // The CC smoke rides the same band when the baseline carries its
-    // keys (older baselines predate the controller zoo and gate only
+    // The CC and sustained smokes ride the same band when the baseline
+    // carries their keys (older baselines predate them and gate only
     // the aggregate).
     for (key, cur_cc) in [
         ("cc_cubic_events_per_sec", report.cc.cubic_events_per_sec),
         ("cc_bbr_events_per_sec", report.cc.bbr_events_per_sec),
+        ("sustained_events_per_sec", report.sustained_events_per_sec),
     ] {
         let Some(base_cc) = baseline_value(&text, key) else {
             continue;
@@ -558,6 +629,7 @@ mod tests {
                 cubic_events_per_sec: 900_000.0,
                 bbr_events_per_sec: 850_000.0,
             },
+            sustained_events_per_sec: 1_200_000.0,
         };
         let json = r.to_json();
         let eps = baseline_events_per_sec(&json).expect("parsable");
@@ -569,9 +641,14 @@ mod tests {
         assert!(json.contains("\"world_cells9_events_per_sec\": 800000"));
         assert!(json.contains("\"cc_cubic_events_per_sec\": 900000"));
         assert!(json.contains("\"cc_bbr_events_per_sec\": 850000"));
+        assert!(json.contains("\"sustained_events_per_sec\": 1200000"));
         assert_eq!(
             baseline_value(&json, "cc_cubic_events_per_sec"),
             Some(900_000.0)
+        );
+        assert_eq!(
+            baseline_value(&json, "sustained_events_per_sec"),
+            Some(1_200_000.0)
         );
     }
 
@@ -597,6 +674,7 @@ mod tests {
                 cubic_events_per_sec: 0.0,
                 bbr_events_per_sec: 0.0,
             },
+            sustained_events_per_sec: 0.0,
         };
         assert!(mk(1.10, 0).conform_check(15.0).is_ok());
         assert!(mk(1.30, 0).conform_check(15.0).is_err());
@@ -636,6 +714,7 @@ mod tests {
                 cubic_events_per_sec: 0.0,
                 bbr_events_per_sec: 0.0,
             },
+            sustained_events_per_sec: 0.0,
         };
         assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
         assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());

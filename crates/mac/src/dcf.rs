@@ -83,12 +83,18 @@ impl snap::SnapValue for TimerKind {
 }
 
 /// What a reception concluded to, as reported by the medium.
-#[derive(Debug, Clone)]
-pub enum RxEvent<M> {
+///
+/// The frame is *borrowed*: the medium keeps every in-flight frame in
+/// its [`crate::FrameArena`] and hands stations a reference, so a
+/// reception costs no frame clone. A station that needs payload or
+/// header data past the handler's return (delivery, response frames)
+/// copies exactly the fields it keeps.
+#[derive(Debug, Clone, Copy)]
+pub enum RxEvent<'a, M> {
     /// Frame decoded correctly.
     Ok {
         /// The received frame.
-        frame: Frame<M>,
+        frame: &'a Frame<M>,
         /// Received signal strength in dBm.
         rssi_dbm: f64,
     },
@@ -98,7 +104,7 @@ pub enum RxEvent<M> {
     /// feasible).
     Corrupted {
         /// The damaged frame (headers readable, payload unusable).
-        frame: Frame<M>,
+        frame: &'a Frame<M>,
         /// Received signal strength in dBm.
         rssi_dbm: f64,
         /// Why the frame was damaged.
@@ -263,6 +269,27 @@ enum Awaiting {
     Ack,
 }
 
+/// What `on_tx_end` needs to know about the frame that just left the
+/// radio — kept instead of a full [`Frame`] clone per transmission.
+#[derive(Debug, Clone, Copy)]
+struct TxMeta {
+    kind: FrameKind,
+    spoofed: bool,
+}
+
+impl snap::SnapValue for TxMeta {
+    fn save(&self, w: &mut snap::Enc) {
+        self.kind.save(w);
+        w.bool(self.spoofed);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(TxMeta {
+            kind: FrameKind::load(r)?,
+            spoofed: r.bool()?,
+        })
+    }
+}
+
 impl snap::SnapValue for Awaiting {
     fn save(&self, w: &mut snap::Enc) {
         w.u8(match self {
@@ -303,7 +330,7 @@ pub struct Dcf<M: Msdu> {
     access_armed: bool,
     phys_busy: bool,
     txing: bool,
-    tx_frame: Option<Frame<M>>,
+    tx_meta: Option<TxMeta>,
     /// When the *physical* medium last became idle (others' transmissions).
     phys_idle_since: SimTime,
     /// When our own radio last finished transmitting.
@@ -371,7 +398,7 @@ impl<M: Msdu> Dcf<M> {
             access_armed: false,
             phys_busy: false,
             txing: false,
-            tx_frame: None,
+            tx_meta: None,
             phys_idle_since: SimTime::ZERO,
             own_tx_idle_since: SimTime::ZERO,
             use_eifs: false,
@@ -544,8 +571,8 @@ impl<M: Msdu> Dcf<M> {
         debug_assert!(self.txing, "tx end without transmission");
         self.txing = false;
         self.own_tx_idle_since = now;
-        let frame = self.tx_frame.take().expect("tx end without frame");
-        match frame.kind {
+        let meta = self.tx_meta.take().expect("tx end without frame");
+        match meta.kind {
             FrameKind::Rts => {
                 self.awaiting = Some(Awaiting::Cts);
                 actions.push(MacAction::SetTimer {
@@ -553,7 +580,7 @@ impl<M: Msdu> Dcf<M> {
                     after: self.cfg.params.response_timeout(CTS_BYTES),
                 });
             }
-            FrameKind::Data if !frame.is_spoofed() && self.current.is_some() => {
+            FrameKind::Data if !meta.spoofed && self.current.is_some() => {
                 self.awaiting = Some(Awaiting::Ack);
                 actions.push(MacAction::SetTimer {
                     kind: TimerKind::Response,
@@ -567,7 +594,7 @@ impl<M: Msdu> Dcf<M> {
     }
 
     /// A reception concluded at this station.
-    pub fn on_rx_end(&mut self, now: SimTime, event: RxEvent<M>) -> MacActions<M> {
+    pub fn on_rx_end(&mut self, now: SimTime, event: RxEvent<'_, M>) -> MacActions<M> {
         match event {
             RxEvent::Ok { frame, rssi_dbm } => self.on_rx_ok(now, frame, rssi_dbm),
             RxEvent::Corrupted {
@@ -619,12 +646,12 @@ impl<M: Msdu> Dcf<M> {
     // Reception handling
     // ------------------------------------------------------------------
 
-    fn on_rx_ok(&mut self, now: SimTime, frame: Frame<M>, rssi_dbm: f64) -> MacActions<M> {
+    fn on_rx_ok(&mut self, now: SimTime, frame: &Frame<M>, rssi_dbm: f64) -> MacActions<M> {
         let mut actions = self.pool.take();
         self.use_eifs = false;
         let to_me = frame.dst == self.id;
         let meta = FrameMeta { rssi_dbm, now };
-        let honored_duration = self.observer.on_frame(&frame, &meta, to_me);
+        let honored_duration = self.observer.on_frame(frame, &meta, to_me);
         if !to_me {
             self.nav.update(now, honored_duration, false);
             if honored_duration > 0 {
@@ -700,7 +727,7 @@ impl<M: Msdu> Dcf<M> {
             }
             FrameKind::Ack if to_me && self.awaiting == Some(Awaiting::Ack) => {
                 let expected_from = self.current.as_ref().map(|c| c.dst).unwrap_or(frame.src);
-                if self.observer.accept_ack(&frame, &meta, expected_from) {
+                if self.observer.accept_ack(frame, &meta, expected_from) {
                     actions.push(MacAction::CancelTimer(TimerKind::Response));
                     self.awaiting = None;
                     self.complete_current_success(now, &mut actions);
@@ -711,7 +738,7 @@ impl<M: Msdu> Dcf<M> {
             FrameKind::Data
                 if !to_me
                 // Promiscuous sniffing: misbehavior 2 hook.
-                && self.policy.spoof_ack_for(&frame, &mut self.rng)
+                && self.policy.spoof_ack_for(frame, &mut self.rng)
                     && self.pending_response.is_none()
                     && !self.txing =>
             {
@@ -728,7 +755,7 @@ impl<M: Msdu> Dcf<M> {
     fn on_rx_corrupted(
         &mut self,
         now: SimTime,
-        frame: Frame<M>,
+        frame: &Frame<M>,
         rssi_dbm: f64,
         cause: CorruptionCause,
     ) -> MacActions<M> {
@@ -745,7 +772,7 @@ impl<M: Msdu> Dcf<M> {
             && frame.kind == FrameKind::Data
             && self.pending_response.is_none()
             && !self.txing
-            && self.policy.ack_corrupted(&frame, &mut self.rng)
+            && self.policy.ack_corrupted(frame, &mut self.rng)
         {
             self.counters.fake_acks_sent.incr();
             self.queue_response(Frame::ack(self.id, frame.src, 0), &mut actions);
@@ -860,7 +887,10 @@ impl<M: Msdu> Dcf<M> {
         // Our own transmission suspends any pending backoff countdown.
         self.freeze_countdown(now, actions);
         self.txing = true;
-        self.tx_frame = Some(frame.clone());
+        self.tx_meta = Some(TxMeta {
+            kind: frame.kind,
+            spoofed: frame.is_spoofed(),
+        });
         actions.push(MacAction::StartTx(frame));
     }
 
@@ -1104,7 +1134,7 @@ impl<M: Msdu> snap::SnapState for Dcf<M> {
         w.bool(self.access_armed);
         w.bool(self.phys_busy);
         w.bool(self.txing);
-        self.tx_frame.save(w);
+        self.tx_meta.save(w);
         w.u64(self.phys_idle_since.as_nanos());
         w.u64(self.own_tx_idle_since.as_nanos());
         w.bool(self.use_eifs);
@@ -1142,7 +1172,7 @@ impl<M: Msdu> snap::SnapState for Dcf<M> {
         self.access_armed = r.bool()?;
         self.phys_busy = r.bool()?;
         self.txing = r.bool()?;
-        self.tx_frame = Option::<Frame<M>>::load(r)?;
+        self.tx_meta = Option::<TxMeta>::load(r)?;
         self.phys_idle_since = SimTime::from_nanos(r.u64()?);
         self.own_tx_idle_since = SimTime::from_nanos(r.u64()?);
         self.use_eifs = r.bool()?;
@@ -1244,7 +1274,7 @@ mod tests {
         let actions = d.on_rx_end(
             SimTime::from_millis(1),
             RxEvent::Ok {
-                frame: rts,
+                frame: &rts,
                 rssi_dbm: -40.0,
             },
         );
@@ -1276,7 +1306,7 @@ mod tests {
         d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: other,
+                frame: &other,
                 rssi_dbm: -40.0,
             },
         );
@@ -1284,7 +1314,7 @@ mod tests {
         let actions = d.on_rx_end(
             t + SimDuration::from_micros(100),
             RxEvent::Ok {
-                frame: rts,
+                frame: &rts,
                 rssi_dbm: -40.0,
             },
         );
@@ -1308,7 +1338,7 @@ mod tests {
         let actions = d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: data.clone(),
+                frame: &data,
                 rssi_dbm: -40.0,
             },
         );
@@ -1325,7 +1355,7 @@ mod tests {
         let actions = d.on_rx_end(
             t2,
             RxEvent::Ok {
-                frame: retx,
+                frame: &retx,
                 rssi_dbm: -40.0,
             },
         );
@@ -1347,7 +1377,7 @@ mod tests {
         let actions = d.on_rx_end(
             SimTime::from_millis(1),
             RxEvent::Ok {
-                frame: data,
+                frame: &data,
                 rssi_dbm: -40.0,
             },
         );
@@ -1366,7 +1396,7 @@ mod tests {
         d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: cts_to_me,
+                frame: &cts_to_me,
                 rssi_dbm: -40.0,
             },
         );
@@ -1375,7 +1405,7 @@ mod tests {
         d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: overheard,
+                frame: &overheard,
                 rssi_dbm: -40.0,
             },
         );
@@ -1390,7 +1420,7 @@ mod tests {
         d.on_rx_end(
             t,
             RxEvent::Corrupted {
-                frame: garbled,
+                frame: &garbled,
                 rssi_dbm: -70.0,
                 cause: CorruptionCause::Noise,
             },
@@ -1457,7 +1487,7 @@ mod tests {
         d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: cts,
+                frame: &cts,
                 rssi_dbm: -40.0,
             },
         );
@@ -1471,7 +1501,7 @@ mod tests {
         let a = d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: ack,
+                frame: &ack,
                 rssi_dbm: -40.0,
             },
         );
@@ -1532,7 +1562,7 @@ mod tests {
         d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: cts,
+                frame: &cts,
                 rssi_dbm: -40.0,
             },
         );
@@ -1582,7 +1612,7 @@ mod tests {
                 d.on_rx_end(
                     t0 + SimDuration::from_micros(100),
                     RxEvent::Corrupted {
-                        frame: garbled,
+                        frame: &garbled,
                         rssi_dbm: -70.0,
                         cause: CorruptionCause::Noise,
                     },
@@ -1622,7 +1652,7 @@ mod tests {
         let a = d.on_rx_end(
             t,
             RxEvent::Ok {
-                frame: sniffed,
+                frame: &sniffed,
                 rssi_dbm: -55.0,
             },
         );
@@ -1663,7 +1693,7 @@ mod tests {
         let a = d.on_rx_end(
             t,
             RxEvent::Corrupted {
-                frame: garbled,
+                frame: &garbled,
                 rssi_dbm: -70.0,
                 cause: CorruptionCause::Noise,
             },
@@ -1693,7 +1723,7 @@ mod tests {
         d.on_rx_end(
             SimTime::from_millis(1),
             RxEvent::Ok {
-                frame: inflated_rts,
+                frame: &inflated_rts,
                 rssi_dbm: -40.0,
             },
         );

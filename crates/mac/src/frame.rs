@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use phy::{airtime, PhyParams};
+use phy::{airtime, AirtimeTable, PhyParams};
 use sim::SimDuration;
 
 /// Maximum value of the 802.11 Duration/NAV field, in microseconds.
@@ -251,6 +251,18 @@ impl<M: Msdu> Frame<M> {
                 self.rate_bps.unwrap_or(params.data_rate_bps),
             ),
             _ => airtime::tx_duration_basic(params, self.mac_bytes()),
+        }
+    }
+
+    /// Airtime via a memoizing [`AirtimeTable`]; exact
+    /// [`Frame::airtime`] output for the table's PHY parameters.
+    pub fn airtime_with(&self, table: &mut AirtimeTable) -> SimDuration {
+        match self.kind {
+            FrameKind::Data => table.at(
+                self.mac_bytes(),
+                self.rate_bps.unwrap_or(table.params().data_rate_bps),
+            ),
+            _ => table.basic(self.mac_bytes()),
         }
     }
 

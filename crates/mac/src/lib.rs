@@ -21,6 +21,7 @@
 //! `gr-net` crate supplies the medium and event loop.
 
 #![warn(missing_docs)]
+pub mod arena;
 pub mod arf;
 pub mod backoff;
 pub mod counters;
@@ -33,6 +34,7 @@ pub mod nav;
 pub mod obs;
 pub mod policy;
 
+pub use arena::{FrameArena, FrameId, TxRecord};
 pub use arf::{Arf, ArfConfig};
 pub use counters::MacCounters;
 pub use dcf::{

@@ -2,7 +2,9 @@
 
 use gr_mac::backoff::Backoff;
 use gr_mac::dedup::DedupCache;
-use gr_mac::{Dcf, DcfConfig, Frame, MacAction, Nav, NodeId, RxEvent, TimerKind};
+use gr_mac::{
+    Dcf, DcfConfig, Frame, FrameArena, FrameId, MacAction, Nav, NodeId, RxEvent, TimerKind,
+};
 use phy::PhyParams;
 use proptest::prelude::*;
 use sim::{SimDuration, SimRng, SimTime};
@@ -84,14 +86,14 @@ proptest! {
             let frame: Frame<usize> = Frame::data(NodeId(src), NodeId(9), 314, seq, 100);
             let ev = if corrupted {
                 RxEvent::Corrupted {
-                    frame,
+                    frame: &frame,
                     rssi_dbm: -60.0,
                     cause: gr_mac::CorruptionCause::Noise,
                 }
             } else {
                 distinct.insert((src, seq));
                 RxEvent::Ok {
-                    frame,
+                    frame: &frame,
                     rssi_dbm: -60.0,
                 }
             };
@@ -110,6 +112,47 @@ proptest! {
             t += SimDuration::from_millis(1);
         }
         prop_assert!(deliveries as usize <= distinct.len());
+    }
+
+    /// Under arbitrary insert/remove churn — the access pattern MAC
+    /// retries and dedup drops produce on the tx table — a stale
+    /// [`FrameId`] is always detected (generation mismatch) and a
+    /// reused slot never aliases a live frame: every live handle reads
+    /// back exactly the sequence number it was inserted with, and every
+    /// removed handle reads back `None` forever after.
+    #[test]
+    fn frame_arena_stale_handles_never_alias(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..64, 0usize..16), 1..200)
+    ) {
+        let mut arena: FrameArena<usize> = FrameArena::new();
+        let mut live: Vec<(FrameId, u64)> = Vec::new();
+        let mut dead: Vec<FrameId> = Vec::new();
+        for (insert, seq, pick) in ops {
+            if insert || live.is_empty() {
+                let frame: Frame<usize> = Frame::data(NodeId(0), NodeId(1), 314, seq, 100);
+                let id = arena.insert(frame, SimTime::ZERO, SimTime::from_micros(seq));
+                // A reused slot must carry a fresh generation.
+                prop_assert!(
+                    !dead.iter().any(|d| d.idx() == id.idx() && d.gen() == id.gen()),
+                    "recycled slot {} reissued generation {}", id.idx(), id.gen()
+                );
+                live.push((id, seq));
+            } else {
+                let (id, seq) = live.swap_remove(pick % live.len());
+                let rec = arena.remove(id).expect("live handle must resolve");
+                prop_assert_eq!(rec.frame.seq, seq);
+                dead.push(id);
+            }
+            // Stale handles stay dead even while their slot is reused.
+            for d in &dead {
+                prop_assert!(arena.get(*d).is_none(), "stale handle resolved");
+            }
+            for (id, seq) in &live {
+                let rec = arena.get(*id).expect("live handle vanished");
+                prop_assert_eq!(rec.frame.seq, *seq, "live frame aliased by slot reuse");
+            }
+            prop_assert_eq!(arena.len(), live.len());
+        }
     }
 
     /// Enqueueing under a busy medium never transmits immediately, and

@@ -19,11 +19,15 @@
 use std::collections::{HashMap, VecDeque};
 
 use mac::{
-    CorruptionCause, Dcf, Frame, FrameKind, MacAction, MacActions, NodeId, RxEvent, TimerKind,
+    CorruptionCause, Dcf, Frame, FrameArena, FrameId, FrameKind, MacAction, MacActions, NodeId,
+    RxEvent, TimerKind,
 };
 use phy::error_model::PLCP_EQUIVALENT_BYTES;
-use phy::{channel::Reach, CaptureModel, ChannelModel, ErrorModel, PhyParams, Position};
-use sim::{Arena, ArenaHandle, Scheduler, SimDuration, SimRng, SimTime, TimerHandle};
+use phy::{
+    channel::Reach, AirtimeTable, CaptureModel, ChannelModel, ErrorModel, FerTable, LinkTable,
+    PhyParams, Position,
+};
+use sim::{Scheduler, SimDuration, SimRng, SimTime, TimerHandle};
 use snap::{SnapState as _, SnapValue as _};
 use transport::{
     CbrSource, FlowId, ProbeStats, Segment, TcpOutput, TcpReceiver, TcpSender, UdpSink,
@@ -60,7 +64,7 @@ pub(crate) enum Event {
         kind: TimerKind,
     },
     TxEnd {
-        tx: ArenaHandle,
+        tx: FrameId,
     },
     BusyOnset {
         node: NodeId,
@@ -70,7 +74,7 @@ pub(crate) enum Event {
     },
     RxConclude {
         node: NodeId,
-        tx: ArenaHandle,
+        tx: FrameId,
     },
     CbrTick {
         flow: FlowId,
@@ -156,13 +160,6 @@ pub(crate) struct NodeState {
     tx_history: VecDeque<(SimTime, SimTime)>,
 }
 
-#[derive(Debug, Clone)]
-struct ActiveTx {
-    frame: Frame<Segment>,
-    start: SimTime,
-    end: SimTime,
-}
-
 /// What a flow carries and the endpoint state machines.
 // The TCP variant dwarfs the UDP one since the sender embeds the
 // congestion-controller zoo; a handful of flows exist per network, so
@@ -235,7 +232,20 @@ pub struct Network {
     sched: Scheduler<Event>,
     /// Recent transmissions (active plus a short interference tail),
     /// referenced from in-flight events by generation-stamped handle.
-    txs: Arena<ActiveTx>,
+    /// Frames are interned here once at transmission-start and borrowed
+    /// everywhere else — steady state allocates zero frames per event.
+    frames: FrameArena<Segment>,
+    /// Precomputed per-pair reach and median received power (positions
+    /// are fixed after assembly).
+    link: LinkTable,
+    /// Memoized frame airtimes per `(size, rate)`.
+    air: AirtimeTable,
+    /// Interned error models with per-`(model, size)` FER memoization.
+    fer: FerTable,
+    /// Dense `(src, dst) → interned error-model index` resolving
+    /// `link_error → default_error`; rate-specific overrides still probe
+    /// the sparse map (guarded by an is-empty check).
+    link_em: Vec<u32>,
     /// Live TCP retransmission timers, indexed by flow id.
     flow_timers: Vec<Option<TimerHandle>>,
     recorder: Option<::obs::RecorderHandle>,
@@ -270,7 +280,34 @@ impl Network {
         default_error: ErrorModel,
         rng: SimRng,
     ) -> Self {
+        // Positions, error models and PHY rates are fixed from here on,
+        // so precompute the per-pair propagation table and intern every
+        // error model the hot path can resolve without a rate override.
+        // Interning walks the map keys sorted so table indices are
+        // deterministic across runs.
+        let positions: Vec<Position> = nodes.iter().map(|(pos, _)| *pos).collect();
+        let n = positions.len();
+        let link = LinkTable::build(&channel, &positions);
+        let mut fer = FerTable::new();
+        let default_idx = fer.intern(default_error);
+        let mut link_em = vec![default_idx; n * n];
+        let mut overrides: Vec<(u16, u16)> = link_error.keys().copied().collect();
+        overrides.sort_unstable();
+        for key in overrides {
+            link_em[key.0 as usize * n + key.1 as usize] = fer.intern(link_error[&key]);
+        }
+        // Warm every model's FER cache with the control-frame sizes (the
+        // data sizes vary per flow payload and memoize on first use).
+        let control_sizes = [
+            mac::frame::RTS_BYTES + PLCP_EQUIVALENT_BYTES,
+            mac::frame::CTS_BYTES + PLCP_EQUIVALENT_BYTES,
+            mac::frame::ACK_BYTES + PLCP_EQUIVALENT_BYTES,
+        ];
+        for idx in 0..=link_em.iter().copied().max().unwrap_or(default_idx) {
+            fer.prefill(idx, &control_sizes);
+        }
         Network {
+            air: AirtimeTable::new(phy),
             phy,
             channel,
             capture,
@@ -292,7 +329,10 @@ impl Network {
             default_error,
             rng,
             sched: Scheduler::new(),
-            txs: Arena::new(),
+            frames: FrameArena::new(),
+            link,
+            fer,
+            link_em,
             recorder: None,
             conform: None,
             epoch_tx_log: None,
@@ -682,14 +722,14 @@ impl Network {
             }
             Event::TxEnd { tx } => {
                 let node = self
-                    .txs
+                    .frames
                     .get(tx)
                     .expect("tx end without record")
                     .frame
                     .actual_tx;
                 let actions = self.nodes[node.0 as usize].dcf.on_tx_end(now);
                 self.process_actions(now, node, actions);
-                self.prune_txs(now);
+                self.prune_frames(now);
             }
             Event::BusyOnset { node } => {
                 let st = &mut self.nodes[node.0 as usize];
@@ -856,7 +896,7 @@ impl Network {
 
     fn start_transmission(&mut self, now: SimTime, frame: Frame<Segment>) {
         let src = frame.actual_tx;
-        let airtime = frame.airtime(&self.phy);
+        let airtime = frame.airtime_with(&mut self.air);
         let end = now + airtime;
         if let Some(rec) = &self.recorder {
             phy::obs::record_tx_start(
@@ -871,11 +911,10 @@ impl Network {
         if let Some(log) = &mut self.epoch_tx_log {
             log.push((src, now, end));
         }
-        let id = self.txs.insert(ActiveTx {
-            frame,
-            start: now,
-            end,
-        });
+        // The frame moves into the arena once; everything downstream —
+        // busy tracking, reception, tx-end bookkeeping — works through
+        // the generation-stamped handle.
+        let id = self.frames.insert(frame, now, end);
         {
             let st = &mut self.nodes[src.0 as usize];
             st.tx_history.push_back((now, end));
@@ -884,15 +923,13 @@ impl Network {
             }
         }
         self.sched.arm_at(end, Event::TxEnd { tx: id });
-        let src_pos = self.nodes[src.0 as usize].pos;
         let onset = (now + self.cs_latency).min(end);
         for m in 0..self.nodes.len() {
             if m == src.0 as usize {
                 continue;
             }
             let node = NodeId(m as u16);
-            let reach = self.channel.reach_between(src_pos, self.nodes[m].pos);
-            match reach {
+            match self.link.reach(src.0 as usize, m) {
                 Reach::None => {}
                 Reach::Sense => {
                     self.sched.arm_at(onset, Event::BusyOnset { node });
@@ -907,51 +944,45 @@ impl Network {
         }
     }
 
-    fn conclude_reception(&mut self, now: SimTime, node: NodeId, tx: ArenaHandle) {
+    fn conclude_reception(&mut self, now: SimTime, node: NodeId, tx: FrameId) {
         let _span = ::obs::span!("phy/receive");
-        let (a_start, a_end, a_src, a_dst, a_kind) = {
-            let a = self.txs.get(tx).expect("rx conclude without record");
-            (a.start, a.end, a.frame.actual_tx, a.frame.dst, a.frame.kind)
-        };
+        let rx = node.0 as usize;
+        let rec = self.frames.get(tx).expect("rx conclude without record");
+        let (a_start, a_end) = (rec.start, rec.end);
+        let (a_src, a_dst, a_kind) = (rec.frame.actual_tx, rec.frame.dst, rec.frame.kind);
         // Half-duplex: if we transmitted at any point during the frame, we
         // heard nothing of it.
+        if self.nodes[rx]
+            .tx_history
+            .iter()
+            .any(|&(s, e)| s < a_end && a_start < e)
         {
-            let st = &self.nodes[node.0 as usize];
-            if st.tx_history.iter().any(|&(s, e)| s < a_end && a_start < e) {
-                return;
-            }
+            return;
         }
-        let my_pos = self.nodes[node.0 as usize].pos;
-        let p_a = self
-            .channel
-            .rx_power_dbm(self.nodes[a_src.0 as usize].pos.distance_to(my_pos));
+        // Median received power doubles as the capture-comparison input
+        // and the RSSI jitter center (`rx_power_dbm ≡ rssi median`).
+        let p_a = self.link.power_dbm(a_src.0 as usize, rx);
         // Strongest overlapping interferer (anything decodable or sensed).
         // Arena order is arbitrary but the fold is a pure max, so the
         // result is order-independent.
         let mut max_other = f64::NEG_INFINITY;
-        for (h, b) in self.txs.entries() {
+        for (h, b) in self.frames.entries() {
             if h == tx || b.frame.actual_tx == node {
                 continue;
             }
             if b.start < a_end && a_start < b.end {
-                let b_pos = self.nodes[b.frame.actual_tx.0 as usize].pos;
-                if self.channel.reach_between(b_pos, my_pos) != Reach::None {
-                    max_other = max_other.max(self.channel.rx_power_dbm(b_pos.distance_to(my_pos)));
+                let b_src = b.frame.actual_tx.0 as usize;
+                if self.link.reach(b_src, rx) != Reach::None {
+                    max_other = max_other.max(self.link.power_dbm(b_src, rx));
                 }
             }
         }
-        let dist = self.nodes[a_src.0 as usize].pos.distance_to(my_pos);
-        let rssi_dbm = self.channel.rssi().sample_dbm(dist, &mut self.rng);
+        let rssi_dbm = self.channel.rssi().sample_from_median(p_a, &mut self.rng);
         let captured = max_other == f64::NEG_INFINITY
             || self.capture.decide(p_a, max_other) == phy::capture::CaptureOutcome::FirstCaptures;
-        // Exactly one frame copy leaves the arena record — it feeds the
-        // receiver's MAC through the RxEvent.
-        let frame = self
-            .txs
-            .get(tx)
-            .expect("rx conclude without record")
-            .frame
-            .clone();
+        // The frame never leaves the arena: the receiver's MAC borrows it
+        // through the RxEvent and copies only the fields it keeps.
+        let frame = &rec.frame;
         let event = if !captured {
             RxEvent::Corrupted {
                 frame,
@@ -959,14 +990,25 @@ impl Network {
                 cause: CorruptionCause::Collision,
             }
         } else {
-            let em = frame
-                .rate_bps
-                .and_then(|rate| self.rate_link_error.get(&(a_src.0, node.0, rate)))
-                .or_else(|| self.link_error.get(&(a_src.0, node.0)))
-                .copied()
-                .unwrap_or(self.default_error);
             let bytes = frame.mac_bytes() + PLCP_EQUIVALENT_BYTES;
-            if em.corrupts(bytes, &mut self.rng) {
+            // Rate-specific overrides are rare; probe the sparse map only
+            // when one could exist, else hit the dense interned table.
+            let rate_em = if self.rate_link_error.is_empty() {
+                None
+            } else {
+                frame
+                    .rate_bps
+                    .and_then(|rate| self.rate_link_error.get(&(a_src.0, node.0, rate)))
+                    .copied()
+            };
+            let corrupted = match rate_em {
+                Some(em) => em.corrupts(bytes, &mut self.rng),
+                None => {
+                    let idx = self.link_em[a_src.0 as usize * self.link.nodes() + rx];
+                    self.fer.corrupts(idx, bytes, &mut self.rng)
+                }
+            };
+            if corrupted {
                 RxEvent::Corrupted {
                     frame,
                     rssi_dbm,
@@ -1000,9 +1042,9 @@ impl Network {
         self.process_actions(now, node, actions);
     }
 
-    fn prune_txs(&mut self, now: SimTime) {
+    fn prune_frames(&mut self, now: SimTime) {
         let horizon = SimDuration::from_millis(50);
-        self.txs.retain(|t| t.end + horizon > now);
+        self.frames.retain(|t| t.end + horizon > now);
     }
 
     // ------------------------------------------------------------------
@@ -1301,7 +1343,7 @@ impl snap::SnapValue for Event {
                 kind: TimerKind::load(r)?,
             },
             1 => Event::TxEnd {
-                tx: ArenaHandle::load(r)?,
+                tx: FrameId::load(r)?,
             },
             2 => Event::BusyOnset {
                 node: NodeId::load(r)?,
@@ -1311,7 +1353,7 @@ impl snap::SnapValue for Event {
             },
             4 => Event::RxConclude {
                 node: NodeId::load(r)?,
-                tx: ArenaHandle::load(r)?,
+                tx: FrameId::load(r)?,
             },
             5 => Event::CbrTick {
                 flow: FlowId::load(r)?,
@@ -1328,21 +1370,6 @@ impl snap::SnapValue for Event {
                 seg: Segment::load(r)?,
             },
             t => return Err(snap::SnapError::Corrupt(format!("event tag {t}"))),
-        })
-    }
-}
-
-impl snap::SnapValue for ActiveTx {
-    fn save(&self, w: &mut snap::Enc) {
-        self.frame.save(w);
-        self.start.save(w);
-        self.end.save(w);
-    }
-    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
-        Ok(ActiveTx {
-            frame: Frame::load(r)?,
-            start: SimTime::load(r)?,
-            end: SimTime::load(r)?,
         })
     }
 }
@@ -1465,7 +1492,7 @@ impl snap::SnapState for Network {
     fn snap_save(&self, w: &mut snap::Enc) {
         self.rng.snap_save(w);
         self.sched.snap_save(w);
-        self.txs.save(w);
+        self.frames.save(w);
         w.usize(self.nodes.len());
         for st in &self.nodes {
             st.snap_save(w);
@@ -1479,7 +1506,7 @@ impl snap::SnapState for Network {
     fn snap_restore(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
         self.rng.snap_restore(r)?;
         self.sched.snap_restore(r)?;
-        self.txs = Arena::load(r)?;
+        self.frames = FrameArena::load(r)?;
         let n = r.usize()?;
         if n != self.nodes.len() {
             return Err(snap::SnapError::Corrupt(format!(
@@ -1539,7 +1566,7 @@ impl Network {
             for st in &self.nodes {
                 st.snap_save(&mut w);
             }
-            self.txs.save(&mut w);
+            self.frames.save(&mut w);
             snap::fnv1a(w.bytes())
         };
         let transport = {

@@ -98,6 +98,39 @@ impl ErrorModel {
         rng.chance(self.fer(frame_bytes))
     }
 
+    /// Frame error rates for a batch of frame sizes, appended to `out`
+    /// in slice order. Each element is bit-identical to
+    /// [`ErrorModel::fer`] of that size; the batch form hoists the
+    /// per-model `ln(1 − rate)` out of the loop, which is what makes
+    /// prefilling a [`crate::FerTable`] at assembly time cheap.
+    pub fn fer_batch(&self, frame_bytes: &[usize], out: &mut Vec<f64>) {
+        if self.unit == ErrorUnit::Packet {
+            out.extend(std::iter::repeat_n(self.rate, frame_bytes.len()));
+            return;
+        }
+        let ln_keep = (1.0 - self.rate).ln();
+        for &b in frame_bytes {
+            let units = match self.unit {
+                ErrorUnit::Bit => b as f64 * 8.0,
+                ErrorUnit::Byte => b as f64,
+                ErrorUnit::Packet => unreachable!("handled above"),
+            };
+            out.push(1.0 - (ln_keep * units).exp());
+        }
+    }
+
+    /// Samples a batch of frames for corruption, appending one verdict
+    /// per size to `out`. Draws exactly one `chance` per element **in
+    /// slice order**, so a batch over frames in dispatch order consumes
+    /// the RNG stream identically to per-frame [`ErrorModel::corrupts`]
+    /// calls in that order — the draw-order contract DESIGN.md §16
+    /// relies on.
+    pub fn corrupts_batch(&self, frame_bytes: &[usize], rng: &mut SimRng, out: &mut Vec<bool>) {
+        for &b in frame_bytes {
+            out.push(rng.chance(self.fer(b)));
+        }
+    }
+
     /// Samples whether a specific contiguous field of `field_bytes` bytes
     /// within a frame is hit by the error process (used by the corrupted-
     /// address study, Table I).

@@ -28,6 +28,7 @@ pub mod obs;
 pub mod params;
 pub mod position;
 pub mod rssi;
+pub mod sampler;
 
 pub use airtime::tx_duration;
 pub use capture::CaptureModel;
@@ -36,3 +37,4 @@ pub use error_model::{ErrorModel, ErrorUnit};
 pub use params::{PhyParams, PhyStandard};
 pub use position::Position;
 pub use rssi::RssiModel;
+pub use sampler::{AirtimeTable, FerTable, LinkTable};

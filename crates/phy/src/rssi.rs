@@ -67,6 +67,15 @@ impl RssiModel {
         self.median_dbm(d) + rng.normal(self.jitter_sigma_db)
     }
 
+    /// One per-packet RSSI observation around a *precomputed* link
+    /// median. Bit-identical (same value, same single RNG draw) to
+    /// [`RssiModel::sample_dbm`] when `median_dbm` came from
+    /// [`RssiModel::median_dbm`] at the same distance — the form the
+    /// hot path uses with the per-link power table.
+    pub fn sample_from_median(&self, median_dbm: f64, rng: &mut SimRng) -> f64 {
+        median_dbm + rng.normal(self.jitter_sigma_db)
+    }
+
     /// Ratio of two received powers in dB (`a − b`), the quantity compared
     /// against the capture threshold.
     pub fn power_ratio_db(a_dbm: f64, b_dbm: f64) -> f64 {

@@ -23,6 +23,26 @@ pub struct ArenaHandle {
     gen: u32,
 }
 
+impl ArenaHandle {
+    /// Reassembles a handle from its raw parts, for typed wrappers (the
+    /// MAC frame arena) that mint their own handle type over an `Arena`.
+    /// A fabricated handle is safe: lookups through a wrong generation
+    /// just return `None`.
+    pub fn from_raw(idx: u32, gen: u32) -> Self {
+        ArenaHandle { idx, gen }
+    }
+
+    /// Slot index of this handle.
+    pub fn idx(&self) -> u32 {
+        self.idx
+    }
+
+    /// Generation stamp of this handle.
+    pub fn gen(&self) -> u32 {
+        self.gen
+    }
+}
+
 #[derive(Debug)]
 struct ArenaSlot<T> {
     gen: u32,
