@@ -93,6 +93,13 @@ for f in "$CK"/cc1/*.csv; do
   cmp "$f" "$CK/cc8/$(basename "$f")"
 done
 
+echo "==> roc detection-science smoke (ROC/adaptive/delay artifacts, jobs 1 vs 8 byte-identical)"
+cargo run --release --offline -p gr-bench --bin repro -- \
+  roc --quick --seeds 2 --jobs 1 --out "$CK/roc1" >/dev/null
+cargo run --release --offline -p gr-bench --bin repro -- \
+  roc --quick --seeds 2 --jobs 8 --out "$CK/roc8" >/dev/null
+diff -r "$CK/roc1/roc" "$CK/roc8/roc"
+
 echo "==> planted NAV bug is caught and shrunk (fault injection)"
 cargo test --offline -q -p gr-bench --test conform --features inject-nav-bug
 

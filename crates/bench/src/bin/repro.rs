@@ -11,6 +11,8 @@
 //! repro fuzz 25 --seed 7       # randomized conformance fuzzing
 //! repro world [--cells 3x3]    # multi-cell world campaign
 //! repro cc                     # congestion-control zoo matrix
+//! repro roc                    # detection science: ROC/AUC, adaptive
+//!                              # thresholds, CUSUM/SPRT delays
 //! repro --list                 # available experiment ids
 //! ```
 //!
@@ -169,8 +171,8 @@ fn quality_for(quick: bool, seeds_override: Option<u64>) -> Quality {
 /// `roc`) into the legacy flag spelling the single flag parser below
 /// understands. Anything else — including the old flag spellings, which
 /// remain hidden aliases — passes through untouched. Returns `Err` with
-/// an exit code for subcommands that refuse to run (`roc` is reserved,
-/// `fuzz` without a case count).
+/// an exit code for subcommands that refuse to run (`fuzz` without a
+/// case count).
 fn expand_subcommand(raw: Vec<String>) -> Result<Vec<String>, ExitCode> {
     let prefixed = |flag: &str, rest: &[String]| {
         let mut v = vec![flag.to_string()];
@@ -210,13 +212,7 @@ fn expand_subcommand(raw: Vec<String>) -> Result<Vec<String>, ExitCode> {
             }
             v
         }
-        Some("roc") => {
-            eprintln!(
-                "`repro roc` (detector ROC sweeps) is reserved for a future release \
-                 and not implemented yet; see `repro --help` for what exists today"
-            );
-            return Err(ExitCode::FAILURE);
-        }
+        Some("roc") => prefixed("--roc", &raw[1..]),
         _ => raw,
     })
 }
@@ -238,6 +234,7 @@ fn main() -> ExitCode {
     let mut conform_no_whitelist = false;
     let mut world = false;
     let mut cc_zoo = false;
+    let mut roc_campaign = false;
     let mut seeds_override: Option<u64> = None;
     let mut cells: Option<(usize, usize)> = None;
     let mut fig2_check = false;
@@ -263,6 +260,7 @@ fn main() -> ExitCode {
             }
             "--world" => world = true,
             "--cc" => cc_zoo = true,
+            "--roc" => roc_campaign = true,
             "--fig2-check" => fig2_check = true,
             "--cells" => match args.next() {
                 Some(spec) => match spec
@@ -389,6 +387,7 @@ fn main() -> ExitCode {
                      repro fuzz N [--seed K]\n       \
                      repro world [--cells RxC]\n       \
                      repro cc\n       \
+                     repro roc\n       \
                      repro --audit-compare A.audit B.audit\n       \
                      repro --list\n\n  \
                      Subcommands expand to the flag spellings they replaced \
@@ -423,6 +422,9 @@ fn main() -> ExitCode {
                      --cc                  congestion-control zoo: sweep {{newreno,cubic,bbr,\n                        \
                      newreno+hystart}} x {{honest,nav,spoof,fake}} into\n                        \
                      DIR/cc_matrix.csv and DIR/cc-<controller>.csv\n  \
+                     --roc                 detection science: per-detector ROC frontiers and AUC,\n                        \
+                     load-adaptive threshold validation, CUSUM/SPRT detection\n                        \
+                     delays — CSVs into DIR/roc/\n  \
                      --fig2-check          identity gate: fig2 via 1x1 worlds must match the\n                        \
                      direct fig2 CSV byte-for-byte\n  \
                      --bench-gate          time the pinned perf-gate subset, write BENCH_<date>.json\n  \
@@ -629,6 +631,39 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if roc_campaign {
+        let quality = quality_for(quick, seeds_override);
+        let campaign = gr_bench::RocCampaign::new(quality, jobs);
+        println!(
+            "# detection science — {} detector cell(s) × {} adaptive load(s), {} job(s)\n",
+            gr_bench::roc::CELLS.len(),
+            gr_bench::roc::ADAPTIVE_LOADS_BPS.len(),
+            jobs,
+        );
+        let t = Instant::now();
+        let roc_dir = out_dir.join("roc");
+        let report = match campaign.run(&roc_dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--roc: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        print!("{}", report.auc.render());
+        print!("{}", report.adaptive.render());
+        print!("{}", report.delays.render());
+        for path in &report.roc_csvs {
+            println!("  -> {}", path.display());
+        }
+        println!("  -> {}", report.obs_dir.display());
+        println!(
+            "  -> {} ({:.1}s)",
+            roc_dir.join("auc_summary.csv").display(),
+            t.elapsed().as_secs_f64()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     if world {
         let quality = quality_for(quick, seeds_override);
         let mut campaign = gr_bench::WorldCampaign::new(quality, jobs);
@@ -743,6 +778,10 @@ fn main() -> ExitCode {
         println!(
             "  sustained: {:.0} events/s (8-station saturating hotspot)",
             report.sustained_events_per_sec
+        );
+        println!(
+            "  roc smoke: {:.0} events/s (pinned detection-science campaign)",
+            report.roc_events_per_sec
         );
         let path = out_dir.join(format!("BENCH_{}.json", report.date));
         if let Err(e) = std::fs::write(&path, report.to_json()) {

@@ -108,6 +108,13 @@ pub struct GateReport {
     /// whole run — the netbench-style figure the data-oriented hot path
     /// is tuned against.
     pub sustained_events_per_sec: f64,
+    /// Events/s of the pinned detection-science smoke (see
+    /// [`roc_smoke`]): a tiny `repro roc` campaign end to end — paired
+    /// honest/greedy runs with windowed guard statistics, the offline
+    /// ROC sweep, the adaptive-threshold replay and the sequential
+    /// detectors. Catches a regression in the guard window tracking or
+    /// the detsci evaluation path that the figure subset never touches.
+    pub roc_events_per_sec: f64,
 }
 
 /// Event throughput of the non-default congestion controllers on the
@@ -246,6 +253,10 @@ impl GateReport {
         s.push_str(&format!(
             "  \"sustained_events_per_sec\": {:.0},\n",
             self.sustained_events_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"roc_events_per_sec\": {:.0},\n",
+            self.roc_events_per_sec
         ));
         s.push_str("  \"experiments\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
@@ -434,7 +445,40 @@ pub fn run_gate() -> GateReport {
         world: world_smoke(),
         cc: cc_smoke(),
         sustained_events_per_sec: sustained_smoke(),
+        roc_events_per_sec: roc_smoke(),
     }
+}
+
+/// Times the pinned detection-science smoke: a one-seed
+/// [`crate::RocCampaign`] at a fidelity pinned here, writing its
+/// artifacts to a scratch directory under the system temp dir.
+/// Most of the wall clock is the paired simulation runs, so the figure
+/// is events/s like the rest of the gate; the offline sweep and the
+/// sequential-detector replay ride inside the same timing, which is the
+/// point — a slowdown anywhere in the `repro roc` path moves it.
+///
+/// # Panics
+///
+/// Panics if the pinned campaign fails to run — a bug in this crate
+/// (the scratch directory is always creatable under `temp_dir`).
+pub fn roc_smoke() -> f64 {
+    let quality = Quality {
+        seeds: vec![1],
+        duration: sim::SimDuration::from_millis(500),
+        samples: 1_000,
+    };
+    let campaign = crate::RocCampaign {
+        quality,
+        jobs: 1,
+        window: sim::SimDuration::from_millis(100),
+    };
+    let dir = std::env::temp_dir().join("gr-gate-roc-smoke");
+    let before = stats::snapshot();
+    let t = Instant::now();
+    campaign.run(&dir).expect("pinned roc smoke is valid");
+    let wall = t.elapsed().as_secs_f64();
+    let used = stats::snapshot().since(before);
+    used.events_processed as f64 / wall.max(1e-9)
 }
 
 /// Times the pinned sustained-throughput workload: one AP saturating
@@ -577,13 +621,14 @@ pub fn check_against_baseline(
             tolerance * 100.0
         ));
     }
-    // The CC and sustained smokes ride the same band when the baseline
-    // carries their keys (older baselines predate them and gate only
-    // the aggregate).
+    // The CC, sustained and roc smokes ride the same band when the
+    // baseline carries their keys (older baselines predate them and
+    // gate only the aggregate).
     for (key, cur_cc) in [
         ("cc_cubic_events_per_sec", report.cc.cubic_events_per_sec),
         ("cc_bbr_events_per_sec", report.cc.bbr_events_per_sec),
         ("sustained_events_per_sec", report.sustained_events_per_sec),
+        ("roc_events_per_sec", report.roc_events_per_sec),
     ] {
         let Some(base_cc) = baseline_value(&text, key) else {
             continue;
@@ -630,6 +675,7 @@ mod tests {
                 bbr_events_per_sec: 850_000.0,
             },
             sustained_events_per_sec: 1_200_000.0,
+            roc_events_per_sec: 1_100_000.0,
         };
         let json = r.to_json();
         let eps = baseline_events_per_sec(&json).expect("parsable");
@@ -642,6 +688,11 @@ mod tests {
         assert!(json.contains("\"cc_cubic_events_per_sec\": 900000"));
         assert!(json.contains("\"cc_bbr_events_per_sec\": 850000"));
         assert!(json.contains("\"sustained_events_per_sec\": 1200000"));
+        assert!(json.contains("\"roc_events_per_sec\": 1100000"));
+        assert_eq!(
+            baseline_value(&json, "roc_events_per_sec"),
+            Some(1_100_000.0)
+        );
         assert_eq!(
             baseline_value(&json, "cc_cubic_events_per_sec"),
             Some(900_000.0)
@@ -675,6 +726,7 @@ mod tests {
                 bbr_events_per_sec: 0.0,
             },
             sustained_events_per_sec: 0.0,
+            roc_events_per_sec: 0.0,
         };
         assert!(mk(1.10, 0).conform_check(15.0).is_ok());
         assert!(mk(1.30, 0).conform_check(15.0).is_err());
@@ -715,6 +767,7 @@ mod tests {
                 bbr_events_per_sec: 0.0,
             },
             sustained_events_per_sec: 0.0,
+            roc_events_per_sec: 0.0,
         };
         assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
         assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());

@@ -23,6 +23,7 @@ pub mod experiments;
 pub mod fuzz;
 pub mod gate;
 pub mod quality;
+pub mod roc;
 pub mod sweep;
 pub mod table;
 pub mod world;
@@ -33,6 +34,7 @@ pub use gate::{
     GATE_TOLERANCE,
 };
 pub use quality::Quality;
+pub use roc::{RocCampaign, RocCampaignReport};
 pub use sweep::{sweep, sweep_scalar};
 pub use table::Experiment;
 pub use world::{fig2_check, WorldCampaign, WorldCampaignReport};

@@ -1,0 +1,178 @@
+//! Determinism bars for the `repro roc` detection-science campaign
+//! (the issue's acceptance criteria):
+//!
+//! 1. Every artifact the campaign writes — ROC frontiers, AUC summary,
+//!    adaptive validation, delay distribution, obs export — must be
+//!    byte-identical at `--jobs 1` and `--jobs 8`.
+//! 2. The windowed guard statistics the campaign is built on must
+//!    survive a checkpoint → resume round-trip bit-exactly, and the
+//!    `detect` audit layer must digest them deterministically.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use gr_bench::{Quality, RocCampaign};
+use greedy80211::detect::WindowStat;
+use greedy80211::{Checkpoint, GreedyConfig, Run, RunOutcome, Scenario, TransportKind};
+use sim::SimDuration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gr-roc-determinism").join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every file under `root`, as (relative path, bytes), sorted by path.
+fn dir_files(root: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(dir: &Path, base: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        let mut entries: Vec<_> = fs::read_dir(dir)
+            .expect("readable dir")
+            .map(|e| e.expect("entry").path())
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                walk(&p, base, out);
+            } else {
+                let rel = p.strip_prefix(base).expect("under base");
+                out.push((
+                    rel.to_string_lossy().into_owned(),
+                    fs::read(&p).expect("readable file"),
+                ));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(root, root, &mut out);
+    out
+}
+
+#[test]
+fn roc_artifacts_identical_at_jobs_1_and_8() {
+    let quality = Quality {
+        seeds: vec![1, 2],
+        duration: SimDuration::from_millis(600),
+        samples: 100,
+    };
+    let campaign = |jobs| RocCampaign {
+        quality: quality.clone(),
+        jobs,
+        window: SimDuration::from_millis(100),
+    };
+    let dir1 = tmp("jobs1");
+    let dir8 = tmp("jobs8");
+    campaign(1).run(&dir1).unwrap();
+    campaign(8).run(&dir8).unwrap();
+    let files1 = dir_files(&dir1);
+    let files8 = dir_files(&dir8);
+    assert!(
+        files1.iter().any(|(p, _)| p.ends_with("auc_summary.csv")),
+        "campaign must write the AUC summary"
+    );
+    assert_eq!(
+        files1.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+        files8.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+        "artifact sets must match"
+    );
+    for ((path, a), (_, b)) in files1.iter().zip(&files8) {
+        assert_eq!(a, b, "{path} differs between --jobs 1 and --jobs 8");
+    }
+    for d in [&dir1, &dir8] {
+        let _ = fs::remove_dir_all(d);
+    }
+}
+
+/// The spoof cell's scenario shape: saturating UDP over a lossy channel
+/// with detect-only GRC and windowed guard statistics armed.
+fn windowed_spoof_scenario() -> Scenario {
+    Scenario {
+        transport: TransportKind::SATURATING_UDP,
+        byte_error_rate: gr_bench::cc::LOSSY_BER,
+        grc: Some(false),
+        grc_windows: Some(SimDuration::from_millis(200)),
+        duration: SimDuration::from_secs(2),
+        ..Scenario::default()
+    }
+}
+
+/// Every guard window of the run, flattened to a comparable series:
+/// (node, guard, idx, peak, sum, samples) across NAV and spoof tracks.
+fn window_series(out: &RunOutcome) -> Vec<(u16, &'static str, u64, f64, f64, u64)> {
+    let mut rows = Vec::new();
+    for (node, snap) in &out.grc {
+        for (name, track) in [("nav", &snap.nav.windows), ("spoof", &snap.spoof.windows)] {
+            let Some(track) = track else { continue };
+            for WindowStat {
+                idx,
+                peak,
+                sum,
+                samples,
+            } in track.stats()
+            {
+                rows.push((node.0, name, idx, peak, sum, samples));
+            }
+        }
+    }
+    rows
+}
+
+#[test]
+fn windowed_guard_stats_survive_checkpoint_resume() {
+    let dir = tmp("ckpt");
+    let mut s = windowed_spoof_scenario();
+    // Attacked run: window tracks carry real spoof deviations, so the
+    // round-trip exercises non-trivial track state, not empty tracks.
+    let honest = Run::plan(&s).seeded(7).execute().expect("valid scenario");
+    s.greedy = vec![(
+        1,
+        GreedyConfig::ack_spoofing(vec![honest.receivers[0]], 1.0),
+    )];
+    let gold = Run::plan(&s)
+        .seeded(7)
+        .checkpoint_every(SimDuration::from_millis(500))
+        .audit_every(SimDuration::from_millis(500))
+        .execute()
+        .expect("valid scenario");
+    let gold_series = window_series(&gold);
+    assert!(
+        gold_series
+            .iter()
+            .any(|(_, _, _, _, _, samples)| *samples > 0),
+        "the attacked run must record windowed guard evidence"
+    );
+    assert!(gold.checkpoints.len() >= 3, "mid-run snapshots expected");
+    // The detect layer (guard state incl. window tracks) must be part of
+    // the audit ladder, and the whole ladder must be reproducible.
+    let audit_text = gold.audit.to_text();
+    assert!(
+        audit_text.contains("detect"),
+        "audit ladder must digest the detect layer:\n{audit_text}"
+    );
+    let again = Run::plan(&s)
+        .seeded(7)
+        .audit_every(SimDuration::from_millis(500))
+        .execute()
+        .expect("valid scenario");
+    assert_eq!(
+        gold.audit.root_digest(),
+        again.audit.root_digest(),
+        "audit root must be stable across identical runs"
+    );
+    // Resume from every mid-run snapshot: the thawed window tracks must
+    // continue into a final series identical to the uninterrupted run's.
+    for (at, bytes) in &gold.checkpoints {
+        let path = dir.join(format!("{}ms.snap", at.as_nanos() / 1_000_000));
+        Checkpoint::decode(bytes)
+            .expect("checkpoint decodes")
+            .write(&path)
+            .expect("checkpoint writes");
+        let resumed = Run::resume(&path).expect("checkpoint resumes");
+        assert_eq!(
+            window_series(&resumed),
+            gold_series,
+            "window stats diverged after resume at {at:?}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}

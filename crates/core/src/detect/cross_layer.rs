@@ -63,4 +63,26 @@ mod tests {
         let d = CrossLayerDetector::default();
         assert!(!d.is_spoofed(10, 100));
     }
+
+    #[test]
+    fn zero_retx_total_never_divides() {
+        // The division guard: any count of MAC-acked retransmissions
+        // with a zero total must return false (not NaN/panic), even
+        // above the noise floor — inconsistent counters can arrive from
+        // a truncated run.
+        let d = CrossLayerDetector::default();
+        assert!(!d.is_spoofed(5, 0));
+        assert!(!d.is_spoofed(u64::MAX, 0));
+    }
+
+    #[test]
+    fn ratio_boundary_is_inclusive() {
+        // `>= ratio_threshold`: exactly half of 10 retransmissions being
+        // MAC-acked flags; one fewer passes.
+        let d = CrossLayerDetector::default();
+        assert!(d.is_spoofed(5, 10));
+        assert!(!d.is_spoofed(4, 10));
+        // And the noise floor is inclusive too: min_events == 5 may flag.
+        assert!(d.is_spoofed(5, 5));
+    }
 }

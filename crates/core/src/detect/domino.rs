@@ -192,6 +192,50 @@ mod tests {
     }
 
     #[test]
+    fn sample_count_boundary_is_inclusive() {
+        // The flag rule is `n >= min_samples`: 19 zero-backoff accesses
+        // stay unjudged, the 20th (== min_samples) flags.
+        let det = DominoDetector::new(PhyParams::dot11b());
+        let below: Vec<(u16, u64)> = (0..det.min_samples - 1).map(|_| (1u16, 0u64)).collect();
+        let report = det.analyze(&synthetic_trace(&below));
+        assert_eq!(report.samples[&1], det.min_samples - 1);
+        assert!(report.flagged.is_empty(), "n < min_samples must not flag");
+        let at: Vec<(u16, u64)> = (0..det.min_samples).map(|_| (1u16, 0u64)).collect();
+        let report = det.analyze(&synthetic_trace(&at));
+        assert_eq!(report.samples[&1], det.min_samples);
+        assert_eq!(report.flagged, vec![1], "n == min_samples must flag");
+    }
+
+    #[test]
+    fn average_exactly_at_threshold_passes() {
+        // dot11b: nominal = CWmin/2 = 15.5 slots, threshold fraction 0.5
+        // → the decision boundary is avg == 7.75 (exact in binary). The
+        // rule is strictly-less, so a sender *at* the boundary passes and
+        // one epsilon below is flagged.
+        let det = DominoDetector::new(PhyParams::dot11b());
+        let boundary = det.params.cw_min as f64 / 2.0 * det.threshold_fraction;
+        assert_eq!(boundary, 7.75);
+        // 20 accesses averaging exactly 7.75 slots: 15 × 7 + 4 × 8 + 1 × 18.
+        let mut at: Vec<(u16, u64)> = Vec::new();
+        at.extend(std::iter::repeat_n((1u16, 7u64), 15));
+        at.extend(std::iter::repeat_n((1u16, 8u64), 4));
+        at.push((1, 18));
+        let report = det.analyze(&synthetic_trace(&at));
+        assert_eq!(report.samples[&1], det.min_samples);
+        assert_eq!(report.avg_backoff_slots[&1], boundary);
+        assert!(
+            report.flagged.is_empty(),
+            "avg == nominal · fraction must pass: {report:?}"
+        );
+        // Shave one slot off the total → avg 7.7 < 7.75 → flagged.
+        let mut under = at.clone();
+        under[19] = (1, 17);
+        let report = det.analyze(&synthetic_trace(&under));
+        assert!(report.avg_backoff_slots[&1] < boundary);
+        assert_eq!(report.flagged, vec![1]);
+    }
+
+    #[test]
     fn long_idle_gaps_excluded() {
         // One access after a huge idle period must not bias the average.
         let mut t = Trace::new(100);

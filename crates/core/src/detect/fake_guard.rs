@@ -113,6 +113,52 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_boundary_is_exclusive() {
+        // The rule is strictly-greater: a measured round-trip loss
+        // exactly at `expected_round_trip_loss + threshold` passes, and
+        // ±ε around the boundary splits exactly there.
+        let d = FakeAckDetector::default();
+        let eps = 1e-9;
+        for &mac_loss in &[0.0, 0.1, 0.3, 0.5, 0.9] {
+            let boundary = d.expected_round_trip_loss(mac_loss) + d.threshold;
+            assert!(
+                !d.is_greedy_round_trip(mac_loss, boundary),
+                "at the boundary must pass (mac_loss {mac_loss})"
+            );
+            assert!(
+                !d.is_greedy_round_trip(mac_loss, boundary - eps),
+                "below the boundary must pass (mac_loss {mac_loss})"
+            );
+            assert!(
+                d.is_greedy_round_trip(mac_loss, boundary + eps),
+                "above the boundary must flag (mac_loss {mac_loss})"
+            );
+        }
+    }
+
+    #[test]
+    fn one_way_boundary_is_exclusive() {
+        let d = FakeAckDetector::default();
+        let eps = 1e-9;
+        for &mac_loss in &[0.0, 0.2, 0.6] {
+            let boundary = d.expected_app_loss(mac_loss) + d.threshold;
+            assert!(!d.is_greedy(mac_loss, boundary));
+            assert!(!d.is_greedy(mac_loss, boundary - eps));
+            assert!(d.is_greedy(mac_loss, boundary + eps));
+        }
+    }
+
+    #[test]
+    fn out_of_range_mac_loss_is_clamped() {
+        let d = FakeAckDetector::default();
+        // A noisy estimator can hand in mac_loss outside [0, 1]; the
+        // expectation clamps instead of exploding.
+        assert_eq!(d.expected_app_loss(-0.3), 0.0);
+        assert_eq!(d.expected_app_loss(1.7), 1.0);
+        assert_eq!(d.expected_round_trip_loss(1.7), 1.0);
+    }
+
+    #[test]
     fn mac_loss_from_counters_ratio() {
         let mut c = MacCounters::new(31);
         c.data_sent.add(200);

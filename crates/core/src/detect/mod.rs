@@ -32,6 +32,7 @@ pub use fake_guard::FakeAckDetector;
 // the MAC's ObserverSlot enum); re-exported here so experiment code keeps
 // its historical `greedy80211::detect` paths.
 pub use mac::grc::{
-    GrcObserver, GrcReportHandles, GrcSnapshot, NavGuard, NavGuardHandle, NavGuardReport, Shared,
-    SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport,
+    GrcObserver, GrcReportHandles, GrcSnapshot, GrcTuning, NavGuard, NavGuardHandle,
+    NavGuardReport, Shared, SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport,
+    WindowStat, WindowTrack,
 };

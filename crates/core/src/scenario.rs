@@ -94,6 +94,12 @@ pub struct Scenario {
     /// Attach the GRC observer to every honest node;
     /// `Some(mitigate)` — `false` detects only, `true` also recovers.
     pub grc: Option<bool>,
+    /// With GRC attached, also track per-window decision statistics at
+    /// this window width (detection-science sweeps; see
+    /// `mac::grc::WindowTrack`). `None` — the default — records nothing
+    /// and leaves the guards' behavior byte-identical to before the knob
+    /// existed.
+    pub grc_windows: Option<SimDuration>,
     /// Per-byte error rate applied to every link (`0.0` = lossless).
     pub byte_error_rate: f64,
     /// Per-flow overrides of the byte error rate (both directions of the
@@ -135,6 +141,7 @@ impl Default for Scenario {
             payload: 1024,
             greedy: Vec::new(),
             grc: None,
+            grc_windows: None,
             byte_error_rate: 0.0,
             flow_error_overrides: Vec::new(),
             wire_delay: None,
@@ -184,6 +191,7 @@ impl snap::SnapValue for Scenario {
         self.capture_threshold_db.save(w);
         self.duration.save(w);
         w.u64(self.seed);
+        self.grc_windows.save(w);
     }
 
     fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
@@ -245,6 +253,7 @@ impl snap::SnapValue for Scenario {
             record: None,
             duration: SimDuration::load(r)?,
             seed: r.u64()?,
+            grc_windows: Option::load(r)?,
         })
     }
 }
@@ -463,7 +472,11 @@ impl Scenario {
                           pos: Position| {
             match self.grc {
                 Some(mitigate) => {
-                    let (obs, handles) = GrcObserver::new(params, mitigate);
+                    let tuning = crate::detect::GrcTuning {
+                        windows: self.grc_windows,
+                        ..Default::default()
+                    };
+                    let (obs, handles) = GrcObserver::tuned(params, mitigate, tuning);
                     let id = b.add_node_with_observer(pos, obs);
                     grc_reports.push((id, handles));
                     id

@@ -1,0 +1,349 @@
+//! Load-adaptive thresholds with a constant false-positive budget.
+//!
+//! The windowed detectors flag a window when its *peak* statistic
+//! exceeds a threshold. Under honest traffic the per-observation
+//! statistic is noise around zero — for the spoof guard, `|median −
+//! rssi|` of a normal RSSI jitter, i.e. half-normal with scale σ — so
+//! the peak of a window holding *n* observations stretches with *n*:
+//!
+//! ```text
+//! P(window flagged) = 1 − (1 − p_tail(θ))^n,   p_tail(θ) = 2(1 − Φ(θ/σ))
+//! ```
+//!
+//! A threshold fixed at low load therefore *drifts*: raise the offered
+//! load tenfold and the same θ fires an order of magnitude more honest
+//! windows. [`AdaptiveThreshold`] runs the equation backwards each
+//! window — estimate the rate *n̂* and scale σ̂ online, pick the
+//! per-observation tail mass that keeps the per-window budget β
+//! constant, and set
+//!
+//! ```text
+//! θ_w = σ̂ · Φ⁻¹(1 − p_w / 2),   p_w = 1 − (1 − β)^(1 / n̂)
+//! ```
+//!
+//! This is the S-FMD idea of scaling false-positive budgets to observed
+//! stream rates, applied to the GRC guards. The estimators are EWMAs;
+//! the scale estimate is winsorized — windows whose peak already exceeds
+//! the current threshold are excluded from σ̂ so an attack cannot teach
+//! the detector to tolerate itself.
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9 over (0, 1)).
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile needs 0 < p < 1, got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// Standard-normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * (x.abs() / std::f64::consts::SQRT_2));
+    let erf = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x / 2.0).exp();
+    if x >= 0.0 {
+        0.5 * (1.0 + erf)
+    } else {
+        0.5 * (1.0 - erf)
+    }
+}
+
+/// Tuning of an [`AdaptiveThreshold`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Target probability that an honest window is flagged (the
+    /// per-window false-positive budget β).
+    pub fp_budget: f64,
+    /// EWMA gain for the rate and scale estimators.
+    pub gain: f64,
+    /// Windows observed before adaptation starts; the initial threshold
+    /// holds during warm-up.
+    pub warmup_windows: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            fp_budget: 0.05,
+            gain: 0.2,
+            warmup_windows: 5,
+        }
+    }
+}
+
+/// Online threshold controller holding the per-window false-positive
+/// rate at the configured budget across load changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveThreshold {
+    fp_budget: f64,
+    gain: f64,
+    warmup_windows: u64,
+    initial: f64,
+    /// EWMA observations per window.
+    rate: f64,
+    /// EWMA of per-window mean |statistic| — for a half-normal
+    /// statistic, E|X| = σ·√(2/π), so σ̂ = scale·√(π/2).
+    scale: f64,
+    windows_seen: u64,
+    threshold: f64,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a controller that starts at `initial_threshold` and
+    /// adapts once warmed up.
+    pub fn new(cfg: AdaptiveConfig, initial_threshold: f64) -> Self {
+        AdaptiveThreshold {
+            fp_budget: cfg.fp_budget,
+            gain: cfg.gain,
+            warmup_windows: cfg.warmup_windows,
+            initial: initial_threshold,
+            rate: 0.0,
+            scale: 0.0,
+            windows_seen: 0,
+            threshold: initial_threshold,
+        }
+    }
+
+    /// The threshold to vet the *next* window against.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Estimated observations per window.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Vets one window (decision against the pre-update threshold —
+    /// predict, then update) and folds it into the estimators. Returns
+    /// whether the window was flagged.
+    pub fn step(&mut self, samples: u64, mean: f64, peak: f64) -> bool {
+        let flagged = samples > 0 && peak > self.threshold;
+        self.observe(samples, mean, flagged);
+        flagged
+    }
+
+    fn observe(&mut self, samples: u64, mean: f64, flagged: bool) {
+        let g = if self.windows_seen == 0 {
+            1.0
+        } else {
+            self.gain
+        };
+        self.rate += g * (samples as f64 - self.rate);
+        // Winsorize once warmed: a flagged window is (presumed) attack
+        // data and must not inflate the noise-scale estimate. During
+        // warm-up every window teaches — the calibration period is
+        // assumed honest, and without this bootstrap a high-load start
+        // would flag every window against the (low-load) initial
+        // threshold and the scale estimator would never converge.
+        let calibrating = self.windows_seen < self.warmup_windows || self.scale == 0.0;
+        if samples > 0 && (calibrating || !flagged) {
+            if self.scale == 0.0 {
+                self.scale = mean;
+            } else {
+                self.scale += self.gain * (mean - self.scale);
+            }
+        }
+        self.windows_seen += 1;
+        if self.windows_seen >= self.warmup_windows && self.rate >= 1.0 && self.scale > 0.0 {
+            let sigma = self.scale * (std::f64::consts::PI / 2.0).sqrt();
+            let p_tail = 1.0 - (1.0 - self.fp_budget).powf(1.0 / self.rate);
+            self.threshold = sigma * normal_quantile(1.0 - p_tail / 2.0);
+        } else {
+            self.threshold = self.initial;
+        }
+    }
+}
+
+impl snap::SnapValue for AdaptiveThreshold {
+    fn save(&self, w: &mut snap::Enc) {
+        w.f64(self.fp_budget);
+        w.f64(self.gain);
+        w.u64(self.warmup_windows);
+        w.f64(self.initial);
+        w.f64(self.rate);
+        w.f64(self.scale);
+        w.u64(self.windows_seen);
+        w.f64(self.threshold);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(AdaptiveThreshold {
+            fp_budget: r.f64()?,
+            gain: r.f64()?,
+            warmup_windows: r.u64()?,
+            initial: r.f64()?,
+            rate: r.f64()?,
+            scale: r.f64()?,
+            windows_seen: r.u64()?,
+            threshold: r.f64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::SimRng;
+    use snap::SnapValue as _;
+
+    #[test]
+    fn quantile_matches_known_values() {
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-5);
+        assert!((normal_quantile(0.999) - 3.090232).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        // The CDF approximation carries ~1.5e-7 absolute error; mapped
+        // through the steep tail inverse that is ~1e-3 in x.
+        for &x in &[-3.0, -1.5, -0.3, 0.0, 0.7, 2.2, 3.5] {
+            let p = normal_cdf(x);
+            assert!(
+                (normal_quantile(p) - x).abs() < 1e-3,
+                "Φ⁻¹(Φ({x})) drifted to {}",
+                normal_quantile(p)
+            );
+        }
+    }
+
+    /// Honest windows of half-normal statistics at three very different
+    /// rates: the fixed threshold's FPR drifts by an order of magnitude,
+    /// the adaptive controller stays inside the budget band. This is the
+    /// unit-level version of the campaign's load-sweep validation.
+    #[test]
+    fn adaptive_fpr_flat_where_fixed_drifts() {
+        let sigma = 0.5;
+        // Fixed threshold calibrated for ~5% window FPR at n = 4.
+        let p4 = 1.0 - 0.95f64.powf(1.0 / 4.0);
+        let fixed = sigma * normal_quantile(1.0 - p4 / 2.0);
+        let mut fixed_fpr = Vec::new();
+        let mut adaptive_fpr = Vec::new();
+        for (stream, &n) in [4u64, 40, 400].iter().enumerate() {
+            let mut rng = SimRng::new(0xDE75C1).fork(stream as u64);
+            let mut adaptive = AdaptiveThreshold::new(AdaptiveConfig::default(), fixed);
+            let windows = 400;
+            let mut fixed_hits = 0u32;
+            let mut adaptive_hits = 0u32;
+            let mut warmup = 0u32;
+            for w in 0..windows {
+                let samples: Vec<f64> = (0..n).map(|_| rng.normal(sigma).abs()).collect();
+                let peak = samples.iter().fold(0.0f64, |a, &b| a.max(b));
+                let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+                if peak > fixed {
+                    fixed_hits += 1;
+                }
+                let warmed = w >= 50;
+                let flagged = adaptive.step(n, mean, peak);
+                if warmed {
+                    if flagged {
+                        adaptive_hits += 1;
+                    }
+                } else {
+                    warmup += 1;
+                }
+            }
+            fixed_fpr.push(fixed_hits as f64 / windows as f64);
+            adaptive_fpr.push(adaptive_hits as f64 / (windows - warmup) as f64);
+        }
+        // Fixed: calibrated at the low rate, blown out at the high one.
+        assert!(
+            fixed_fpr[0] < 0.12,
+            "fixed at calibration rate: {fixed_fpr:?}"
+        );
+        assert!(
+            fixed_fpr[2] > 5.0 * fixed_fpr[0].max(0.02),
+            "fixed threshold failed to drift: {fixed_fpr:?}"
+        );
+        // Adaptive: inside a band around the 5% budget at every rate.
+        for (i, &fpr) in adaptive_fpr.iter().enumerate() {
+            assert!(
+                fpr < 0.15,
+                "adaptive FPR {fpr} out of band at rate index {i}: {adaptive_fpr:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warmup_holds_the_initial_threshold() {
+        let mut a = AdaptiveThreshold::new(AdaptiveConfig::default(), 2.5);
+        assert_eq!(a.threshold(), 2.5);
+        a.step(3, 0.4, 0.9);
+        assert_eq!(a.threshold(), 2.5, "one window must not end warm-up");
+    }
+
+    #[test]
+    fn empty_windows_decay_the_rate_not_the_scale() {
+        let mut a = AdaptiveThreshold::new(AdaptiveConfig::default(), 2.5);
+        for _ in 0..20 {
+            a.step(10, 0.4, 0.8);
+        }
+        let scale_before = a.scale;
+        for _ in 0..5 {
+            a.step(0, 0.0, 0.0);
+        }
+        assert!(a.rate() < 10.0);
+        assert_eq!(a.scale, scale_before);
+    }
+
+    #[test]
+    fn state_round_trips_through_snap() {
+        let mut a = AdaptiveThreshold::new(AdaptiveConfig::default(), 1.0);
+        for i in 0..10 {
+            a.step(5 + i % 3, 0.3 + i as f64 * 0.01, 0.7);
+        }
+        let mut w = snap::Enc::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let restored = AdaptiveThreshold::load(&mut snap::Dec::new(&bytes)).unwrap();
+        assert_eq!(restored, a);
+    }
+}

@@ -1,0 +1,42 @@
+//! Flight-recorder vocabulary for the detection-science layer.
+//!
+//! The `repro roc` campaign replays recorded per-window statistics
+//! through the adaptive and sequential detectors and narrates that
+//! evaluation into a standard `obs` recorder, so threshold trajectories
+//! and crossing times export through the same JSONL/CSV pipeline as
+//! `cc_state` and friends.
+
+use obs::{EventKind, Layer};
+
+/// Adaptive-threshold update: emitted once per evaluated window with the
+/// estimated rate and the threshold that will vet the next window.
+pub static THRESH_UPDATE: EventKind = EventKind {
+    name: "thresh_update",
+    layer: Layer::Mac,
+    fields: &["window", "rate", "threshold"],
+};
+
+/// CUSUM decision-interval crossing (a sequential detection).
+pub static CUSUM_CROSS: EventKind = EventKind {
+    name: "cusum_cross",
+    layer: Layer::Mac,
+    fields: &["window", "stat"],
+};
+
+/// SPRT boundary crossing; `obs` is the standardized observation whose
+/// increment crossed the boundary (the log-likelihood ratio itself
+/// resets with the verdict), `greedy` is 1 for an H₁ (misbehaving)
+/// verdict, 0 for H₀.
+pub static SPRT_CROSS: EventKind = EventKind {
+    name: "sprt_cross",
+    layer: Layer::Mac,
+    fields: &["window", "obs", "greedy"],
+};
+
+/// Detection-delay histogram (µs of virtual time from misbehavior onset
+/// to first signal) for the windowed fixed-threshold detector.
+pub const DELAY_HIST_WINDOWED: &str = "detect_delay_windowed_us";
+/// Detection-delay histogram for the CUSUM detector.
+pub const DELAY_HIST_CUSUM: &str = "detect_delay_cusum_us";
+/// Detection-delay histogram for the SPRT detector.
+pub const DELAY_HIST_SPRT: &str = "detect_delay_sprt_us";

@@ -1,0 +1,40 @@
+//! Detection science for the greedy80211 detectors.
+//!
+//! The reproduction's detectors (GRC NAV/spoof guards, fake-ACK guard,
+//! DOMINO, the cross-layer check) each reduce a window of observations to
+//! one scalar decision statistic and compare it against a fixed
+//! threshold. This crate treats that comparison as a tunable system
+//! instead of a constant:
+//!
+//! * [`roc`] — threshold sweeps over labelled honest/greedy statistic
+//!   samples: ROC frontiers, exact Mann–Whitney AUC, and operating-point
+//!   summaries. Statistics are recorded *threshold-free* during the run
+//!   (see `mac::grc::WindowTrack`), so one pair of campaigns covers the
+//!   whole grid.
+//! * [`adaptive`] — a load-adaptive threshold: an online estimator of
+//!   the per-window observation rate and statistic scale rescales the
+//!   threshold every window so the per-window false-positive budget
+//!   stays constant as offered load varies (fixed thresholds drift
+//!   because a window's peak of *n* samples grows with *n*).
+//! * [`seq`] — sequential detection over the same per-window statistics:
+//!   a one-sided CUSUM (decision interval calibrated from a target
+//!   in-control ARL via Siegmund's approximation) and a Wald SPRT with
+//!   configurable (α, β) error targets, for bounded detection delay.
+//! * [`events`] — flight-recorder event kinds and histogram names, so
+//!   threshold updates, CUSUM/SPRT crossings, and detection-delay
+//!   distributions land in the standard `obs` artifact set.
+//!
+//! Everything here is plain deterministic arithmetic — no RNG, no wall
+//! clock — and every stateful detector round-trips through `snap` so
+//! sequential state can ride checkpoints like any other layer.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod events;
+pub mod roc;
+pub mod seq;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
+pub use roc::{auc, roc_frontier, OperatingPoint, RocPoint};
+pub use seq::{Cusum, Sprt, SprtVerdict};

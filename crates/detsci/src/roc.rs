@@ -1,0 +1,218 @@
+//! ROC frontiers and AUC from labelled decision-statistic samples.
+//!
+//! A detector's decision rule is `statistic > threshold → flag`. Given
+//! samples of the statistic under honest runs (negatives) and greedy
+//! runs (positives), sweeping the threshold over a grid yields the ROC
+//! frontier — (false-positive rate, true-positive rate) pairs — and the
+//! threshold-free ranking quality is the area under that curve, computed
+//! exactly as the Mann–Whitney U statistic rather than by trapezoid
+//! integration over the grid.
+
+/// One threshold's confusion-matrix summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocPoint {
+    /// The swept threshold.
+    pub threshold: f64,
+    /// Greedy samples above the threshold (detections).
+    pub tp: u64,
+    /// Honest samples above the threshold (false alarms).
+    pub fp: u64,
+    /// Honest samples at or below the threshold.
+    pub tn: u64,
+    /// Greedy samples at or below the threshold (misses).
+    pub fn_: u64,
+}
+
+impl RocPoint {
+    /// True-positive rate (recall). Zero when no positives were seen.
+    pub fn tpr(&self) -> f64 {
+        rate(self.tp, self.fn_)
+    }
+
+    /// False-positive rate. Zero when no negatives were seen.
+    pub fn fpr(&self) -> f64 {
+        rate(self.fp, self.tn)
+    }
+
+    /// Precision. One when nothing was flagged (vacuously precise).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+}
+
+fn rate(hit: u64, miss: u64) -> f64 {
+    if hit + miss == 0 {
+        0.0
+    } else {
+        hit as f64 / (hit + miss) as f64
+    }
+}
+
+/// Sweeps `grid` thresholds over labelled samples, one [`RocPoint`] per
+/// threshold in grid order.
+pub fn roc_frontier(honest: &[f64], greedy: &[f64], grid: &[f64]) -> Vec<RocPoint> {
+    grid.iter()
+        .map(|&threshold| {
+            let fp = honest.iter().filter(|&&v| v > threshold).count() as u64;
+            let tp = greedy.iter().filter(|&&v| v > threshold).count() as u64;
+            RocPoint {
+                threshold,
+                tp,
+                fp,
+                tn: honest.len() as u64 - fp,
+                fn_: greedy.len() as u64 - tp,
+            }
+        })
+        .collect()
+}
+
+/// Exact area under the ROC curve: the probability that a random greedy
+/// sample ranks above a random honest one, ties counting half (the
+/// Mann–Whitney U estimator). `None` when either class is empty.
+pub fn auc(honest: &[f64], greedy: &[f64]) -> Option<f64> {
+    if honest.is_empty() || greedy.is_empty() {
+        return None;
+    }
+    // Merge-rank in O((n+m) log(n+m)): walk the pooled sorted order and
+    // credit, for each greedy sample, the honest samples strictly below
+    // it plus half the honest samples tied with it.
+    let mut pooled: Vec<(f64, bool)> = honest
+        .iter()
+        .map(|&v| (v, false))
+        .chain(greedy.iter().map(|&v| (v, true)))
+        .collect();
+    pooled.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut u = 0.0;
+    let mut honest_below = 0u64;
+    let mut i = 0;
+    while i < pooled.len() {
+        // One tie group at a time.
+        let mut j = i;
+        let mut tied_honest = 0u64;
+        let mut tied_greedy = 0u64;
+        while j < pooled.len() && pooled[j].0.total_cmp(&pooled[i].0).is_eq() {
+            if pooled[j].1 {
+                tied_greedy += 1;
+            } else {
+                tied_honest += 1;
+            }
+            j += 1;
+        }
+        u += tied_greedy as f64 * (honest_below as f64 + tied_honest as f64 / 2.0);
+        honest_below += tied_honest;
+        i = j;
+    }
+    Some(u / (honest.len() as f64 * greedy.len() as f64))
+}
+
+/// A named point on the frontier — the detector's shipped threshold,
+/// summarized for the campaign's operating-point table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatingPoint {
+    /// The deployed threshold.
+    pub threshold: f64,
+    /// Recall at that threshold.
+    pub tpr: f64,
+    /// False-alarm rate at that threshold.
+    pub fpr: f64,
+    /// Precision at that threshold.
+    pub precision: f64,
+}
+
+impl OperatingPoint {
+    /// Evaluates the deployed threshold directly on the samples (not
+    /// snapped to the sweep grid).
+    pub fn at(honest: &[f64], greedy: &[f64], threshold: f64) -> OperatingPoint {
+        let p = &roc_frontier(honest, greedy, &[threshold])[0];
+        OperatingPoint {
+            threshold,
+            tpr: p.tpr(),
+            fpr: p.fpr(),
+            precision: p.precision(),
+        }
+    }
+}
+
+/// An evenly spaced threshold grid over `[lo, hi]` with `steps`
+/// intervals (`steps + 1` points), endpoints exact.
+pub fn linear_grid(lo: f64, hi: f64, steps: usize) -> Vec<f64> {
+    assert!(steps > 0, "grid needs at least one interval");
+    (0..=steps)
+        .map(|i| lo + (hi - lo) * i as f64 / steps as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let honest = [0.1, 0.2, 0.3];
+        let greedy = [1.0, 2.0, 3.0];
+        assert_eq!(auc(&honest, &greedy), Some(1.0));
+        assert_eq!(auc(&greedy, &honest), Some(0.0));
+    }
+
+    #[test]
+    fn identical_distributions_have_auc_half() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(auc(&v, &v), Some(0.5));
+    }
+
+    #[test]
+    fn ties_count_half() {
+        // greedy {1, 2} vs honest {1}: pair (1,1) ties (0.5), (2,1) wins
+        // (1.0) → U = 1.5 over 2 pairs.
+        assert_eq!(auc(&[1.0], &[1.0, 2.0]), Some(0.75));
+    }
+
+    #[test]
+    fn empty_class_yields_none() {
+        assert_eq!(auc(&[], &[1.0]), None);
+        assert_eq!(auc(&[1.0], &[]), None);
+    }
+
+    #[test]
+    fn frontier_counts_are_exact() {
+        let honest = [0.0, 0.5, 1.5];
+        let greedy = [1.0, 2.0];
+        let pts = roc_frontier(&honest, &greedy, &[1.0]);
+        // > 1.0: honest {1.5} → fp 1, greedy {2.0} → tp 1.
+        assert_eq!(pts[0].fp, 1);
+        assert_eq!(pts[0].tn, 2);
+        assert_eq!(pts[0].tp, 1);
+        assert_eq!(pts[0].fn_, 1);
+        assert_eq!(pts[0].tpr(), 0.5);
+        assert!((pts[0].fpr() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_is_exclusive() {
+        // Decision rule is strictly-greater: a sample exactly at the
+        // threshold is not flagged.
+        let pts = roc_frontier(&[1.0], &[1.0], &[1.0]);
+        assert_eq!(pts[0].fp, 0);
+        assert_eq!(pts[0].tp, 0);
+    }
+
+    #[test]
+    fn grid_hits_endpoints_exactly() {
+        let g = linear_grid(0.0, 2.0, 4);
+        assert_eq!(g, vec![0.0, 0.5, 1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn operating_point_matches_frontier_math() {
+        let honest = [0.2, 0.4];
+        let greedy = [0.6, 0.8];
+        let op = OperatingPoint::at(&honest, &greedy, 0.5);
+        assert_eq!(op.tpr, 1.0);
+        assert_eq!(op.fpr, 0.0);
+        assert_eq!(op.precision, 1.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Sequential detection: one-sided CUSUM and Wald's SPRT.
+//!
+//! The windowed detectors decide each window in isolation, so a greedy
+//! receiver operating *just* under the threshold is invisible to them.
+//! Sequential tests accumulate evidence across windows instead,
+//! following "Real-Time Misbehavior Detection in IEEE 802.11e Based
+//! WLANs": detection delay is bounded for a given shift while the
+//! false-alarm behavior is controlled explicitly — by a target
+//! in-control average run length (CUSUM) or by (α, β) error targets
+//! (SPRT).
+//!
+//! Observations are **standardized** before stepping either detector:
+//! `x = (stat − μ₀) / σ` with the in-control mean μ₀ and scale σ taken
+//! from honest calibration data, so both tests are scale-free and one
+//! calibration covers every traffic mix.
+
+/// One-sided CUSUM with reference value `k` and decision interval `h`
+/// (both in standardized units).
+///
+/// `S_w = max(0, S_{w−1} + x_w − k)`; the test signals when `S_w ≥ h`.
+/// `k` is half the shift the test is tuned to catch fastest (`k = δ/2`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cusum {
+    k: f64,
+    h: f64,
+    s: f64,
+}
+
+impl Cusum {
+    /// Creates a CUSUM with an explicit decision interval.
+    pub fn new(k: f64, h: f64) -> Self {
+        Cusum { k, h, s: 0.0 }
+    }
+
+    /// Creates a CUSUM whose decision interval is calibrated so the
+    /// in-control average run length is `arl0` windows, via Siegmund's
+    /// corrected-boundary approximation
+    /// `ARL₀ ≈ (e^{2kb} − 2kb − 1) / (2k²)` with `b = h + 1.166`,
+    /// inverted by bisection (the expression is monotone in `h`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k > 0` and `arl0 > 1`.
+    pub fn with_arl(k: f64, arl0: f64) -> Self {
+        assert!(k > 0.0 && arl0 > 1.0, "need k > 0 and arl0 > 1");
+        let arl = |h: f64| {
+            let b = 2.0 * k * (h + 1.166);
+            (b.exp() - b - 1.0) / (2.0 * k * k)
+        };
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        while arl(hi) < arl0 {
+            hi *= 2.0;
+            assert!(hi < 1e6, "ARL target unreachable");
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if arl(mid) < arl0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Cusum::new(k, 0.5 * (lo + hi))
+    }
+
+    /// The decision interval in use.
+    pub fn decision_interval(&self) -> f64 {
+        self.h
+    }
+
+    /// Current cumulative-sum statistic.
+    pub fn value(&self) -> f64 {
+        self.s
+    }
+
+    /// Folds one standardized observation in; `true` when the test
+    /// signals. The statistic keeps accumulating after a signal — call
+    /// [`reset`](Cusum::reset) to rearm for renewal monitoring.
+    pub fn step(&mut self, x: f64) -> bool {
+        self.s = (self.s + x - self.k).max(0.0);
+        self.s >= self.h
+    }
+
+    /// Rearms the test.
+    pub fn reset(&mut self) {
+        self.s = 0.0;
+    }
+}
+
+impl snap::SnapValue for Cusum {
+    fn save(&self, w: &mut snap::Enc) {
+        w.f64(self.k);
+        w.f64(self.h);
+        w.f64(self.s);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(Cusum {
+            k: r.f64()?,
+            h: r.f64()?,
+            s: r.f64()?,
+        })
+    }
+}
+
+/// Outcome of an [`Sprt`] step that reached a boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SprtVerdict {
+    /// The misbehaving hypothesis H₁ was accepted.
+    Greedy,
+    /// The honest hypothesis H₀ was accepted.
+    Honest,
+}
+
+/// Wald's sequential probability ratio test between two normal means.
+///
+/// Tests H₀: mean μ₀ against H₁: mean μ₁ (> μ₀) at error targets α
+/// (false alarm) and β (miss). The log-likelihood ratio for a
+/// standardized-normal observation model accumulates as
+/// `Λ += (μ₁ − μ₀)/σ² · (x − (μ₀ + μ₁)/2)` and the test concludes at
+/// Wald's boundaries `ln((1−β)/α)` / `ln(β/(1−α))`. After either
+/// verdict the ratio resets, giving renewal monitoring over an
+/// unbounded window stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sprt {
+    gain: f64,
+    midpoint: f64,
+    upper: f64,
+    lower: f64,
+    llr: f64,
+}
+
+impl Sprt {
+    /// Creates the test.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < α, β < 1`, `μ₁ > μ₀`, and `σ > 0`.
+    pub fn new(alpha: f64, beta: f64, mu0: f64, mu1: f64, sigma: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "need 0 < alpha < 1");
+        assert!(beta > 0.0 && beta < 1.0, "need 0 < beta < 1");
+        assert!(mu1 > mu0, "H1 mean must exceed H0 mean");
+        assert!(sigma > 0.0, "need positive sigma");
+        Sprt {
+            gain: (mu1 - mu0) / (sigma * sigma),
+            midpoint: 0.5 * (mu0 + mu1),
+            upper: ((1.0 - beta) / alpha).ln(),
+            lower: (beta / (1.0 - alpha)).ln(),
+            llr: 0.0,
+        }
+    }
+
+    /// Current log-likelihood ratio.
+    pub fn value(&self) -> f64 {
+        self.llr
+    }
+
+    /// Folds one observation in; `Some` when a boundary was crossed (the
+    /// ratio then resets for the next decision cycle).
+    pub fn step(&mut self, x: f64) -> Option<SprtVerdict> {
+        self.llr += self.gain * (x - self.midpoint);
+        if self.llr >= self.upper {
+            self.llr = 0.0;
+            Some(SprtVerdict::Greedy)
+        } else if self.llr <= self.lower {
+            self.llr = 0.0;
+            Some(SprtVerdict::Honest)
+        } else {
+            None
+        }
+    }
+}
+
+impl snap::SnapValue for Sprt {
+    fn save(&self, w: &mut snap::Enc) {
+        w.f64(self.gain);
+        w.f64(self.midpoint);
+        w.f64(self.upper);
+        w.f64(self.lower);
+        w.f64(self.llr);
+    }
+    fn load(r: &mut snap::Dec) -> Result<Self, snap::SnapError> {
+        Ok(Sprt {
+            gain: r.f64()?,
+            midpoint: r.f64()?,
+            upper: r.f64()?,
+            lower: r.f64()?,
+            llr: r.f64()?,
+        })
+    }
+}
+
+/// Index of the first window (counting from the start of `series`) at
+/// which `fire` is true — the detection delay in windows when `series`
+/// starts at the misbehavior onset. `None` when the detector never
+/// fires.
+pub fn detection_delay<F: FnMut(f64) -> bool>(series: &[f64], mut fire: F) -> Option<usize> {
+    series.iter().position(|&x| fire(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snap::SnapValue as _;
+
+    #[test]
+    fn cusum_ignores_in_control_noise_but_catches_a_shift() {
+        let mut c = Cusum::with_arl(0.5, 1000.0);
+        // Alternating ±0.4 noise around zero never accumulates.
+        for i in 0..200 {
+            let x = if i % 2 == 0 { 0.4 } else { -0.4 };
+            assert!(!c.step(x), "fired on in-control data at step {i}");
+        }
+        // A one-sigma shift crosses in a handful of windows.
+        let delay = detection_delay(&[1.0; 64], |x| c.step(x)).expect("must fire");
+        assert!(delay < 20, "delay {delay} too long for a 1σ shift");
+    }
+
+    #[test]
+    fn siegmund_inversion_hits_the_target_arl() {
+        for &(k, arl0) in &[(0.25, 100.0), (0.5, 500.0), (1.0, 10_000.0)] {
+            let c = Cusum::with_arl(k, arl0);
+            let b = 2.0 * k * (c.decision_interval() + 1.166);
+            let arl = (b.exp() - b - 1.0) / (2.0 * k * k);
+            assert!(
+                (arl - arl0).abs() / arl0 < 1e-6,
+                "ARL({k}, h={}) = {arl}, wanted {arl0}",
+                c.decision_interval()
+            );
+        }
+    }
+
+    #[test]
+    fn larger_arl_means_larger_interval() {
+        let lax = Cusum::with_arl(0.5, 100.0);
+        let strict = Cusum::with_arl(0.5, 100_000.0);
+        assert!(strict.decision_interval() > lax.decision_interval());
+    }
+
+    #[test]
+    fn sprt_reaches_the_right_verdicts() {
+        let mut t = Sprt::new(0.01, 0.01, 0.0, 1.0, 1.0);
+        // Sustained H1-mean data → Greedy.
+        let mut verdict = None;
+        for _ in 0..100 {
+            verdict = t.step(1.0);
+            if verdict.is_some() {
+                break;
+            }
+        }
+        assert_eq!(verdict, Some(SprtVerdict::Greedy));
+        assert_eq!(t.value(), 0.0, "ratio must reset after a verdict");
+        // Sustained H0-mean data → Honest.
+        let mut verdict = None;
+        for _ in 0..100 {
+            verdict = t.step(0.0);
+            if verdict.is_some() {
+                break;
+            }
+        }
+        assert_eq!(verdict, Some(SprtVerdict::Honest));
+    }
+
+    #[test]
+    fn sprt_stricter_alpha_takes_longer() {
+        let delay = |alpha: f64| {
+            let mut t = Sprt::new(alpha, 0.05, 0.0, 1.0, 1.0);
+            detection_delay(&[1.0; 1000], |x| t.step(x) == Some(SprtVerdict::Greedy))
+                .expect("must fire")
+        };
+        assert!(delay(1e-6) > delay(0.05));
+    }
+
+    #[test]
+    fn sequential_state_round_trips_through_snap() {
+        let mut c = Cusum::with_arl(0.5, 1000.0);
+        let mut t = Sprt::new(0.01, 0.05, 0.0, 1.0, 1.0);
+        for i in 0..7 {
+            c.step(0.3 * i as f64);
+            t.step(0.2);
+        }
+        let mut w = snap::Enc::new();
+        c.save(&mut w);
+        t.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = snap::Dec::new(&bytes);
+        assert_eq!(Cusum::load(&mut r).unwrap(), c);
+        assert_eq!(Sprt::load(&mut r).unwrap(), t);
+    }
+}

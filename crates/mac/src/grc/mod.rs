@@ -5,13 +5,43 @@
 mod nav_guard;
 mod shared;
 mod spoof_guard;
+mod window;
 
 pub use nav_guard::{NavGuard, NavGuardHandle, NavGuardReport};
 pub use shared::Shared;
 pub use spoof_guard::{SpoofGuard, SpoofGuardConfig, SpoofGuardHandle, SpoofGuardReport};
+pub use window::{WindowStat, WindowTrack};
 
 use crate::{Frame, FrameMeta, MacObserver, Msdu, NodeId};
 use phy::PhyParams;
+use sim::SimDuration;
+
+/// Detection-science tuning of a [`GrcObserver`]: explicit thresholds
+/// plus optional per-window statistic tracking. The defaults reproduce
+/// [`GrcObserver::new`] exactly.
+#[derive(Debug, Clone)]
+pub struct GrcTuning {
+    /// NAV-guard detection tolerance in µs.
+    pub nav_tolerance_us: u32,
+    /// Spoof-guard RSSI deviation threshold in dB.
+    pub rssi_threshold_db: f64,
+    /// MTU assumption behind the NAV guard's fallback bounds.
+    pub nav_mtu: usize,
+    /// Track per-window decision statistics at this width (see
+    /// [`NavGuardReport::windows`] / [`SpoofGuardReport::windows`]).
+    pub windows: Option<SimDuration>,
+}
+
+impl Default for GrcTuning {
+    fn default() -> Self {
+        GrcTuning {
+            nav_tolerance_us: 2,
+            rssi_threshold_db: 1.0,
+            nav_mtu: 1500,
+            windows: None,
+        }
+    }
+}
 
 /// Handles for reading a [`GrcObserver`]'s reports after a run.
 #[derive(Debug, Clone)]
@@ -58,13 +88,34 @@ impl GrcObserver {
     /// Like [`new`](Self::new) with an explicit MTU assumption for the
     /// NAV guard's fallback bounds.
     pub fn with_nav_mtu(params: PhyParams, mitigate: bool, mtu: usize) -> (Self, GrcReportHandles) {
+        Self::tuned(
+            params,
+            mitigate,
+            GrcTuning {
+                nav_mtu: mtu,
+                ..GrcTuning::default()
+            },
+        )
+    }
+
+    /// Like [`new`](Self::new) with explicit thresholds and optional
+    /// per-window statistic tracking.
+    pub fn tuned(params: PhyParams, mitigate: bool, tuning: GrcTuning) -> (Self, GrcReportHandles) {
         let (nav, nav_handle) = NavGuard::new(params, mitigate);
-        let nav = nav.with_mtu(mtu);
+        let mut nav = nav
+            .with_mtu(tuning.nav_mtu)
+            .with_tolerance(tuning.nav_tolerance_us);
         let spoof_cfg = SpoofGuardConfig {
+            rssi_threshold_db: tuning.rssi_threshold_db,
             mitigate,
             ..SpoofGuardConfig::default()
         };
         let (spoof, spoof_handle) = SpoofGuard::new(spoof_cfg);
+        let mut spoof = spoof;
+        if let Some(width) = tuning.windows {
+            nav = nav.with_windows(width);
+            spoof = spoof.with_windows(width);
+        }
         (
             GrcObserver { nav, spoof },
             GrcReportHandles {

@@ -21,6 +21,7 @@ use phy::PhyParams;
 use sim::{SimDuration, SimTime};
 
 use super::shared::Shared;
+use super::window::WindowTrack;
 
 /// Detection statistics shared out of the observer.
 #[derive(Debug, Clone, Default)]
@@ -29,6 +30,11 @@ pub struct NavGuardReport {
     pub detections: BTreeMap<u16, u64>,
     /// How many NAV values were clamped (mitigation events).
     pub corrections: u64,
+    /// Per-window NAV margin statistics (`claimed − expected` in µs,
+    /// recorded for every observed frame). `None` unless the guard was
+    /// built with [`NavGuard::with_windows`]; detection-science sweeps
+    /// apply threshold grids to these offline.
+    pub windows: Option<WindowTrack>,
 }
 
 impl NavGuardReport {
@@ -49,6 +55,7 @@ pub struct NavGuard {
     mitigate: bool,
     tolerance_us: u32,
     mtu: usize,
+    windowed: bool,
     /// Expected CTS Duration per (initiator, responder), learned from the
     /// RTS, valid for a short window.
     pending_cts: HashMap<(u16, u16), (u32, SimTime)>,
@@ -67,6 +74,7 @@ impl NavGuard {
                 mitigate,
                 tolerance_us: 2,
                 mtu: 1500,
+                windowed: false,
                 pending_cts: HashMap::new(),
                 report: report.clone(),
             },
@@ -82,11 +90,34 @@ impl NavGuard {
         self
     }
 
+    /// Overrides the detection tolerance in µs (default 2 — one
+    /// propagation-rounding slop each way).
+    pub fn with_tolerance(mut self, tolerance_us: u32) -> Self {
+        self.tolerance_us = tolerance_us;
+        self
+    }
+
+    /// Enables per-window margin tracking with the given window width
+    /// (see [`NavGuardReport::windows`]). Off by default; the enabled
+    /// path never alters detection or mitigation behavior.
+    pub fn with_windows(self, width: SimDuration) -> Self {
+        self.report.borrow_mut().windows = Some(WindowTrack::new(width));
+        let mut g = self;
+        g.windowed = true;
+        g
+    }
+
     fn flag(&self, src: u16) {
         *self.report.borrow_mut().detections.entry(src).or_insert(0) += 1;
     }
 
-    fn resolve(&self, claimed: u32, expected: u32, src: u16) -> u32 {
+    fn resolve(&self, claimed: u32, expected: u32, src: u16, now: SimTime) -> u32 {
+        if self.windowed {
+            let margin = claimed.saturating_sub(expected) as f64;
+            if let Some(track) = &mut self.report.borrow_mut().windows {
+                track.push(now, margin);
+            }
+        }
         if claimed > expected.saturating_add(self.tolerance_us) {
             self.flag(src);
             if self.mitigate {
@@ -125,6 +156,7 @@ impl NavGuard {
             w.u64(n);
         }
         w.u64(report.corrections);
+        report.windows.save(w);
     }
 
     /// Restores state written by [`NavGuard::save_state`], writing the
@@ -163,6 +195,7 @@ impl NavGuard {
             report.detections.insert(src, count);
         }
         report.corrections = r.u64()?;
+        report.windows = Option::load(r)?;
         Ok(())
     }
 }
@@ -182,7 +215,7 @@ impl<M: Msdu> MacObserver<M> for NavGuard {
                 let bound = self
                     .calc
                     .rts_duration_us(crate::frame::DATA_HEADER_BYTES + self.mtu);
-                self.resolve(frame.duration_us, bound, frame.src.0)
+                self.resolve(frame.duration_us, bound, frame.src.0, now)
             }
             FrameKind::Cts => {
                 // The matching RTS ran initiator → responder, i.e. the
@@ -192,16 +225,21 @@ impl<M: Msdu> MacObserver<M> for NavGuard {
                     Some(&(exp, valid_until)) if valid_until > now => exp,
                     _ => self.calc.cts_duration_bound_us(self.mtu),
                 };
-                self.resolve(frame.duration_us, expected, frame.src.0)
+                self.resolve(frame.duration_us, expected, frame.src.0, now)
             }
             FrameKind::Data => {
                 // Data reserves exactly SIFS + ACK.
                 let expected = self.calc.data_duration_us();
-                self.resolve(frame.duration_us, expected, frame.src.0)
+                self.resolve(frame.duration_us, expected, frame.src.0, now)
             }
             FrameKind::Ack => {
                 // Without fragmentation an ACK's NAV is always zero.
-                self.resolve(frame.duration_us, self.calc.ack_duration_us(), frame.src.0)
+                self.resolve(
+                    frame.duration_us,
+                    self.calc.ack_duration_us(),
+                    frame.src.0,
+                    now,
+                )
             }
         }
     }

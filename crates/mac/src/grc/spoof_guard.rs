@@ -19,6 +19,8 @@ use std::collections::{HashMap, VecDeque};
 use crate::{Frame, FrameKind, FrameMeta, MacObserver, Msdu, NodeId};
 
 use super::shared::Shared;
+use super::window::WindowTrack;
+use sim::SimDuration;
 
 /// Tuning of the [`SpoofGuard`].
 #[derive(Debug, Clone)]
@@ -56,6 +58,11 @@ pub struct SpoofGuardReport {
     pub accepted: u64,
     /// ACKs accepted without vetting (insufficient baseline).
     pub unvetted: u64,
+    /// Per-window RSSI deviation statistics (`|median − rssi|` in dB,
+    /// recorded for every vetted ACK). `None` unless the guard was built
+    /// with [`SpoofGuard::with_windows`]; detection-science sweeps apply
+    /// threshold grids to these offline.
+    pub windows: Option<WindowTrack>,
 }
 
 /// Shared handle to a [`SpoofGuardReport`]. Thread-safe so a network with
@@ -66,6 +73,7 @@ pub type SpoofGuardHandle = Shared<SpoofGuardReport>;
 #[derive(Debug)]
 pub struct SpoofGuard {
     cfg: SpoofGuardConfig,
+    windowed: bool,
     history: HashMap<u16, VecDeque<f64>>,
     report: SpoofGuardHandle,
 }
@@ -77,11 +85,21 @@ impl SpoofGuard {
         (
             SpoofGuard {
                 cfg,
+                windowed: false,
                 history: HashMap::new(),
                 report: report.clone(),
             },
             report,
         )
+    }
+
+    /// Enables per-window deviation tracking with the given window width
+    /// (see [`SpoofGuardReport::windows`]). Off by default; the enabled
+    /// path never alters detection or mitigation behavior.
+    pub fn with_windows(mut self, width: SimDuration) -> Self {
+        self.report.borrow_mut().windows = Some(WindowTrack::new(width));
+        self.windowed = true;
+        self
     }
 
     fn learn(&mut self, peer: NodeId, rssi: f64) {
@@ -108,6 +126,7 @@ impl SpoofGuard {
     /// windows (sorted by peer for a canonical encoding) and the shared
     /// report. Configuration is rebuilt by the owner.
     pub fn save_state(&self, w: &mut snap::Enc) {
+        use snap::SnapValue as _;
         let mut peers: Vec<_> = self.history.iter().collect();
         peers.sort_unstable_by_key(|(&peer, _)| peer);
         w.usize(peers.len());
@@ -123,6 +142,7 @@ impl SpoofGuard {
         w.u64(report.rejected);
         w.u64(report.accepted);
         w.u64(report.unvetted);
+        report.windows.save(w);
     }
 
     /// Restores state written by [`SpoofGuard::save_state`], writing the
@@ -132,6 +152,7 @@ impl SpoofGuard {
     ///
     /// [`snap::SnapError::Corrupt`] on truncated or oversized input.
     pub fn load_state(&mut self, r: &mut snap::Dec) -> Result<(), snap::SnapError> {
+        use snap::SnapValue as _;
         let n = r.usize()?;
         if n > r.remaining() {
             return Err(snap::SnapError::Corrupt(format!(
@@ -158,6 +179,7 @@ impl SpoofGuard {
         report.rejected = r.u64()?;
         report.accepted = r.u64()?;
         report.unvetted = r.u64()?;
+        report.windows = Option::load(r)?;
         Ok(())
     }
 }
@@ -178,7 +200,13 @@ impl<M: Msdu> MacObserver<M> for SpoofGuard {
             self.report.borrow_mut().unvetted += 1;
             return true;
         };
-        if (median - meta.rssi_dbm).abs() > self.cfg.rssi_threshold_db {
+        let deviation = (median - meta.rssi_dbm).abs();
+        if self.windowed {
+            if let Some(track) = &mut self.report.borrow_mut().windows {
+                track.push(meta.now, deviation);
+            }
+        }
+        if deviation > self.cfg.rssi_threshold_db {
             let mut r = self.report.borrow_mut();
             r.flagged += 1;
             if self.cfg.mitigate {

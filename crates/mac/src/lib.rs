@@ -41,7 +41,7 @@ pub use dcf::{
     CorruptionCause, Dcf, DcfConfig, DropReason, MacAction, MacActions, RxEvent, TimerKind,
 };
 pub use frame::{Frame, FrameKind, Msdu, NavCalculator, NodeId, MAX_NAV_US};
-pub use grc::{GrcObserver, GrcReportHandles, GrcSnapshot};
+pub use grc::{GrcObserver, GrcReportHandles, GrcSnapshot, GrcTuning};
 pub use greedy::{GreedyConfig, GreedyPolicy, GreedySenderPolicy};
 pub use nav::Nav;
 pub use policy::{

@@ -8,6 +8,7 @@
 //!   events.jsonl       one JSON object per event, ring order
 //!   probe_<gauge>.csv  id,t_us,value — one file per sampled gauge
 //!   histograms.csv     name,lo,hi,count — log-bucket rows
+//!   histogram_summary.csv  name,count,mean,p50,p90,p95,p99 — one row each
 //!   meta.json          run key, seed, counts, histogram summaries
 //! ```
 //!
@@ -87,6 +88,26 @@ impl ObsReport {
         out
     }
 
+    /// Renders one summary row per histogram — count, mean, and the
+    /// quantiles detection-delay analysis reads (p50/p90/p95/p99) — as
+    /// CSV. Quantiles resolve to log-bucket lower bounds (exact to one
+    /// power of two) and are deterministic by construction.
+    pub fn histogram_summary_csv(&self) -> String {
+        let mut out = String::from("name,count,mean,p50,p90,p95,p99\n");
+        for (name, hist) in &self.hists {
+            out.push_str(&format!(
+                "{name},{},{},{},{},{},{}\n",
+                hist.count(),
+                fmt_num(hist.mean().unwrap_or(0.0)),
+                fmt_num(hist.quantile(0.5).unwrap_or(0.0)),
+                fmt_num(hist.quantile(0.9).unwrap_or(0.0)),
+                fmt_num(hist.quantile(0.95).unwrap_or(0.0)),
+                fmt_num(hist.quantile(0.99).unwrap_or(0.0)),
+            ));
+        }
+        out
+    }
+
     /// Renders the run's metadata and histogram summaries as JSON.
     pub fn meta_json(&self, key: &RunKey) -> String {
         let mut s = String::from("{\n");
@@ -145,6 +166,10 @@ pub fn write_artifacts(dir: &Path, key: &RunKey, report: &ObsReport) -> io::Resu
         std::fs::write(dir.join(name), body)?;
     }
     std::fs::write(dir.join("histograms.csv"), report.histograms_csv())?;
+    std::fs::write(
+        dir.join("histogram_summary.csv"),
+        report.histogram_summary_csv(),
+    )?;
     std::fs::write(dir.join("meta.json"), report.meta_json(key))?;
     Ok(())
 }
@@ -186,6 +211,12 @@ mod tests {
         assert_eq!(probes[0].0, "probe_cw.csv");
         assert_eq!(probes[0].1, "id,t_us,value\n0,5,31\n");
         assert!(r.histograms_csv().contains("lat_us,256,512,1"));
+        // One sample at 300 → every quantile resolves to its bucket's
+        // lower bound (256), the mean to the sample itself.
+        assert_eq!(
+            r.histogram_summary_csv(),
+            "name,count,mean,p50,p90,p95,p99\nlat_us,1,300,256,256,256,256\n"
+        );
         let key = RunKey::new("fig6", 2, 0);
         let meta = r.meta_json(&key);
         assert!(meta.contains("\"experiment\": \"fig6\""));
@@ -208,6 +239,7 @@ mod tests {
             "events.jsonl",
             "probe_cw.csv",
             "histograms.csv",
+            "histogram_summary.csv",
             "meta.json",
         ] {
             assert!(dir.join(f).is_file(), "{f} missing");

@@ -504,6 +504,30 @@ mod tests {
     }
 
     #[test]
+    fn log_histogram_quantile_rank_boundaries() {
+        // Nearest-rank at exact bucket-population boundaries: with 4
+        // samples split 2/2 across buckets, q = 0.5 lands on rank 2 —
+        // the *last* sample of the lower bucket — and any q beyond it
+        // moves to the upper bucket.
+        let mut h = LogHistogram::new();
+        h.push(2.0);
+        h.push(3.0); // bucket [2, 4)
+        h.push(100.0);
+        h.push(101.0); // bucket [64, 128)
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.51), Some(64.0));
+        assert_eq!(h.quantile(0.75), Some(64.0));
+        // q = 0 still reports the first populated bucket (rank clamps
+        // to 1), and values exactly on a power-of-two edge belong to the
+        // upper bucket.
+        assert_eq!(h.quantile(0.0), Some(2.0));
+        let mut edge = LogHistogram::new();
+        edge.push(4.0);
+        assert_eq!(edge.buckets().collect::<Vec<_>>(), vec![(4.0, 8.0, 1)]);
+        assert_eq!(edge.quantile(0.5), Some(4.0));
+    }
+
+    #[test]
     fn median_and_quantile() {
         assert_eq!(median(&[]), None);
         assert_eq!(median(&[3.0]), Some(3.0));

@@ -48,7 +48,10 @@ pub const MAGIC: &[u8; 6] = b"GRSNAP";
 /// change; readers reject mismatched versions instead of misparsing.
 /// Version 2: pluggable congestion control (tagged controller state and
 /// an RTT estimator inside the TCP sender, `cc` field in `Scenario`).
-pub const FORMAT_VERSION: u16 = 2;
+/// Version 3: detection-science window tracking (optional `WindowTrack`
+/// appended to both GRC guard reports, `grc_windows` field in
+/// `Scenario`).
+pub const FORMAT_VERSION: u16 = 3;
 
 /// Errors arising while decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
