@@ -100,6 +100,13 @@ cargo run --release --offline -p gr-bench --bin repro -- \
   roc --quick --seeds 2 --jobs 8 --out "$CK/roc8" >/dev/null
 diff -r "$CK/roc1/roc" "$CK/roc8/roc"
 
+echo "==> intensity frontier smoke (2-point grid, jobs 1 vs 8 byte-identical)"
+cargo run --release --offline -p gr-bench --bin repro -- \
+  intensity --quick --seeds 2 --points 2 --jobs 1 --out "$CK/int1" >/dev/null
+cargo run --release --offline -p gr-bench --bin repro -- \
+  intensity --quick --seeds 2 --points 2 --jobs 8 --out "$CK/int8" >/dev/null
+diff -r "$CK/int1/intensity" "$CK/int8/intensity"
+
 echo "==> planted NAV bug is caught and shrunk (fault injection)"
 cargo test --offline -q -p gr-bench --test conform --features inject-nav-bug
 

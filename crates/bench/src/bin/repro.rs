@@ -13,6 +13,8 @@
 //! repro cc                     # congestion-control zoo matrix
 //! repro roc                    # detection science: ROC/AUC, adaptive
 //!                              # thresholds, CUSUM/SPRT delays
+//! repro intensity              # attack-intensity frontiers: sweep every
+//!                              # misbehavior knob to its detector's knee
 //! repro --list                 # available experiment ids
 //! ```
 //!
@@ -213,6 +215,7 @@ fn expand_subcommand(raw: Vec<String>) -> Result<Vec<String>, ExitCode> {
             v
         }
         Some("roc") => prefixed("--roc", &raw[1..]),
+        Some("intensity") => prefixed("--intensity", &raw[1..]),
         _ => raw,
     })
 }
@@ -235,6 +238,8 @@ fn main() -> ExitCode {
     let mut world = false;
     let mut cc_zoo = false;
     let mut roc_campaign = false;
+    let mut intensity_campaign = false;
+    let mut intensity_points: Option<usize> = None;
     let mut seeds_override: Option<u64> = None;
     let mut cells: Option<(usize, usize)> = None;
     let mut fig2_check = false;
@@ -261,6 +266,17 @@ fn main() -> ExitCode {
             "--world" => world = true,
             "--cc" => cc_zoo = true,
             "--roc" => roc_campaign = true,
+            "--intensity" => intensity_campaign = true,
+            "--points" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) if n > 0 => {
+                    intensity_points = Some(n);
+                    intensity_campaign = true;
+                }
+                _ => {
+                    eprintln!("--points requires a positive grid-point count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--fig2-check" => fig2_check = true,
             "--cells" => match args.next() {
                 Some(spec) => match spec
@@ -388,6 +404,7 @@ fn main() -> ExitCode {
                      repro world [--cells RxC]\n       \
                      repro cc\n       \
                      repro roc\n       \
+                     repro intensity [--points N]\n       \
                      repro --audit-compare A.audit B.audit\n       \
                      repro --list\n\n  \
                      Subcommands expand to the flag spellings they replaced \
@@ -425,6 +442,12 @@ fn main() -> ExitCode {
                      --roc                 detection science: per-detector ROC frontiers and AUC,\n                        \
                      load-adaptive threshold validation, CUSUM/SPRT detection\n                        \
                      delays — CSVs into DIR/roc/\n  \
+                     --intensity           attack-intensity frontiers: honest/attacked pairs per\n                        \
+                     (detector, mix, intensity), knees and the windowed-vs-\n                        \
+                     sequential crossover — CSVs into DIR/intensity/; honors\n                        \
+                     --checkpoint-every / --audit-every / --resume DIR\n  \
+                     --points N            thin the intensity grid to N points, keeping both\n                        \
+                     endpoints (implies --intensity)\n  \
                      --fig2-check          identity gate: fig2 via 1x1 worlds must match the\n                        \
                      direct fig2 CSV byte-for-byte\n  \
                      --bench-gate          time the pinned perf-gate subset, write BENCH_<date>.json\n  \
@@ -488,6 +511,19 @@ fn main() -> ExitCode {
                             "        shrunk to [{lo}, {hi}) ms of virtual time, layer `{}`",
                             v.layer.unwrap_or("?")
                         );
+                    }
+                    if let Some((ilo, ihi)) = v.intensity_bracket {
+                        if ihi == 0.0 {
+                            println!(
+                                "        violates even with the attack scaled to zero \
+                                 (attack-independent)"
+                            );
+                        } else {
+                            println!(
+                                "        minimal violating intensity in ({ilo:.4}, {ihi:.4}] \
+                                 of the case's attack strength"
+                            );
+                        }
                     }
                     match &v.artifact {
                         Some(p) => {
@@ -628,6 +664,74 @@ fn main() -> ExitCode {
             out_dir.join("cc_matrix.csv").display(),
             t.elapsed().as_secs_f64()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    if intensity_campaign {
+        let quality = quality_for(quick, seeds_override);
+        let mut campaign = gr_bench::IntensityCampaign::new(quality.clone(), jobs);
+        if let Some(n) = intensity_points {
+            campaign = campaign.with_points(n);
+        }
+        let int_dir = out_dir.join("intensity");
+        let mut ctx = RunCtx::with_jobs(quality, jobs);
+        if let Some(dir) = &resume {
+            ctx = ctx.with_checkpoints(greedy80211::CampaignSpec::resume_from(dir));
+        } else if checkpoint_every.is_some() || audit_every.is_some() {
+            ctx = ctx.with_checkpoints(greedy80211::CampaignSpec::record(
+                &int_dir,
+                checkpoint_every.map(sim::SimDuration::from_millis),
+                audit_every.map(sim::SimDuration::from_millis),
+            ));
+        }
+        println!(
+            "# attack-intensity frontiers — {} detector cell(s) × {} intensities × 2 classes, {} job(s){}\n",
+            gr_bench::roc::CELLS.len(),
+            campaign.grid.len(),
+            jobs,
+            if resume.is_some() {
+                ", resuming from checkpoints"
+            } else if ctx.checkpoint.is_some() {
+                ", checkpointing"
+            } else {
+                ""
+            },
+        );
+        let t = Instant::now();
+        let report = match campaign.run_with(&ctx, &int_dir) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--intensity: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for table in &report.frontiers {
+            print!("{}", table.render());
+        }
+        print!("{}", report.knees.render());
+        for cf in &report.cells {
+            match cf.knee {
+                Some(k) => println!(
+                    "  {}/{}: minimal detectable intensity {k:.2}{}",
+                    cf.cell.detector,
+                    cf.cell.mix,
+                    match cf.crossover {
+                        Some((lo, hi)) => {
+                            format!(", sequential-only regime [{lo:.2}, {hi:.2}]")
+                        }
+                        None => String::new(),
+                    },
+                ),
+                None => println!(
+                    "  {}/{}: never reliably detectable on this grid",
+                    cf.cell.detector, cf.cell.mix
+                ),
+            }
+        }
+        for path in &report.csvs {
+            println!("  -> {}", path.display());
+        }
+        println!("  ({:.1}s)", t.elapsed().as_secs_f64());
         return ExitCode::SUCCESS;
     }
 
@@ -782,6 +886,10 @@ fn main() -> ExitCode {
         println!(
             "  roc smoke: {:.0} events/s (pinned detection-science campaign)",
             report.roc_events_per_sec
+        );
+        println!(
+            "  intensity smoke: {:.0} events/s (two-point attack-intensity frontier)",
+            report.intensity_events_per_sec
         );
         let path = out_dir.join(format!("BENCH_{}.json", report.date));
         if let Err(e) = std::fs::write(&path, report.to_json()) {

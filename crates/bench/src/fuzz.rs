@@ -14,6 +14,14 @@
 //! seed from the same key, and the shrink replay reuses it — so two
 //! invocations with the same `N` and `K` produce identical verdicts and
 //! byte-identical artifacts, on any machine.
+//!
+//! Attack intensity is a fuzz dimension too: each greedy case draws a
+//! strength in `{0.05, 0.2, 1.0}` and scales its misbehavior configs by
+//! it ([`GreedyConfig::at_intensity`]). When a greedy case violates, a
+//! second shrink bisects that scale under the same key and reports the
+//! *minimal-intensity bracket* — the narrowest `(clean, violating]`
+//! span of attack strength, pinpointing how weak the attack can go and
+//! still trip the invariant.
 
 use std::path::{Path, PathBuf};
 
@@ -88,6 +96,9 @@ pub fn generate_case(fuzz_seed: u64, index: u64) -> FuzzCase {
     // the paper's three misbehaviors. Spoofing needs victim node ids,
     // which depend on the topology — a probe build resolves them.
     let victims = s.build().expect("generated scenario is valid").receivers;
+    // Attack intensity, drawn for every case (stream stability), applied
+    // to whatever greedy mix materializes below.
+    let intensity = [0.05, 0.2, 1.0][rng.uniform_usize(3)];
     let mut greedy_desc = Vec::new();
     for r in 0..pairs {
         if !rng.chance(0.4) {
@@ -112,10 +123,15 @@ pub fn generate_case(fuzz_seed: u64, index: u64) -> FuzzCase {
                 GreedyConfig::fake_acks(gp)
             }
         };
-        s.greedy.push((r, cfg));
+        s.greedy.push((r, cfg.at_intensity(intensity)));
     }
+    let intensity_mark = if s.greedy.is_empty() {
+        String::new()
+    } else {
+        format!("@i{intensity}")
+    };
     let desc = format!(
-        "{pairs}p{} {} {} pay={payload} ber={byte_error_rate:.0e} grc={} dur={}ms greedy=[{}]",
+        "{pairs}p{} {} {} pay={payload} ber={byte_error_rate:.0e} grc={} dur={}ms greedy=[{}]{intensity_mark}",
         if shared_sender { "(ap)" } else { "" },
         match transport {
             TransportKind::Udp { .. } => "udp".to_string(),
@@ -151,6 +167,11 @@ pub struct FuzzVerdict {
     /// Virtual-time bracket `[lo, hi)` in ms containing the first
     /// violation, when one was found and shrunk.
     pub bracket_ms: Option<(u64, u64)>,
+    /// Minimal-intensity bracket `(lo, hi]` for greedy cases that
+    /// violated: scaling the case's attack to `lo` of its strength runs
+    /// clean, scaling to `hi` still violates. `(0, 0)` marks a violation
+    /// independent of the attack (it reproduces with the attack off).
+    pub intensity_bracket: Option<(f64, f64)>,
     /// Layer the violated rule belongs to.
     pub layer: Option<&'static str>,
     /// Checkpoint written at the bracket floor, replayable with
@@ -165,18 +186,16 @@ impl FuzzVerdict {
     }
 }
 
-/// Runs one fuzz case under the checker; on violation, replays it with
-/// [`BRACKET`] checkpoint barriers and writes the bracket-floor
-/// checkpoint into `out_dir/conform/`.
-///
-/// # Errors
-///
-/// Propagates simulation and filesystem errors.
-pub fn run_case(case: FuzzCase, out_dir: &Path) -> Result<FuzzVerdict, SimError> {
-    let job = conform::ConformJob::new(Some(case.key.clone()));
+/// Runs `scenario` once under the checker (a capacity-0 recorder feeds
+/// the checker's tap without retaining anything) and returns its report.
+fn check_scenario(
+    scenario: &Scenario,
+    key: &RunKey,
+    honor_whitelist: bool,
+) -> Result<conform::ConformReport, SimError> {
+    let mut job = conform::ConformJob::new(Some(key.clone()));
+    job.honor_whitelist = honor_whitelist;
     {
-        // The checker taps the recorder stream; a capacity-0 recorder
-        // feeds it without retaining anything.
         let rec = obs::ObsSpec {
             capacity: 0,
             probe_interval: None,
@@ -185,12 +204,60 @@ pub fn run_case(case: FuzzCase, out_dir: &Path) -> Result<FuzzVerdict, SimError>
         .recorder();
         let _obs_guard = obs::ambient::install(rec);
         let _cf_guard = conform::ambient::install(job.clone());
-        Run::plan(&case.scenario)
-            .keyed(case.key.clone())
-            .execute()?;
+        Run::plan(scenario).keyed(key.clone()).execute()?;
     }
     let mut reports = job.drain();
-    let (_, report) = reports.pop().unwrap_or_default();
+    Ok(reports.pop().unwrap_or_default().1)
+}
+
+/// Bisects the attack-strength scale of a violating greedy case: six
+/// halvings of `(clean lo, violating hi]` starting from `(0, 1]`, each
+/// probe re-running the scaled scenario under the same key and whitelist
+/// mode. A violation at scale 0 (attack fully off) short-circuits to
+/// `(0, 0)` — the invariant breaks without any misbehavior.
+fn shrink_intensity(case: &FuzzCase, honor_whitelist: bool) -> Result<(f64, f64), SimError> {
+    let scaled = |scale: f64| {
+        let mut s = case.scenario.clone();
+        for (_, cfg) in &mut s.greedy {
+            *cfg = cfg.at_intensity(scale);
+        }
+        s
+    };
+    if !check_scenario(&scaled(0.0), &case.key, honor_whitelist)?.is_clean() {
+        return Ok((0.0, 0.0));
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..6 {
+        let mid = 0.5 * (lo + hi);
+        if check_scenario(&scaled(mid), &case.key, honor_whitelist)?.is_clean() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok((lo, hi))
+}
+
+/// Runs one fuzz case under the checker; on violation, replays it with
+/// [`BRACKET`] checkpoint barriers, writes the bracket-floor checkpoint
+/// into `out_dir/conform/`, and (for greedy cases) bisects the attack
+/// strength to a minimal-intensity bracket.
+///
+/// # Errors
+///
+/// Propagates simulation and filesystem errors.
+pub fn run_case(case: FuzzCase, out_dir: &Path) -> Result<FuzzVerdict, SimError> {
+    run_case_with(case, out_dir, true)
+}
+
+/// [`run_case`] with the whitelist mode explicit, for tests that must
+/// re-arm rules a declared greedy quirk would exempt.
+pub fn run_case_with(
+    case: FuzzCase,
+    out_dir: &Path,
+    honor_whitelist: bool,
+) -> Result<FuzzVerdict, SimError> {
+    let report = check_scenario(&case.scenario, &case.key, honor_whitelist)?;
     if report.is_clean() {
         return Ok(FuzzVerdict {
             case,
@@ -198,6 +265,7 @@ pub fn run_case(case: FuzzCase, out_dir: &Path) -> Result<FuzzVerdict, SimError>
             violations: report.violations,
             whitelisted: report.whitelisted,
             bracket_ms: None,
+            intensity_bracket: None,
             layer: None,
             artifact: None,
         });
@@ -233,12 +301,20 @@ pub fn run_case(case: FuzzCase, out_dir: &Path) -> Result<FuzzVerdict, SimError>
         }
         None => None,
     };
+    // Greedy cases get the second shrink axis: how weak can this attack
+    // go and still trip the invariant?
+    let intensity_bracket = if case.scenario.greedy.is_empty() {
+        None
+    } else {
+        Some(shrink_intensity(&case, honor_whitelist)?)
+    };
     Ok(FuzzVerdict {
         case,
         events_checked: report.events_checked,
         violations: report.violations,
         whitelisted: report.whitelisted,
         bracket_ms: Some(bracket_ms),
+        intensity_bracket,
         layer: Some(layer),
         artifact,
     })
@@ -293,6 +369,48 @@ mod tests {
             "all misbehaviors"
         );
         assert!(any("greedy=[]"), "honest cases too");
+        assert!(
+            any("@i0.05") && any("@i0.2") && any("@i1"),
+            "intensity draw must reach every strength"
+        );
+        assert!(
+            !descs
+                .iter()
+                .any(|d| d.contains("greedy=[]") && d.contains("@i")),
+            "honest cases carry no intensity marker"
+        );
+    }
+
+    /// Intensity shrinking end to end on a real violation: a
+    /// NAV-inflating case with the whitelist re-armed violates
+    /// `nav-duration-bound`; the bisection must return a genuine
+    /// bracket — a clean floor strictly below a violating ceiling within
+    /// the case's own strength.
+    #[test]
+    fn violating_greedy_case_shrinks_to_an_intensity_bracket() {
+        let mut scenario = Scenario {
+            duration: SimDuration::from_millis(200),
+            ..Scenario::default()
+        };
+        scenario.greedy.push((
+            0,
+            GreedyConfig::nav_inflation(NavInflationConfig::cts_only(32_000, 1.0)),
+        ));
+        let case = FuzzCase {
+            key: RunKey::new("fuzz-int", 0, 0),
+            scenario,
+            desc: "intensity shrink drill".into(),
+        };
+        let dir = std::env::temp_dir().join("gr-fuzz-int-test");
+        let v = run_case_with(case, &dir, false).expect("case runs");
+        assert!(!v.is_clean(), "re-armed NAV inflation must violate");
+        let (lo, hi) = v.intensity_bracket.expect("greedy violation shrinks");
+        assert!(lo < hi, "bracket must have width: ({lo}, {hi}]");
+        assert!(hi <= 1.0);
+        assert!(
+            hi - lo <= 1.0 / 64.0 + 1e-12,
+            "six bisections must narrow to 1/64: ({lo}, {hi}]"
+        );
     }
 
     #[test]

@@ -115,6 +115,13 @@ pub struct GateReport {
     /// detectors. Catches a regression in the guard window tracking or
     /// the detsci evaluation path that the figure subset never touches.
     pub roc_events_per_sec: f64,
+    /// Events/s of the pinned intensity-frontier smoke (see
+    /// [`intensity_smoke`]): a two-point `repro intensity` campaign end
+    /// to end — split honest/attacked jobs per intensity, the knee and
+    /// crossover evaluation, the frontier CSVs. Catches a regression in
+    /// the intensity-sweep path (per-class measurement, axis scaling)
+    /// that the full-strength roc smoke never exercises.
+    pub intensity_events_per_sec: f64,
 }
 
 /// Event throughput of the non-default congestion controllers on the
@@ -257,6 +264,10 @@ impl GateReport {
         s.push_str(&format!(
             "  \"roc_events_per_sec\": {:.0},\n",
             self.roc_events_per_sec
+        ));
+        s.push_str(&format!(
+            "  \"intensity_events_per_sec\": {:.0},\n",
+            self.intensity_events_per_sec
         ));
         s.push_str("  \"experiments\": [\n");
         for (i, st) in self.stats.iter().enumerate() {
@@ -446,6 +457,7 @@ pub fn run_gate() -> GateReport {
         cc: cc_smoke(),
         sustained_events_per_sec: sustained_smoke(),
         roc_events_per_sec: roc_smoke(),
+        intensity_events_per_sec: intensity_smoke(),
     }
 }
 
@@ -476,6 +488,33 @@ pub fn roc_smoke() -> f64 {
     let before = stats::snapshot();
     let t = Instant::now();
     campaign.run(&dir).expect("pinned roc smoke is valid");
+    let wall = t.elapsed().as_secs_f64();
+    let used = stats::snapshot().since(before);
+    used.events_processed as f64 / wall.max(1e-9)
+}
+
+/// Times the pinned intensity-frontier smoke: a one-seed
+/// [`crate::IntensityCampaign`] thinned to the two grid endpoints
+/// (`{0.01, 1.0}`), writing its artifacts to a scratch directory under
+/// the system temp dir. Like [`roc_smoke`], most of the wall clock is
+/// simulation, so the figure is events/s.
+///
+/// # Panics
+///
+/// Panics if the pinned campaign fails to run — a bug in this crate
+/// (the scratch directory is always creatable under `temp_dir`).
+pub fn intensity_smoke() -> f64 {
+    let quality = Quality {
+        seeds: vec![1],
+        duration: sim::SimDuration::from_millis(500),
+        samples: 1_000,
+    };
+    let mut campaign = crate::IntensityCampaign::new(quality, 1).with_points(2);
+    campaign.window = sim::SimDuration::from_millis(100);
+    let dir = std::env::temp_dir().join("gr-gate-intensity-smoke");
+    let before = stats::snapshot();
+    let t = Instant::now();
+    campaign.run(&dir).expect("pinned intensity smoke is valid");
     let wall = t.elapsed().as_secs_f64();
     let used = stats::snapshot().since(before);
     used.events_processed as f64 / wall.max(1e-9)
@@ -629,6 +668,7 @@ pub fn check_against_baseline(
         ("cc_bbr_events_per_sec", report.cc.bbr_events_per_sec),
         ("sustained_events_per_sec", report.sustained_events_per_sec),
         ("roc_events_per_sec", report.roc_events_per_sec),
+        ("intensity_events_per_sec", report.intensity_events_per_sec),
     ] {
         let Some(base_cc) = baseline_value(&text, key) else {
             continue;
@@ -676,6 +716,7 @@ mod tests {
             },
             sustained_events_per_sec: 1_200_000.0,
             roc_events_per_sec: 1_100_000.0,
+            intensity_events_per_sec: 1_050_000.0,
         };
         let json = r.to_json();
         let eps = baseline_events_per_sec(&json).expect("parsable");
@@ -689,6 +730,11 @@ mod tests {
         assert!(json.contains("\"cc_bbr_events_per_sec\": 850000"));
         assert!(json.contains("\"sustained_events_per_sec\": 1200000"));
         assert!(json.contains("\"roc_events_per_sec\": 1100000"));
+        assert!(json.contains("\"intensity_events_per_sec\": 1050000"));
+        assert_eq!(
+            baseline_value(&json, "intensity_events_per_sec"),
+            Some(1_050_000.0)
+        );
         assert_eq!(
             baseline_value(&json, "roc_events_per_sec"),
             Some(1_100_000.0)
@@ -727,6 +773,7 @@ mod tests {
             },
             sustained_events_per_sec: 0.0,
             roc_events_per_sec: 0.0,
+            intensity_events_per_sec: 0.0,
         };
         assert!(mk(1.10, 0).conform_check(15.0).is_ok());
         assert!(mk(1.30, 0).conform_check(15.0).is_err());
@@ -768,6 +815,7 @@ mod tests {
             },
             sustained_events_per_sec: 0.0,
             roc_events_per_sec: 0.0,
+            intensity_events_per_sec: 0.0,
         };
         assert!(check_against_baseline(&mk(900_000), &path, 0.25).is_ok());
         assert!(check_against_baseline(&mk(1_600_000), &path, 0.25).is_ok());

@@ -22,6 +22,7 @@ pub mod cc;
 pub mod experiments;
 pub mod fuzz;
 pub mod gate;
+pub mod intensity;
 pub mod quality;
 pub mod roc;
 pub mod sweep;
@@ -33,6 +34,7 @@ pub use gate::{
     run_gate, CcSmoke, GateReport, WorldSmoke, CONFORM_OVERHEAD_LIMIT_PCT, GATE_SUBSET,
     GATE_TOLERANCE,
 };
+pub use intensity::{IntensityCampaign, IntensityCampaignReport, INTENSITY_GRID};
 pub use quality::Quality;
 pub use roc::{RocCampaign, RocCampaignReport};
 pub use sweep::{sweep, sweep_scalar};
@@ -91,7 +93,7 @@ impl ObsCampaign {
 /// [`conform::ConformReport`]s accumulate in the shared sink here.
 ///
 /// When the run context records nothing, conformance jobs still need a
-/// recorder for the checker to tap; [`sweep`] installs a zero-capacity
+/// recorder for the checker to tap; [`sweep()`] installs a zero-capacity
 /// one (the tap sees every event before ring eviction, so capacity does
 /// not affect checking).
 #[derive(Debug, Clone)]

@@ -36,14 +36,14 @@ use detsci::roc::linear_grid;
 use detsci::{auc, AdaptiveConfig, AdaptiveThreshold, Cusum, OperatingPoint, Sprt, SprtVerdict};
 use greedy80211::detect::{GrcSnapshot, GrcTuning, WindowStat, WindowTrack};
 use greedy80211::{
-    CrossLayerDetector, DominoDetector, FakeAckDetector, GreedyConfig, GreedySenderPolicy,
-    NavInflationConfig, Run, RunOutcome, Scenario, TransportKind,
+    Axis, CrossLayerDetector, DominoDetector, FakeAckDetector, GreedySenderPolicy, Run, RunOutcome,
+    Scenario, TransportKind,
 };
 use net::NetworkBuilder;
 use phy::{PhyParams, Position};
 use sim::{RunKey, SimDuration, SimTime};
 
-use crate::cc::{LOSSY_BER, NAV_INFLATE_US};
+use crate::cc::LOSSY_BER;
 use crate::table::Experiment;
 use crate::{Quality, RunCtx};
 
@@ -104,14 +104,14 @@ pub const ADAPTIVE_LOADS_BPS: &[u64] = &[500_000, 2_000_000, 8_000_000];
 
 /// CUSUM reference value: half the standardized shift the test is tuned
 /// to catch fastest (δ = 1σ).
-const CUSUM_K: f64 = 0.5;
+pub const CUSUM_K: f64 = 0.5;
 /// CUSUM in-control average run length target (windows) — the classic
 /// "370" of a 3σ Shewhart chart.
-const CUSUM_ARL0: f64 = 370.0;
+pub const CUSUM_ARL0: f64 = 370.0;
 /// SPRT false-alarm target α.
-const SPRT_ALPHA: f64 = 0.01;
+pub const SPRT_ALPHA: f64 = 0.01;
 /// SPRT miss target β.
-const SPRT_BETA: f64 = 0.05;
+pub const SPRT_BETA: f64 = 0.05;
 
 /// A planned `repro roc` campaign.
 #[derive(Debug, Clone)]
@@ -401,7 +401,11 @@ impl RocCampaign {
 }
 
 /// Per-detector frontier CSV ids (static for [`Experiment`]).
-fn roc_table_id(detector: &str) -> &'static str {
+///
+/// # Panics
+///
+/// Panics on a detector id outside [`DETECTORS`].
+pub fn roc_table_id(detector: &str) -> &'static str {
     match detector {
         "nav" => "roc_nav",
         "spoof" => "roc_spoof",
@@ -415,7 +419,11 @@ fn roc_table_id(detector: &str) -> &'static str {
 /// Threshold grid per detector, spanning each statistic's natural range
 /// (NAV margin µs, RSSI deviation dB, loss-gap, retx ratio, backoff
 /// deficit in slots).
-fn grid_for(detector: &str) -> Vec<f64> {
+///
+/// # Panics
+///
+/// Panics on a detector id outside [`DETECTORS`].
+pub fn grid_for(detector: &str) -> Vec<f64> {
     match detector {
         "nav" => linear_grid(0.0, 12_000.0, 24),
         "spoof" => linear_grid(0.0, 8.0, 32),
@@ -429,7 +437,11 @@ fn grid_for(detector: &str) -> Vec<f64> {
 /// The threshold each detector actually ships with — the operating point
 /// reported in `auc_summary.csv`, pulled from the defaults so the table
 /// can never drift from the code.
-fn operating_threshold(detector: &str) -> f64 {
+///
+/// # Panics
+///
+/// Panics on a detector id outside [`DETECTORS`].
+pub fn operating_threshold(detector: &str) -> f64 {
     match detector {
         "nav" => GrcTuning::default().nav_tolerance_us as f64,
         "spoof" => GrcTuning::default().rssi_threshold_db,
@@ -445,22 +457,26 @@ fn operating_threshold(detector: &str) -> f64 {
 
 /// Raw labelled measurements of one `(cell, seed)` job.
 #[derive(Debug, Clone, Default)]
-struct CellSeed {
+pub struct CellSeed {
     /// Honest-class decision-statistic samples.
-    honest: Vec<f64>,
+    pub honest: Vec<f64>,
     /// Greedy-class decision-statistic samples.
-    greedy: Vec<f64>,
+    pub greedy: Vec<f64>,
     /// Merged per-window honest series (windowed detectors only).
-    honest_windows: Vec<WindowStat>,
+    pub honest_windows: Vec<WindowStat>,
     /// Merged per-window greedy series (windowed detectors only).
-    greedy_windows: Vec<WindowStat>,
+    pub greedy_windows: Vec<WindowStat>,
 }
 
-/// Like [`crate::sweep`], but returns every raw per-seed measurement (no
+/// Like [`crate::sweep()`], but returns every raw per-seed measurement (no
 /// medians) and hands each job its [`RunKey`] so `Run::plan(..).keyed`
 /// derives the seed from the key alone. Results are regrouped per point
 /// in submission order, so aggregation is independent of `--jobs`.
-fn collect<P, T, F>(ctx: &RunCtx, label: &str, points: &[P], measure: F) -> Vec<Vec<T>>
+///
+/// # Panics
+///
+/// Panics when `ctx.quality.seeds` is empty.
+pub fn collect<P, T, F>(ctx: &RunCtx, label: &str, points: &[P], measure: F) -> Vec<Vec<T>>
 where
     P: Sync,
     T: Send,
@@ -492,20 +508,79 @@ where
 
 /// Which windowed guard a cell reads.
 #[derive(Debug, Clone, Copy)]
-enum Guard {
+pub enum Guard {
+    /// The GRC NAV-inflation guard (per-window NAV margin µs).
     Nav,
+    /// The GRC ACK-spoof guard (per-window RSSI deviation dB).
     Spoof,
 }
 
-/// One `(cell, seed)` job: the honest run and the attacked run under the
-/// same key, reduced to labelled statistics.
-fn measure_cell(cell: &Cell, q: &Quality, window: SimDuration, key: RunKey) -> CellSeed {
+/// One `(cell, seed)` job at full attack intensity: the honest run and
+/// the attacked run under the same key, reduced to labelled statistics.
+pub fn measure_cell(cell: &Cell, q: &Quality, window: SimDuration, key: RunKey) -> CellSeed {
+    measure_cell_at(cell, q, window, key, 1.0)
+}
+
+/// Like [`measure_cell`], but with the attack scaled to `intensity` on
+/// the cell's misbehavior axis ([`Axis::for_detector`]): NAV inflation
+/// in µs, spoof/fake forgery probability, or DOMINO backoff fraction.
+/// Intensity 1.0 reproduces [`measure_cell`] exactly. Both classes run
+/// under the same `key`, so channel draws are matched.
+///
+/// # Panics
+///
+/// Panics on a detector id outside [`DETECTORS`].
+pub fn measure_cell_at(
+    cell: &Cell,
+    q: &Quality,
+    window: SimDuration,
+    key: RunKey,
+    intensity: f64,
+) -> CellSeed {
+    let honest = measure_class(cell, q, window, key.clone(), intensity, false);
+    let greedy = measure_class(cell, q, window, key, intensity, true);
+    CellSeed {
+        honest: honest.stats,
+        greedy: greedy.stats,
+        honest_windows: honest.windows,
+        greedy_windows: greedy.windows,
+    }
+}
+
+/// One class of one `(cell, intensity, seed)` measurement, as produced
+/// by [`measure_class`] — the single-simulation unit the intensity
+/// campaign shards so each run can carry its own checkpoint file.
+#[derive(Debug, Clone, Default)]
+pub struct ClassSeed {
+    /// Decision-statistic samples of this class.
+    pub stats: Vec<f64>,
+    /// Merged per-window series (windowed detectors only).
+    pub windows: Vec<WindowStat>,
+}
+
+/// One simulation: the honest (`attacked = false`) or attacked half of a
+/// cell at `intensity`, reduced to labelled statistics. The spoof/cross
+/// victim comes from a probe topology build (deterministic, no
+/// execution), so the attacked class never depends on an executed honest
+/// run. [`measure_cell_at`] is exactly both classes under one key.
+///
+/// # Panics
+///
+/// Panics on a detector id outside [`DETECTORS`].
+pub fn measure_class(
+    cell: &Cell,
+    q: &Quality,
+    window: SimDuration,
+    key: RunKey,
+    intensity: f64,
+    attacked: bool,
+) -> ClassSeed {
     match cell.detector {
-        "nav" => measure_windowed(cell.mix, q, window, key, Guard::Nav),
-        "spoof" => measure_windowed(cell.mix, q, window, key, Guard::Spoof),
-        "fake" => measure_fake(q, key),
-        "cross" => measure_cross(q, key),
-        "domino" => measure_domino(q, key),
+        "nav" => measure_windowed(cell.mix, q, window, key, Guard::Nav, intensity, attacked),
+        "spoof" => measure_windowed(cell.mix, q, window, key, Guard::Spoof, intensity, attacked),
+        "fake" => measure_fake(q, key, intensity, attacked),
+        "cross" => measure_cross(q, key, intensity, attacked),
+        "domino" => measure_domino(q, key, intensity, attacked),
         other => panic!("unknown detector {other}"),
     }
 }
@@ -513,7 +588,7 @@ fn measure_cell(cell: &Cell, q: &Quality, window: SimDuration, key: RunKey) -> C
 /// The standard two-pair topology with windowed GRC statistics armed
 /// (detect-only — ROC runs must not mitigate, or the statistic stream
 /// after the first detection would describe the mitigated channel).
-fn windowed_scenario(mix: &str, q: &Quality, window: SimDuration, ber: f64) -> Scenario {
+pub fn windowed_scenario(mix: &str, q: &Quality, window: SimDuration, ber: f64) -> Scenario {
     Scenario {
         transport: match mix {
             "udp" => TransportKind::SATURATING_UDP,
@@ -530,7 +605,7 @@ fn windowed_scenario(mix: &str, q: &Quality, window: SimDuration, ber: f64) -> S
 /// Merges one guard's window tracks across all GRC nodes into a single
 /// idx-ordered series: counts and sums add, peaks take the max (a window
 /// is flagged when *any* observer's peak crosses).
-fn guard_windows(out: &RunOutcome, guard: Guard) -> Vec<WindowStat> {
+pub fn guard_windows(out: &RunOutcome, guard: Guard) -> Vec<WindowStat> {
     let mut merged: BTreeMap<u64, WindowStat> = BTreeMap::new();
     let pick = |snap: &GrcSnapshot| -> Option<WindowTrack> {
         match guard {
@@ -562,7 +637,9 @@ fn measure_windowed(
     window: SimDuration,
     key: RunKey,
     guard: Guard,
-) -> CellSeed {
+    intensity: f64,
+    attacked: bool,
+) -> ClassSeed {
     // The spoof cell needs a lossy channel: ACK forgery only has frames
     // to lie about when some are actually lost (same rate as `repro
     // --cc`'s spoof cells, both classes so labels differ only by attack).
@@ -570,31 +647,26 @@ fn measure_windowed(
         Guard::Nav => 0.0,
         Guard::Spoof => LOSSY_BER,
     };
-    let honest_run = Run::plan(&windowed_scenario(mix, q, window, ber))
-        .keyed(key.clone())
-        .execute()
-        .expect("valid scenario");
-    let mut attacked = windowed_scenario(mix, q, window, ber);
-    attacked.greedy = vec![(
-        1,
-        match guard {
-            Guard::Nav => {
-                GreedyConfig::nav_inflation(NavInflationConfig::cts_only(NAV_INFLATE_US, 1.0))
+    let mut s = windowed_scenario(mix, q, window, ber);
+    if attacked {
+        let cfg = match guard {
+            Guard::Nav => Axis::NavInflation
+                .receiver_config(intensity, &[])
+                .expect("receiver axis"),
+            Guard::Spoof => {
+                let victim = s.build().expect("valid scenario").receivers[0];
+                Axis::AckSpoof
+                    .receiver_config(intensity, &[victim])
+                    .expect("receiver axis")
             }
-            Guard::Spoof => GreedyConfig::ack_spoofing(vec![honest_run.receivers[0]], 1.0),
-        },
-    )];
-    let attacked_run = Run::plan(&attacked)
-        .keyed(key)
-        .execute()
-        .expect("valid scenario");
-    let honest_windows = guard_windows(&honest_run, guard);
-    let greedy_windows = guard_windows(&attacked_run, guard);
-    CellSeed {
-        honest: honest_windows.iter().map(|w| w.peak).collect(),
-        greedy: greedy_windows.iter().map(|w| w.peak).collect(),
-        honest_windows,
-        greedy_windows,
+        };
+        s.greedy = vec![(1, cfg)];
+    }
+    let run = Run::plan(&s).keyed(key).execute().expect("valid scenario");
+    let windows = guard_windows(&run, guard);
+    ClassSeed {
+        stats: windows.iter().map(|w| w.peak).collect(),
+        windows,
     }
 }
 
@@ -635,24 +707,24 @@ fn fake_stat(out: &RunOutcome, i: usize) -> Option<f64> {
     Some(probe - d.expected_round_trip_loss(mac_loss))
 }
 
-fn measure_fake(q: &Quality, key: RunKey) -> CellSeed {
-    let s = fake_scenario(q);
-    let honest_run = Run::plan(&s)
-        .keyed(key.clone())
-        .execute()
-        .expect("valid scenario");
-    let mut attacked = fake_scenario(q);
-    attacked.greedy = vec![(1, GreedyConfig::fake_acks(1.0))];
-    let attacked_run = Run::plan(&attacked)
-        .keyed(key)
-        .execute()
-        .expect("valid scenario");
-    CellSeed {
-        honest: (0..s.pairs)
-            .filter_map(|i| fake_stat(&honest_run, i))
-            .collect(),
-        greedy: fake_stat(&attacked_run, 1).into_iter().collect(),
-        ..CellSeed::default()
+fn measure_fake(q: &Quality, key: RunKey, intensity: f64, attacked: bool) -> ClassSeed {
+    let mut s = fake_scenario(q);
+    if attacked {
+        s.greedy = vec![(
+            1,
+            Axis::FakeAck
+                .receiver_config(intensity, &[])
+                .expect("receiver axis"),
+        )];
+    }
+    let run = Run::plan(&s).keyed(key).execute().expect("valid scenario");
+    ClassSeed {
+        stats: if attacked {
+            fake_stat(&run, 1).into_iter().collect()
+        } else {
+            (0..s.pairs).filter_map(|i| fake_stat(&run, i)).collect()
+        },
+        ..ClassSeed::default()
     }
 }
 
@@ -676,40 +748,44 @@ fn cross_stat(out: &RunOutcome, i: usize) -> f64 {
     }
 }
 
-fn measure_cross(q: &Quality, key: RunKey) -> CellSeed {
-    let s = cross_scenario(q);
-    let honest_run = Run::plan(&s)
-        .keyed(key.clone())
-        .execute()
-        .expect("valid scenario");
-    let mut attacked = cross_scenario(q);
-    attacked.greedy = vec![(
-        1,
-        GreedyConfig::ack_spoofing(vec![honest_run.receivers[0]], 1.0),
-    )];
-    let attacked_run = Run::plan(&attacked)
-        .keyed(key)
-        .execute()
-        .expect("valid scenario");
-    CellSeed {
-        honest: (0..s.pairs).map(|i| cross_stat(&honest_run, i)).collect(),
-        // The victim is pair 0's flow — its sender receives the forged
-        // MAC ACKs, so its TCP retransmissions are the evidence.
-        greedy: vec![cross_stat(&attacked_run, 0)],
-        ..CellSeed::default()
+fn measure_cross(q: &Quality, key: RunKey, intensity: f64, attacked: bool) -> ClassSeed {
+    let mut s = cross_scenario(q);
+    if attacked {
+        let victim = s.build().expect("valid scenario").receivers[0];
+        s.greedy = vec![(
+            1,
+            Axis::AckSpoof
+                .receiver_config(intensity, &[victim])
+                .expect("receiver axis"),
+        )];
+    }
+    let run = Run::plan(&s).keyed(key).execute().expect("valid scenario");
+    ClassSeed {
+        stats: if attacked {
+            // The victim is pair 0's flow — its sender receives the
+            // forged MAC ACKs, so its TCP retransmissions are the
+            // evidence.
+            vec![cross_stat(&run, 0)]
+        } else {
+            (0..s.pairs).map(|i| cross_stat(&run, i)).collect()
+        },
+        ..ClassSeed::default()
     }
 }
 
 /// One DOMINO run (the ext2 manual topology: two UDP pairs, tracing on)
 /// reduced to per-sender backoff deficits `CWmin/2 − avg` in slots —
 /// larger means greedier. Senders the detector never judged are absent.
-fn domino_deficits(q: &Quality, seed: u64, greedy_sender: bool) -> Vec<(bool, f64)> {
+/// `greedy_fraction` is the cheater's contention-window fraction
+/// (`None` = honest backoff).
+fn domino_deficits(q: &Quality, seed: u64, greedy_fraction: Option<f64>) -> Vec<(bool, f64)> {
     let params = PhyParams::dot11b();
+    let greedy_sender = greedy_fraction.is_some();
     let mut b = NetworkBuilder::new(params).seed(seed);
     let s0 = b.add_node(Position::new(0.0, 0.0));
     let r0 = b.add_node(Position::new(20.0, 0.0));
-    let s1 = if greedy_sender {
-        b.add_node_with_policy(Position::new(0.0, 20.0), GreedySenderPolicy::new(0.1))
+    let s1 = if let Some(fraction) = greedy_fraction {
+        b.add_node_with_policy(Position::new(0.0, 20.0), GreedySenderPolicy::new(fraction))
     } else {
         b.add_node(Position::new(0.0, 20.0))
     };
@@ -732,19 +808,22 @@ fn domino_deficits(q: &Quality, seed: u64, greedy_sender: bool) -> Vec<(bool, f6
         .collect()
 }
 
-fn measure_domino(q: &Quality, key: RunKey) -> CellSeed {
+fn measure_domino(q: &Quality, key: RunKey, intensity: f64, attacked: bool) -> ClassSeed {
     let seed = key.stream_seed();
-    CellSeed {
-        honest: domino_deficits(q, seed, false)
-            .into_iter()
-            .map(|(_, d)| d)
-            .collect(),
-        greedy: domino_deficits(q, seed, true)
-            .into_iter()
-            .filter(|(g, _)| *g)
-            .map(|(_, d)| d)
-            .collect(),
-        ..CellSeed::default()
+    ClassSeed {
+        stats: if attacked {
+            domino_deficits(q, seed, Some(Axis::BackoffCheat.knob_at(intensity)))
+                .into_iter()
+                .filter(|(g, _)| *g)
+                .map(|(_, d)| d)
+                .collect()
+        } else {
+            domino_deficits(q, seed, None)
+                .into_iter()
+                .map(|(_, d)| d)
+                .collect()
+        },
+        ..ClassSeed::default()
     }
 }
 
@@ -770,7 +849,7 @@ fn measure_adaptive(
 
 /// Fills index gaps of an idx-ordered window series with empty windows,
 /// from the first observed index to the last.
-fn densify(windows: &[WindowStat]) -> Vec<WindowStat> {
+pub fn densify(windows: &[WindowStat]) -> Vec<WindowStat> {
     let (Some(first), Some(last)) = (windows.first(), windows.last()) else {
         return Vec::new();
     };
@@ -853,7 +932,7 @@ fn eval_adaptive(
 /// In-control mean and scale from pooled honest window means; the scale
 /// falls back to 1.0 when the honest statistic is (near-)constant, e.g.
 /// all-zero NAV margins.
-fn calibration(means: &[f64]) -> (f64, f64) {
+pub fn calibration(means: &[f64]) -> (f64, f64) {
     if means.is_empty() {
         return (0.0, 1.0);
     }
@@ -1055,5 +1134,26 @@ mod tests {
         assert_eq!(operating_threshold("fake"), 0.02);
         assert_eq!(operating_threshold("cross"), 0.5);
         assert_eq!(operating_threshold("domino"), 7.75);
+    }
+
+    /// The intensity axis at full strength must reproduce the historical
+    /// campaign constants exactly — otherwise `measure_cell_at(.., 1.0)`
+    /// would silently drift from the pinned ROC results.
+    #[test]
+    fn unit_intensity_matches_the_historical_attack_knobs() {
+        assert_eq!(
+            Axis::NavInflation.knob_at(1.0) as u32,
+            crate::cc::NAV_INFLATE_US
+        );
+        assert_eq!(Axis::AckSpoof.knob_at(1.0), 1.0);
+        assert_eq!(Axis::FakeAck.knob_at(1.0), 1.0);
+        assert_eq!(Axis::BackoffCheat.knob_at(1.0), 0.1);
+        for cell in CELLS {
+            assert!(
+                greedy80211::misbehavior::intensity::Axis::for_detector(cell.detector).is_some(),
+                "cell {} must map onto an intensity axis",
+                cell.detector
+            );
+        }
     }
 }

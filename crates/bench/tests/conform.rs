@@ -4,10 +4,13 @@
 //! shrinks a genuine MAC bug.
 
 use gr_bench::fuzz;
-use greedy80211::{GreedyConfig, NavInflationConfig, Run, Scenario};
+#[cfg(not(feature = "inject-nav-bug"))]
+use greedy80211::Run;
+use greedy80211::{GreedyConfig, NavInflationConfig, Scenario};
 use sim::{RunKey, SimDuration};
 
 /// Runs `scenario` once under the checker and returns its report.
+#[cfg(not(feature = "inject-nav-bug"))]
 fn check_run(scenario: &Scenario, job: conform::ConformJob) -> conform::ConformReport {
     {
         let rec = obs::ObsSpec {
@@ -122,6 +125,22 @@ fn planted_nav_bug_is_caught_and_shrunk() {
     let (lo, hi) = v.bracket_ms.expect("violation was shrunk");
     assert!(hi - lo <= 10, "bracket wider than 10 ms: [{lo}, {hi})");
     assert_eq!(v.layer, Some("mac"), "bug must be pinned to the MAC layer");
+    // The intensity shrink runs too and must report the planted fault as
+    // *attack-independent* — the `(0, 0]` sentinel: a MAC that ignores
+    // NAV violates even with the greedy knob scaled to zero, because the
+    // greedy receiver's distant placement leaves links where only
+    // virtual carrier sense serializes access. This is the shrink
+    // distinguishing "bug in the attack" (a genuine bracket, exercised
+    // by `fuzz::tests::violating_greedy_case_shrinks_to_an_intensity_bracket`)
+    // from "bug in the MAC".
+    let (ilo, ihi) = v
+        .intensity_bracket
+        .expect("greedy case gets an intensity bracket");
+    assert_eq!(
+        (ilo, ihi),
+        (0.0, 0.0),
+        "planted MAC bug must be flagged attack-independent, got ({ilo}, {ihi}]"
+    );
 }
 
 /// Guards against an accidental `--features inject-nav-bug` in a normal

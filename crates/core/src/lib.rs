@@ -64,8 +64,8 @@ pub use detect::{
     SpoofGuardReport,
 };
 pub use misbehavior::{
-    AckSpoofPolicy, FakeAckPolicy, FakeConfig, GreedyConfig, GreedyPolicy, GreedySenderPolicy,
-    InflatedFrames, NavInflationConfig, NavInflationPolicy, SpoofConfig,
+    AckSpoofPolicy, Axis, FakeAckPolicy, FakeConfig, GreedyConfig, GreedyPolicy,
+    GreedySenderPolicy, InflatedFrames, NavInflationConfig, NavInflationPolicy, SpoofConfig,
 };
 pub use model::{nav_inflation_model, SendProbabilities};
 pub use rssi_study::{RssiStudy, RssiStudyConfig};

@@ -1,0 +1,179 @@
+//! The misbehavior-intensity axis (DESIGN.md §18).
+//!
+//! Every misbehavior the paper studies has one dominant strength knob:
+//! the NAV inflation amount in µs, the greedy percentage `gp` of the
+//! spoof/fake attacks, and the backoff fraction of the DOMINO-style
+//! greedy sender. This module maps a single dimensionless *intensity*
+//! `t ∈ (0, 1]` onto each knob so campaigns, fuzzers and detectors all
+//! sweep the same axis:
+//!
+//! | axis      | knob          | mapping                  | `t = 1`    |
+//! |-----------|---------------|--------------------------|------------|
+//! | nav       | `inflate_us`  | `round(t · 10 000)` µs   | 10 ms      |
+//! | spoof     | `gp`          | `t`                      | 1.0        |
+//! | fake      | `gp`          | `t`                      | 1.0        |
+//! | backoff   | `cw_fraction` | `1 − 0.9 t`              | 0.1        |
+//!
+//! `t = 1` reproduces the full-intensity attacks of the original ROC
+//! campaign byte for byte, and `t = 0.01` is the floor the issue asks
+//! for (100 µs NAV inflation, `gp = 0.01`). The backoff axis shrinks the
+//! contention-window *fraction* a greedy sender draws from: an honest
+//! sender uses the whole `[0, CW]` range (fraction 1.0), the classic
+//! DOMINO cheater a tenth of it.
+
+use mac::greedy::{GreedyConfig, NavInflationConfig};
+use mac::NodeId;
+
+/// NAV inflation at unit intensity, µs — the original campaign's 10 ms.
+pub const FULL_NAV_INFLATE_US: u32 = 10_000;
+
+/// Contention-window fraction of the backoff axis at unit intensity —
+/// the classic DOMINO greedy sender drawing from `[0, CW/10]`.
+pub const FULL_BACKOFF_FRACTION: f64 = 0.1;
+
+/// One misbehavior-strength axis: which knob an intensity scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// NAV inflation amount (receiver-side, misbehavior 1).
+    NavInflation,
+    /// ACK-spoofing greedy percentage (receiver-side, misbehavior 2).
+    AckSpoof,
+    /// Fake-ACK greedy percentage (receiver-side, misbehavior 3).
+    FakeAck,
+    /// Greedy-sender backoff fraction (sender-side, DOMINO's target).
+    BackoffCheat,
+}
+
+impl Axis {
+    /// Every axis, in misbehavior order.
+    pub const ALL: [Axis; 4] = [
+        Axis::NavInflation,
+        Axis::AckSpoof,
+        Axis::FakeAck,
+        Axis::BackoffCheat,
+    ];
+
+    /// The axis a detector's ROC cell sweeps. The cross-layer detector
+    /// watches the *spoof* attack from the transport layer, so it shares
+    /// the spoof axis.
+    pub fn for_detector(detector: &str) -> Option<Axis> {
+        match detector {
+            "nav" => Some(Axis::NavInflation),
+            "spoof" | "cross" => Some(Axis::AckSpoof),
+            "fake" => Some(Axis::FakeAck),
+            "domino" => Some(Axis::BackoffCheat),
+            _ => None,
+        }
+    }
+
+    /// Short axis name for artifacts and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::NavInflation => "nav",
+            Axis::AckSpoof => "spoof",
+            Axis::FakeAck => "fake",
+            Axis::BackoffCheat => "backoff",
+        }
+    }
+
+    /// Name of the concrete knob the intensity scales.
+    pub fn knob(self) -> &'static str {
+        match self {
+            Axis::NavInflation => "inflate_us",
+            Axis::AckSpoof | Axis::FakeAck => "gp",
+            Axis::BackoffCheat => "cw_fraction",
+        }
+    }
+
+    /// Concrete knob value at intensity `t` (clamped to `[0, 1]`), in
+    /// the knob's natural unit.
+    pub fn knob_at(self, intensity: f64) -> f64 {
+        let t = intensity.clamp(0.0, 1.0);
+        match self {
+            Axis::NavInflation => (FULL_NAV_INFLATE_US as f64 * t).round(),
+            Axis::AckSpoof | Axis::FakeAck => t,
+            // Written as a convex blend so `t = 1` lands exactly on the
+            // DOMINO fraction (1 − 0.9t rounds off at the endpoint).
+            Axis::BackoffCheat => (1.0 - t) + FULL_BACKOFF_FRACTION * t,
+        }
+    }
+
+    /// The receiver-side greedy configuration at intensity `t`, or
+    /// `None` for the sender-side backoff axis. `victims` is consumed by
+    /// the spoof axis only (the nodes ACKs are forged for).
+    pub fn receiver_config(self, intensity: f64, victims: &[NodeId]) -> Option<GreedyConfig> {
+        match self {
+            Axis::NavInflation => Some(GreedyConfig::nav_inflation(NavInflationConfig::cts_only(
+                self.knob_at(intensity) as u32,
+                1.0,
+            ))),
+            Axis::AckSpoof => Some(GreedyConfig::ack_spoofing(
+                victims.to_vec(),
+                self.knob_at(intensity),
+            )),
+            Axis::FakeAck => Some(GreedyConfig::fake_acks(self.knob_at(intensity))),
+            Axis::BackoffCheat => None,
+        }
+    }
+
+    /// The greedy sender's contention-window fraction at intensity `t`,
+    /// or `None` for the receiver-side axes.
+    pub fn sender_fraction(self, intensity: f64) -> Option<f64> {
+        match self {
+            Axis::BackoffCheat => Some(self.knob_at(intensity)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_intensity_reproduces_the_full_attacks() {
+        assert_eq!(Axis::NavInflation.knob_at(1.0), 10_000.0);
+        assert_eq!(Axis::AckSpoof.knob_at(1.0), 1.0);
+        assert_eq!(Axis::FakeAck.knob_at(1.0), 1.0);
+        assert_eq!(Axis::BackoffCheat.knob_at(1.0), FULL_BACKOFF_FRACTION);
+    }
+
+    #[test]
+    fn floor_intensity_hits_the_issue_floors() {
+        assert_eq!(Axis::NavInflation.knob_at(0.01), 100.0);
+        assert_eq!(Axis::AckSpoof.knob_at(0.01), 0.01);
+        // The backoff axis barely cheats at the floor.
+        assert!((Axis::BackoffCheat.knob_at(0.01) - 0.991).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_intensity_configs_are_inert() {
+        for axis in Axis::ALL {
+            if let Some(cfg) = axis.receiver_config(0.0, &[NodeId(3)]) {
+                assert!(cfg.is_inert(), "{axis:?} not inert at 0");
+            }
+        }
+        assert_eq!(Axis::BackoffCheat.sender_fraction(0.0), Some(1.0));
+        assert_eq!(Axis::NavInflation.sender_fraction(1.0), None);
+    }
+
+    #[test]
+    fn detector_axis_map_covers_the_cells() {
+        assert_eq!(Axis::for_detector("nav"), Some(Axis::NavInflation));
+        assert_eq!(Axis::for_detector("spoof"), Some(Axis::AckSpoof));
+        assert_eq!(Axis::for_detector("cross"), Some(Axis::AckSpoof));
+        assert_eq!(Axis::for_detector("fake"), Some(Axis::FakeAck));
+        assert_eq!(Axis::for_detector("domino"), Some(Axis::BackoffCheat));
+        assert_eq!(Axis::for_detector("bogus"), None);
+    }
+
+    #[test]
+    fn spoof_config_carries_the_victims() {
+        let cfg = Axis::AckSpoof
+            .receiver_config(0.5, &[NodeId(1), NodeId(4)])
+            .unwrap();
+        let spoof = cfg.spoof.expect("spoof armed");
+        assert_eq!(spoof.victims, vec![NodeId(1), NodeId(4)]);
+        assert_eq!(spoof.gp, 0.5);
+    }
+}

@@ -5,6 +5,9 @@
 //! are re-exported here so experiment code keeps its historical
 //! `greedy80211::misbehavior` paths.
 
+pub mod intensity;
+
+pub use intensity::Axis;
 pub use mac::greedy::{
     AckSpoofPolicy, FakeAckPolicy, FakeConfig, GreedyConfig, GreedyPolicy, GreedySenderPolicy,
     InflatedFrames, NavInflationConfig, NavInflationPolicy, SpoofConfig,

@@ -1,0 +1,195 @@
+//! Intensity frontiers: knee finding and the windowed-vs-sequential
+//! crossover (DESIGN.md §18).
+//!
+//! An intensity campaign measures each detector's operating point at a
+//! grid of attack intensities. Two questions fall out of that frontier:
+//!
+//! 1. **The knee** — the minimal intensity at which the detector is
+//!    *reliably* usable: its operating point meets a TPR/FPR criterion
+//!    there **and at every stronger intensity**. Requiring the criterion
+//!    to hold for the whole upper tail makes the knee robust against a
+//!    single lucky grid point in an otherwise undetectable regime.
+//! 2. **The crossover** — the intensity range where accumulated-evidence
+//!    sequential detectors (CUSUM/SPRT) fire reliably while the windowed
+//!    fixed-threshold rule does not: the regime where sequential
+//!    detection beats windowed rules outright.
+//!
+//! Both are pure functions over (intensity, rate) samples, so the
+//! campaign's CSVs and its tests share one implementation.
+
+/// One intensity sample of a detector's operating-point frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntensityPoint {
+    /// Attack intensity in `(0, 1]`.
+    pub intensity: f64,
+    /// Operating-point true-positive rate at that intensity.
+    pub tpr: f64,
+    /// Operating-point false-positive rate at that intensity.
+    pub fpr: f64,
+}
+
+/// Reliability criterion an operating point must meet to count as
+/// "detects at this intensity".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KneeCriterion {
+    /// Minimum acceptable true-positive rate.
+    pub min_tpr: f64,
+    /// Maximum acceptable false-positive rate.
+    pub max_fpr: f64,
+}
+
+impl Default for KneeCriterion {
+    /// The shipped bar: catch ≥ 90 % of attacked windows while flagging
+    /// ≤ 10 % of honest ones.
+    fn default() -> Self {
+        KneeCriterion {
+            min_tpr: 0.9,
+            max_fpr: 0.1,
+        }
+    }
+}
+
+impl KneeCriterion {
+    /// Whether `p` meets the criterion.
+    pub fn holds(&self, p: &IntensityPoint) -> bool {
+        p.tpr >= self.min_tpr && p.fpr <= self.max_fpr
+    }
+}
+
+/// The minimal reliably-detectable intensity: the smallest grid
+/// intensity whose operating point meets `criterion` **and** whose every
+/// stronger grid point meets it too. `None` when no such point exists
+/// (the detector never becomes reliable on this grid). Points may arrive
+/// in any order.
+pub fn minimal_detectable(points: &[IntensityPoint], criterion: KneeCriterion) -> Option<f64> {
+    let mut sorted: Vec<&IntensityPoint> = points.iter().collect();
+    sorted.sort_by(|a, b| a.intensity.total_cmp(&b.intensity));
+    let mut knee = None;
+    for p in sorted {
+        if criterion.holds(p) {
+            if knee.is_none() {
+                knee = Some(p.intensity);
+            }
+        } else {
+            knee = None;
+        }
+    }
+    knee
+}
+
+/// One intensity sample of the windowed-vs-sequential comparison: the
+/// fraction of runs each method family fired in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodPoint {
+    /// Attack intensity in `(0, 1]`.
+    pub intensity: f64,
+    /// Fraction of runs the windowed fixed-threshold rule fired in.
+    pub windowed: f64,
+    /// Fraction of runs the better sequential detector (CUSUM or SPRT)
+    /// fired in.
+    pub sequential: f64,
+}
+
+/// The crossover regime: the intensity span (lowest to highest grid
+/// point, inclusive) where the sequential family fires in at least
+/// `fire` of the runs while the windowed rule fires in fewer — the
+/// attacks only accumulated evidence catches. `None` when no grid point
+/// qualifies.
+pub fn crossover_regime(points: &[MethodPoint], fire: f64) -> Option<(f64, f64)> {
+    let mut span: Option<(f64, f64)> = None;
+    for p in points {
+        if p.sequential >= fire && p.windowed < fire {
+            span = Some(match span {
+                None => (p.intensity, p.intensity),
+                Some((lo, hi)) => (lo.min(p.intensity), hi.max(p.intensity)),
+            });
+        }
+    }
+    span
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(intensity: f64, tpr: f64, fpr: f64) -> IntensityPoint {
+        IntensityPoint {
+            intensity,
+            tpr,
+            fpr,
+        }
+    }
+
+    /// The ±ε boundary bar (mirroring the DOMINO threshold tests): the
+    /// knee is exactly the first grid point meeting the criterion, the
+    /// grid point one step below fails it, and the step above passes.
+    #[test]
+    fn knee_sits_one_step_above_the_last_failing_intensity() {
+        let c = KneeCriterion::default();
+        let points = [
+            pt(0.01, 0.10, 0.05),
+            pt(0.05, 0.89, 0.05), // one step below: TPR just under the bar
+            pt(0.10, 0.91, 0.05), // the knee
+            pt(0.50, 0.99, 0.02), // one step above: comfortably past it
+            pt(1.00, 1.00, 0.01),
+        ];
+        assert_eq!(minimal_detectable(&points, c), Some(0.10));
+        assert!(!c.holds(&points[1]), "point below the knee must fail");
+        assert!(c.holds(&points[3]), "point above the knee must pass");
+    }
+
+    /// A lucky low-intensity point must not become the knee when a
+    /// stronger intensity still fails — reliability means the whole
+    /// upper tail holds.
+    #[test]
+    fn non_monotone_frontier_pushes_the_knee_up() {
+        let c = KneeCriterion::default();
+        let points = [
+            pt(0.02, 0.95, 0.01), // lucky fluke
+            pt(0.10, 0.40, 0.01), // still undetectable
+            pt(0.50, 0.95, 0.02),
+            pt(1.00, 0.99, 0.02),
+        ];
+        assert_eq!(minimal_detectable(&points, c), Some(0.50));
+    }
+
+    #[test]
+    fn fpr_violations_disqualify_a_point() {
+        let c = KneeCriterion::default();
+        let points = [pt(0.5, 0.99, 0.5), pt(1.0, 0.99, 0.05)];
+        assert_eq!(minimal_detectable(&points, c), Some(1.0));
+    }
+
+    #[test]
+    fn hopeless_frontier_has_no_knee() {
+        let c = KneeCriterion::default();
+        assert_eq!(minimal_detectable(&[pt(1.0, 0.3, 0.0)], c), None);
+        assert_eq!(minimal_detectable(&[], c), None);
+    }
+
+    #[test]
+    fn unsorted_points_give_the_same_knee() {
+        let c = KneeCriterion::default();
+        let points = [pt(1.0, 1.0, 0.0), pt(0.1, 0.95, 0.0), pt(0.05, 0.2, 0.0)];
+        assert_eq!(minimal_detectable(&points, c), Some(0.1));
+    }
+
+    #[test]
+    fn crossover_spans_the_sequential_only_regime() {
+        let m = |i, w, s| MethodPoint {
+            intensity: i,
+            windowed: w,
+            sequential: s,
+        };
+        let points = [
+            m(0.01, 0.0, 0.0), // nobody fires
+            m(0.05, 0.0, 0.6), // sequential only — crossover starts
+            m(0.10, 0.2, 1.0), // sequential only — crossover continues
+            m(0.50, 0.9, 1.0), // both fire
+            m(1.00, 1.0, 1.0),
+        ];
+        assert_eq!(crossover_regime(&points, 0.5), Some((0.05, 0.10)));
+        assert_eq!(crossover_regime(&points[3..], 0.5), None);
+        assert_eq!(crossover_regime(&[], 0.5), None);
+    }
+}

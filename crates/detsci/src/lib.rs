@@ -20,6 +20,10 @@
 //!   a one-sided CUSUM (decision interval calibrated from a target
 //!   in-control ARL via Siegmund's approximation) and a Wald SPRT with
 //!   configurable (α, β) error targets, for bounded detection delay.
+//! * [`frontier`] — intensity-frontier analysis over the operating
+//!   points an intensity sweep measures: the minimal reliably-detectable
+//!   intensity (the knee) and the crossover regime where sequential
+//!   detectors beat windowed rules.
 //! * [`events`] — flight-recorder event kinds and histogram names, so
 //!   threshold updates, CUSUM/SPRT crossings, and detection-delay
 //!   distributions land in the standard `obs` artifact set.
@@ -32,9 +36,13 @@
 
 pub mod adaptive;
 pub mod events;
+pub mod frontier;
 pub mod roc;
 pub mod seq;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveThreshold};
+pub use frontier::{
+    crossover_regime, minimal_detectable, IntensityPoint, KneeCriterion, MethodPoint,
+};
 pub use roc::{auc, roc_frontier, OperatingPoint, RocPoint};
 pub use seq::{Cusum, Sprt, SprtVerdict};

@@ -1,0 +1,178 @@
+//! Property tests hardening the detection-science primitives:
+//!
+//! * the exact Mann–Whitney AUC agrees with an O(n·m) brute force on
+//!   random score sets, ties included;
+//! * [`AdaptiveThreshold`] holds its false-positive budget across
+//!   randomized multi-segment load traces, and responds exactly
+//!   proportionally to a multiplicative statistic scale;
+//! * CUSUM and SPRT stay silent on all-honest standardized streams when
+//!   calibrated for an in-control ARL far beyond the stream length.
+//!
+//! The vendored proptest stand-in generates deterministically (seeded
+//! from the test path), so every run replays the identical cases.
+
+use gr_detsci::adaptive::normal_quantile;
+use gr_detsci::{auc, AdaptiveConfig, AdaptiveThreshold, Cusum, Sprt, SprtVerdict};
+use proptest::prelude::*;
+use sim::SimRng;
+
+/// O(n·m) Mann–Whitney: each (honest, greedy) pair scores 1 when the
+/// greedy sample ranks higher, ½ on a tie.
+fn brute_force_auc(honest: &[f64], greedy: &[f64]) -> Option<f64> {
+    if honest.is_empty() || greedy.is_empty() {
+        return None;
+    }
+    let mut s = 0.0;
+    for &g in greedy {
+        for &h in honest {
+            if g > h {
+                s += 1.0;
+            } else if g == h {
+                s += 0.5;
+            }
+        }
+    }
+    Some(s / (honest.len() as f64 * greedy.len() as f64))
+}
+
+proptest! {
+    /// Scores drawn from a small integer lattice (halved, so ties are
+    /// frequent and exact): the merge-rank AUC must match brute force to
+    /// floating-point accumulation error.
+    #[test]
+    fn auc_agrees_with_brute_force_mann_whitney(
+        honest_raw in proptest::collection::vec(0u32..12, 1..40),
+        greedy_raw in proptest::collection::vec(0u32..12, 1..40),
+    ) {
+        let honest: Vec<f64> = honest_raw.iter().map(|&v| v as f64 / 2.0).collect();
+        let greedy: Vec<f64> = greedy_raw.iter().map(|&v| v as f64 / 2.0).collect();
+        let fast = auc(&honest, &greedy).expect("non-empty classes");
+        let slow = brute_force_auc(&honest, &greedy).expect("non-empty classes");
+        prop_assert!(
+            (fast - slow).abs() < 1e-12,
+            "merge-rank {fast} vs brute force {slow}"
+        );
+        prop_assert!((0.0..=1.0).contains(&fast));
+    }
+
+    /// Empty classes have no AUC, in either implementation.
+    #[test]
+    fn auc_empty_class_is_none(v in proptest::collection::vec(0u32..8, 1..10)) {
+        let v: Vec<f64> = v.iter().map(|&x| x as f64).collect();
+        prop_assert_eq!(auc(&v, &[]), None);
+        prop_assert_eq!(auc(&[], &v), None);
+        prop_assert_eq!(brute_force_auc(&v, &[]), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Honest half-normal traffic whose per-window rate jumps between
+    /// random load segments: after each segment's settle-in, the flagged
+    /// fraction must stay near the 5 % budget — the fixed-threshold
+    /// failure mode (FPR drifting with rate) must not reappear.
+    #[test]
+    fn adaptive_threshold_holds_fp_budget_under_random_load_traces(
+        seed in any::<u64>(),
+        rates in proptest::collection::vec(2u64..200, 1..4),
+        sigma in 0.1f64..3.0,
+    ) {
+        const WINDOWS_PER_SEGMENT: usize = 150;
+        const SETTLE: usize = 50;
+        let mut rng = SimRng::new(seed ^ 0xADA9_71E5).fork(1);
+        // Initial threshold calibrated for the first segment's rate, as
+        // a deployment would.
+        let p0 = 1.0 - 0.95f64.powf(1.0 / rates[0] as f64);
+        let initial = sigma * normal_quantile(1.0 - p0 / 2.0);
+        let mut adaptive = AdaptiveThreshold::new(AdaptiveConfig::default(), initial);
+        let (mut counted, mut flagged) = (0u64, 0u64);
+        for &rate in &rates {
+            for w in 0..WINDOWS_PER_SEGMENT {
+                let samples: Vec<f64> = (0..rate).map(|_| rng.normal(sigma).abs()).collect();
+                let peak = samples.iter().fold(0.0f64, |a, &b| a.max(b));
+                let mean = samples.iter().sum::<f64>() / rate as f64;
+                let hit = adaptive.step(rate, mean, peak);
+                if w >= SETTLE {
+                    counted += 1;
+                    if hit {
+                        flagged += 1;
+                    }
+                }
+            }
+        }
+        let fpr = flagged as f64 / counted as f64;
+        prop_assert!(
+            fpr < 0.15,
+            "honest FPR {fpr:.3} blew the 5% budget band (rates {rates:?}, sigma {sigma:.2})"
+        );
+    }
+
+    /// Exact scale equivariance: feeding the same trace with every
+    /// statistic multiplied by `c` (and the initial threshold likewise)
+    /// must scale every post-warmup threshold by exactly `c` and leave
+    /// every flag decision unchanged. This is the monotone response to
+    /// scale, in its sharpest form.
+    #[test]
+    fn adaptive_threshold_is_scale_equivariant(
+        seed in any::<u64>(),
+        c in 1.5f64..20.0,
+        rate in 2u64..60,
+    ) {
+        let sigma = 0.7;
+        let initial = 2.0;
+        let mut rng = SimRng::new(seed ^ 0x5CA1_E000).fork(2);
+        let mut base = AdaptiveThreshold::new(AdaptiveConfig::default(), initial);
+        let mut scaled = AdaptiveThreshold::new(AdaptiveConfig::default(), initial * c);
+        for _ in 0..120 {
+            let samples: Vec<f64> = (0..rate).map(|_| rng.normal(sigma).abs()).collect();
+            let peak = samples.iter().fold(0.0f64, |a, &b| a.max(b));
+            let mean = samples.iter().sum::<f64>() / rate as f64;
+            let f_base = base.step(rate, mean, peak);
+            let f_scaled = scaled.step(rate, mean * c, peak * c);
+            prop_assert_eq!(f_base, f_scaled, "flag decisions must be scale-invariant");
+            let (a, b) = (base.threshold() * c, scaled.threshold());
+            prop_assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "thresholds not proportional: {a} vs {b} (c = {c})"
+            );
+        }
+    }
+
+    /// All-honest standardized window means (the LLR input both
+    /// sequential detectors consume): with CUSUM calibrated for an
+    /// in-control ARL of 10⁶ windows and the SPRT's false-alarm target
+    /// at 10⁻⁵, a stream three orders of magnitude shorter must never
+    /// produce a greedy verdict. H₀ acceptances (which rearm the SPRT)
+    /// are fine — only a cross into "greedy" is a false alarm.
+    #[test]
+    fn sequential_detectors_stay_silent_on_honest_streams(
+        seed in any::<u64>(),
+        n in 50usize..250,
+    ) {
+        let mut rng = SimRng::new(seed ^ 0x5E9_0D37).fork(3);
+        let mut cusum = Cusum::with_arl(0.5, 1e6);
+        let mut sprt = Sprt::new(1e-5, 0.05, 0.0, 1.0, 1.0);
+        for _ in 0..n {
+            let x = rng.normal(1.0);
+            prop_assert!(!cusum.step(x), "CUSUM false alarm at s = {}", cusum.value());
+            prop_assert!(
+                sprt.step(x) != Some(SprtVerdict::Greedy),
+                "SPRT false greedy verdict at llr = {}",
+                sprt.value()
+            );
+        }
+    }
+}
+
+/// Siegmund calibration sanity: a longer in-control ARL demands a higher
+/// decision interval, and the classic chart values are ordered.
+#[test]
+fn cusum_decision_interval_grows_with_arl() {
+    let h370 = Cusum::with_arl(0.5, 370.0).decision_interval();
+    let h10k = Cusum::with_arl(0.5, 10_000.0).decision_interval();
+    let h1m = Cusum::with_arl(0.5, 1e6).decision_interval();
+    assert!(h370 > 0.0);
+    assert!(h10k > h370);
+    assert!(h1m > h10k);
+}

@@ -123,6 +123,42 @@ impl GreedyConfig {
     pub fn into_policy(self) -> PolicySlot {
         PolicySlot::Greedy(GreedyPolicy::new(self))
     }
+
+    /// Scales every misbehavior knob by `intensity ∈ [0, 1]`: the NAV
+    /// inflation amount (rounded to whole µs) and the spoof/fake greedy
+    /// percentages all multiply by the factor. `1.0` returns the
+    /// configuration unchanged; `0.0` returns an inert one whose policy
+    /// behaves exactly like an honest station.
+    pub fn at_intensity(&self, intensity: f64) -> GreedyConfig {
+        let t = intensity.clamp(0.0, 1.0);
+        GreedyConfig {
+            nav: self.nav.as_ref().map(|n| NavInflationConfig {
+                inflate_us: (n.inflate_us as f64 * t).round() as u32,
+                gp: n.gp,
+                frames: n.frames,
+            }),
+            spoof: self.spoof.as_ref().map(|s| SpoofConfig {
+                victims: s.victims.clone(),
+                gp: s.gp * t,
+            }),
+            fake: self.fake.as_ref().map(|f| FakeConfig { gp: f.gp * t }),
+        }
+    }
+
+    /// Whether this configuration can never deviate from honest behavior
+    /// (no misbehavior armed, or every armed knob scaled to zero).
+    pub fn is_inert(&self) -> bool {
+        let nav_live = self
+            .nav
+            .as_ref()
+            .is_some_and(|n| n.inflate_us > 0 && n.gp > 0.0);
+        let spoof_live = self
+            .spoof
+            .as_ref()
+            .is_some_and(|s| s.gp > 0.0 && !s.victims.is_empty());
+        let fake_live = self.fake.as_ref().is_some_and(|f| f.gp > 0.0);
+        !(nav_live || spoof_live || fake_live)
+    }
 }
 
 /// Station policy implementing a [`GreedyConfig`].
@@ -215,6 +251,33 @@ mod tests {
         assert!(p.spoof_ack_for(&victim_frame, &mut rng));
         let own_frame: Frame<usize> = Frame::data(NodeId(0), NodeId(2), 314, 1, 1024);
         assert!(p.ack_corrupted(&own_frame, &mut rng));
+    }
+
+    #[test]
+    fn at_intensity_scales_every_knob() {
+        let cfg = GreedyConfig {
+            nav: Some(NavInflationConfig::cts_only(10_000, 1.0)),
+            spoof: Some(SpoofConfig {
+                victims: vec![NodeId(1)],
+                gp: 0.8,
+            }),
+            fake: Some(FakeConfig { gp: 0.5 }),
+        };
+        let half = cfg.at_intensity(0.5);
+        assert_eq!(half.nav.as_ref().unwrap().inflate_us, 5_000);
+        assert_eq!(half.nav.as_ref().unwrap().gp, 1.0);
+        assert_eq!(half.spoof.as_ref().unwrap().gp, 0.4);
+        assert_eq!(half.spoof.as_ref().unwrap().victims, vec![NodeId(1)]);
+        assert_eq!(half.fake.as_ref().unwrap().gp, 0.25);
+        // Unit intensity is the identity; out-of-range clamps.
+        let full = cfg.at_intensity(1.0);
+        assert_eq!(full.nav.as_ref().unwrap().inflate_us, 10_000);
+        assert_eq!(full.spoof.as_ref().unwrap().gp, 0.8);
+        assert_eq!(cfg.at_intensity(7.0).fake.as_ref().unwrap().gp, 0.5);
+        assert!(!cfg.is_inert());
+        assert!(cfg.at_intensity(0.0).is_inert());
+        assert!(GreedyConfig::default().is_inert());
+        assert!(GreedyConfig::ack_spoofing(Vec::new(), 1.0).is_inert());
     }
 
     #[test]
